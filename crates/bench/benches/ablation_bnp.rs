@@ -1,0 +1,100 @@
+//! Ablation benches for the BnP design choices: bounding-path throughput
+//! for each variant and reset-monitor window costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_hw::engine::{NoGuard, SpikeGuard, WeightReadPath};
+use softsnn_bench::fixture;
+use softsnn_core::bounding::{BnpVariant, BoundedRead};
+use softsnn_core::protection::ResetMonitor;
+use std::hint::black_box;
+
+fn bench_bounding_throughput(c: &mut Criterion) {
+    let f = fixture();
+    let codes: Vec<u8> = (0..=255).cycle().take(64 * 1024).collect();
+    let mut group = c.benchmark_group("bounding_read_64k");
+    for variant in BnpVariant::ALL {
+        let path = BoundedRead::new(f.deployment.bounding_for(variant));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &path,
+            |b, path| {
+                b.iter(|| {
+                    let mut acc = 0_u64;
+                    for &code in &codes {
+                        acc += path.read(code) as u64;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monitor_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reset_monitor_step_256");
+    for window in [1_u8, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &window,
+            |b, &window| {
+                let mut monitor = ResetMonitor::new(256, window);
+                let mut cycle = 0_usize;
+                b.iter(|| {
+                    cycle += 1;
+                    let mut allowed = 0_usize;
+                    for j in 0..256 {
+                        // mixed pattern: some hot streaks, mostly cold
+                        let cmp = (j + cycle).is_multiple_of(17);
+                        if monitor.allow_spike(j, cmp) {
+                            allowed += 1;
+                        }
+                    }
+                    black_box(allowed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    // The protection guard adds per-neuron-per-cycle work; compare NoGuard
+    // vs ResetMonitor on the same engine run.
+    let f = fixture();
+    let mut group = c.benchmark_group("guard_overhead_sample");
+    group.sample_size(20);
+    group.bench_function("noguard", |b| {
+        let mut deployment = f.deployment.clone();
+        let engine = deployment.engine_mut();
+        b.iter(|| {
+            black_box(engine.run_sample(
+                &f.trains[0],
+                &snn_hw::engine::DirectRead,
+                &mut NoGuard,
+            ))
+        });
+    });
+    group.bench_function("reset_monitor", |b| {
+        let mut deployment = f.deployment.clone();
+        let n = deployment.quantized().n_neurons;
+        let engine = deployment.engine_mut();
+        let mut monitor = ResetMonitor::paper(n);
+        b.iter(|| {
+            black_box(engine.run_sample(
+                &f.trains[0],
+                &snn_hw::engine::DirectRead,
+                &mut monitor,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bounding_throughput,
+    bench_monitor_windows,
+    bench_guard_overhead
+);
+criterion_main!(benches);

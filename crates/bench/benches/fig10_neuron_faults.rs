@@ -1,0 +1,48 @@
+//! Fig. 10 regeneration bench: evaluation under per-operation neuron
+//! faults (the catastrophic `vr` case and the tolerable `vl` case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_faults::location::FaultDomain;
+use snn_hw::neuron_unit::NeuronOp;
+use snn_sim::rng::seeded_rng;
+use softsnn_bench::fixture;
+use softsnn_core::methodology::FaultScenario;
+use softsnn_core::mitigation::Technique;
+use std::hint::black_box;
+
+fn bench_neuron_op_faults(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("fig10a");
+    group.sample_size(10);
+    for op in [NeuronOp::VmemReset, NeuronOp::VmemLeak] {
+        group.bench_with_input(
+            BenchmarkId::new("nomit", op.shorthand()),
+            &op,
+            |b, &op| {
+                b.iter(|| {
+                    let mut deployment = f.deployment.clone();
+                    let scenario = FaultScenario {
+                        domain: FaultDomain::Neurons(Some(op)),
+                        rate: 0.1,
+                        seed: 5,
+                    };
+                    black_box(
+                        deployment
+                            .evaluate(
+                                Technique::NoMitigation,
+                                &scenario,
+                                f.test.images(),
+                                f.test.labels(),
+                                &mut seeded_rng(6),
+                            )
+                            .expect("evaluation succeeds"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neuron_op_faults);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 13 regeneration bench: one evaluation grid point per technique
+//! (the building block the full sweep repeats over rates × trials ×
+//! sizes × workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_faults::location::FaultDomain;
+use snn_sim::rng::seeded_rng;
+use softsnn_bench::fixture;
+use softsnn_core::methodology::FaultScenario;
+use softsnn_core::mitigation::Technique;
+use std::hint::black_box;
+
+fn bench_grid_points(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("fig13_grid_point");
+    group.sample_size(10);
+    for technique in Technique::PAPER_SET {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.id()),
+            &technique,
+            |b, &technique| {
+                b.iter(|| {
+                    let mut deployment = f.deployment.clone();
+                    let scenario = FaultScenario {
+                        domain: FaultDomain::ComputeEngine,
+                        rate: 0.01,
+                        seed: 7,
+                    };
+                    black_box(
+                        deployment
+                            .evaluate(
+                                technique,
+                                &scenario,
+                                f.test.images(),
+                                f.test.labels(),
+                                &mut seeded_rng(8),
+                            )
+                            .expect("evaluation succeeds"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_points);
+criterion_main!(benches);

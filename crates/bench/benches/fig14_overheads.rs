@@ -1,0 +1,20 @@
+//! Fig. 14 regeneration bench: the complete overhead grid (all five
+//! techniques × all five network sizes) from the analytical cost models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softsnn_core::overhead::{fig14_grid, normalize_grid, PAPER_SIZES};
+use std::hint::black_box;
+
+fn bench_full_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group.bench_function("grid_and_normalize", |b| {
+        b.iter(|| {
+            let rows = fig14_grid(&PAPER_SIZES, 100);
+            black_box(normalize_grid(&rows))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_grid);
+criterion_main!(benches);

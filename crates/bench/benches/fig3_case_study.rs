@@ -1,0 +1,62 @@
+//! Fig. 3 regeneration bench: one No-Mitigation evaluation under
+//! weight-register faults (panel a) and the re-execution cost-model
+//! computation (panel b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_faults::location::FaultDomain;
+use snn_hw::params::EngineConfig;
+use snn_sim::rng::seeded_rng;
+use softsnn_bench::fixture;
+use softsnn_core::methodology::FaultScenario;
+use softsnn_core::mitigation::Technique;
+use softsnn_core::overhead::overhead_for;
+use std::hint::black_box;
+
+fn bench_fig3a_eval_point(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("fig3a");
+    group.sample_size(10);
+    group.bench_function("nomit_weight_faults_1pct", |b| {
+        b.iter(|| {
+            let mut deployment = f.deployment.clone();
+            let scenario = FaultScenario {
+                domain: FaultDomain::Synapses,
+                rate: 0.01,
+                seed: 3,
+            };
+            black_box(
+                deployment
+                    .evaluate(
+                        Technique::NoMitigation,
+                        &scenario,
+                        f.test.images(),
+                        f.test.labels(),
+                        &mut seeded_rng(4),
+                    )
+                    .expect("evaluation succeeds"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig3b_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b");
+    group.bench_function("reexec_overhead_model", |b| {
+        b.iter(|| {
+            let base = overhead_for(Technique::NoMitigation, EngineConfig::PAPER, 784, 400, 100);
+            let re = overhead_for(
+                Technique::ReExecution { runs: 3 },
+                EngineConfig::PAPER,
+                784,
+                400,
+                100,
+            );
+            black_box(re.latency.ratio_to(&base.latency))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3a_eval_point, bench_fig3b_cost_models);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 9 regeneration bench: weight-distribution analysis of a deployed
+//! network and histogramming of fault-corrupted codes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_faults::fault_map::FaultMap;
+use snn_faults::injector::inject;
+use snn_faults::location::{FaultDomain, FaultSpace};
+use snn_sim::metrics::Histogram;
+use softsnn_bench::fixture;
+use softsnn_core::analysis::WeightAnalysis;
+use std::hint::black_box;
+
+fn bench_clean_analysis(c: &mut Criterion) {
+    let f = fixture();
+    let qn = f.deployment.quantized();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(30);
+    group.bench_function("weight_analysis", |b| {
+        b.iter(|| black_box(WeightAnalysis::of_clean_network(qn)));
+    });
+    group.finish();
+}
+
+fn bench_faulty_histogram(c: &mut Criterion) {
+    let f = fixture();
+    let qn = f.deployment.quantized();
+    let space = FaultSpace::new(qn.n_inputs, qn.n_neurons, FaultDomain::Synapses);
+    let map = FaultMap::generate(&space, 0.1, 9);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(20);
+    group.bench_function("corrupt_and_histogram", |b| {
+        b.iter(|| {
+            let mut deployment = f.deployment.clone();
+            inject(deployment.engine_mut(), &map).expect("fits");
+            let codes = deployment.engine_mut().crossbar().codes();
+            let mut h = Histogram::new(0.0, 256.0, 64);
+            h.record_all(codes.iter().map(|&c| c as f64));
+            black_box(h.total())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clean_analysis, bench_faulty_histogram);
+criterion_main!(benches);

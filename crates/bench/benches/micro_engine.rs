@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the compute-engine datapath: single steps and
+//! whole-sample runs, with the baseline and the bounded read path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_hw::engine::{DirectRead, NoGuard};
+use softsnn_bench::fixture;
+use softsnn_core::bounding::{BnpVariant, BoundedRead};
+use softsnn_core::protection::ResetMonitor;
+use std::hint::black_box;
+
+fn bench_engine_step(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("engine_step");
+    group.sample_size(20);
+    for n_active in [8_usize, 64, 256] {
+        let active: Vec<u32> = (0..n_active as u32).collect();
+        group.bench_with_input(
+            BenchmarkId::new("direct", n_active),
+            &active,
+            |b, active| {
+                let mut deployment = f.deployment.clone();
+                let engine = deployment.engine_mut();
+                b.iter(|| black_box(engine.step(active, &DirectRead, &mut NoGuard)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_run_sample(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("engine_run_sample");
+    group.sample_size(20);
+    group.bench_function("direct_noguard", |b| {
+        let mut deployment = f.deployment.clone();
+        let engine = deployment.engine_mut();
+        b.iter(|| black_box(engine.run_sample(&f.trains[0], &DirectRead, &mut NoGuard)));
+    });
+    group.bench_function("bounded_monitored", |b| {
+        let mut deployment = f.deployment.clone();
+        let bounding = deployment.bounding_for(BnpVariant::Bnp3);
+        let path = BoundedRead::new(bounding);
+        let n = deployment.quantized().n_neurons;
+        let engine = deployment.engine_mut();
+        let mut monitor = ResetMonitor::paper(n);
+        b.iter(|| black_box(engine.run_sample(&f.trains[0], &path, &mut monitor)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_step, bench_run_sample);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of fault-map generation and injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_faults::fault_map::FaultMap;
+use snn_faults::injector::inject;
+use snn_faults::location::{FaultDomain, FaultSpace};
+use softsnn_bench::fixture;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let space = FaultSpace::new(784, 400, FaultDomain::ComputeEngine);
+    let mut group = c.benchmark_group("fault_map_generate");
+    group.sample_size(30);
+    for rate in [1e-4, 1e-2, 1e-1] {
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
+            let mut seed = 0_u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(FaultMap::generate(&space, rate, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let f = fixture();
+    let qn = f.deployment.quantized();
+    let space = FaultSpace::new(qn.n_inputs, qn.n_neurons, FaultDomain::ComputeEngine);
+    let map = FaultMap::generate(&space, 0.01, 5);
+    let mut group = c.benchmark_group("fault_injection");
+    group.sample_size(30);
+    group.bench_function("inject_1pct", |b| {
+        let mut deployment = f.deployment.clone();
+        b.iter(|| {
+            // Double injection XORs back to clean, so the engine never
+            // drifts during measurement.
+            inject(deployment.engine_mut(), &map).expect("fits");
+            black_box(inject(deployment.engine_mut(), &map).expect("fits"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_injection);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the functional simulator: plastic (STDP) versus
+//! frozen stepping, and weight normalization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_sim::config::SnnConfig;
+use snn_sim::network::Network;
+use snn_sim::rng::seeded_rng;
+use std::hint::black_box;
+
+fn net(n_neurons: usize) -> Network {
+    let cfg = SnnConfig::builder()
+        .n_neurons(n_neurons)
+        .build()
+        .expect("valid config");
+    Network::new(cfg, &mut seeded_rng(1))
+}
+
+fn bench_step_modes(c: &mut Criterion) {
+    let active: Vec<u32> = (0..60_u32).map(|i| i * 13 % 784).collect();
+    let mut group = c.benchmark_group("sim_step");
+    group.sample_size(30);
+    group.bench_function("plastic_n100", |b| {
+        let mut network = net(100);
+        network.set_plastic();
+        b.iter(|| black_box(network.step(&active)));
+    });
+    group.bench_function("frozen_n100", |b| {
+        let mut network = net(100);
+        network.set_frozen();
+        b.iter(|| black_box(network.step(&active)));
+    });
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_normalize");
+    group.sample_size(30);
+    group.bench_function("normalize_n400", |b| {
+        let mut network = net(400);
+        b.iter(|| {
+            network.normalize_weights();
+            black_box(network.weight_sum(0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_modes, bench_normalization);
+criterion_main!(benches);

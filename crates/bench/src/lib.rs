@@ -1,0 +1,86 @@
+//! Shared fixtures for the SoftSNN criterion benches.
+//!
+//! Benches must not pay training cost inside the measurement loop, so
+//! this crate provides a lazily built, process-wide fixture: a small
+//! trained + quantized network deployed on the engine, its test images,
+//! and pre-encoded spike trains.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use snn_data::dataset::Dataset;
+use snn_data::synth_digits::SynthDigits;
+use snn_sim::config::SnnConfig;
+use snn_sim::encoding::PoissonEncoder;
+use snn_sim::rng::seeded_rng;
+use snn_sim::spike::SpikeTrain;
+use softsnn_core::methodology::{SoftSnnDeployment, TrainPipelineOptions};
+use std::sync::OnceLock;
+
+/// Number of neurons in the bench fixture network (small on purpose: the
+/// benches measure per-operation cost, not paper-scale wall time).
+pub const BENCH_NEURONS: usize = 64;
+/// Test samples available in the fixture.
+pub const BENCH_TEST_SAMPLES: usize = 10;
+
+/// The process-wide bench fixture.
+pub struct Fixture {
+    /// A trained deployment (clone it before mutating).
+    pub deployment: SoftSnnDeployment,
+    /// Held-out test set.
+    pub test: Dataset,
+    /// Pre-encoded spike trains for the test set (one per sample).
+    pub trains: Vec<SpikeTrain>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+/// Returns the shared fixture, training it on first use (a few seconds).
+pub fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let gen = SynthDigits::default();
+        let train = gen.generate(200, 11);
+        let test = gen.generate(BENCH_TEST_SAMPLES, 12);
+        let cfg = SnnConfig::builder()
+            .n_neurons(BENCH_NEURONS)
+            .timesteps(60)
+            .build()
+            .expect("valid bench config");
+        let deployment = SoftSnnDeployment::train(
+            cfg.clone(),
+            train.images(),
+            train.labels(),
+            TrainPipelineOptions {
+                epochs: 1,
+                n_classes: 10,
+                seed: 13,
+            },
+        )
+        .expect("bench training succeeds");
+        let encoder = PoissonEncoder::new(cfg.max_rate);
+        let mut rng = seeded_rng(14);
+        let trains = test
+            .images()
+            .iter()
+            .map(|img| encoder.encode(img, cfg.timesteps, &mut rng))
+            .collect();
+        Fixture {
+            deployment,
+            test,
+            trains,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_once_and_is_consistent() {
+        let f = fixture();
+        assert_eq!(f.test.len(), BENCH_TEST_SAMPLES);
+        assert_eq!(f.trains.len(), BENCH_TEST_SAMPLES);
+        assert_eq!(f.deployment.quantized().n_neurons, BENCH_NEURONS);
+    }
+}

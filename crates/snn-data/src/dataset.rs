@@ -1,0 +1,268 @@
+//! Labeled image dataset container.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dataset construction and IDX parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// Images and labels disagree in count, or pixel counts are wrong.
+    ShapeMismatch {
+        /// Description of what went wrong.
+        detail: String,
+    },
+    /// An IDX file could not be parsed.
+    ParseIdx {
+        /// Description of the malformed content.
+        detail: String,
+    },
+    /// An I/O error occurred (message only, to keep the type `Clone + Eq`).
+    Io {
+        /// The underlying error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            DataError::ParseIdx { detail } => write!(f, "invalid idx data: {detail}"),
+            DataError::Io { detail } => write!(f, "io error: {detail}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// A labeled grayscale image dataset with all intensities in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_data::dataset::Dataset;
+///
+/// let images = vec![vec![0.0; 4], vec![1.0; 4]];
+/// let data = Dataset::new(2, 2, 2, images, vec![0, 1]).unwrap();
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.label(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dataset {
+    width: usize,
+    height: usize,
+    n_classes: usize,
+    images: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes and label ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ShapeMismatch`] if image/label counts differ,
+    /// any image has the wrong pixel count, or any label `>= n_classes`.
+    pub fn new(
+        width: usize,
+        height: usize,
+        n_classes: usize,
+        images: Vec<Vec<f32>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        if images.len() != labels.len() {
+            return Err(DataError::ShapeMismatch {
+                detail: format!("{} images vs {} labels", images.len(), labels.len()),
+            });
+        }
+        let expected = width * height;
+        if let Some(img) = images.iter().find(|img| img.len() != expected) {
+            return Err(DataError::ShapeMismatch {
+                detail: format!("image has {} pixels, expected {expected}", img.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(DataError::ShapeMismatch {
+                detail: format!("label {bad} >= n_classes {n_classes}"),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            n_classes,
+            images,
+            labels,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixels per image.
+    pub fn n_pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The pixels of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn image(&self, i: usize) -> &[f32] {
+        &self.images[i]
+    }
+
+    /// The label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All images.
+    pub fn images(&self) -> &[Vec<f32>] {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Splits off the first `n` samples into one dataset and the rest into
+    /// another (train/test style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let head = Dataset {
+            width: self.width,
+            height: self.height,
+            n_classes: self.n_classes,
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        };
+        let tail = Dataset {
+            width: self.width,
+            height: self.height,
+            n_classes: self.n_classes,
+            images: self.images[n..].to_vec(),
+            labels: self.labels[n..].to_vec(),
+        };
+        (head, tail)
+    }
+
+    /// Returns a dataset containing the first `n` samples (or all, if fewer).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        self.split_at(n).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            2,
+            1,
+            3,
+            vec![vec![0.0, 0.1], vec![0.2, 0.3], vec![0.4, 0.5]],
+            vec![0, 1, 2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let err = Dataset::new(1, 1, 2, vec![vec![0.0]], vec![0, 1]).unwrap_err();
+        assert!(matches!(err, DataError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_pixel_count() {
+        assert!(Dataset::new(2, 2, 2, vec![vec![0.0; 3]], vec![0]).is_err());
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        assert!(Dataset::new(1, 1, 2, vec![vec![0.0]], vec![5]).is_err());
+    }
+
+    #[test]
+    fn class_counts_tally() {
+        let d = sample();
+        assert_eq!(d.class_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn split_preserves_order_and_metadata() {
+        let d = sample();
+        let (a, b) = d.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.label(0), 1);
+        assert_eq!(a.n_classes(), 3);
+    }
+
+    #[test]
+    fn take_clamps_to_len() {
+        let d = sample();
+        assert_eq!(d.take(100).len(), 3);
+        assert_eq!(d.take(2).len(), 2);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let e = DataError::ParseIdx {
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

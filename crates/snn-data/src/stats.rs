@@ -1,0 +1,131 @@
+//! Dataset summary statistics.
+//!
+//! Used by the experiment harness to sanity-check workloads before running
+//! fault campaigns (e.g. a dataset whose mean intensity is near zero would
+//! produce almost no input spikes and silently break every experiment).
+
+use crate::dataset::Dataset;
+
+/// Summary statistics of a dataset.
+///
+/// # Examples
+///
+/// ```
+/// use snn_data::{synth_digits::SynthDigits, stats::DatasetStats};
+///
+/// let data = SynthDigits::default().generate(50, 0);
+/// let stats = DatasetStats::compute(&data);
+/// assert!(stats.mean_intensity > 0.01);
+/// assert_eq!(stats.class_counts.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetStats {
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Mean pixel intensity over all images.
+    pub mean_intensity: f64,
+    /// Maximum pixel intensity observed.
+    pub max_intensity: f32,
+    /// Fraction of pixels above 0.5 ("ink fraction").
+    pub ink_fraction: f64,
+    /// Per-class sample counts.
+    pub class_counts: Vec<usize>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over every image in `data`.
+    pub fn compute(data: &Dataset) -> Self {
+        let mut sum = 0.0_f64;
+        let mut max = 0.0_f32;
+        let mut ink = 0_usize;
+        let mut pixels = 0_usize;
+        for img in data.images() {
+            for &p in img {
+                sum += p as f64;
+                if p > max {
+                    max = p;
+                }
+                if p > 0.5 {
+                    ink += 1;
+                }
+            }
+            pixels += img.len();
+        }
+        Self {
+            n_samples: data.len(),
+            mean_intensity: if pixels > 0 { sum / pixels as f64 } else { 0.0 },
+            max_intensity: max,
+            ink_fraction: if pixels > 0 {
+                ink as f64 / pixels as f64
+            } else {
+                0.0
+            },
+            class_counts: data.class_counts(),
+        }
+    }
+
+    /// Whether every class has at least `min` samples.
+    pub fn is_balanced(&self, min: usize) -> bool {
+        self.class_counts.iter().all(|&c| c >= min)
+    }
+}
+
+/// Mean image of one class (useful to eyeball receptive fields vs data).
+///
+/// Returns `None` if the class has no samples.
+pub fn class_mean(data: &Dataset, class: usize) -> Option<Vec<f32>> {
+    let mut acc = vec![0.0_f64; data.n_pixels()];
+    let mut count = 0_usize;
+    for i in 0..data.len() {
+        if data.label(i) == class {
+            for (a, &p) in acc.iter_mut().zip(data.image(i)) {
+                *a += p as f64;
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(acc.into_iter().map(|a| (a / count as f64) as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth_digits::SynthDigits;
+
+    #[test]
+    fn stats_on_synth_digits_are_sane() {
+        let data = SynthDigits::default().generate(40, 1);
+        let s = DatasetStats::compute(&data);
+        assert_eq!(s.n_samples, 40);
+        assert!(s.mean_intensity > 0.01 && s.mean_intensity < 0.5);
+        assert!(s.max_intensity <= 1.0);
+        assert!(s.is_balanced(4));
+    }
+
+    #[test]
+    fn class_mean_exists_for_present_classes() {
+        let data = SynthDigits::default().generate(20, 2);
+        let m = class_mean(&data, 0).unwrap();
+        assert_eq!(m.len(), 28 * 28);
+        assert!(m.iter().copied().fold(0.0_f32, f32::max) > 0.1);
+    }
+
+    #[test]
+    fn class_mean_none_for_absent_class() {
+        let data = SynthDigits::default().generate(5, 2); // classes 0..=4 only
+        assert!(class_mean(&data, 9).is_none());
+    }
+
+    #[test]
+    fn empty_dataset_stats_are_zero() {
+        let data = crate::dataset::Dataset::new(1, 1, 2, vec![], vec![]).unwrap();
+        let s = DatasetStats::compute(&data);
+        assert_eq!(s.mean_intensity, 0.0);
+        assert_eq!(s.ink_fraction, 0.0);
+        assert!(!s.is_balanced(1));
+    }
+}

@@ -1,0 +1,296 @@
+//! Deterministic MNIST-like digit generator.
+//!
+//! Each class 0–9 has a stroke-skeleton glyph (polylines in normalized
+//! coordinates). A sample is rendered by drawing the glyph with random
+//! stroke thickness, blurring it into grayscale, translating it by a few
+//! pixels, jittering the intensity, and sprinkling pixel noise — yielding
+//! class-structured, learnable 28×28 images with MNIST-like statistics
+//! (dark background, bright centered strokes).
+
+use crate::dataset::Dataset;
+use crate::transform::{add_noise, box_blur, draw_line, scale_intensity, translate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stroke skeletons per digit, as polylines of normalized `(x, y)` points
+/// inside a margin-inset box. Several digits use multiple polylines.
+fn glyph(digit: usize) -> Vec<Vec<(f32, f32)>> {
+    match digit {
+        0 => vec![vec![
+            (0.5, 0.1),
+            (0.8, 0.25),
+            (0.8, 0.75),
+            (0.5, 0.9),
+            (0.2, 0.75),
+            (0.2, 0.25),
+            (0.5, 0.1),
+        ]],
+        1 => vec![vec![(0.35, 0.3), (0.55, 0.1), (0.55, 0.9)]],
+        2 => vec![vec![
+            (0.2, 0.3),
+            (0.4, 0.1),
+            (0.7, 0.15),
+            (0.75, 0.4),
+            (0.2, 0.9),
+            (0.8, 0.9),
+        ]],
+        3 => vec![vec![
+            (0.25, 0.15),
+            (0.7, 0.15),
+            (0.45, 0.45),
+            (0.75, 0.7),
+            (0.5, 0.92),
+            (0.22, 0.8),
+        ]],
+        4 => vec![
+            vec![(0.65, 0.9), (0.65, 0.1), (0.2, 0.6), (0.85, 0.6)],
+        ],
+        5 => vec![vec![
+            (0.75, 0.1),
+            (0.25, 0.1),
+            (0.25, 0.5),
+            (0.65, 0.45),
+            (0.75, 0.7),
+            (0.55, 0.9),
+            (0.25, 0.85),
+        ]],
+        6 => vec![vec![
+            (0.7, 0.1),
+            (0.35, 0.35),
+            (0.25, 0.7),
+            (0.5, 0.9),
+            (0.75, 0.7),
+            (0.5, 0.5),
+            (0.28, 0.62),
+        ]],
+        7 => vec![vec![(0.2, 0.12), (0.8, 0.12), (0.45, 0.9)]],
+        8 => vec![
+            vec![
+                (0.5, 0.1),
+                (0.72, 0.25),
+                (0.5, 0.45),
+                (0.28, 0.25),
+                (0.5, 0.1),
+            ],
+            vec![
+                (0.5, 0.45),
+                (0.78, 0.68),
+                (0.5, 0.9),
+                (0.22, 0.68),
+                (0.5, 0.45),
+            ],
+        ],
+        9 => vec![vec![
+            (0.72, 0.38),
+            (0.5, 0.1),
+            (0.26, 0.3),
+            (0.5, 0.5),
+            (0.72, 0.38),
+            (0.72, 0.7),
+            (0.5, 0.9),
+        ]],
+        _ => panic!("digit must be 0..=9"),
+    }
+}
+
+/// Configuration for the synthetic digit generator.
+///
+/// # Examples
+///
+/// ```
+/// use snn_data::synth_digits::SynthDigits;
+///
+/// let gen = SynthDigits { noise: 0.0, ..SynthDigits::default() };
+/// let data = gen.generate(10, 1);
+/// assert_eq!(data.n_classes(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SynthDigits {
+    /// Image width (MNIST: 28).
+    pub width: usize,
+    /// Image height (MNIST: 28).
+    pub height: usize,
+    /// Maximum absolute per-sample translation in pixels.
+    pub max_shift: i32,
+    /// Uniform pixel-noise amplitude.
+    pub noise: f32,
+    /// Stroke thickness range in pixels.
+    pub thickness: (f32, f32),
+    /// Per-sample intensity gain range.
+    pub gain: (f32, f32),
+    /// Number of blur passes applied after stroke rendering.
+    pub blur_passes: u32,
+}
+
+impl Default for SynthDigits {
+    fn default() -> Self {
+        Self {
+            width: 28,
+            height: 28,
+            max_shift: 1,
+            noise: 0.03,
+            thickness: (2.2, 3.2),
+            gain: (0.85, 1.0),
+            blur_passes: 2,
+        }
+    }
+}
+
+impl SynthDigits {
+    /// Renders the clean (noise-free, centered) prototype of `digit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 9`.
+    pub fn prototype(&self, digit: usize) -> Vec<f32> {
+        let mut img = vec![0.0_f32; self.width * self.height];
+        let mid_thickness = (self.thickness.0 + self.thickness.1) / 2.0;
+        for stroke in glyph(digit) {
+            for pair in stroke.windows(2) {
+                draw_line(
+                    &mut img,
+                    self.width,
+                    self.height,
+                    inset(pair[0]),
+                    inset(pair[1]),
+                    mid_thickness,
+                );
+            }
+        }
+        for _ in 0..self.blur_passes {
+            img = box_blur(&img, self.width, self.height);
+        }
+        img
+    }
+
+    /// Generates `n` samples with labels cycling through the 10 digits,
+    /// deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for k in 0..n {
+            let digit = k % 10;
+            images.push(self.sample(digit, &mut rng));
+            labels.push(digit);
+        }
+        Dataset::new(self.width, self.height, 10, images, labels)
+            .expect("generator produces consistent shapes")
+    }
+
+    /// Generates one sample of the given digit using the provided RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 9`.
+    pub fn sample<R: Rng>(&self, digit: usize, rng: &mut R) -> Vec<f32> {
+        let mut img = vec![0.0_f32; self.width * self.height];
+        let thickness = rng.gen_range(self.thickness.0..=self.thickness.1);
+        for stroke in glyph(digit) {
+            for pair in stroke.windows(2) {
+                draw_line(
+                    &mut img,
+                    self.width,
+                    self.height,
+                    inset(pair[0]),
+                    inset(pair[1]),
+                    thickness,
+                );
+            }
+        }
+        for _ in 0..self.blur_passes {
+            img = box_blur(&img, self.width, self.height);
+        }
+        let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+        let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+        let mut img = translate(&img, self.width, self.height, dx, dy);
+        let gain = rng.gen_range(self.gain.0..=self.gain.1);
+        scale_intensity(&mut img, gain);
+        add_noise(&mut img, self.noise, rng);
+        img
+    }
+}
+
+/// Maps normalized glyph coordinates into a 15%-inset box so translations
+/// do not clip strokes.
+fn inset((x, y): (f32, f32)) -> (f32, f32) {
+    (0.15 + 0.7 * x, 0.15 + 0.7 * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_cycling_labels() {
+        let data = SynthDigits::default().generate(25, 7);
+        assert_eq!(data.len(), 25);
+        assert_eq!(data.label(0), 0);
+        assert_eq!(data.label(13), 3);
+        // all ten classes present
+        assert!(data.class_counts().iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = SynthDigits::default();
+        assert_eq!(g.generate(10, 3), g.generate(10, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = SynthDigits::default();
+        assert_ne!(g.generate(10, 3), g.generate(10, 4));
+    }
+
+    #[test]
+    fn images_are_normalized() {
+        let data = SynthDigits::default().generate(20, 9);
+        for i in 0..data.len() {
+            assert!(data.image(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn prototypes_are_distinct_across_classes() {
+        let g = SynthDigits::default();
+        let protos: Vec<Vec<f32>> = (0..10).map(|d| g.prototype(d)).collect();
+        // Pairwise L1 distances must be clearly nonzero.
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let dist: f32 = protos[a]
+                    .iter()
+                    .zip(&protos[b])
+                    .map(|(x, y)| (x - y).abs())
+                    .sum();
+                assert!(
+                    dist > 5.0,
+                    "digits {a} and {b} prototypes too similar (L1={dist})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strokes_have_reasonable_ink_coverage() {
+        let g = SynthDigits::default();
+        for d in 0..10 {
+            let proto = g.prototype(d);
+            let ink: f32 = proto.iter().sum();
+            let frac = ink / proto.len() as f32;
+            assert!(
+                (0.02..0.5).contains(&frac),
+                "digit {d} ink fraction {frac} out of expected band"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn digit_out_of_range_panics() {
+        let g = SynthDigits::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = g.sample(10, &mut rng);
+    }
+}

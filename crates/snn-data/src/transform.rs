@@ -1,0 +1,193 @@
+//! Image transforms used by the synthetic generators.
+
+use rand::Rng;
+
+/// Translates an image by sampling from `(x + dx, y + dy)`, filling exposed
+/// borders with 0 (so positive `dx` shifts content left).
+///
+/// # Examples
+///
+/// ```
+/// let img = vec![
+///     0.0, 1.0,
+///     0.0, 0.0,
+/// ];
+/// let shifted = snn_data::transform::translate(&img, 2, 2, 1, 0);
+/// assert_eq!(shifted, vec![1.0, 0.0, 0.0, 0.0]);
+/// ```
+pub fn translate(img: &[f32], width: usize, height: usize, dx: i32, dy: i32) -> Vec<f32> {
+    assert_eq!(img.len(), width * height, "pixel count mismatch");
+    let mut out = vec![0.0_f32; img.len()];
+    for y in 0..height as i32 {
+        for x in 0..width as i32 {
+            let sx = x + dx;
+            let sy = y + dy;
+            if sx >= 0 && sx < width as i32 && sy >= 0 && sy < height as i32 {
+                out[(y as usize) * width + x as usize] =
+                    img[(sy as usize) * width + sx as usize];
+            }
+        }
+    }
+    out
+}
+
+/// One pass of a 3×3 box blur (border pixels average the available
+/// neighbourhood). Softens hard stroke edges into MNIST-like gradients.
+pub fn box_blur(img: &[f32], width: usize, height: usize) -> Vec<f32> {
+    assert_eq!(img.len(), width * height, "pixel count mismatch");
+    let mut out = vec![0.0_f32; img.len()];
+    for y in 0..height {
+        for x in 0..width {
+            let mut sum = 0.0;
+            let mut count = 0.0;
+            for oy in -1_i32..=1 {
+                for ox in -1_i32..=1 {
+                    let nx = x as i32 + ox;
+                    let ny = y as i32 + oy;
+                    if nx >= 0 && nx < width as i32 && ny >= 0 && ny < height as i32 {
+                        sum += img[(ny as usize) * width + nx as usize];
+                        count += 1.0;
+                    }
+                }
+            }
+            out[y * width + x] = sum / count;
+        }
+    }
+    out
+}
+
+/// Adds zero-mean uniform noise of amplitude `amp` and clamps to `[0, 1]`.
+pub fn add_noise<R: Rng>(img: &mut [f32], amp: f32, rng: &mut R) {
+    if amp <= 0.0 {
+        return;
+    }
+    for p in img {
+        *p = (*p + rng.gen_range(-amp..amp)).clamp(0.0, 1.0);
+    }
+}
+
+/// Multiplies all intensities by `gain` and clamps to `[0, 1]`.
+pub fn scale_intensity(img: &mut [f32], gain: f32) {
+    for p in img {
+        *p = (*p * gain).clamp(0.0, 1.0);
+    }
+}
+
+/// Draws a line of the given `thickness` (in pixels) from `(x0, y0)` to
+/// `(x1, y1)` in normalized `[0, 1]` coordinates, setting pixels to 1.0.
+pub fn draw_line(
+    img: &mut [f32],
+    width: usize,
+    height: usize,
+    (x0, y0): (f32, f32),
+    (x1, y1): (f32, f32),
+    thickness: f32,
+) {
+    let steps = (width.max(height) * 2) as i32;
+    let radius = thickness / 2.0;
+    for s in 0..=steps {
+        let t = s as f32 / steps as f32;
+        let cx = (x0 + (x1 - x0) * t) * (width - 1) as f32;
+        let cy = (y0 + (y1 - y0) * t) * (height - 1) as f32;
+        let r = radius.ceil() as i32;
+        for oy in -r..=r {
+            for ox in -r..=r {
+                let px = cx + ox as f32;
+                let py = cy + oy as f32;
+                if ((px - cx).powi(2) + (py - cy).powi(2)).sqrt() <= radius + 0.01 {
+                    let xi = px.round() as i32;
+                    let yi = py.round() as i32;
+                    if xi >= 0 && xi < width as i32 && yi >= 0 && yi < height as i32 {
+                        img[(yi as usize) * width + xi as usize] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fills an axis-aligned rectangle given in normalized coordinates.
+pub fn fill_rect(
+    img: &mut [f32],
+    width: usize,
+    height: usize,
+    (x0, y0): (f32, f32),
+    (x1, y1): (f32, f32),
+    value: f32,
+) {
+    let xa = (x0.min(x1) * (width - 1) as f32).round() as usize;
+    let xb = (x0.max(x1) * (width - 1) as f32).round() as usize;
+    let ya = (y0.min(y1) * (height - 1) as f32).round() as usize;
+    let yb = (y0.max(y1) * (height - 1) as f32).round() as usize;
+    for y in ya..=yb.min(height - 1) {
+        for x in xa..=xb.min(width - 1) {
+            img[y * width + x] = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn translate_zero_is_identity() {
+        let img = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(translate(&img, 2, 2, 0, 0), img);
+    }
+
+    #[test]
+    fn translate_out_of_frame_clears() {
+        let img = vec![1.0; 4];
+        let out = translate(&img, 2, 2, 5, 5);
+        assert!(out.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn blur_preserves_flat_images() {
+        let img = vec![0.5; 9];
+        let out = box_blur(&img, 3, 3);
+        assert!(out.iter().all(|&p| (p - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn blur_spreads_mass() {
+        let mut img = vec![0.0; 9];
+        img[4] = 1.0; // center pixel
+        let out = box_blur(&img, 3, 3);
+        assert!(out[0] > 0.0 && out[4] < 1.0);
+    }
+
+    #[test]
+    fn noise_keeps_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut img = vec![0.0, 1.0, 0.5];
+        add_noise(&mut img, 0.5, &mut rng);
+        assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn draw_line_marks_endpoints() {
+        let mut img = vec![0.0; 25];
+        draw_line(&mut img, 5, 5, (0.0, 0.0), (1.0, 1.0), 1.0);
+        assert_eq!(img[0], 1.0);
+        assert_eq!(img[24], 1.0);
+    }
+
+    #[test]
+    fn fill_rect_covers_box() {
+        let mut img = vec![0.0; 16];
+        fill_rect(&mut img, 4, 4, (0.0, 0.0), (0.34, 0.34), 0.8);
+        assert_eq!(img[0], 0.8);
+        assert_eq!(img[5], 0.8);
+        assert_eq!(img[15], 0.0);
+    }
+
+    #[test]
+    fn scale_intensity_clamps() {
+        let mut img = vec![0.6, 0.9];
+        scale_intensity(&mut img, 2.0);
+        assert_eq!(img, vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fault-injection campaigns: sweeps over rates × independent fault maps.
+
+use crate::fault_map::FaultMap;
+use crate::location::FaultSpace;
+
+/// A campaign description: which rates to sweep and how many independent
+/// fault maps (trials) to draw per rate.
+///
+/// Seeds are derived deterministically per `(rate index, trial index)`,
+/// so any single data point of a campaign can be reproduced in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::campaign::Campaign;
+/// use snn_faults::location::{FaultDomain, FaultSpace};
+///
+/// let space = FaultSpace::new(64, 16, FaultDomain::ComputeEngine);
+/// let campaign = Campaign::new(vec![0.01, 0.1], 3, 42);
+/// let result = campaign.run(&space, |map| map.len() as f64);
+/// assert_eq!(result.rates.len(), 2);
+/// assert_eq!(result.values[0].len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Campaign {
+    /// Fault rates to sweep.
+    pub rates: Vec<f64>,
+    /// Independent fault maps per rate.
+    pub trials: usize,
+    /// Base seed from which per-point seeds are derived.
+    pub base_seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn new(rates: Vec<f64>, trials: usize, base_seed: u64) -> Self {
+        assert!(trials > 0, "a campaign needs at least one trial");
+        Self {
+            rates,
+            trials,
+            base_seed,
+        }
+    }
+
+    /// The paper's standard sweep (10⁻⁴…10⁻¹) with the given trial count.
+    pub fn paper_sweep(trials: usize, base_seed: u64) -> Self {
+        Self::new(crate::rate::PAPER_RATES.to_vec(), trials, base_seed)
+    }
+
+    /// The deterministic seed of the fault map at (`rate_idx`, `trial`).
+    pub fn seed_for(&self, rate_idx: usize, trial: usize) -> u64 {
+        snn_sim::rng::derive_seed(
+            self.base_seed,
+            (rate_idx as u64) << 32 | trial as u64,
+        )
+    }
+
+    /// Runs `f` once per (rate, trial) with a freshly generated fault map
+    /// and collects the returned metric.
+    pub fn run<F>(&self, space: &FaultSpace, mut f: F) -> CampaignResult
+    where
+        F: FnMut(&FaultMap) -> f64,
+    {
+        let mut values = Vec::with_capacity(self.rates.len());
+        for (ri, &rate) in self.rates.iter().enumerate() {
+            let mut row = Vec::with_capacity(self.trials);
+            for t in 0..self.trials {
+                let map = FaultMap::generate(space, rate, self.seed_for(ri, t));
+                row.push(f(&map));
+            }
+            values.push(row);
+        }
+        CampaignResult {
+            rates: self.rates.clone(),
+            values,
+        }
+    }
+}
+
+/// Metric grid produced by [`Campaign::run`]: `values[rate_idx][trial]`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CampaignResult {
+    /// The swept fault rates.
+    pub rates: Vec<f64>,
+    /// Per-rate, per-trial metric values.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl CampaignResult {
+    /// Per-rate means.
+    pub fn means(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .map(|row| snn_sim::metrics::mean(row))
+            .collect()
+    }
+
+    /// Per-rate sample standard deviations.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .map(|row| snn_sim::metrics::std_dev(row))
+            .collect()
+    }
+
+    /// (rate, mean, std) triples, convenient for table output.
+    pub fn summary(&self) -> Vec<(f64, f64, f64)> {
+        self.rates
+            .iter()
+            .zip(self.means())
+            .zip(self.std_devs())
+            .map(|((&r, m), s)| (r, m, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::FaultDomain;
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(64, 16, FaultDomain::ComputeEngine)
+    }
+
+    #[test]
+    fn grid_shape_matches_campaign() {
+        let c = Campaign::new(vec![0.001, 0.01, 0.1], 5, 1);
+        let r = c.run(&space(), |m| m.len() as f64);
+        assert_eq!(r.values.len(), 3);
+        assert!(r.values.iter().all(|row| row.len() == 5));
+    }
+
+    #[test]
+    fn higher_rate_strikes_more_sites() {
+        let c = Campaign::new(vec![0.001, 0.1], 3, 2);
+        let r = c.run(&space(), |m| m.len() as f64);
+        let means = r.means();
+        assert!(means[1] > means[0] * 10.0);
+    }
+
+    #[test]
+    fn per_point_seeds_are_unique_and_stable() {
+        let c = Campaign::new(vec![0.01, 0.1], 4, 9);
+        let mut seeds = Vec::new();
+        for ri in 0..2 {
+            for t in 0..4 {
+                seeds.push(c.seed_for(ri, t));
+            }
+        }
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+        assert_eq!(c.seed_for(1, 2), c.seed_for(1, 2));
+    }
+
+    #[test]
+    fn summary_reports_triples() {
+        let c = Campaign::paper_sweep(2, 3);
+        let r = c.run(&space(), |m| m.len() as f64);
+        let s = r.summary();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].0, 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trials_panics() {
+        let _ = Campaign::new(vec![0.1], 0, 0);
+    }
+}

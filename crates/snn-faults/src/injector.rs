@@ -1,0 +1,141 @@
+//! Applying a fault map to a compute engine.
+
+use crate::fault_map::FaultMap;
+use crate::location::FaultSite;
+use snn_hw::engine::ComputeEngine;
+use snn_hw::error::HwError;
+use snn_hw::neuron_unit::NeuronOp;
+
+/// What an injection actually touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InjectionSummary {
+    /// Weight-register bits flipped.
+    pub bits_flipped: usize,
+    /// Faulty `Vmem increase` units.
+    pub vi_faults: usize,
+    /// Faulty `Vmem leak` units.
+    pub vl_faults: usize,
+    /// Faulty `Vmem reset` units.
+    pub vr_faults: usize,
+    /// Faulty spike-generation units.
+    pub sg_faults: usize,
+}
+
+impl InjectionSummary {
+    /// Total neuron-operation faults.
+    pub fn neuron_faults(&self) -> usize {
+        self.vi_faults + self.vl_faults + self.vr_faults + self.sg_faults
+    }
+}
+
+/// Injects every site of `map` into `engine`: bit sites flip register
+/// bits, neuron-op sites set the corresponding fault-stuck flag. Both
+/// persist per the paper's semantics (until overwrite / parameter
+/// replacement — see [`ComputeEngine::reload_parameters`]).
+///
+/// # Errors
+///
+/// Returns [`HwError::IndexOutOfRange`] if the map was generated for a
+/// larger engine than `engine`.
+pub fn inject(engine: &mut ComputeEngine, map: &FaultMap) -> Result<InjectionSummary, HwError> {
+    let mut summary = InjectionSummary::default();
+    for site in map.sites() {
+        match *site {
+            FaultSite::WeightBit { row, col, bit } => {
+                engine.crossbar_mut().flip_bit(row as usize, col as usize, bit)?;
+                summary.bits_flipped += 1;
+            }
+            FaultSite::NeuronOp { neuron, op } => {
+                let neuron = neuron as usize;
+                if neuron >= engine.n_neurons() {
+                    return Err(HwError::IndexOutOfRange {
+                        what: "neuron",
+                        index: neuron,
+                        bound: engine.n_neurons(),
+                    });
+                }
+                engine.neurons_mut()[neuron].faults.set(op);
+                match op {
+                    NeuronOp::VmemIncrease => summary.vi_faults += 1,
+                    NeuronOp::VmemLeak => summary.vl_faults += 1,
+                    NeuronOp::VmemReset => summary.vr_faults += 1,
+                    NeuronOp::SpikeGeneration => summary.sg_faults += 1,
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::{FaultDomain, FaultSpace};
+    use snn_sim::config::SnnConfig;
+    use snn_sim::network::Network;
+    use snn_sim::quant::QuantizedNetwork;
+    use snn_sim::rng::seeded_rng;
+
+    fn engine(m: usize, n: usize) -> ComputeEngine {
+        let cfg = SnnConfig::builder().n_inputs(m).n_neurons(n).build().unwrap();
+        let net = Network::new(cfg, &mut seeded_rng(0));
+        let qn = QuantizedNetwork::from_network_default(&net);
+        ComputeEngine::for_network(&qn).unwrap()
+    }
+
+    #[test]
+    fn injection_flips_bits_and_sets_faults() {
+        let mut e = engine(8, 4);
+        let space = FaultSpace::new(8, 4, FaultDomain::ComputeEngine);
+        let map = FaultMap::generate(&space, 0.5, 1);
+        let before = e.crossbar().codes();
+        let summary = inject(&mut e, &map).unwrap();
+        assert_eq!(summary.bits_flipped, map.n_weight_bits());
+        assert_eq!(summary.neuron_faults(), map.n_neuron_ops());
+        assert_ne!(e.crossbar().codes(), before);
+    }
+
+    #[test]
+    fn double_injection_of_same_map_restores_bits() {
+        // Bit flips are XOR: applying the same map twice undoes them.
+        let mut e = engine(8, 4);
+        let space = FaultSpace::new(8, 4, FaultDomain::Synapses);
+        let map = FaultMap::generate(&space, 0.3, 2);
+        let before = e.crossbar().codes();
+        inject(&mut e, &map).unwrap();
+        inject(&mut e, &map).unwrap();
+        assert_eq!(e.crossbar().codes(), before);
+    }
+
+    #[test]
+    fn reload_after_injection_heals() {
+        let mut e = engine(8, 4);
+        let space = FaultSpace::new(8, 4, FaultDomain::ComputeEngine);
+        let map = FaultMap::generate(&space, 0.5, 3);
+        let clean = e.crossbar().codes();
+        inject(&mut e, &map).unwrap();
+        e.reload_parameters(&mut snn_hw::engine::NoGuard);
+        assert_eq!(e.crossbar().codes(), clean);
+        assert!(e.neurons().iter().all(|n| !n.faults.any()));
+    }
+
+    #[test]
+    fn oversized_map_rejected() {
+        let mut e = engine(4, 2);
+        let space = FaultSpace::new(100, 50, FaultDomain::ComputeEngine);
+        let map = FaultMap::generate(&space, 0.01, 4);
+        assert!(inject(&mut e, &map).is_err());
+    }
+
+    #[test]
+    fn summary_counts_per_op() {
+        use snn_hw::neuron_unit::NeuronOp;
+        let mut e = engine(4, 4);
+        let space = FaultSpace::new(4, 4, FaultDomain::Neurons(Some(NeuronOp::VmemReset)));
+        let map = FaultMap::generate(&space, 1.0, 5);
+        let summary = inject(&mut e, &map).unwrap();
+        assert_eq!(summary.vr_faults, 4);
+        assert_eq!(summary.vi_faults + summary.vl_faults + summary.sg_faults, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # snn-faults — transient-fault (soft-error) modeling for SNN
+//! accelerators
+//!
+//! Implements the paper's fault model (Sec. 2.2, Fig. 7):
+//!
+//! * **Potential fault locations** are every weight-register *bit* of the
+//!   compute engine plus every neuron *operation* unit
+//!   ([`location::FaultSpace`]).
+//! * **Generation**: given a fault rate `r`, `round(r × locations)` sites
+//!   are drawn uniformly at random without replacement from the location
+//!   space ([`fault_map::FaultMap::generate`]), deterministically from a
+//!   seed — one seed = one *fault map*.
+//! * **Injection**: a weight-bit site flips the stored bit (persisting
+//!   until the register is overwritten); a neuron-op site marks that
+//!   operation fault-stuck (persisting until parameter replacement)
+//!   ([`injector::inject`]).
+//! * **Campaigns**: sweeps over fault rates × independent fault maps
+//!   ([`campaign`]).
+//!
+//! ```
+//! use snn_faults::location::{FaultDomain, FaultSpace};
+//! use snn_faults::fault_map::FaultMap;
+//!
+//! let space = FaultSpace::new(784, 400, FaultDomain::ComputeEngine);
+//! let map = FaultMap::generate(&space, 0.001, 42);
+//! assert!(map.len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod fault_map;
+pub mod injector;
+pub mod location;
+pub mod permanent;
+pub mod rate;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use fault_map::FaultMap;
+pub use injector::{inject, InjectionSummary};
+pub use location::{FaultDomain, FaultSite, FaultSpace, RawLocation};
+pub use permanent::StuckAtMap;

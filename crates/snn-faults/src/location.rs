@@ -1,0 +1,231 @@
+//! The fault-location space of the compute engine.
+
+use snn_hw::neuron_unit::NeuronOp;
+
+/// A single *concrete* fault (a materialized strike).
+///
+/// The paper's potential fault locations are weight memory **cells** (one
+/// 8-bit register each — the squares of the Fig. 2/Fig. 7 crossbar grid)
+/// and neuron operation units. When a cell is struck, one stored bit
+/// flips ("we flip the stored bit", Sec. 2.2); the bit position is chosen
+/// uniformly during fault-map generation, so a concrete site carries it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultSite {
+    /// One bit flip inside one weight register.
+    WeightBit {
+        /// Crossbar row (input index).
+        row: u32,
+        /// Crossbar column (neuron index).
+        col: u32,
+        /// Flipped bit position (0 = LSB).
+        bit: u8,
+    },
+    /// One neuron operation unit.
+    NeuronOp {
+        /// Neuron index.
+        neuron: u32,
+        /// Which operation is struck.
+        op: NeuronOp,
+    },
+}
+
+/// A potential fault *location* before a strike materializes (no bit
+/// position yet for weight cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RawLocation {
+    /// One weight register (memory cell).
+    WeightCell {
+        /// Crossbar row (input index).
+        row: u32,
+        /// Crossbar column (neuron index).
+        col: u32,
+    },
+    /// One neuron operation unit.
+    NeuronOp {
+        /// Neuron index.
+        neuron: u32,
+        /// Which operation is struck.
+        op: NeuronOp,
+    },
+}
+
+/// Which part of the compute engine faults may strike.
+///
+/// The paper's experiments use three domains: weight registers only
+/// (Figs. 3a, 9), neuron operations only — optionally restricted to a
+/// single operation type (Fig. 10a) — and the full compute engine
+/// (Figs. 10b, 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultDomain {
+    /// Weight-register bits only.
+    Synapses,
+    /// Neuron operations only. `Some(op)` restricts every fault to one
+    /// operation type (the per-op curves of Fig. 10a, where the location
+    /// space is the set of neurons); `None` draws over all `N × 4`
+    /// operation units.
+    Neurons(Option<NeuronOp>),
+    /// The whole compute engine: weight bits + all neuron operations.
+    ComputeEngine,
+}
+
+/// The enumerated fault-location space for one engine configuration.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::location::{FaultDomain, FaultSpace};
+///
+/// let space = FaultSpace::new(784, 400, FaultDomain::Synapses);
+/// assert_eq!(space.total_locations(), 784 * 400); // one per weight cell
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultSpace {
+    /// Crossbar rows (inputs).
+    pub rows: usize,
+    /// Crossbar columns (= neurons).
+    pub cols: usize,
+    /// The targeted domain.
+    pub domain: FaultDomain,
+}
+
+/// Weight registers are 8 bits wide (paper Sec. 2.1).
+pub const WEIGHT_BITS: usize = 8;
+
+impl FaultSpace {
+    /// Creates the location space for an `rows × cols` engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, domain: FaultDomain) -> Self {
+        assert!(rows > 0 && cols > 0, "engine dimensions must be nonzero");
+        Self { rows, cols, domain }
+    }
+
+    /// Number of weight-cell locations in this space (0 if synapses are
+    /// not targeted). One location per 8-bit register, per the paper's
+    /// Fig. 2 ("A Weight Memory Cell" = one crossbar square).
+    pub fn synapse_locations(&self) -> usize {
+        match self.domain {
+            FaultDomain::Synapses | FaultDomain::ComputeEngine => self.rows * self.cols,
+            FaultDomain::Neurons(_) => 0,
+        }
+    }
+
+    /// Number of neuron-operation locations in this space.
+    pub fn neuron_locations(&self) -> usize {
+        match self.domain {
+            FaultDomain::Synapses => 0,
+            FaultDomain::Neurons(Some(_)) => self.cols,
+            FaultDomain::Neurons(None) | FaultDomain::ComputeEngine => {
+                self.cols * NeuronOp::ALL.len()
+            }
+        }
+    }
+
+    /// Total number of potential fault locations.
+    pub fn total_locations(&self) -> usize {
+        self.synapse_locations() + self.neuron_locations()
+    }
+
+    /// Maps a flat index `< total_locations()` to its [`RawLocation`].
+    /// Weight cells are enumerated first (row-major), then neuron
+    /// operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_locations()`.
+    pub fn location_at(&self, index: usize) -> RawLocation {
+        assert!(index < self.total_locations(), "fault index out of range");
+        let syn = self.synapse_locations();
+        if index < syn {
+            let col = (index % self.cols) as u32;
+            let row = (index / self.cols) as u32;
+            RawLocation::WeightCell { row, col }
+        } else {
+            let rel = index - syn;
+            match self.domain {
+                FaultDomain::Neurons(Some(op)) => RawLocation::NeuronOp {
+                    neuron: rel as u32,
+                    op,
+                },
+                _ => {
+                    let n_ops = NeuronOp::ALL.len();
+                    RawLocation::NeuronOp {
+                        neuron: (rel / n_ops) as u32,
+                        op: NeuronOp::ALL[rel % n_ops],
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_engine_counts_both_parts() {
+        // 10x4 weight cells + 4 neurons x 4 ops.
+        let s = FaultSpace::new(10, 4, FaultDomain::ComputeEngine);
+        assert_eq!(s.total_locations(), 10 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn neurons_only_with_fixed_op_has_one_location_per_neuron() {
+        let s = FaultSpace::new(10, 4, FaultDomain::Neurons(Some(NeuronOp::VmemReset)));
+        assert_eq!(s.total_locations(), 4);
+        match s.location_at(2) {
+            RawLocation::NeuronOp { neuron, op } => {
+                assert_eq!(neuron, 2);
+                assert_eq!(op, NeuronOp::VmemReset);
+            }
+            other => panic!("unexpected location {other:?}"),
+        }
+    }
+
+    #[test]
+    fn location_enumeration_is_a_bijection() {
+        let s = FaultSpace::new(3, 2, FaultDomain::ComputeEngine);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..s.total_locations() {
+            assert!(seen.insert(s.location_at(i)), "duplicate location at {i}");
+        }
+        assert_eq!(seen.len(), s.total_locations());
+    }
+
+    #[test]
+    fn synapse_locations_are_cells_not_bits() {
+        let s = FaultSpace::new(2, 3, FaultDomain::Synapses);
+        assert_eq!(s.total_locations(), 6);
+        assert_eq!(
+            s.location_at(4),
+            RawLocation::WeightCell { row: 1, col: 1 }
+        );
+    }
+
+    #[test]
+    fn neuron_locations_cycle_over_ops() {
+        let s = FaultSpace::new(1, 2, FaultDomain::Neurons(None));
+        let site = s.location_at(5); // neuron 1, op index 1 (vl)
+        assert_eq!(
+            site,
+            RawLocation::NeuronOp {
+                neuron: 1,
+                op: NeuronOp::VmemLeak
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let s = FaultSpace::new(1, 1, FaultDomain::Synapses);
+        let _ = s.location_at(1);
+    }
+}

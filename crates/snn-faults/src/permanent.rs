@@ -1,0 +1,217 @@
+//! Permanent (stuck-at) fault extension.
+//!
+//! The paper targets *transient* faults; its related work (ReSpawn \[12\],
+//! SparkXD \[13\]) targets *permanent* faults in weight memories. This
+//! module extends the fault model with stuck-at bits so the two regimes
+//! can be compared on the same engine:
+//!
+//! * a **stuck-at bit** forces one register bit to a fixed value; unlike
+//!   a transient flip, overwriting the register does **not** heal it —
+//!   the stuck value re-manifests after every parameter reload;
+//! * re-execution therefore loses its healing advantage against
+//!   stuck-ats, while BnP's weight bounding still catches stuck-at-1
+//!   bits in high positions (they inflate codes beyond `wgh_max`), and
+//!   SEC-DED ECC corrects any single stuck bit per word.
+
+use crate::location::{FaultDomain, FaultSpace, RawLocation, WEIGHT_BITS};
+use crate::rate::{fault_count, validate_rate};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+use snn_hw::crossbar::Crossbar;
+
+/// One permanently stuck register bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StuckBit {
+    /// Crossbar row (input index).
+    pub row: u32,
+    /// Crossbar column (neuron index).
+    pub col: u32,
+    /// Bit position (0 = LSB).
+    pub bit: u8,
+    /// The value the bit is stuck at.
+    pub stuck_at: bool,
+}
+
+impl StuckBit {
+    /// The register code as it would actually be read with this bit
+    /// stuck.
+    pub fn apply(&self, code: u8) -> u8 {
+        if self.stuck_at {
+            code | (1 << self.bit)
+        } else {
+            code & !(1 << self.bit)
+        }
+    }
+}
+
+/// A set of permanent stuck-at faults over a crossbar.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::location::{FaultDomain, FaultSpace};
+/// use snn_faults::permanent::StuckAtMap;
+///
+/// let space = FaultSpace::new(64, 16, FaultDomain::Synapses);
+/// let map = StuckAtMap::generate(&space, 0.05, 3);
+/// assert_eq!(map.len(), (64.0_f64 * 16.0 * 0.05).round() as usize);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StuckAtMap {
+    sites: Vec<StuckBit>,
+}
+
+impl StuckAtMap {
+    /// Draws stuck-at faults over the *weight cells* of `space` at the
+    /// given rate: each struck cell gets one random bit stuck at a random
+    /// value. Neuron-operation locations in the space are ignored —
+    /// permanent neuron faults behave like the paper's persistent
+    /// operation faults and need no new machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn generate(space: &FaultSpace, rate: f64, seed: u64) -> Self {
+        let rate = validate_rate(rate).expect("fault rate");
+        // Restrict to the synapse part of the location space.
+        let synapse_space = FaultSpace::new(space.rows, space.cols, FaultDomain::Synapses);
+        let total = synapse_space.total_locations();
+        let n = fault_count(rate, total);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+        let mut indices: Vec<usize> = sample(&mut rng, total, n).into_vec();
+        indices.sort_unstable();
+        let sites = indices
+            .into_iter()
+            .map(|i| match synapse_space.location_at(i) {
+                RawLocation::WeightCell { row, col } => StuckBit {
+                    row,
+                    col,
+                    bit: rng.gen_range(0..WEIGHT_BITS as u8),
+                    stuck_at: rng.gen_bool(0.5),
+                },
+                RawLocation::NeuronOp { .. } => unreachable!("synapse-only space"),
+            })
+            .collect();
+        Self { sites }
+    }
+
+    /// The stuck bits.
+    pub fn sites(&self) -> &[StuckBit] {
+        &self.sites
+    }
+
+    /// Number of stuck bits.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Re-manifests every stuck bit on the crossbar's current contents.
+    ///
+    /// Because stuck-ats are a property of the cell, this must be called
+    /// after **every** parameter (re)load — that is exactly the semantic
+    /// difference from transient flips, which reloads heal.
+    ///
+    /// Returns how many registers actually changed (a stuck value that
+    /// matches the written value is silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any site is out of the crossbar's range.
+    pub fn apply(&self, crossbar: &mut Crossbar) -> usize {
+        let mut changed = 0;
+        for s in &self.sites {
+            let (row, col) = (s.row as usize, s.col as usize);
+            let before = crossbar.read(row, col);
+            let after = s.apply(before);
+            if after != before {
+                crossbar.write(row, col, after);
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(8, 4, FaultDomain::Synapses)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = StuckAtMap::generate(&space(), 0.25, 7);
+        let b = StuckAtMap::generate(&space(), 0.25, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8); // 32 cells * 0.25
+    }
+
+    #[test]
+    fn stuck_at_one_sets_bit_stuck_at_zero_clears_it() {
+        let s1 = StuckBit { row: 0, col: 0, bit: 3, stuck_at: true };
+        assert_eq!(s1.apply(0b0000_0000), 0b0000_1000);
+        assert_eq!(s1.apply(0b0000_1000), 0b0000_1000);
+        let s0 = StuckBit { row: 0, col: 0, bit: 3, stuck_at: false };
+        assert_eq!(s0.apply(0b0000_1000), 0);
+        assert_eq!(s0.apply(0b1111_1111), 0b1111_0111);
+    }
+
+    #[test]
+    fn reload_does_not_heal_stuck_ats() {
+        // The defining difference from transient flips.
+        let clean = vec![0_u8; 32];
+        let mut xbar = Crossbar::from_codes(8, 4, &clean).unwrap();
+        let map = StuckAtMap::generate(&space(), 0.5, 3);
+        map.apply(&mut xbar);
+        let corrupted = xbar.codes();
+        // "Parameter reload": write the clean image back...
+        xbar.reload(&clean).unwrap();
+        assert_eq!(xbar.codes(), clean, "reload writes clean values");
+        // ...but the stuck cells re-manifest immediately.
+        map.apply(&mut xbar);
+        assert_eq!(xbar.codes(), corrupted, "stuck bits re-manifest after reload");
+    }
+
+    #[test]
+    fn apply_reports_only_real_changes() {
+        let mut xbar = Crossbar::from_codes(8, 4, &[0xFF; 32]).unwrap();
+        let all_stuck_at_one: StuckAtMap = StuckAtMap {
+            sites: (0..4)
+                .map(|c| StuckBit {
+                    row: 0,
+                    col: c,
+                    bit: 0,
+                    stuck_at: true,
+                })
+                .collect(),
+        };
+        // All bits already 1: nothing changes.
+        assert_eq!(all_stuck_at_one.apply(&mut xbar), 0);
+    }
+
+    #[test]
+    fn high_bit_stuck_at_one_is_caught_by_bounding_style_threshold() {
+        // A stuck-at-1 in bit 7 pushes any clean code <= 127 beyond a
+        // wgh_max-style threshold — the BnP detection signature survives
+        // into the permanent-fault regime.
+        let s = StuckBit { row: 0, col: 0, bit: 7, stuck_at: true };
+        for clean in [0_u8, 5, 60, 127] {
+            assert!(s.apply(clean) >= 128);
+        }
+    }
+
+    #[test]
+    fn rate_zero_is_empty() {
+        assert!(StuckAtMap::generate(&space(), 0.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Fault-rate values and the paper's standard sweep.
+
+/// The fault rates the paper sweeps in its compute-engine experiments
+/// (Figs. 3, 10b, 13): 10⁻⁴ … 10⁻¹.
+pub const PAPER_RATES: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+
+/// The fault rates of the neuron-operation study (Fig. 10a): 10⁻² … 1.
+pub const NEURON_OP_RATES: [f64; 3] = [1e-2, 1e-1, 1.0];
+
+/// Validates a fault rate (a fraction of potential locations in `[0, 1]`).
+///
+/// # Examples
+///
+/// ```
+/// assert!(snn_faults::rate::validate_rate(0.1).is_ok());
+/// assert!(snn_faults::rate::validate_rate(1.5).is_err());
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the invalid value if outside `[0, 1]` or NaN.
+pub fn validate_rate(rate: f64) -> Result<f64, String> {
+    if rate.is_nan() || !(0.0..=1.0).contains(&rate) {
+        Err(format!("fault rate must be in [0, 1], got {rate}"))
+    } else {
+        Ok(rate)
+    }
+}
+
+/// Number of faults implied by a rate over a location count (rounded to
+/// nearest, so tiny rates on small spaces may produce zero faults — the
+/// paper's sweep behaves the same on small engines).
+pub fn fault_count(rate: f64, locations: usize) -> usize {
+    (rate * locations as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates_are_log_spaced() {
+        for pair in PAPER_RATES.windows(2) {
+            assert!((pair[1] / pair[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn count_rounds_to_nearest() {
+        assert_eq!(fault_count(0.1, 100), 10);
+        assert_eq!(fault_count(0.001, 100), 0);
+        assert_eq!(fault_count(0.005, 1000), 5);
+        assert_eq!(fault_count(1.0, 7), 7);
+    }
+
+    #[test]
+    fn rejects_nan_and_out_of_range() {
+        assert!(validate_rate(f64::NAN).is_err());
+        assert!(validate_rate(-0.1).is_err());
+        assert!(validate_rate(0.0).is_ok());
+        assert!(validate_rate(1.0).is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! Engine area model (the Fig. 14(c) reproduction).
+
+use crate::components::{baseline, EngineEnhancement, GE_AREA_UM2};
+use crate::params::EngineConfig;
+
+/// Area breakdown of a (possibly enhanced) compute engine, in GE.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::area::engine_area;
+/// use snn_hw::components::EngineEnhancement;
+/// use snn_hw::params::EngineConfig;
+///
+/// let base = engine_area(EngineConfig::PAPER, &EngineEnhancement::none());
+/// assert!(base.total_ge() > 1e6); // a 64k-synapse crossbar is large
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AreaBreakdown {
+    /// Baseline synapse crossbar (registers + adders).
+    pub synapse_array_ge: f64,
+    /// Baseline neuron datapaths.
+    pub neurons_ge: f64,
+    /// Control/routing overhead.
+    pub control_ge: f64,
+    /// Added (hardened) enhancement logic.
+    pub enhancement_ge: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in gate equivalents.
+    pub fn total_ge(&self) -> f64 {
+        self.synapse_array_ge + self.neurons_ge + self.control_ge + self.enhancement_ge
+    }
+
+    /// Total area in µm² (65 nm representative).
+    pub fn total_um2(&self) -> f64 {
+        self.total_ge() * GE_AREA_UM2
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1e6
+    }
+
+    /// Ratio of this design's area to a reference design's.
+    pub fn ratio_to(&self, reference: &AreaBreakdown) -> f64 {
+        self.total_ge() / reference.total_ge()
+    }
+}
+
+/// Computes the area of the engine with the given enhancement attached.
+pub fn engine_area(cfg: EngineConfig, enhancement: &EngineEnhancement) -> AreaBreakdown {
+    let n_syn = cfg.n_synapses() as f64;
+    let n_neu = cfg.cols as f64;
+    let synapse_array_ge =
+        n_syn * (baseline::WEIGHT_REGISTER.area_ge() + baseline::COLUMN_ADDER.area_ge());
+    let neurons_ge = n_neu * baseline::NEURON_DATAPATH.area_ge();
+    let control_ge = baseline::CONTROL_FRACTION * synapse_array_ge;
+    let enhancement_ge = n_syn
+        * enhancement
+            .per_synapse
+            .iter()
+            .map(|c| c.area_ge())
+            .sum::<f64>()
+        + n_neu
+            * enhancement
+                .per_neuron
+                .iter()
+                .map(|c| c.area_ge())
+                .sum::<f64>()
+        + enhancement.shared.iter().map(|c| c.area_ge()).sum::<f64>();
+    AreaBreakdown {
+        synapse_array_ge,
+        neurons_ge,
+        control_ge,
+        enhancement_ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::enhancement;
+
+    #[test]
+    fn baseline_has_no_enhancement_area() {
+        let a = engine_area(EngineConfig::PAPER, &EngineEnhancement::none());
+        assert_eq!(a.enhancement_ge, 0.0);
+    }
+
+    #[test]
+    fn re_execution_has_baseline_area() {
+        let base = engine_area(EngineConfig::PAPER, &EngineEnhancement::none());
+        let re = engine_area(EngineConfig::PAPER, &EngineEnhancement::re_execution(3));
+        assert!((re.ratio_to(&base) - 1.0).abs() < 1e-12, "paper Fig. 14(c): 1.00");
+    }
+
+    #[test]
+    fn synapse_enhancements_dominate_added_area() {
+        let enh = EngineEnhancement {
+            name: "test".into(),
+            per_synapse: vec![
+                enhancement::COMPARATOR.hardened(),
+                enhancement::MUX_CONST0.hardened(),
+            ],
+            per_neuron: vec![enhancement::NEURON_PROTECTION.hardened()],
+            shared: vec![enhancement::SHARED_REGISTER.hardened()],
+            clock_factor: 1.0,
+            executions: 1,
+        };
+        let a = engine_area(EngineConfig::PAPER, &enh);
+        // 64k synapses vs 256 neurons: synapse adds must dominate.
+        let per_neuron_total =
+            256.0 * enhancement::NEURON_PROTECTION.hardened().area_ge();
+        assert!(a.enhancement_ge > 10.0 * per_neuron_total);
+    }
+
+    #[test]
+    fn crossbar_dominates_engine_area() {
+        let a = engine_area(EngineConfig::PAPER, &EngineEnhancement::none());
+        assert!(a.synapse_array_ge > 0.9 * a.total_ge());
+    }
+
+    #[test]
+    fn mm2_conversion_is_consistent() {
+        let a = engine_area(EngineConfig::PAPER, &EngineEnhancement::none());
+        assert!((a.total_mm2() - a.total_um2() / 1e6).abs() < 1e-12);
+    }
+}

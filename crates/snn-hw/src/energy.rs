@@ -1,0 +1,146 @@
+//! Engine power and per-inference energy model (Fig. 14(b) reproduction).
+
+use crate::components::{baseline, EngineEnhancement};
+use crate::latency::{inference_latency, LatencyEstimate};
+use crate::mapping::Tiling;
+use crate::params::EngineConfig;
+
+/// Average-power breakdown of a (possibly enhanced) engine, µW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerBreakdown {
+    /// Baseline crossbar + neurons + control.
+    pub base_uw: f64,
+    /// Added enhancement logic (hardened cells).
+    pub enhancement_uw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power, µW.
+    pub fn total_uw(&self) -> f64 {
+        self.base_uw + self.enhancement_uw
+    }
+
+    /// Total average power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.total_uw() / 1e3
+    }
+}
+
+/// Computes engine average power with the given enhancement attached.
+pub fn engine_power(cfg: EngineConfig, enhancement: &EngineEnhancement) -> PowerBreakdown {
+    let n_syn = cfg.n_synapses() as f64;
+    let n_neu = cfg.cols as f64;
+    let base_uw = n_syn * (baseline::WEIGHT_REGISTER.power_uw() + baseline::COLUMN_ADDER.power_uw())
+        + n_neu * baseline::NEURON_DATAPATH.power_uw()
+        + baseline::CONTROL_FRACTION
+            * n_syn
+            * (baseline::WEIGHT_REGISTER.power_uw() + baseline::COLUMN_ADDER.power_uw());
+    let enhancement_uw = n_syn
+        * enhancement
+            .per_synapse
+            .iter()
+            .map(|c| c.power_uw())
+            .sum::<f64>()
+        + n_neu
+            * enhancement
+                .per_neuron
+                .iter()
+                .map(|c| c.power_uw())
+                .sum::<f64>()
+        + enhancement.shared.iter().map(|c| c.power_uw()).sum::<f64>();
+    PowerBreakdown {
+        base_uw,
+        enhancement_uw,
+    }
+}
+
+/// An energy estimate for one inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnergyEstimate {
+    /// The latency this energy was computed over.
+    pub latency: LatencyEstimate,
+    /// Average power during execution, µW.
+    pub power_uw: f64,
+}
+
+impl EnergyEstimate {
+    /// Energy in nanojoules (`P × t`).
+    pub fn total_nj(&self) -> f64 {
+        // µW × ns = femtojoule; /1e6 → nJ
+        self.power_uw * self.latency.total_ns() / 1e6
+    }
+
+    /// Energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_nj() / 1e3
+    }
+
+    /// Ratio of this energy to a reference energy.
+    pub fn ratio_to(&self, reference: &EnergyEstimate) -> f64 {
+        self.total_nj() / reference.total_nj()
+    }
+}
+
+/// Estimates the per-inference energy of the tiled engine with the given
+/// enhancement: `engine power × inference latency`.
+pub fn inference_energy(
+    cfg: EngineConfig,
+    tiling: &Tiling,
+    timesteps: u32,
+    enhancement: &EngineEnhancement,
+) -> EnergyEstimate {
+    EnergyEstimate {
+        latency: inference_latency(tiling, timesteps, enhancement),
+        power_uw: engine_power(cfg, enhancement).total_uw(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiling(n: usize) -> Tiling {
+        Tiling::for_network(EngineConfig::PAPER, 784, n)
+    }
+
+    #[test]
+    fn re_execution_triples_energy() {
+        let cfg = EngineConfig::PAPER;
+        let t = tiling(400);
+        let base = inference_energy(cfg, &t, 100, &EngineEnhancement::none());
+        let re = inference_energy(cfg, &t, 100, &EngineEnhancement::re_execution(3));
+        assert!(
+            (re.ratio_to(&base) - 3.0).abs() < 1e-9,
+            "paper Fig. 14(b): 3x energy for re-execution"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_network_size_like_latency() {
+        let cfg = EngineConfig::PAPER;
+        let base = inference_energy(cfg, &tiling(400), 100, &EngineEnhancement::none());
+        let big = inference_energy(cfg, &tiling(3600), 100, &EngineEnhancement::none());
+        assert!((big.ratio_to(&base) - 7.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn baseline_power_is_positive_and_dominated_by_crossbar() {
+        let p = engine_power(EngineConfig::PAPER, &EngineEnhancement::none());
+        assert!(p.base_uw > 0.0);
+        assert_eq!(p.enhancement_uw, 0.0);
+    }
+
+    #[test]
+    fn energy_units_are_consistent() {
+        let e = EnergyEstimate {
+            latency: LatencyEstimate {
+                cycles: 500_000,
+                clock_period_ns: 2.0,
+            },
+            power_uw: 1000.0, // 1 mW for 1 ms = 1 µJ
+        };
+        assert!((e.total_uj() - 1.0).abs() < 1e-9);
+    }
+}

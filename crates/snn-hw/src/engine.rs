@@ -1,0 +1,448 @@
+//! The SNN compute engine: crossbar + neuron datapaths + lateral
+//! inhibition, operating in integer weight-code units.
+//!
+//! The engine is deliberately *logical-size*: it simulates the full M×N
+//! synapse array of the deployed network bit-accurately, while the
+//! *physical* 256×256 geometry only affects the latency/energy/area models
+//! (time-multiplexing changes cost, not function — see
+//! [`crate::mapping`]).
+
+use crate::crossbar::Crossbar;
+use crate::error::HwError;
+use crate::neuron_unit::{NeuronHwParams, NeuronUnit};
+use crate::params::EngineConfig;
+use snn_sim::quant::QuantizedNetwork;
+use snn_sim::spike::SpikeTrain;
+
+/// Models the circuitry between a weight register and the column adder.
+///
+/// The baseline engine reads registers directly ([`DirectRead`]); the
+/// SoftSNN-enhanced engine inserts a comparator + multiplexer here
+/// (weight bounding). Implementations must be pure combinational logic:
+/// same input code → same output code.
+pub trait WeightReadPath {
+    /// Transforms a raw register code into the value fed to the adder.
+    fn read(&self, code: u8) -> u8;
+}
+
+/// The baseline read path: registers feed the adders unmodified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectRead;
+
+impl WeightReadPath for DirectRead {
+    #[inline]
+    fn read(&self, code: u8) -> u8 {
+        code
+    }
+}
+
+/// Observes each neuron's `Vmem ≥ Vth` comparator output every cycle and
+/// can veto spike generation.
+///
+/// The SoftSNN neuron protection (faulty-reset monitor) is implemented as
+/// a `SpikeGuard` in `softsnn-core`. The guard is stateful: per the paper,
+/// a tripped monitor keeps spike generation disabled until the neuron's
+/// parameters are replaced ([`SpikeGuard::on_param_reload`]).
+pub trait SpikeGuard {
+    /// Called once per neuron per cycle with that cycle's comparator
+    /// output. Returns whether the neuron may emit a spike this cycle.
+    fn allow_spike(&mut self, neuron: usize, cmp_out: bool) -> bool;
+
+    /// Called when the engine reloads parameters (heals monitor latches).
+    fn on_param_reload(&mut self) {}
+}
+
+/// A guard that never vetoes (the baseline engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoGuard;
+
+impl SpikeGuard for NoGuard {
+    #[inline]
+    fn allow_spike(&mut self, _neuron: usize, _cmp_out: bool) -> bool {
+        true
+    }
+}
+
+/// The compute engine of the paper's Fig. 5, in integer arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard};
+/// use snn_sim::{config::SnnConfig, network::Network, rng::seeded_rng};
+/// use snn_sim::quant::QuantizedNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SnnConfig::builder().n_inputs(8).n_neurons(2).build()?;
+/// let net = Network::new(cfg, &mut seeded_rng(1));
+/// let qn = QuantizedNetwork::from_network_default(&net);
+/// let mut engine = ComputeEngine::for_network(&qn)?;
+/// engine.step(&[0, 3, 5], &DirectRead, &mut NoGuard);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputeEngine {
+    physical: EngineConfig,
+    n_inputs: usize,
+    n_neurons: usize,
+    crossbar: Crossbar,
+    v_thresh: Vec<i32>,
+    hw: NeuronHwParams,
+    neurons: Vec<NeuronUnit>,
+    acc: Vec<i64>,
+    clean_codes: Vec<u8>,
+}
+
+impl ComputeEngine {
+    /// Builds an engine for a quantized network using the paper's physical
+    /// geometry ([`EngineConfig::PAPER`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNetwork`] if the network fails validation.
+    pub fn for_network(qn: &QuantizedNetwork) -> Result<Self, HwError> {
+        Self::with_config(EngineConfig::PAPER, qn)
+    }
+
+    /// Builds an engine with an explicit physical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNetwork`] if the network fails validation.
+    pub fn with_config(physical: EngineConfig, qn: &QuantizedNetwork) -> Result<Self, HwError> {
+        qn.validate().map_err(|e| HwError::InvalidNetwork {
+            detail: e.to_string(),
+        })?;
+        let crossbar = Crossbar::from_codes(qn.n_inputs, qn.n_neurons, &qn.codes)?;
+        Ok(Self {
+            physical,
+            n_inputs: qn.n_inputs,
+            n_neurons: qn.n_neurons,
+            crossbar,
+            v_thresh: qn.neuron.v_thresh.clone(),
+            hw: NeuronHwParams {
+                v_reset: qn.neuron.v_reset,
+                v_leak: qn.neuron.v_leak,
+                t_refrac: qn.neuron.t_refrac,
+                v_inh: qn.neuron.v_inh,
+            },
+            neurons: vec![NeuronUnit::new(); qn.n_neurons],
+            acc: vec![0; qn.n_neurons],
+            clean_codes: qn.codes.clone(),
+        })
+    }
+
+    /// Logical input count.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Logical neuron count.
+    pub fn n_neurons(&self) -> usize {
+        self.n_neurons
+    }
+
+    /// Physical engine geometry (for the cost models).
+    pub fn physical(&self) -> EngineConfig {
+        self.physical
+    }
+
+    /// The weight crossbar (fault injection reads/writes registers here).
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+
+    /// Mutable crossbar access for fault injection.
+    pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+        &mut self.crossbar
+    }
+
+    /// The neuron units (fault injection sets op-fault flags here).
+    pub fn neurons(&self) -> &[NeuronUnit] {
+        &self.neurons
+    }
+
+    /// Mutable neuron access for fault injection.
+    pub fn neurons_mut(&mut self) -> &mut [NeuronUnit] {
+        &mut self.neurons
+    }
+
+    /// Per-neuron thresholds in code units.
+    pub fn thresholds(&self) -> &[i32] {
+        &self.v_thresh
+    }
+
+    /// Shared integer neuron parameters.
+    pub fn hw_params(&self) -> NeuronHwParams {
+        self.hw
+    }
+
+    /// Parameter replacement: rewrites every weight register from the
+    /// clean deployment image and clears all neuron-operation faults (the
+    /// paper's healing event for both fault classes). Also notifies
+    /// `guard` so monitor latches reset.
+    pub fn reload_parameters<G: SpikeGuard>(&mut self, guard: &mut G) {
+        self.crossbar
+            .reload(&self.clean_codes)
+            .expect("clean image always matches crossbar shape");
+        for n in &mut self.neurons {
+            n.clear_faults();
+            n.reset_state();
+        }
+        guard.on_param_reload();
+    }
+
+    /// Clears membrane/refractory state (between samples). Persisted
+    /// faults — flipped register bits and stuck neuron ops — remain, per
+    /// the paper's persistence semantics.
+    pub fn reset_state(&mut self) {
+        for n in &mut self.neurons {
+            n.reset_state();
+        }
+    }
+
+    /// Advances the engine one timestep.
+    ///
+    /// `active_rows` lists the input channels spiking this cycle. Returns
+    /// the indices of neurons that emitted an *output* spike (after
+    /// spike-generation faults and the guard's veto). Lateral inhibition
+    /// is driven by output spikes, so a neuron whose spike generator is
+    /// faulty (or vetoed) does not inhibit its neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn step<P: WeightReadPath, G: SpikeGuard>(
+        &mut self,
+        active_rows: &[u32],
+        path: &P,
+        guard: &mut G,
+    ) -> Vec<u32> {
+        self.acc.iter_mut().for_each(|a| *a = 0);
+        for &row in active_rows {
+            self.crossbar
+                .accumulate_row(row as usize, |c| path.read(c), &mut self.acc);
+        }
+        let mut fired: Vec<u32> = Vec::new();
+        for j in 0..self.n_neurons {
+            let out = self.neurons[j].step(self.acc[j], self.v_thresh[j], &self.hw);
+            let allowed = guard.allow_spike(j, out.cmp_out);
+            if out.spike && allowed {
+                fired.push(j as u32);
+            }
+        }
+        if !fired.is_empty() && self.hw.v_inh > 0 {
+            let total_inh = self.hw.v_inh.saturating_mul(fired.len() as i32);
+            let mut is_fired = vec![false; self.n_neurons];
+            for &j in &fired {
+                is_fired[j as usize] = true;
+            }
+            for (j, n) in self.neurons.iter_mut().enumerate() {
+                if !is_fired[j] {
+                    n.inhibit(total_inh);
+                }
+            }
+        }
+        fired
+    }
+
+    /// Presents one encoded sample (membrane state is cleared first) and
+    /// returns per-neuron output spike counts.
+    pub fn run_sample<P: WeightReadPath, G: SpikeGuard>(
+        &mut self,
+        train: &SpikeTrain,
+        path: &P,
+        guard: &mut G,
+    ) -> Vec<u32> {
+        self.reset_state();
+        let mut counts = vec![0_u32; self.n_neurons];
+        for step in train.iter() {
+            for j in self.step(step, path, guard) {
+                counts[j as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron_unit::NeuronOp;
+    use snn_sim::config::SnnConfig;
+    use snn_sim::encoding::PoissonEncoder;
+    use snn_sim::network::Network;
+    use snn_sim::quant::QuantizedNetwork;
+    use snn_sim::rng::seeded_rng;
+
+    fn small_engine() -> ComputeEngine {
+        let cfg = SnnConfig::builder()
+            .n_inputs(8)
+            .n_neurons(4)
+            .v_thresh(2.0)
+            .v_leak(0.1)
+            .v_inh(4.0)
+            .t_refrac(2)
+            .build()
+            .unwrap();
+        let net = Network::from_parts(cfg.clone(), vec![0.5; cfg.n_synapses()]).unwrap();
+        let qn = QuantizedNetwork::from_network_default(&net);
+        ComputeEngine::for_network(&qn).unwrap()
+    }
+
+    #[test]
+    fn saturating_input_elicits_spikes() {
+        let mut e = small_engine();
+        let mut total = 0;
+        for _ in 0..20 {
+            total += e.step(&[0, 1, 2, 3, 4, 5, 6, 7], &DirectRead, &mut NoGuard).len();
+        }
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn silent_input_no_spikes() {
+        let mut e = small_engine();
+        for _ in 0..20 {
+            assert!(e.step(&[], &DirectRead, &mut NoGuard).is_empty());
+        }
+    }
+
+    #[test]
+    fn run_sample_resets_state_between_samples() {
+        let mut e = small_engine();
+        let mut train = SpikeTrain::new(8, 2);
+        train.push_step(vec![0, 1, 2, 3]);
+        train.push_step(vec![0, 1, 2, 3]);
+        let a = e.run_sample(&train, &DirectRead, &mut NoGuard);
+        let b = e.run_sample(&train, &DirectRead, &mut NoGuard);
+        assert_eq!(a, b, "same input after reset must give same counts");
+    }
+
+    #[test]
+    fn vr_fault_causes_burst_and_dominates() {
+        let mut e = small_engine();
+        e.neurons_mut()[1].faults.set(NeuronOp::VmemReset);
+        let mut train = SpikeTrain::new(8, 30);
+        for _ in 0..30 {
+            train.push_step(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+        let counts = e.run_sample(&train, &DirectRead, &mut NoGuard);
+        let others_max = counts
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != 1)
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap();
+        assert!(
+            counts[1] > 2 * others_max,
+            "bursting neuron must dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn sg_fault_silences_neuron() {
+        let mut e = small_engine();
+        e.neurons_mut()[2].faults.set(NeuronOp::SpikeGeneration);
+        let mut train = SpikeTrain::new(8, 30);
+        for _ in 0..30 {
+            train.push_step(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+        let counts = e.run_sample(&train, &DirectRead, &mut NoGuard);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    fn reload_parameters_heals_faults() {
+        let mut e = small_engine();
+        e.crossbar_mut().flip_bit(0, 0, 7).unwrap();
+        e.neurons_mut()[0].faults.set(NeuronOp::VmemReset);
+        let dirty = e.crossbar().read(0, 0);
+        e.reload_parameters(&mut NoGuard);
+        assert_ne!(e.crossbar().read(0, 0), dirty);
+        assert!(!e.neurons()[0].faults.any());
+    }
+
+    #[test]
+    fn guard_vetoes_spikes() {
+        struct MuteAll;
+        impl SpikeGuard for MuteAll {
+            fn allow_spike(&mut self, _n: usize, _c: bool) -> bool {
+                false
+            }
+        }
+        let mut e = small_engine();
+        let mut total = 0;
+        for _ in 0..20 {
+            total += e.step(&[0, 1, 2, 3, 4, 5, 6, 7], &DirectRead, &mut MuteAll).len();
+        }
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn read_path_bounding_reduces_drive() {
+        // A path clamping codes above 64 to 0 must slow firing down.
+        struct Clamp;
+        impl WeightReadPath for Clamp {
+            fn read(&self, code: u8) -> u8 {
+                if code >= 64 {
+                    0
+                } else {
+                    code
+                }
+            }
+        }
+        let mut plain = small_engine();
+        let mut clamped = small_engine();
+        let mut train = SpikeTrain::new(8, 30);
+        for _ in 0..30 {
+            train.push_step(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+        let a: u32 = plain
+            .run_sample(&train, &DirectRead, &mut NoGuard)
+            .iter()
+            .sum();
+        let b: u32 = clamped.run_sample(&train, &Clamp, &mut NoGuard).iter().sum();
+        assert!(b < a, "clamped engine must fire less ({b} vs {a})");
+    }
+
+    #[test]
+    fn engine_matches_float_simulator_on_clean_weights() {
+        // The integer engine and the frozen float simulator should produce
+        // very similar spike counts for the same input spike train.
+        let cfg = SnnConfig::builder()
+            .n_inputs(32)
+            .n_neurons(8)
+            .v_thresh(4.0)
+            .v_leak(0.2)
+            .v_inh(6.0)
+            .t_refrac(3)
+            .build()
+            .unwrap();
+        let mut rng = seeded_rng(7);
+        let mut net = Network::new(cfg.clone(), &mut rng);
+        net.set_frozen();
+        let qn = QuantizedNetwork::from_network_default(&net);
+        let mut engine = ComputeEngine::for_network(&qn).unwrap();
+
+        let encoder = PoissonEncoder::new(0.4);
+        let mut float_total = 0_u64;
+        let mut int_total = 0_u64;
+        for s in 0..20 {
+            let img = vec![0.6_f32; 32];
+            let train = encoder.encode(&img, 50, &mut seeded_rng(100 + s));
+            let f = net.run_sample(&train);
+            let i = engine.run_sample(&train, &DirectRead, &mut NoGuard);
+            float_total += f.iter().map(|&c| c as u64).sum::<u64>();
+            int_total += i.iter().map(|&c| c as u64).sum::<u64>();
+        }
+        assert!(float_total > 0);
+        let ratio = int_total as f64 / float_total as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "integer engine diverges from float sim: {int_total} vs {float_total}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by `snn-hw` public functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A deployed network does not fit or is internally inconsistent.
+    InvalidNetwork {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// An index (row, column, neuron, bit) was out of range.
+    IndexOutOfRange {
+        /// Which index kind was out of range.
+        what: &'static str,
+        /// The offending index value.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidNetwork { detail } => write!(f, "invalid network: {detail}"),
+            HwError::IndexOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (bound {bound})")
+            }
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = HwError::IndexOutOfRange {
+            what: "row",
+            index: 9,
+            bound: 4,
+        };
+        assert!(e.to_string().contains("row index 9"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<HwError>();
+    }
+}

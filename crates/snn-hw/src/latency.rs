@@ -1,0 +1,105 @@
+//! Inference latency model (the Fig. 14(a) reproduction).
+//!
+//! One inference = (parameter load) + `timesteps × passes` crossbar
+//! passes, each taking one clock cycle; re-execution repeats everything.
+//! The clock period stretches by the enhancement's `clock_factor` (the
+//! BnP2/3 read-path mux adds ≈6 % to the critical path; BnP1's
+//! constant-zero gating folds into the existing adder input and leaves the
+//! critical path untouched, matching the paper's ≤1.06× observation).
+
+use crate::components::{EngineEnhancement, CLOCK_PERIOD_NS};
+use crate::mapping::Tiling;
+
+/// A latency estimate for one inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyEstimate {
+    /// Total clock cycles (all executions).
+    pub cycles: u64,
+    /// Effective clock period after enhancement stretch, ns.
+    pub clock_period_ns: f64,
+}
+
+impl LatencyEstimate {
+    /// Total latency in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.cycles as f64 * self.clock_period_ns
+    }
+
+    /// Total latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.total_ns() / 1e3
+    }
+
+    /// Ratio of this latency to a reference latency.
+    pub fn ratio_to(&self, reference: &LatencyEstimate) -> f64 {
+        self.total_ns() / reference.total_ns()
+    }
+}
+
+/// Estimates the latency of one inference of `timesteps` simulation steps
+/// on the tiled engine with the given enhancement.
+pub fn inference_latency(
+    tiling: &Tiling,
+    timesteps: u32,
+    enhancement: &EngineEnhancement,
+) -> LatencyEstimate {
+    let compute_cycles = timesteps as u64 * tiling.passes_per_timestep() as u64;
+    let per_execution = tiling.weight_load_cycles() + compute_cycles;
+    LatencyEstimate {
+        cycles: per_execution * enhancement.executions as u64,
+        clock_period_ns: CLOCK_PERIOD_NS * enhancement.clock_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EngineConfig;
+
+    fn tiling(n: usize) -> Tiling {
+        Tiling::for_network(EngineConfig::PAPER, 784, n)
+    }
+
+    #[test]
+    fn re_execution_is_three_times_baseline() {
+        let t = tiling(400);
+        let base = inference_latency(&t, 100, &EngineEnhancement::none());
+        let re = inference_latency(&t, 100, &EngineEnhancement::re_execution(3));
+        assert!((re.ratio_to(&base) - 3.0).abs() < 1e-9, "paper Fig. 3(b)/14(a)");
+    }
+
+    #[test]
+    fn clock_stretch_scales_latency() {
+        let t = tiling(400);
+        let mut enh = EngineEnhancement::none();
+        enh.clock_factor = 1.06;
+        let base = inference_latency(&t, 100, &EngineEnhancement::none());
+        let slow = inference_latency(&t, 100, &enh);
+        assert!((slow.ratio_to(&base) - 1.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_ladder_matches_paper() {
+        // Fig. 14(a): normalized latency across sizes = 1/2/3.5/5/7.5.
+        let base = inference_latency(&tiling(400), 100, &EngineEnhancement::none());
+        for (n, expected) in [(900, 2.0), (1600, 3.5), (2500, 5.0), (3600, 7.5)] {
+            let l = inference_latency(&tiling(n), 100, &EngineEnhancement::none());
+            let r = l.ratio_to(&base);
+            assert!(
+                (r - expected).abs() < 0.01,
+                "N{n}: ratio {r} vs paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let l = LatencyEstimate {
+            cycles: 1000,
+            clock_period_ns: 2.0,
+        };
+        assert!((l.total_ns() - 2000.0).abs() < 1e-9);
+        assert!((l.total_us() - 2.0).abs() < 1e-9);
+    }
+}

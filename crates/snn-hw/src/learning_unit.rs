@@ -1,0 +1,169 @@
+//! On-engine STDP learning unit (integer arithmetic).
+//!
+//! The accelerator of the paper's Fig. 2 contains a *Learning Unit*
+//! alongside the compute engine. The SoftSNN experiments run inference
+//! only (training happens offline in `snn-sim`), but the unit is modeled
+//! here for completeness and for the on-chip-learning extension: a
+//! shift-based, weight-dependent post-spike STDP rule operating directly
+//! on 8-bit weight codes, cheap enough for per-synapse hardware.
+
+use crate::crossbar::Crossbar;
+
+/// Integer STDP configuration for the on-engine learning unit.
+///
+/// Updates use power-of-two scaling (shifts) as real neuromorphic digital
+/// designs (e.g. ODIN) do:
+/// on a post-synaptic spike, recently active inputs potentiate by
+/// `(w_max − w) >> pot_shift` and stale inputs depress by
+/// `w >> dep_shift`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::learning_unit::{LearningUnit, LearningConfig};
+///
+/// let lu = LearningUnit::new(LearningConfig::default(), 4);
+/// assert_eq!(lu.config().pot_shift, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LearningConfig {
+    /// Potentiation shift (larger = weaker updates).
+    pub pot_shift: u8,
+    /// Depression shift.
+    pub dep_shift: u8,
+    /// Maximum representable weight code (soft bound).
+    pub w_max_code: u8,
+    /// How many timesteps an input trace stays "recent" after a spike.
+    pub trace_window: u8,
+}
+
+impl Default for LearningConfig {
+    fn default() -> Self {
+        Self {
+            pot_shift: 4,
+            dep_shift: 6,
+            w_max_code: 128,
+            trace_window: 8,
+        }
+    }
+}
+
+/// The on-engine learning unit: integer traces + shift-based STDP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LearningUnit {
+    config: LearningConfig,
+    /// Per-input countdown since the last pre-spike (0 = stale).
+    trace_counters: Vec<u8>,
+}
+
+impl LearningUnit {
+    /// Creates a unit for `n_inputs` input channels.
+    pub fn new(config: LearningConfig, n_inputs: usize) -> Self {
+        Self {
+            config,
+            trace_counters: vec![0; n_inputs],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LearningConfig {
+        &self.config
+    }
+
+    /// Advances traces one timestep and registers this step's pre-spikes.
+    pub fn observe_step(&mut self, active_inputs: &[u32]) {
+        for t in &mut self.trace_counters {
+            *t = t.saturating_sub(1);
+        }
+        for &i in active_inputs {
+            self.trace_counters[i as usize] = self.config.trace_window;
+        }
+    }
+
+    /// Whether input `i`'s trace is currently active ("recent").
+    pub fn trace_active(&self, i: usize) -> bool {
+        self.trace_counters[i] > 0
+    }
+
+    /// Applies the post-spike update for neuron `col` directly on the
+    /// crossbar registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or the crossbar row count differs
+    /// from the unit's input count.
+    pub fn on_post_spike(&self, crossbar: &mut Crossbar, col: usize) {
+        assert_eq!(crossbar.rows(), self.trace_counters.len());
+        let cfg = self.config;
+        for row in 0..crossbar.rows() {
+            let w = crossbar.read(row, col);
+            let new = if self.trace_active(row) {
+                let head = cfg.w_max_code.saturating_sub(w);
+                w.saturating_add((head >> cfg.pot_shift).max(1))
+                    .min(cfg.w_max_code)
+            } else {
+                w.saturating_sub((w >> cfg.dep_shift).max(u8::from(w > 0)))
+            };
+            crossbar.write(row, col, new);
+        }
+    }
+
+    /// Clears all traces (between samples).
+    pub fn reset(&mut self) {
+        self.trace_counters.iter_mut().for_each(|t| *t = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> LearningUnit {
+        LearningUnit::new(LearningConfig::default(), 4)
+    }
+
+    #[test]
+    fn traces_expire_after_window() {
+        let mut lu = unit();
+        lu.observe_step(&[1]);
+        assert!(lu.trace_active(1));
+        for _ in 0..LearningConfig::default().trace_window {
+            lu.observe_step(&[]);
+        }
+        assert!(!lu.trace_active(1));
+    }
+
+    #[test]
+    fn post_spike_potentiates_recent_and_depresses_stale() {
+        let mut lu = unit();
+        let mut xbar = Crossbar::from_codes(4, 1, &[60, 60, 60, 60]).unwrap();
+        lu.observe_step(&[0, 1]);
+        lu.on_post_spike(&mut xbar, 0);
+        assert!(xbar.read(0, 0) > 60, "recent input potentiated");
+        assert!(xbar.read(2, 0) < 60, "stale input depressed");
+    }
+
+    #[test]
+    fn weights_respect_code_bounds() {
+        let mut lu = unit();
+        let mut xbar = Crossbar::from_codes(4, 1, &[127, 127, 0, 0]).unwrap();
+        lu.observe_step(&[0, 1]);
+        for _ in 0..50 {
+            lu.on_post_spike(&mut xbar, 0);
+        }
+        for row in 0..4 {
+            assert!(xbar.read(row, 0) <= LearningConfig::default().w_max_code);
+        }
+        assert_eq!(xbar.read(2, 0), 0, "stale zero weight stays zero");
+    }
+
+    #[test]
+    fn reset_clears_traces() {
+        let mut lu = unit();
+        lu.observe_step(&[0, 1, 2, 3]);
+        lu.reset();
+        assert!((0..4).all(|i| !lu.trace_active(i)));
+    }
+}

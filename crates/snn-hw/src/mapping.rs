@@ -1,0 +1,119 @@
+//! Mapping (tiling) of logical networks onto the physical engine.
+//!
+//! The physical compute engine is 256×256 (rows × columns). A logical
+//! network with 784 inputs and N neurons is time-multiplexed:
+//! `ceil(784/256) = 4` row passes and `ceil(N/256)` column passes per
+//! timestep. The paper's Fig. 14(a) latency ladder across network sizes —
+//! 1.0 / 2.0 / 3.5 / 5.0 / 7.5 for N400…N3600 — is exactly the ratio of
+//! column-tile counts 2 / 4 / 7 / 10 / 15 (row tiles are common to all
+//! sizes and cancel in the normalization).
+
+use crate::params::EngineConfig;
+
+/// The tile decomposition of a logical network on a physical engine.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::mapping::Tiling;
+/// use snn_hw::params::EngineConfig;
+///
+/// let t = Tiling::for_network(EngineConfig::PAPER, 784, 400);
+/// assert_eq!((t.row_tiles, t.col_tiles), (4, 2));
+/// assert_eq!(t.passes_per_timestep(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tiling {
+    /// Physical engine geometry.
+    pub engine: EngineConfig,
+    /// Logical input count.
+    pub n_inputs: usize,
+    /// Logical neuron count.
+    pub n_neurons: usize,
+    /// Number of row passes per timestep (`ceil(n_inputs / rows)`).
+    pub row_tiles: usize,
+    /// Number of column passes (`ceil(n_neurons / cols)`).
+    pub col_tiles: usize,
+}
+
+impl Tiling {
+    /// Computes the tiling of a logical `n_inputs × n_neurons` network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either logical dimension is zero.
+    pub fn for_network(engine: EngineConfig, n_inputs: usize, n_neurons: usize) -> Self {
+        assert!(n_inputs > 0 && n_neurons > 0, "logical dims must be nonzero");
+        Self {
+            engine,
+            n_inputs,
+            n_neurons,
+            row_tiles: n_inputs.div_ceil(engine.rows),
+            col_tiles: n_neurons.div_ceil(engine.cols),
+        }
+    }
+
+    /// Crossbar passes needed per simulation timestep.
+    pub fn passes_per_timestep(&self) -> usize {
+        self.row_tiles * self.col_tiles
+    }
+
+    /// Cycles needed to load all weights once (one physical row of one
+    /// column tile per cycle).
+    pub fn weight_load_cycles(&self) -> u64 {
+        (self.row_tiles * self.engine.rows * self.col_tiles) as u64
+    }
+
+    /// Whether the whole network fits without time multiplexing.
+    pub fn fits_physically(&self) -> bool {
+        self.row_tiles == 1 && self.col_tiles == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_network_sizes_produce_the_latency_ladder() {
+        // Fig. 14(a): N400..N3600 normalized latency 1.0/2.0/3.5/5.0/7.5.
+        let sizes = [400_usize, 900, 1600, 2500, 3600];
+        let expected = [1.0_f64, 2.0, 3.5, 5.0, 7.5];
+        let base = Tiling::for_network(EngineConfig::PAPER, 784, 400).passes_per_timestep();
+        for (&n, &e) in sizes.iter().zip(&expected) {
+            let t = Tiling::for_network(EngineConfig::PAPER, 784, n);
+            let ratio = t.passes_per_timestep() as f64 / base as f64;
+            assert!(
+                (ratio - e).abs() < 1e-9,
+                "N{n}: got ratio {ratio}, paper says {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_fit_has_single_tile() {
+        let t = Tiling::for_network(EngineConfig::PAPER, 256, 256);
+        assert!(t.fits_physically());
+        assert_eq!(t.passes_per_timestep(), 1);
+    }
+
+    #[test]
+    fn one_extra_neuron_adds_a_column_tile() {
+        let t = Tiling::for_network(EngineConfig::PAPER, 256, 257);
+        assert_eq!(t.col_tiles, 2);
+    }
+
+    #[test]
+    fn load_cycles_scale_with_tiles() {
+        let small = Tiling::for_network(EngineConfig::PAPER, 784, 400);
+        let large = Tiling::for_network(EngineConfig::PAPER, 784, 3600);
+        assert!(large.weight_load_cycles() > small.weight_load_cycles());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_neurons_panics() {
+        let _ = Tiling::for_network(EngineConfig::PAPER, 784, 0);
+    }
+}

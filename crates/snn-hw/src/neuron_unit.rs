@@ -1,0 +1,337 @@
+//! The LIF neuron datapath with per-operation fault flags.
+//!
+//! The paper's transient fault model for the neuron part (Sec. 2.2,
+//! Fig. 6) distinguishes four faulty operations, each with a specific
+//! behavioural signature:
+//!
+//! | faulty op | behaviour |
+//! |---|---|
+//! | `Vmem increase` | membrane never integrates → neuron never reaches `Vth`, no spikes |
+//! | `Vmem leak` | membrane never decays |
+//! | `Vmem reset` | membrane stays ≥ `Vth` after firing → **burst spikes** |
+//! | `spike generation` | comparator fires internally but no output spike is produced (reset still occurs) |
+//!
+//! Faults persist until the neuron's parameters are replaced
+//! ([`NeuronUnit::clear_faults`] — called on parameter reload).
+
+use std::fmt;
+
+/// The four LIF neuron operations of the paper's Fig. 2/Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NeuronOp {
+    /// `Vmem increase` (integration of the accumulated synaptic drive).
+    VmemIncrease,
+    /// `Vmem leak` (subtractive decay).
+    VmemLeak,
+    /// `Vmem reset` (return to `Vreset` + refractory re-arm after a spike).
+    VmemReset,
+    /// Output spike generation.
+    SpikeGeneration,
+}
+
+impl NeuronOp {
+    /// All four operations, in the paper's order (`vi`, `vl`, `vr`, `sg`).
+    pub const ALL: [NeuronOp; 4] = [
+        NeuronOp::VmemIncrease,
+        NeuronOp::VmemLeak,
+        NeuronOp::VmemReset,
+        NeuronOp::SpikeGeneration,
+    ];
+
+    /// The paper's two-letter shorthand (`vi`/`vl`/`vr`/`sg`).
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            NeuronOp::VmemIncrease => "vi",
+            NeuronOp::VmemLeak => "vl",
+            NeuronOp::VmemReset => "vr",
+            NeuronOp::SpikeGeneration => "sg",
+        }
+    }
+}
+
+impl fmt::Display for NeuronOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.shorthand())
+    }
+}
+
+/// Which of a neuron's four operations are currently fault-stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpFaults {
+    /// `Vmem increase` is broken (no integration).
+    pub vi: bool,
+    /// `Vmem leak` is broken (no decay).
+    pub vl: bool,
+    /// `Vmem reset` is broken (no reset, no refractory re-arm → bursts).
+    pub vr: bool,
+    /// Spike generation is broken (no output spikes).
+    pub sg: bool,
+}
+
+impl OpFaults {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Marks `op` as faulty.
+    pub fn set(&mut self, op: NeuronOp) {
+        match op {
+            NeuronOp::VmemIncrease => self.vi = true,
+            NeuronOp::VmemLeak => self.vl = true,
+            NeuronOp::VmemReset => self.vr = true,
+            NeuronOp::SpikeGeneration => self.sg = true,
+        }
+    }
+
+    /// Whether `op` is faulty.
+    pub fn has(&self, op: NeuronOp) -> bool {
+        match op {
+            NeuronOp::VmemIncrease => self.vi,
+            NeuronOp::VmemLeak => self.vl,
+            NeuronOp::VmemReset => self.vr,
+            NeuronOp::SpikeGeneration => self.sg,
+        }
+    }
+
+    /// Whether any operation is faulty.
+    pub fn any(&self) -> bool {
+        self.vi || self.vl || self.vr || self.sg
+    }
+}
+
+/// Integer LIF parameters shared by the engine (code units; see
+/// [`snn_sim::quant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NeuronHwParams {
+    /// Reset potential.
+    pub v_reset: i32,
+    /// Subtractive leak per timestep.
+    pub v_leak: i32,
+    /// Refractory period in timesteps.
+    pub t_refrac: u32,
+    /// Direct lateral inhibition per incoming spike.
+    pub v_inh: i32,
+}
+
+/// Result of stepping one neuron for one timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeuronStepOutput {
+    /// The `Vmem ≥ Vth` comparator output this cycle (observed by the
+    /// SoftSNN reset monitor).
+    pub cmp_out: bool,
+    /// Whether the spike-generation stage produced an internal spike
+    /// (before any external guard/veto).
+    pub spike: bool,
+}
+
+/// One LIF neuron datapath instance: membrane register, refractory counter,
+/// per-operation fault flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NeuronUnit {
+    /// Membrane potential in weight-code units.
+    pub vmem: i32,
+    /// Remaining refractory timesteps.
+    pub refrac: u32,
+    /// Fault-stuck operations.
+    pub faults: OpFaults,
+}
+
+impl NeuronUnit {
+    /// A rested, fault-free neuron.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears membrane and refractory state (per-sample reset), keeping
+    /// fault flags (faults persist across samples).
+    pub fn reset_state(&mut self) {
+        self.vmem = 0;
+        self.refrac = 0;
+    }
+
+    /// Clears fault flags — models *parameter replacement*, the only event
+    /// that heals neuron-operation faults in the paper's model.
+    pub fn clear_faults(&mut self) {
+        self.faults = OpFaults::none();
+    }
+
+    /// Advances the datapath one timestep.
+    ///
+    /// `drive` is the accumulated synaptic input from the crossbar;
+    /// `v_thresh` the neuron's (per-neuron) threshold. The order of
+    /// operations mirrors the hardware of Fig. 5: integrate → leak →
+    /// compare → spike-gen / reset. Faulty operations follow Fig. 6:
+    /// a faulty reset leaves `vmem` untouched and does not re-arm the
+    /// refractory counter, so the comparator stays true and the neuron
+    /// bursts; a faulty spike-generator suppresses the output but the
+    /// reset still happens.
+    pub fn step(&mut self, drive: i64, v_thresh: i32, params: &NeuronHwParams) -> NeuronStepOutput {
+        if self.refrac > 0 {
+            self.refrac -= 1;
+            return NeuronStepOutput {
+                cmp_out: false,
+                spike: false,
+            };
+        }
+        // Vmem increase
+        if !self.faults.vi {
+            self.vmem = self.vmem.saturating_add(drive.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+        }
+        // Vmem leak (floored at 0, like the float simulator)
+        if !self.faults.vl {
+            self.vmem = (self.vmem - params.v_leak).max(0);
+        }
+        // Compare
+        let cmp_out = self.vmem >= v_thresh;
+        let mut spike = false;
+        if cmp_out {
+            // Spike generation (may be fault-suppressed)
+            spike = !self.faults.sg;
+            // Vmem reset (may be fault-stuck)
+            if !self.faults.vr {
+                self.vmem = params.v_reset;
+                self.refrac = params.t_refrac;
+            }
+        }
+        NeuronStepOutput { cmp_out, spike }
+    }
+
+    /// Applies lateral inhibition (floored at 0, skipped while refractory
+    /// since the membrane is held at reset).
+    pub fn inhibit(&mut self, amount: i32) {
+        if self.refrac == 0 {
+            self.vmem = (self.vmem - amount).max(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> NeuronHwParams {
+        NeuronHwParams {
+            v_reset: 0,
+            v_leak: 10,
+            t_refrac: 2,
+            v_inh: 100,
+        }
+    }
+
+    #[test]
+    fn healthy_neuron_fires_and_resets() {
+        let p = params();
+        let mut n = NeuronUnit::new();
+        let out = n.step(1000, 500, &p);
+        assert!(out.cmp_out && out.spike);
+        assert_eq!(n.vmem, 0);
+        assert_eq!(n.refrac, 2);
+    }
+
+    #[test]
+    fn refractory_blocks_everything() {
+        let p = params();
+        let mut n = NeuronUnit::new();
+        n.step(1000, 500, &p);
+        for _ in 0..2 {
+            let out = n.step(1000, 500, &p);
+            assert!(!out.cmp_out && !out.spike);
+        }
+        assert!(n.step(1000, 500, &p).spike);
+    }
+
+    #[test]
+    fn faulty_vi_never_integrates() {
+        let p = params();
+        let mut n = NeuronUnit::new();
+        n.faults.set(NeuronOp::VmemIncrease);
+        for _ in 0..100 {
+            let out = n.step(1000, 500, &p);
+            assert!(!out.spike, "vi-faulty neuron must stay silent");
+        }
+        assert_eq!(n.vmem, 0);
+    }
+
+    #[test]
+    fn faulty_vl_skips_leak() {
+        let p = params();
+        let mut healthy = NeuronUnit::new();
+        let mut faulty = NeuronUnit::new();
+        faulty.faults.set(NeuronOp::VmemLeak);
+        healthy.step(100, 1000, &p);
+        faulty.step(100, 1000, &p);
+        assert_eq!(healthy.vmem, 90);
+        assert_eq!(faulty.vmem, 100);
+    }
+
+    #[test]
+    fn faulty_vr_bursts() {
+        let p = params();
+        let mut n = NeuronUnit::new();
+        n.faults.set(NeuronOp::VmemReset);
+        let first = n.step(1000, 500, &p);
+        assert!(first.spike);
+        // No reset, no refractory: comparator stays true, spikes every cycle.
+        for _ in 0..10 {
+            let out = n.step(0, 500, &p);
+            assert!(out.cmp_out && out.spike, "vr-faulty neuron must burst");
+        }
+    }
+
+    #[test]
+    fn faulty_sg_is_silent_but_still_resets() {
+        let p = params();
+        let mut n = NeuronUnit::new();
+        n.faults.set(NeuronOp::SpikeGeneration);
+        let out = n.step(1000, 500, &p);
+        assert!(out.cmp_out, "comparator fires internally");
+        assert!(!out.spike, "but no output spike");
+        assert_eq!(n.vmem, 0, "reset still happens");
+        assert_eq!(n.refrac, 2);
+    }
+
+    #[test]
+    fn clear_faults_heals() {
+        let mut n = NeuronUnit::new();
+        n.faults.set(NeuronOp::VmemReset);
+        assert!(n.faults.any());
+        n.clear_faults();
+        assert!(!n.faults.any());
+    }
+
+    #[test]
+    fn reset_state_keeps_faults() {
+        let mut n = NeuronUnit::new();
+        n.faults.set(NeuronOp::SpikeGeneration);
+        n.vmem = 77;
+        n.reset_state();
+        assert_eq!(n.vmem, 0);
+        assert!(n.faults.sg, "faults persist across samples");
+    }
+
+    #[test]
+    fn inhibition_floors_at_zero_and_skips_refractory() {
+        let p = params();
+        let mut n = NeuronUnit::new();
+        n.vmem = 50;
+        n.inhibit(100);
+        assert_eq!(n.vmem, 0);
+        // Fire to enter refractory, then inhibition is a no-op.
+        n.vmem = 0;
+        n.step(1000, 500, &p);
+        n.vmem = 30; // hypothetical value to observe (held by hardware)
+        n.inhibit(100);
+        assert_eq!(n.vmem, 30);
+    }
+
+    #[test]
+    fn op_shorthand_matches_paper() {
+        let names: Vec<&str> = NeuronOp::ALL.iter().map(|o| o.shorthand()).collect();
+        assert_eq!(names, vec!["vi", "vl", "vr", "sg"]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Physical engine configuration.
+
+/// Geometry and precision of the physical compute engine (the paper: a
+/// 256×256 synapse crossbar with 256 neurons at 8-bit weight precision).
+///
+/// Logical networks larger than the physical engine are time-multiplexed
+/// onto it; see [`crate::mapping::Tiling`].
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::params::EngineConfig;
+///
+/// let cfg = EngineConfig::default();
+/// assert_eq!((cfg.rows, cfg.cols, cfg.weight_bits), (256, 256, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EngineConfig {
+    /// Number of physical synapse rows (inputs per pass).
+    pub rows: usize,
+    /// Number of physical synapse columns (= neurons).
+    pub cols: usize,
+    /// Weight register precision in bits.
+    pub weight_bits: u8,
+}
+
+impl EngineConfig {
+    /// The paper's engine: 256×256 synapses, 256 neurons, 8-bit weights.
+    pub const PAPER: EngineConfig = EngineConfig {
+        rows: 256,
+        cols: 256,
+        weight_bits: 8,
+    };
+
+    /// Number of physical synapses.
+    pub fn n_synapses(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_engine_has_64k_synapses() {
+        assert_eq!(EngineConfig::PAPER.n_synapses(), 65_536);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(EngineConfig::default(), EngineConfig::PAPER);
+    }
+}

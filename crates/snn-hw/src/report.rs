@@ -1,0 +1,126 @@
+//! Synthesis-report emulation.
+//!
+//! The paper obtains timing/power/area through Cadence Genus with a 65 nm
+//! library (Fig. 12). This module renders the analytical cost models into
+//! a Genus-flavoured text report so the experiment binaries can emit the
+//! same artifacts the paper's flow produces (area/timing/power `.txt`).
+
+use crate::area::{engine_area, AreaBreakdown};
+use crate::components::EngineEnhancement;
+use crate::energy::{engine_power, PowerBreakdown};
+use crate::latency::{inference_latency, LatencyEstimate};
+use crate::mapping::Tiling;
+use crate::params::EngineConfig;
+use std::fmt;
+
+/// A synthesis-style report for one engine configuration.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::report::SynthesisReport;
+/// use snn_hw::components::EngineEnhancement;
+/// use snn_hw::params::EngineConfig;
+/// use snn_hw::mapping::Tiling;
+///
+/// let tiling = Tiling::for_network(EngineConfig::PAPER, 784, 400);
+/// let r = SynthesisReport::generate(
+///     EngineConfig::PAPER,
+///     &EngineEnhancement::none(),
+///     &tiling,
+///     100,
+/// );
+/// assert!(r.to_string().contains("Area Report"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// Engine geometry the report covers.
+    pub config: EngineConfig,
+    /// Name of the design variant.
+    pub variant: String,
+    /// Area breakdown.
+    pub area: AreaBreakdown,
+    /// Power breakdown.
+    pub power: PowerBreakdown,
+    /// Per-inference latency.
+    pub latency: LatencyEstimate,
+}
+
+impl SynthesisReport {
+    /// Computes every section of the report from the cost models.
+    pub fn generate(
+        config: EngineConfig,
+        enhancement: &EngineEnhancement,
+        tiling: &Tiling,
+        timesteps: u32,
+    ) -> Self {
+        Self {
+            config,
+            variant: enhancement.name.clone(),
+            area: engine_area(config, enhancement),
+            power: engine_power(config, enhancement),
+            latency: inference_latency(tiling, timesteps, enhancement),
+        }
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=====================================================")?;
+        writeln!(f, " Design: snn-compute-engine / {}", self.variant)?;
+        writeln!(
+            f,
+            " Geometry: {}x{} synapses, {} neurons, {}-bit weights",
+            self.config.rows, self.config.cols, self.config.cols, self.config.weight_bits
+        )?;
+        writeln!(f, " Technology: 65nm (representative analytical model)")?;
+        writeln!(f, "=====================================================")?;
+        writeln!(f, " Area Report")?;
+        writeln!(f, "   synapse array : {:>14.0} GE", self.area.synapse_array_ge)?;
+        writeln!(f, "   neurons       : {:>14.0} GE", self.area.neurons_ge)?;
+        writeln!(f, "   control       : {:>14.0} GE", self.area.control_ge)?;
+        writeln!(f, "   enhancements  : {:>14.0} GE", self.area.enhancement_ge)?;
+        writeln!(f, "   total         : {:>14.0} GE ({:.3} mm2)", self.area.total_ge(), self.area.total_mm2())?;
+        writeln!(f, " Timing Report")?;
+        writeln!(f, "   clock period  : {:>10.3} ns", self.latency.clock_period_ns)?;
+        writeln!(f, "   cycles/infer  : {:>10}", self.latency.cycles)?;
+        writeln!(f, "   latency/infer : {:>10.2} us", self.latency.total_us())?;
+        writeln!(f, " Power Report")?;
+        writeln!(f, "   baseline      : {:>10.1} uW", self.power.base_uw)?;
+        writeln!(f, "   enhancements  : {:>10.1} uW", self.power.enhancement_uw)?;
+        writeln!(f, "   total         : {:>10.2} mW", self.power.total_mw())?;
+        writeln!(f, "=====================================================")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let tiling = Tiling::for_network(EngineConfig::PAPER, 784, 400);
+        let r = SynthesisReport::generate(
+            EngineConfig::PAPER,
+            &EngineEnhancement::none(),
+            &tiling,
+            100,
+        );
+        let s = r.to_string();
+        for section in ["Area Report", "Timing Report", "Power Report", "Baseline"] {
+            assert!(s.contains(section), "missing section {section}");
+        }
+    }
+
+    #[test]
+    fn report_reflects_variant_name() {
+        let tiling = Tiling::for_network(EngineConfig::PAPER, 784, 400);
+        let r = SynthesisReport::generate(
+            EngineConfig::PAPER,
+            &EngineEnhancement::re_execution(3),
+            &tiling,
+            100,
+        );
+        assert!(r.to_string().contains("Re-execution x3"));
+    }
+}

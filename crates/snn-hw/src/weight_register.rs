@@ -1,0 +1,104 @@
+//! A single synapse weight register.
+//!
+//! Each synapse of the compute engine stores its weight in an 8-bit
+//! register built from standard cells — the memory elements the paper's
+//! soft-error model flips bits in ("a fault in a synapse hardware only
+//! affects a single weight bit in form of a bit flip; this faulty bit
+//! persists until it is overwritten with a new bit value", Sec. 2.2).
+
+/// An 8-bit weight register with bit-flip support.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::weight_register::WeightRegister;
+///
+/// let mut r = WeightRegister::new(0b0000_1010);
+/// r.flip_bit(7);
+/// assert_eq!(r.read(), 0b1000_1010);
+/// r.write(3); // overwrite clears the fault's effect
+/// assert_eq!(r.read(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightRegister(u8);
+
+impl WeightRegister {
+    /// Creates a register holding `code`.
+    pub fn new(code: u8) -> Self {
+        Self(code)
+    }
+
+    /// The stored weight code.
+    pub fn read(self) -> u8 {
+        self.0
+    }
+
+    /// Overwrites the stored code (this is what clears a persisted soft
+    /// error, per the paper's fault model).
+    pub fn write(&mut self, code: u8) {
+        self.0 = code;
+    }
+
+    /// Flips one stored bit — the manifestation of a particle strike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_bit(&mut self, bit: u8) {
+        assert!(bit < 8, "weight registers are 8 bits wide");
+        self.0 ^= 1 << bit;
+    }
+}
+
+impl From<u8> for WeightRegister {
+    fn from(code: u8) -> Self {
+        Self(code)
+    }
+}
+
+impl From<WeightRegister> for u8 {
+    fn from(reg: WeightRegister) -> Self {
+        reg.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_flip_restores() {
+        let mut r = WeightRegister::new(0x5A);
+        r.flip_bit(2);
+        r.flip_bit(2);
+        assert_eq!(r.read(), 0x5A);
+    }
+
+    #[test]
+    fn msb_flip_adds_128() {
+        let mut r = WeightRegister::new(10);
+        r.flip_bit(7);
+        assert_eq!(r.read(), 138);
+    }
+
+    #[test]
+    fn flip_can_decrease_value() {
+        let mut r = WeightRegister::new(0b1000_0000);
+        r.flip_bit(7);
+        assert_eq!(r.read(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_out_of_range_panics() {
+        WeightRegister::new(0).flip_bit(8);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let r: WeightRegister = 42u8.into();
+        let v: u8 = r.into();
+        assert_eq!(v, 42);
+    }
+}

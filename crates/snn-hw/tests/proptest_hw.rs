@@ -1,0 +1,107 @@
+//! Property-based tests on the hardware model's invariants.
+
+use proptest::prelude::*;
+use snn_hw::crossbar::Crossbar;
+use snn_hw::mapping::Tiling;
+use snn_hw::neuron_unit::{NeuronHwParams, NeuronUnit};
+use snn_hw::params::EngineConfig;
+use snn_hw::weight_register::WeightRegister;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit flips are involutions: applying the same flip twice restores
+    /// the register.
+    #[test]
+    fn flip_is_involution(code in any::<u8>(), bit in 0_u8..8) {
+        let mut reg = WeightRegister::new(code);
+        reg.flip_bit(bit);
+        prop_assert_ne!(reg.read(), code);
+        reg.flip_bit(bit);
+        prop_assert_eq!(reg.read(), code);
+    }
+
+    /// Column accumulation equals the naive sum under any read path.
+    #[test]
+    fn accumulation_matches_naive_sum(
+        codes in prop::collection::vec(any::<u8>(), 12),
+        clamp_at in any::<u8>(),
+    ) {
+        let xbar = Crossbar::from_codes(3, 4, &codes).expect("shape");
+        let path = |c: u8| if c > clamp_at { 0 } else { c };
+        let mut acc = vec![0_i64; 4];
+        for row in 0..3 {
+            xbar.accumulate_row(row, path, &mut acc);
+        }
+        for col in 0..4 {
+            let naive: i64 = (0..3).map(|r| path(codes[r * 4 + col]) as i64).sum();
+            prop_assert_eq!(acc[col], naive);
+        }
+    }
+
+    /// A healthy neuron's membrane is always inside [0, pre-spike max]
+    /// and reset pulls it to v_reset exactly.
+    #[test]
+    fn healthy_neuron_membrane_invariants(
+        drives in prop::collection::vec(0_i64..500, 1..50),
+        thresh in 100_i32..1000,
+        leak in 0_i32..50,
+    ) {
+        let params = NeuronHwParams { v_reset: 0, v_leak: leak, t_refrac: 2, v_inh: 10 };
+        let mut n = NeuronUnit::new();
+        for &d in &drives {
+            let out = n.step(d, thresh, &params);
+            prop_assert!(n.vmem >= 0);
+            if out.spike {
+                prop_assert_eq!(n.vmem, 0, "reset must land on v_reset");
+            } else if n.refrac == 0 {
+                prop_assert!(n.vmem < thresh);
+            }
+        }
+    }
+
+    /// A vr-faulty neuron, once above threshold with no drive removal,
+    /// keeps its comparator hot forever (the burst signature the
+    /// monitor detects).
+    #[test]
+    fn vr_fault_keeps_comparator_hot(extra_steps in 1_usize..30) {
+        let params = NeuronHwParams { v_reset: 0, v_leak: 0, t_refrac: 2, v_inh: 10 };
+        let mut n = NeuronUnit::new();
+        n.faults.set(snn_hw::neuron_unit::NeuronOp::VmemReset);
+        let first = n.step(1_000, 100, &params);
+        prop_assert!(first.cmp_out);
+        for _ in 0..extra_steps {
+            let out = n.step(0, 100, &params);
+            prop_assert!(out.cmp_out && out.spike);
+        }
+    }
+
+    /// Tiling covers the logical network exactly: tiles * engine dims
+    /// >= logical dims, and removing one tile would not suffice.
+    #[test]
+    fn tiling_is_minimal_cover(
+        n_inputs in 1_usize..3000,
+        n_neurons in 1_usize..5000,
+    ) {
+        let t = Tiling::for_network(EngineConfig::PAPER, n_inputs, n_neurons);
+        prop_assert!(t.row_tiles * 256 >= n_inputs);
+        prop_assert!(t.col_tiles * 256 >= n_neurons);
+        prop_assert!((t.row_tiles - 1) * 256 < n_inputs);
+        prop_assert!((t.col_tiles - 1) * 256 < n_neurons);
+    }
+
+    /// Crossbar reload is idempotent and always restores exactly the
+    /// given image.
+    #[test]
+    fn reload_restores_image(
+        codes in prop::collection::vec(any::<u8>(), 8),
+        flips in prop::collection::vec((0_usize..2, 0_usize..4, 0_u8..8), 0..10),
+    ) {
+        let mut xbar = Crossbar::from_codes(2, 4, &codes).expect("shape");
+        for (r, c, b) in flips {
+            xbar.flip_bit(r, c, b).expect("in range");
+        }
+        xbar.reload(&codes).expect("same shape");
+        prop_assert_eq!(xbar.codes(), codes);
+    }
+}

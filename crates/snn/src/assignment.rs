@@ -1,0 +1,440 @@
+//! Neuron-to-class assignment and spike-count decoding for the
+//! unsupervised classifier.
+//!
+//! After unsupervised STDP training, a labeled pass collects per-neuron,
+//! per-class response rates. Two decoders are built from those statistics:
+//!
+//! * [`Decoder::MeanVote`] — the classical Diehl & Cook scheme: each neuron
+//!   is assigned its argmax class; the predicted class is the one whose
+//!   assigned neurons fired most on average. Works best when training is
+//!   long enough for neurons to become class-pure.
+//! * [`Decoder::RateTemplate`] (default) — correlates the test sample's
+//!   output spike-count vector against each class's mean rate template.
+//!   This uses exactly the same assignment statistics but tolerates the
+//!   class-mixed neurons that short unsupervised training produces, which
+//!   matters for laptop-scale reproductions (the paper trains on 3×60k
+//!   samples; see DESIGN.md).
+//!
+//! Both decoders read only the compute engine's *output spike counts*; in
+//! the paper's accelerator the class readout happens off the compute
+//! engine, so the choice of decoder is orthogonal to the soft-error
+//! mitigation being studied.
+
+use crate::error::SnnError;
+
+/// Which spike-count decoder [`Assignment::predict`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Decoder {
+    /// Correlate the spike-count vector with per-class rate templates.
+    #[default]
+    RateTemplate,
+    /// Classical assigned-neuron mean-rate vote (Diehl & Cook).
+    MeanVote,
+}
+
+/// A mapping from excitatory neurons to class labels.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::assignment::Assignment;
+///
+/// // Two neurons for class 0, one for class 1.
+/// let a = Assignment::from_labels(vec![Some(0), Some(0), Some(1)], 2).unwrap();
+/// // Neuron votes: neuron 2 fires a lot -> class 1 wins.
+/// assert_eq!(a.predict(&[1, 0, 9]), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Assignment {
+    labels: Vec<Option<usize>>,
+    n_classes: usize,
+    per_class: Vec<usize>,
+    /// Flattened `[neuron][class]` mean response rates; present when built
+    /// from response statistics.
+    templates: Option<Vec<f64>>,
+    decoder: Decoder,
+}
+
+impl Assignment {
+    /// Builds an assignment from explicit per-neuron labels.
+    ///
+    /// `None` marks a neuron that never responded during assignment and
+    /// does not vote. Without response statistics only the
+    /// [`Decoder::MeanVote`] decoder is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if any label is `>= n_classes`.
+    pub fn from_labels(
+        labels: Vec<Option<usize>>,
+        n_classes: usize,
+    ) -> Result<Self, SnnError> {
+        if labels.iter().flatten().any(|&c| c >= n_classes) {
+            return Err(SnnError::InvalidConfig {
+                field: "labels",
+                reason: format!("labels must be < n_classes ({n_classes})"),
+            });
+        }
+        let mut per_class = vec![0_usize; n_classes];
+        for &c in labels.iter().flatten() {
+            per_class[c] += 1;
+        }
+        Ok(Self {
+            labels,
+            n_classes,
+            per_class,
+            templates: None,
+            decoder: Decoder::MeanVote,
+        })
+    }
+
+    /// Builds the assignment from accumulated response statistics:
+    /// `responses[j][c]` = total spikes of neuron `j` over samples of class
+    /// `c`, with `class_counts[c]` samples per class.
+    ///
+    /// Responses are normalized per class (so an over-represented class
+    /// does not grab every neuron) and each neuron takes the argmax class;
+    /// neurons with zero total response stay unassigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if rows have inconsistent width.
+    pub fn from_responses(
+        responses: &[Vec<u64>],
+        class_counts: &[usize],
+    ) -> Result<Self, SnnError> {
+        Self::from_responses_selective(responses, class_counts, 0.0)
+    }
+
+    /// Like [`Assignment::from_responses`], but leaves *unselective*
+    /// neurons unassigned: a neuron only votes if its best per-class rate
+    /// is at least `min_selectivity ×` its mean per-class rate.
+    ///
+    /// Neurons that never specialized during (short) unsupervised training
+    /// respond almost identically to every class; letting them vote adds a
+    /// constant per-class bias that can dominate the mean-rate vote. A
+    /// `min_selectivity` of 1.2–1.6 excludes them while keeping genuinely
+    /// tuned neurons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if rows have inconsistent width.
+    pub fn from_responses_selective(
+        responses: &[Vec<u64>],
+        class_counts: &[usize],
+        min_selectivity: f64,
+    ) -> Result<Self, SnnError> {
+        let n_classes = class_counts.len();
+        let mut labels = Vec::with_capacity(responses.len());
+        for row in responses {
+            if row.len() != n_classes {
+                return Err(SnnError::ShapeMismatch {
+                    expected: n_classes,
+                    actual: row.len(),
+                    what: "response row",
+                });
+            }
+            let mut best: Option<(usize, f64)> = None;
+            let mut rate_sum = 0.0;
+            let mut rated_classes = 0_usize;
+            for (c, &count) in row.iter().enumerate() {
+                if class_counts[c] == 0 {
+                    continue;
+                }
+                let rate = count as f64 / class_counts[c] as f64;
+                rate_sum += rate;
+                rated_classes += 1;
+                if count > 0 && best.is_none_or(|(_, b)| rate > b) {
+                    best = Some((c, rate));
+                }
+            }
+            let label = best.and_then(|(c, peak)| {
+                let mean = if rated_classes > 0 {
+                    rate_sum / rated_classes as f64
+                } else {
+                    0.0
+                };
+                if mean <= 0.0 || peak >= min_selectivity * mean {
+                    Some(c)
+                } else {
+                    None
+                }
+            });
+            labels.push(label);
+        }
+        let mut assignment = Self::from_labels(labels, n_classes)?;
+        // Rate templates: mean spikes per sample of class c for neuron j.
+        let mut templates = vec![0.0_f64; responses.len() * n_classes];
+        for (j, row) in responses.iter().enumerate() {
+            for (c, &count) in row.iter().enumerate() {
+                if class_counts[c] > 0 {
+                    templates[j * n_classes + c] = count as f64 / class_counts[c] as f64;
+                }
+            }
+        }
+        assignment.templates = Some(templates);
+        assignment.decoder = Decoder::RateTemplate;
+        Ok(assignment)
+    }
+
+    /// Number of neurons covered.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the assignment covers zero neurons.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The label of neuron `j` (`None` = unassigned).
+    pub fn label(&self, j: usize) -> Option<usize> {
+        self.labels[j]
+    }
+
+    /// Per-neuron labels.
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// How many neurons are assigned to each class.
+    pub fn class_sizes(&self) -> &[usize] {
+        &self.per_class
+    }
+
+    /// Fraction of neurons that received a label.
+    pub fn coverage(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|l| l.is_some()).count() as f64 / self.labels.len() as f64
+    }
+
+    /// The decoder [`Assignment::predict`] uses.
+    pub fn decoder(&self) -> Decoder {
+        self.decoder
+    }
+
+    /// Overrides the decoder. Selecting [`Decoder::RateTemplate`] on an
+    /// assignment built without response statistics falls back to
+    /// [`Decoder::MeanVote`] at prediction time.
+    pub fn set_decoder(&mut self, decoder: Decoder) {
+        self.decoder = decoder;
+    }
+
+    /// The per-class rate template over neurons, if response statistics
+    /// were recorded (`templates()[j]` = mean spikes of neuron `j` per
+    /// sample of `class`).
+    pub fn template(&self, class: usize) -> Option<Vec<f64>> {
+        let t = self.templates.as_ref()?;
+        Some(
+            (0..self.labels.len())
+                .map(|j| t[j * self.n_classes + class])
+                .collect(),
+        )
+    }
+
+    /// Predicts the class for one sample from per-neuron output spike
+    /// counts using the configured [`Decoder`]. Returns `None` if no
+    /// decision can be made (e.g. the network stayed silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spike_counts.len()` differs from [`Assignment::len`].
+    pub fn predict(&self, spike_counts: &[u32]) -> Option<usize> {
+        assert_eq!(
+            spike_counts.len(),
+            self.labels.len(),
+            "spike count vector must cover every neuron"
+        );
+        match (self.decoder, &self.templates) {
+            (Decoder::RateTemplate, Some(_)) => self.predict_template(spike_counts),
+            _ => self.predict_mean_vote(spike_counts),
+        }
+    }
+
+    /// The classical Diehl & Cook mean-rate vote over assigned neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spike_counts.len()` differs from [`Assignment::len`].
+    pub fn predict_mean_vote(&self, spike_counts: &[u32]) -> Option<usize> {
+        assert_eq!(spike_counts.len(), self.labels.len());
+        let mut sums = vec![0_u64; self.n_classes];
+        for (j, &count) in spike_counts.iter().enumerate() {
+            if let Some(c) = self.labels[j] {
+                sums[c] += count as u64;
+            }
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (c, (&sum, &n)) in sums.iter().zip(&self.per_class).enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let mean = sum as f64 / n as f64;
+            if mean > 0.0 && best.is_none_or(|(_, b)| mean > b) {
+                best = Some((c, mean));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Rate-template matching: Pearson-correlates the spike-count vector
+    /// against each class's rate template. Returns `None` when the count
+    /// vector or every template is constant (no information), or when no
+    /// templates were recorded.
+    pub fn predict_template(&self, spike_counts: &[u32]) -> Option<usize> {
+        assert_eq!(spike_counts.len(), self.labels.len());
+        let templates = self.templates.as_ref()?;
+        let n = self.labels.len();
+        let counts: Vec<f64> = spike_counts.iter().map(|&c| c as f64).collect();
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..self.n_classes {
+            let column: Vec<f64> = (0..n).map(|j| templates[j * self.n_classes + c]).collect();
+            if let Some(r) = pearson(&counts, &column) {
+                if best.is_none_or(|(_, b)| r > b) {
+                    best = Some((c, r));
+                }
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+/// Pearson correlation; `None` when either side has zero variance.
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return None;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma).powi(2);
+        db += (y - mb).powi(2);
+    }
+    if da <= 0.0 || db <= 0.0 {
+        None
+    } else {
+        Some(num / (da * db).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_rejects_out_of_range() {
+        assert!(Assignment::from_labels(vec![Some(5)], 3).is_err());
+    }
+
+    #[test]
+    fn from_responses_assigns_argmax_class() {
+        // neuron 0 responds to class 1, neuron 1 to class 0, neuron 2 silent.
+        let responses = vec![vec![1, 10], vec![8, 2], vec![0, 0]];
+        let a = Assignment::from_responses(&responses, &[10, 10]).unwrap();
+        assert_eq!(a.label(0), Some(1));
+        assert_eq!(a.label(1), Some(0));
+        assert_eq!(a.label(2), None);
+        assert!((a.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_responses_normalizes_by_class_count() {
+        // Class 0 saw 100 samples, class 1 only 10. Raw counts favour class
+        // 0 (20 vs 10) but the per-sample rate favours class 1 (0.2 vs 1.0).
+        let responses = vec![vec![20, 10]];
+        let a = Assignment::from_responses(&responses, &[100, 10]).unwrap();
+        assert_eq!(a.label(0), Some(1));
+    }
+
+    #[test]
+    fn predict_uses_mean_over_class_neurons() {
+        // class 0 has two neurons, class 1 has one.
+        let a = Assignment::from_labels(vec![Some(0), Some(0), Some(1)], 2).unwrap();
+        // class 0 total = 6 over 2 neurons (mean 3); class 1 total 4 (mean 4).
+        assert_eq!(a.predict(&[3, 3, 4]), Some(1));
+    }
+
+    #[test]
+    fn predict_returns_none_when_silent() {
+        let a = Assignment::from_labels(vec![Some(0), Some(1)], 2).unwrap();
+        assert_eq!(a.predict(&[0, 0]), None);
+    }
+
+    #[test]
+    fn unassigned_neurons_do_not_vote() {
+        let a = Assignment::from_labels(vec![None, Some(1)], 2).unwrap();
+        assert_eq!(a.predict(&[100, 1]), Some(1));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let responses = vec![vec![1, 2, 3]];
+        assert!(Assignment::from_responses(&responses, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn responses_enable_template_decoder() {
+        let responses = vec![vec![10, 0], vec![0, 10], vec![5, 5]];
+        let a = Assignment::from_responses(&responses, &[10, 10]).unwrap();
+        assert_eq!(a.decoder(), Decoder::RateTemplate);
+        // Sample that looks like class 0: neuron 0 fires, neuron 1 silent.
+        assert_eq!(a.predict(&[8, 0, 3]), Some(0));
+        // Sample that looks like class 1.
+        assert_eq!(a.predict(&[0, 9, 4]), Some(1));
+    }
+
+    #[test]
+    fn template_decoder_handles_silence() {
+        let responses = vec![vec![10, 0], vec![0, 10]];
+        let a = Assignment::from_responses(&responses, &[10, 10]).unwrap();
+        assert_eq!(a.predict(&[0, 0]), None); // zero-variance counts
+    }
+
+    #[test]
+    fn decoder_can_be_switched_to_mean_vote() {
+        let responses = vec![vec![10, 0], vec![0, 10]];
+        let mut a = Assignment::from_responses(&responses, &[10, 10]).unwrap();
+        a.set_decoder(Decoder::MeanVote);
+        assert_eq!(a.predict(&[3, 1]), Some(0));
+    }
+
+    #[test]
+    fn template_accessor_returns_per_class_rates() {
+        let responses = vec![vec![10, 0], vec![0, 20]];
+        let a = Assignment::from_responses(&responses, &[10, 10]).unwrap();
+        assert_eq!(a.template(1).unwrap(), vec![0.0, 2.0]);
+        let b = Assignment::from_labels(vec![Some(0)], 2).unwrap();
+        assert!(b.template(0).is_none());
+    }
+
+    #[test]
+    fn unselective_neurons_left_out_with_threshold() {
+        // neuron 0: flat responder; neuron 1: selective.
+        let responses = vec![vec![10, 10], vec![2, 20]];
+        let a = Assignment::from_responses_selective(&responses, &[10, 10], 1.5).unwrap();
+        assert_eq!(a.label(0), None);
+        assert_eq!(a.label(1), Some(1));
+    }
+
+    #[test]
+    fn pearson_detects_zero_variance() {
+        assert!(pearson(&[1.0, 1.0], &[0.0, 1.0]).is_none());
+        assert!(pearson(&[], &[]).is_none());
+        let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,346 @@
+//! Network configuration and its builder.
+
+use crate::error::SnnError;
+use crate::stdp::StdpConfig;
+
+/// Full configuration of the fully connected SNN of the paper's Fig. 1(a).
+///
+/// All membrane quantities are expressed in *weight units*: a weight of
+/// `w` adds `w` to the membrane potential when its input spikes. This keeps
+/// the float simulator and the fixed-point hardware engine (see
+/// [`crate::quant`]) on the same scale.
+///
+/// Use [`SnnConfig::builder`] to construct one; the builder validates every
+/// field.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::config::SnnConfig;
+/// # fn main() -> Result<(), snn_sim::error::SnnError> {
+/// let cfg = SnnConfig::builder().n_inputs(784).n_neurons(400).build()?;
+/// assert_eq!(cfg.n_neurons, 400);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SnnConfig {
+    /// Number of input channels (pixels). The paper uses 28×28 = 784.
+    pub n_inputs: usize,
+    /// Number of excitatory LIF neurons (the paper's N400…N3600).
+    pub n_neurons: usize,
+    /// Base firing threshold (before the adaptive component).
+    pub v_thresh: f32,
+    /// Membrane potential after a reset.
+    pub v_reset: f32,
+    /// Subtractive leak per timestep (hardware-style linear leak).
+    pub v_leak: f32,
+    /// Refractory period in timesteps after a spike.
+    pub t_refrac: u32,
+    /// Direct lateral inhibition: amount subtracted from every *other*
+    /// neuron's membrane potential when a neuron fires.
+    pub v_inh: f32,
+    /// Number of simulation timesteps per presented sample.
+    pub timesteps: u32,
+    /// Number of silent timesteps between samples (state decays).
+    pub rest_steps: u32,
+    /// Maximum Poisson firing probability per timestep for a pixel of
+    /// intensity 1.0.
+    pub max_rate: f32,
+    /// Upper soft bound for STDP weights.
+    pub w_max: f32,
+    /// Range `[lo, hi]` for uniform random weight initialization.
+    pub w_init: (f32, f32),
+    /// Adaptive-threshold increment added each time a neuron fires.
+    pub theta_plus: f32,
+    /// Multiplicative adaptive-threshold decay applied every timestep
+    /// (values very close to 1; homeostasis has a long time constant).
+    pub theta_decay: f32,
+    /// Per-neuron input-weight-sum normalization target, expressed as a
+    /// fraction of `n_inputs` (Diehl & Cook use 78.4/784 = 0.1). After each
+    /// training sample every neuron's incoming weights are rescaled so they
+    /// sum to `norm_frac * n_inputs`. Set to 0 to disable.
+    pub norm_frac: f32,
+    /// During *training only*: when several neurons cross threshold in the
+    /// same timestep, let only the one with the highest membrane potential
+    /// fire (a discrete-time winner-take-all tie-break). Without this,
+    /// groups of neurons that cross together escape lateral inhibition and
+    /// learn identical receptive fields. Inference always lets every
+    /// crosser fire, matching the hardware engine.
+    pub single_winner_training: bool,
+    /// STDP learning-rule configuration.
+    pub stdp: StdpConfig,
+}
+
+impl SnnConfig {
+    /// Starts building a configuration with the crate defaults.
+    pub fn builder() -> SnnConfigBuilder {
+        SnnConfigBuilder::new()
+    }
+
+    /// Total number of synapses (`n_inputs * n_neurons`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use snn_sim::config::SnnConfig;
+    /// let cfg = SnnConfig::builder().n_inputs(10).n_neurons(4).build().unwrap();
+    /// assert_eq!(cfg.n_synapses(), 40);
+    /// ```
+    pub fn n_synapses(&self) -> usize {
+        self.n_inputs * self.n_neurons
+    }
+}
+
+impl Default for SnnConfig {
+    fn default() -> Self {
+        // Defaults are tuned for 28x28 rate-coded images; see the trainer
+        // integration tests for the accuracy they reach on SynthDigits.
+        Self {
+            n_inputs: 784,
+            n_neurons: 400,
+            v_thresh: 16.0,
+            v_reset: 0.0,
+            v_leak: 0.35,
+            t_refrac: 4,
+            v_inh: 20.0,
+            timesteps: 100,
+            rest_steps: 15,
+            max_rate: 0.25,
+            w_max: 1.0,
+            w_init: (0.05, 0.35),
+            theta_plus: 1.0,
+            theta_decay: 0.999_7,
+            norm_frac: 0.1,
+            single_winner_training: true,
+            stdp: StdpConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`SnnConfig`] with field validation.
+///
+/// Every setter returns `&mut Self` so configuration can be chained; call
+/// [`SnnConfigBuilder::build`] to validate and produce the config.
+#[derive(Debug, Clone, Default)]
+pub struct SnnConfigBuilder {
+    cfg: SnnConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, value: $ty) -> &mut Self {
+            self.cfg.$name = value;
+            self
+        }
+    };
+}
+
+impl SnnConfigBuilder {
+    /// Creates a builder initialized with [`SnnConfig::default`].
+    pub fn new() -> Self {
+        Self {
+            cfg: SnnConfig::default(),
+        }
+    }
+
+    setter!(
+        /// Sets the number of input channels.
+        n_inputs: usize
+    );
+    setter!(
+        /// Sets the number of excitatory neurons.
+        n_neurons: usize
+    );
+    setter!(
+        /// Sets the base firing threshold (weight units).
+        v_thresh: f32
+    );
+    setter!(
+        /// Sets the post-spike reset potential.
+        v_reset: f32
+    );
+    setter!(
+        /// Sets the subtractive leak per timestep.
+        v_leak: f32
+    );
+    setter!(
+        /// Sets the refractory period in timesteps.
+        t_refrac: u32
+    );
+    setter!(
+        /// Sets the direct lateral-inhibition strength.
+        v_inh: f32
+    );
+    setter!(
+        /// Sets the number of timesteps each sample is presented for.
+        timesteps: u32
+    );
+    setter!(
+        /// Sets the number of silent timesteps between samples.
+        rest_steps: u32
+    );
+    setter!(
+        /// Sets the peak Poisson firing probability per step.
+        max_rate: f32
+    );
+    setter!(
+        /// Sets the STDP soft upper weight bound.
+        w_max: f32
+    );
+    setter!(
+        /// Sets the uniform weight-initialization range.
+        w_init: (f32, f32)
+    );
+    setter!(
+        /// Sets the adaptive-threshold increment per output spike.
+        theta_plus: f32
+    );
+    setter!(
+        /// Sets the per-step adaptive-threshold decay factor.
+        theta_decay: f32
+    );
+    setter!(
+        /// Sets the weight-normalization target as a fraction of `n_inputs`
+        /// (0 disables normalization).
+        norm_frac: f32
+    );
+    setter!(
+        /// Enables/disables the training-time single-winner tie-break.
+        single_winner_training: bool
+    );
+    setter!(
+        /// Sets the STDP rule configuration.
+        stdp: StdpConfig
+    );
+
+    /// Validates the accumulated fields and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if any field is out of range
+    /// (zero sizes, non-positive threshold, probabilities outside `[0,1]`,
+    /// inverted init range, etc.).
+    pub fn build(&self) -> Result<SnnConfig, SnnError> {
+        let c = &self.cfg;
+        fn bad(field: &'static str, reason: impl Into<String>) -> SnnError {
+            SnnError::InvalidConfig {
+                field,
+                reason: reason.into(),
+            }
+        }
+        if c.n_inputs == 0 {
+            return Err(bad("n_inputs", "must be nonzero"));
+        }
+        if c.n_neurons == 0 {
+            return Err(bad("n_neurons", "must be nonzero"));
+        }
+        if c.v_thresh <= 0.0 || c.v_thresh.is_nan() {
+            return Err(bad("v_thresh", "must be positive"));
+        }
+        if c.v_reset < 0.0 || c.v_reset >= c.v_thresh {
+            return Err(bad("v_reset", "must satisfy 0 <= v_reset < v_thresh"));
+        }
+        if c.v_leak < 0.0 {
+            return Err(bad("v_leak", "must be non-negative"));
+        }
+        if c.v_inh < 0.0 {
+            return Err(bad("v_inh", "must be non-negative"));
+        }
+        if c.timesteps == 0 {
+            return Err(bad("timesteps", "must be nonzero"));
+        }
+        if !(0.0..=1.0).contains(&c.max_rate) {
+            return Err(bad("max_rate", "must be a probability in [0, 1]"));
+        }
+        if c.w_max <= 0.0 || c.w_max.is_nan() {
+            return Err(bad("w_max", "must be positive"));
+        }
+        if c.w_init.0 < 0.0 || c.w_init.1 > c.w_max || c.w_init.0 > c.w_init.1 {
+            return Err(bad("w_init", "must satisfy 0 <= lo <= hi <= w_max"));
+        }
+        if c.theta_plus < 0.0 {
+            return Err(bad("theta_plus", "must be non-negative"));
+        }
+        if !(0.0..=1.0).contains(&c.theta_decay) {
+            return Err(bad("theta_decay", "must be in [0, 1]"));
+        }
+        if c.norm_frac < 0.0 || c.norm_frac > 1.0 {
+            return Err(bad("norm_frac", "must be in [0, 1]"));
+        }
+        c.stdp.validate()?;
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SnnConfig::builder().build().expect("default config valid");
+    }
+
+    #[test]
+    fn rejects_zero_neurons() {
+        assert!(SnnConfig::builder().n_neurons(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_inputs() {
+        assert!(SnnConfig::builder().n_inputs(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_threshold() {
+        assert!(SnnConfig::builder().v_thresh(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_reset_above_threshold() {
+        assert!(SnnConfig::builder()
+            .v_thresh(1.0)
+            .v_reset(2.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_init_range() {
+        assert!(SnnConfig::builder().w_init((0.5, 0.1)).build().is_err());
+    }
+
+    #[test]
+    fn rejects_init_above_wmax() {
+        assert!(SnnConfig::builder()
+            .w_max(1.0)
+            .w_init((0.0, 2.0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_rate_above_one() {
+        assert!(SnnConfig::builder().max_rate(1.5).build().is_err());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SnnConfig::builder()
+            .n_inputs(16)
+            .n_neurons(4)
+            .timesteps(10)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.n_inputs, cfg.n_neurons, cfg.timesteps), (16, 4, 10));
+    }
+
+    #[test]
+    fn n_synapses_multiplies() {
+        let cfg = SnnConfig::builder().n_inputs(784).n_neurons(400).build().unwrap();
+        assert_eq!(cfg.n_synapses(), 313_600);
+    }
+}

@@ -1,0 +1,121 @@
+//! Poisson rate encoding of images into spike trains.
+//!
+//! Each pixel of intensity `p ∈ [0, 1]` becomes an independent Bernoulli
+//! process firing with probability `p * max_rate` per timestep, the standard
+//! rate coding used by the paper's evaluation framework (and by BindsNET).
+
+use crate::rng::Rng;
+use crate::spike::SpikeTrain;
+use rand::Rng as _;
+
+/// Poisson (Bernoulli-per-step) rate encoder.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::encoding::PoissonEncoder;
+/// use snn_sim::rng::seeded_rng;
+///
+/// let enc = PoissonEncoder::new(0.5);
+/// let mut rng = seeded_rng(1);
+/// let train = enc.encode(&[1.0, 0.0], 100, &mut rng);
+/// let counts = train.channel_counts();
+/// assert!(counts[0] > 30);      // bright pixel fires ~50% of steps
+/// assert_eq!(counts[1], 0);     // dark pixel never fires
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PoissonEncoder {
+    max_rate: f32,
+}
+
+impl PoissonEncoder {
+    /// Creates an encoder with peak per-step firing probability `max_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is not in `[0, 1]`.
+    pub fn new(max_rate: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_rate),
+            "max_rate must be a probability in [0, 1]"
+        );
+        Self { max_rate }
+    }
+
+    /// The configured peak firing probability.
+    pub fn max_rate(&self) -> f32 {
+        self.max_rate
+    }
+
+    /// Encodes `intensities` (each in `[0, 1]`) into a spike train of
+    /// `timesteps` steps.
+    ///
+    /// Intensities outside `[0, 1]` are clamped.
+    pub fn encode(&self, intensities: &[f32], timesteps: u32, rng: &mut Rng) -> SpikeTrain {
+        let mut train = SpikeTrain::new(intensities.len(), timesteps as usize);
+        // Precompute per-channel probabilities once per sample.
+        let probs: Vec<f32> = intensities
+            .iter()
+            .map(|&p| p.clamp(0.0, 1.0) * self.max_rate)
+            .collect();
+        for _ in 0..timesteps {
+            let mut active = Vec::new();
+            for (i, &p) in probs.iter().enumerate() {
+                if p > 0.0 && rng.gen::<f32>() < p {
+                    active.push(i as u32);
+                }
+            }
+            train.push_step(active);
+        }
+        train
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rates_scale_with_intensity() {
+        let enc = PoissonEncoder::new(0.4);
+        let mut rng = seeded_rng(3);
+        let train = enc.encode(&[0.25, 0.75], 4000, &mut rng);
+        let counts = train.channel_counts();
+        let r0 = counts[0] as f64 / 4000.0;
+        let r1 = counts[1] as f64 / 4000.0;
+        assert!((r0 - 0.1).abs() < 0.02, "r0={r0}");
+        assert!((r1 - 0.3).abs() < 0.02, "r1={r1}");
+    }
+
+    #[test]
+    fn zero_rate_encoder_is_silent() {
+        let enc = PoissonEncoder::new(0.0);
+        let mut rng = seeded_rng(3);
+        let train = enc.encode(&[1.0; 16], 50, &mut rng);
+        assert_eq!(train.total_spikes(), 0);
+    }
+
+    #[test]
+    fn intensities_are_clamped() {
+        let enc = PoissonEncoder::new(1.0);
+        let mut rng = seeded_rng(3);
+        let train = enc.encode(&[5.0], 10, &mut rng);
+        assert_eq!(train.channel_counts()[0], 10); // clamped to 1.0 -> fires every step
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let enc = PoissonEncoder::new(0.3);
+        let a = enc.encode(&[0.5; 8], 20, &mut seeded_rng(11));
+        let b = enc.encode(&[0.5; 8], 20, &mut seeded_rng(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_rate_above_one() {
+        let _ = PoissonEncoder::new(1.2);
+    }
+}

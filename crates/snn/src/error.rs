@@ -1,0 +1,88 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by `snn-sim` public functions.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::config::SnnConfig;
+/// use snn_sim::error::SnnError;
+///
+/// let err = SnnConfig::builder().n_neurons(0).build().unwrap_err();
+/// assert!(matches!(err, SnnError::InvalidConfig { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnnError {
+    /// A configuration parameter was out of its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// Input data did not match the configured shape.
+    ShapeMismatch {
+        /// What the network expected.
+        expected: usize,
+        /// What the caller provided.
+        actual: usize,
+        /// What the dimension refers to (e.g. `"inputs"`).
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            SnnError::ShapeMismatch {
+                expected,
+                actual,
+                what,
+            } => {
+                write!(f, "shape mismatch for {what}: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for SnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SnnError::InvalidConfig {
+            field: "n_neurons",
+            reason: "must be nonzero".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("n_neurons"));
+        assert!(s.starts_with("invalid"));
+    }
+
+    #[test]
+    fn shape_mismatch_reports_both_sides() {
+        let e = SnnError::ShapeMismatch {
+            expected: 784,
+            actual: 100,
+            what: "inputs",
+        };
+        let s = e.to_string();
+        assert!(s.contains("784") && s.contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnnError>();
+    }
+}

@@ -1,0 +1,183 @@
+//! Accuracy evaluation of a trained, assigned network.
+
+use crate::assignment::Assignment;
+use crate::encoding::PoissonEncoder;
+use crate::error::SnnError;
+use crate::network::Network;
+use crate::rng::Rng;
+
+/// Outcome of evaluating a classifier on a labeled set.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::eval::EvalResult;
+///
+/// let mut r = EvalResult::new(2);
+/// r.record(Some(1), 1);
+/// r.record(Some(0), 1);
+/// assert_eq!(r.total, 2);
+/// assert!((r.accuracy() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EvalResult {
+    /// Correct predictions.
+    pub correct: usize,
+    /// Total samples evaluated.
+    pub total: usize,
+    /// Samples where no neuron voted (counted as incorrect).
+    pub abstained: usize,
+    /// Confusion matrix: `confusion[truth][prediction]`; abstentions are
+    /// not recorded here.
+    pub confusion: Vec<Vec<usize>>,
+}
+
+impl EvalResult {
+    /// Creates an empty result for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        Self {
+            correct: 0,
+            total: 0,
+            abstained: 0,
+            confusion: vec![vec![0; n_classes]; n_classes],
+        }
+    }
+
+    /// Records one prediction against the ground truth.
+    pub fn record(&mut self, predicted: Option<usize>, truth: usize) {
+        self.total += 1;
+        match predicted {
+            Some(p) => {
+                if p == truth {
+                    self.correct += 1;
+                }
+                self.confusion[truth][p] += 1;
+            }
+            None => self.abstained += 1,
+        }
+    }
+
+    /// Classification accuracy in `[0, 1]` (abstentions count as wrong).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Accuracy as a percentage, the unit the paper's figures use.
+    pub fn accuracy_pct(&self) -> f64 {
+        self.accuracy() * 100.0
+    }
+
+    /// Merges another result (e.g. from a parallel shard) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &EvalResult) {
+        assert_eq!(self.confusion.len(), other.confusion.len());
+        self.correct += other.correct;
+        self.total += other.total;
+        self.abstained += other.abstained;
+        for (a, b) in self.confusion.iter_mut().zip(&other.confusion) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+}
+
+/// Evaluates `net` with `assignment` on a labeled test set.
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if images/labels disagree in length
+/// or an image does not match the network input size.
+pub fn evaluate(
+    net: &mut Network,
+    assignment: &Assignment,
+    images: &[Vec<f32>],
+    labels: &[usize],
+    rng: &mut Rng,
+) -> Result<EvalResult, SnnError> {
+    if images.len() != labels.len() {
+        return Err(SnnError::ShapeMismatch {
+            expected: images.len(),
+            actual: labels.len(),
+            what: "labels",
+        });
+    }
+    let encoder = PoissonEncoder::new(net.cfg().max_rate);
+    let timesteps = net.cfg().timesteps;
+    let mut result = EvalResult::new(assignment.n_classes());
+    for (img, &label) in images.iter().zip(labels) {
+        if img.len() != net.cfg().n_inputs {
+            return Err(SnnError::ShapeMismatch {
+                expected: net.cfg().n_inputs,
+                actual: img.len(),
+                what: "image pixels",
+            });
+        }
+        let train = encoder.encode(img, timesteps, rng);
+        let counts = net.run_sample_frozen(&train);
+        result.record(assignment.predict(&counts), label);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_result_has_zero_accuracy() {
+        let r = EvalResult::new(3);
+        assert_eq!(r.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn abstentions_count_as_wrong() {
+        let mut r = EvalResult::new(2);
+        r.record(None, 0);
+        r.record(Some(0), 0);
+        assert_eq!(r.total, 2);
+        assert_eq!(r.abstained, 1);
+        assert!((r.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_tracks_mistakes() {
+        let mut r = EvalResult::new(2);
+        r.record(Some(1), 0);
+        r.record(Some(1), 1);
+        assert_eq!(r.confusion[0][1], 1);
+        assert_eq!(r.confusion[1][1], 1);
+        assert_eq!(r.confusion[0][0], 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EvalResult::new(2);
+        a.record(Some(0), 0);
+        let mut b = EvalResult::new(2);
+        b.record(Some(1), 0);
+        b.record(None, 1);
+        a.merge(&b);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.correct, 1);
+        assert_eq!(a.abstained, 1);
+        assert_eq!(a.confusion[0][1], 1);
+    }
+
+    #[test]
+    fn accuracy_pct_scales_by_hundred() {
+        let mut r = EvalResult::new(2);
+        r.record(Some(0), 0);
+        r.record(Some(0), 0);
+        r.record(Some(1), 0);
+        assert!((r.accuracy_pct() - 66.666).abs() < 0.1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Adaptive-threshold homeostasis.
+//!
+//! Each neuron carries an adaptive threshold component `theta` that grows by
+//! `theta_plus` whenever the neuron fires and decays multiplicatively with a
+//! very long time constant. The effective firing threshold is
+//! `v_thresh + theta`. This is the standard mechanism (Diehl & Cook style,
+//! as used by FSpiNN \[14\]) that prevents single neurons from dominating the
+//! winner-take-all dynamics during unsupervised STDP learning.
+//!
+//! After training, `theta` is frozen and folded into the per-neuron
+//! threshold that gets deployed to hardware (see [`crate::quant`]).
+
+/// Per-layer adaptive-threshold state.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::homeostasis::Homeostasis;
+///
+/// let mut h = Homeostasis::new(4, 0.5, 0.999);
+/// h.on_spike(2);
+/// assert_eq!(h.theta(2), 0.5);
+/// h.decay();
+/// assert!(h.theta(2) < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Homeostasis {
+    theta: Vec<f32>,
+    theta_plus: f32,
+    theta_decay: f32,
+    enabled: bool,
+}
+
+impl Homeostasis {
+    /// Creates homeostasis state for `n_neurons` neurons.
+    pub fn new(n_neurons: usize, theta_plus: f32, theta_decay: f32) -> Self {
+        Self {
+            theta: vec![0.0; n_neurons],
+            theta_plus,
+            theta_decay,
+            enabled: true,
+        }
+    }
+
+    /// Number of neurons tracked.
+    pub fn len(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Whether the tracker is empty (zero neurons).
+    pub fn is_empty(&self) -> bool {
+        self.theta.is_empty()
+    }
+
+    /// The adaptive component for neuron `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn theta(&self, j: usize) -> f32 {
+        self.theta[j]
+    }
+
+    /// All adaptive components.
+    pub fn thetas(&self) -> &[f32] {
+        &self.theta
+    }
+
+    /// Freezes adaptation: [`Homeostasis::on_spike`] and
+    /// [`Homeostasis::decay`] become no-ops. Used during inference.
+    pub fn freeze(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables adaptation (training mode).
+    pub fn unfreeze(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether adaptation is currently active.
+    pub fn is_frozen(&self) -> bool {
+        !self.enabled
+    }
+
+    /// Registers an output spike of neuron `j`.
+    pub fn on_spike(&mut self, j: usize) {
+        if self.enabled {
+            self.theta[j] += self.theta_plus;
+        }
+    }
+
+    /// Replaces all adaptive components (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the tracked neuron count.
+    pub fn set_thetas(&mut self, thetas: &[f32]) {
+        assert_eq!(thetas.len(), self.theta.len(), "theta count mismatch");
+        self.theta.copy_from_slice(thetas);
+    }
+
+    /// Applies one timestep of multiplicative decay.
+    pub fn decay(&mut self) {
+        if self.enabled && self.theta_decay < 1.0 {
+            for t in &mut self.theta {
+                *t *= self.theta_decay;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_raises_theta() {
+        let mut h = Homeostasis::new(2, 1.0, 1.0);
+        h.on_spike(0);
+        h.on_spike(0);
+        assert_eq!(h.theta(0), 2.0);
+        assert_eq!(h.theta(1), 0.0);
+    }
+
+    #[test]
+    fn decay_reduces_theta() {
+        let mut h = Homeostasis::new(1, 1.0, 0.5);
+        h.on_spike(0);
+        h.decay();
+        assert_eq!(h.theta(0), 0.5);
+    }
+
+    #[test]
+    fn frozen_homeostasis_ignores_spikes_and_decay() {
+        let mut h = Homeostasis::new(1, 1.0, 0.5);
+        h.on_spike(0);
+        h.freeze();
+        h.on_spike(0);
+        h.decay();
+        assert_eq!(h.theta(0), 1.0);
+        assert!(h.is_frozen());
+        h.unfreeze();
+        h.on_spike(0);
+        assert_eq!(h.theta(0), 2.0);
+    }
+
+    #[test]
+    fn decay_factor_one_is_noop() {
+        let mut h = Homeostasis::new(1, 1.0, 1.0);
+        h.on_spike(0);
+        h.decay();
+        assert_eq!(h.theta(0), 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! # snn-sim — functional spiking-neural-network simulator
+//!
+//! This crate is the *software substrate* of the SoftSNN reproduction. It
+//! plays the role that a BindsNET-based Python framework plays in the paper:
+//! it trains and evaluates the fully connected SNN architecture of the
+//! paper's Fig. 1(a) — `n_inputs` Poisson-encoded inputs fully connected to
+//! `n_neurons` excitatory Leaky-Integrate-and-Fire (LIF) neurons with
+//! *direct lateral inhibition* and unsupervised STDP learning with adaptive
+//! thresholds (homeostasis).
+//!
+//! The simulator intentionally mirrors the *hardware* LIF semantics of the
+//! paper's Fig. 5 (subtractive leak, compare-against-threshold, reset to
+//! `v_reset`, refractory counter) so that a network trained here behaves the
+//! same once quantized to 8-bit weights and deployed onto the bit-accurate
+//! compute-engine model in the `snn-hw` crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snn_sim::config::SnnConfig;
+//! use snn_sim::network::Network;
+//! use snn_sim::encoding::PoissonEncoder;
+//! use snn_sim::rng::seeded_rng;
+//!
+//! # fn main() -> Result<(), snn_sim::error::SnnError> {
+//! let cfg = SnnConfig::builder().n_inputs(64).n_neurons(16).build()?;
+//! let mut rng = seeded_rng(7);
+//! let mut net = Network::new(cfg.clone(), &mut rng);
+//! let encoder = PoissonEncoder::new(cfg.max_rate);
+//! let image = vec![0.5_f32; 64];
+//! let counts = net.run_sample_frozen(&encoder.encode(&image, cfg.timesteps, &mut rng));
+//! assert_eq!(counts.len(), 16);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module overview
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`config`] | [`config::SnnConfig`] + builder and validation |
+//! | [`neuron`] | LIF parameters and per-neuron state |
+//! | [`network`] | the fully connected excitatory layer with lateral inhibition |
+//! | [`encoding`] | Poisson rate encoding of images into spike trains |
+//! | [`stdp`] | trace-based, weight-dependent STDP rules |
+//! | [`homeostasis`] | adaptive threshold dynamics |
+//! | [`trainer`] | unsupervised training loop |
+//! | [`assignment`] | neuron-to-class assignment after training |
+//! | [`eval`] | accuracy evaluation |
+//! | [`quant`] | 8-bit deployment quantization (for `snn-hw`) |
+//! | [`spike`] | spike-train containers |
+//! | [`metrics`] | summary statistics used across the workspace |
+//! | [`rng`] | seeded RNG helpers for reproducibility |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod checkpoint;
+pub mod config;
+pub mod encoding;
+pub mod error;
+pub mod eval;
+pub mod homeostasis;
+pub mod metrics;
+pub mod network;
+pub mod neuron;
+pub mod quant;
+pub mod rng;
+pub mod spike;
+pub mod stdp;
+pub mod trainer;
+
+pub use assignment::Assignment;
+pub use checkpoint::Checkpoint;
+pub use config::SnnConfig;
+pub use encoding::PoissonEncoder;
+pub use error::SnnError;
+pub use network::Network;
+pub use quant::{QuantScheme, QuantizedNetwork};
+pub use spike::SpikeTrain;

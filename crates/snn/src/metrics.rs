@@ -1,0 +1,208 @@
+//! Summary statistics and histograms shared across the workspace.
+
+/// Mean of a slice (0.0 for empty input).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(snn_sim::metrics::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0.0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A fixed-range histogram over `f64` values, used for the paper's Fig. 9
+/// weight-distribution analysis.
+///
+/// Values below the range clamp into the first bin, values above into the
+/// last, so every observation is counted.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 2.0, 4);
+/// h.record(0.1);
+/// h.record(0.6);
+/// h.record(1.9);
+/// assert_eq!(h.counts(), &[1, 1, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Records one observation (clamped into range).
+    pub fn record(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Records many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// The bin index with the highest count (ties → lowest index).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The center value of the modal bin — used as the "highly probable
+    /// value" `wgh_hp` of the paper's BnP3.
+    pub fn mode_value(&self) -> f64 {
+        self.bin_center(self.mode_bin())
+    }
+
+    /// The largest observed bin that has any mass, as a value (upper edge
+    /// of the highest non-empty bin).
+    pub fn max_nonempty_value(&self) -> Option<f64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| self.lo + (i as f64 + 1.0) * self.bin_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-5.0);
+        h.record(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_mode_finds_peak() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record_all([0.05, 0.15, 0.15, 0.151, 0.95]);
+        assert_eq!(h.mode_bin(), 1);
+        assert!((h.mode_value() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_max_nonempty_value() {
+        let mut h = Histogram::new(0.0, 2.0, 4);
+        h.record(0.3);
+        h.record(1.1);
+        let max = h.max_nonempty_value().unwrap();
+        assert!((max - 1.5).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 2).max_nonempty_value(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0);
+        assert_eq!(h.counts()[3], 1);
+    }
+}

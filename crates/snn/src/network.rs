@@ -1,0 +1,593 @@
+//! The fully connected excitatory layer with direct lateral inhibition.
+//!
+//! Weight layout is row-major by *input*: `weights[i * n_neurons + j]` is
+//! the synapse from input `i` to neuron `j`. This matches the synapse
+//! crossbar of the paper's Fig. 5 (rows = inputs, columns = neurons) and
+//! makes the per-timestep accumulation `acc[j] += w[i][j]` over spiking
+//! rows contiguous and cache-friendly.
+
+use crate::config::SnnConfig;
+use crate::error::SnnError;
+use crate::homeostasis::Homeostasis;
+use crate::neuron::{LifParams, LifState};
+use crate::rng::Rng;
+use crate::spike::SpikeTrain;
+use crate::stdp::{post_only_new_weight, StdpRule, Traces};
+use rand::Rng as _;
+
+/// The fully connected SNN of the paper's Fig. 1(a): `n_inputs` channels →
+/// `n_neurons` excitatory LIF neurons with direct lateral inhibition,
+/// adaptive thresholds, and (optionally) STDP plasticity.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::config::SnnConfig;
+/// use snn_sim::network::Network;
+/// use snn_sim::rng::seeded_rng;
+///
+/// # fn main() -> Result<(), snn_sim::error::SnnError> {
+/// let cfg = SnnConfig::builder().n_inputs(16).n_neurons(4).build()?;
+/// let mut net = Network::new(cfg, &mut seeded_rng(0));
+/// let fired = net.step(&[0, 1, 2, 3]);
+/// assert!(fired.len() <= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: SnnConfig,
+    params: LifParams,
+    weights: Vec<f32>,
+    homeostasis: Homeostasis,
+    state: Vec<LifState>,
+    pre_traces: Traces,
+    post_traces: Traces,
+    acc: Vec<f32>,
+    plastic: bool,
+}
+
+impl Network {
+    /// Creates a network with uniformly random initial weights drawn from
+    /// `cfg.w_init`.
+    pub fn new(cfg: SnnConfig, rng: &mut Rng) -> Self {
+        let n_syn = cfg.n_synapses();
+        let (lo, hi) = cfg.w_init;
+        let weights = (0..n_syn)
+            .map(|_| {
+                if hi > lo {
+                    rng.gen_range(lo..hi)
+                } else {
+                    lo
+                }
+            })
+            .collect();
+        Self::from_parts(cfg, weights).expect("generated weights always match shape")
+    }
+
+    /// Creates a network from explicit weights (row-major by input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if `weights.len()` is not
+    /// `cfg.n_synapses()`.
+    pub fn from_parts(cfg: SnnConfig, weights: Vec<f32>) -> Result<Self, SnnError> {
+        if weights.len() != cfg.n_synapses() {
+            return Err(SnnError::ShapeMismatch {
+                expected: cfg.n_synapses(),
+                actual: weights.len(),
+                what: "weights",
+            });
+        }
+        let n = cfg.n_neurons;
+        let m = cfg.n_inputs;
+        let params = LifParams::from_config(&cfg);
+        let homeostasis = Homeostasis::new(n, cfg.theta_plus, cfg.theta_decay);
+        let pre_traces = Traces::new(m, cfg.stdp.trace_decay, cfg.stdp.trace_max);
+        let post_traces = Traces::new(n, cfg.stdp.trace_decay, cfg.stdp.trace_max);
+        Ok(Self {
+            cfg,
+            params,
+            weights,
+            homeostasis,
+            state: vec![LifState::new(); n],
+            pre_traces,
+            post_traces,
+            acc: vec![0.0; n],
+            plastic: true,
+        })
+    }
+
+    /// The network configuration.
+    pub fn cfg(&self) -> &SnnConfig {
+        &self.cfg
+    }
+
+    /// All weights, row-major by input (`weights[i * n_neurons + j]`).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The weight from `input` to `neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn weight(&self, input: usize, neuron: usize) -> f32 {
+        assert!(input < self.cfg.n_inputs && neuron < self.cfg.n_neurons);
+        self.weights[input * self.cfg.n_neurons + neuron]
+    }
+
+    /// The adaptive-threshold components (one per neuron).
+    pub fn thetas(&self) -> &[f32] {
+        self.homeostasis.thetas()
+    }
+
+    /// The effective firing threshold of neuron `j` (base + adaptive).
+    pub fn effective_threshold(&self, j: usize) -> f32 {
+        self.cfg.v_thresh + self.homeostasis.theta(j)
+    }
+
+    /// Current membrane potential of neuron `j` (for tests/inspection).
+    pub fn membrane(&self, j: usize) -> f32 {
+        self.state[j].v
+    }
+
+    /// Enables STDP plasticity and homeostasis adaptation (training mode).
+    pub fn set_plastic(&mut self) {
+        self.plastic = true;
+        self.homeostasis.unfreeze();
+    }
+
+    /// Disables STDP plasticity and homeostasis adaptation (inference mode).
+    pub fn set_frozen(&mut self) {
+        self.plastic = false;
+        self.homeostasis.freeze();
+    }
+
+    /// Whether the network is currently plastic.
+    pub fn is_plastic(&self) -> bool {
+        self.plastic
+    }
+
+    /// Clears membrane potentials, refractory counters, and traces, but
+    /// keeps the learned weights and adaptive thresholds.
+    pub fn reset_transient(&mut self) {
+        self.state.iter_mut().for_each(LifState::reset);
+        self.pre_traces.reset();
+        self.post_traces.reset();
+    }
+
+    /// Advances the network by one timestep given the spiking input
+    /// channels, returning the indices of neurons that fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any input index is out of range.
+    pub fn step(&mut self, active_inputs: &[u32]) -> Vec<u32> {
+        let n = self.cfg.n_neurons;
+
+        // 1. Synaptic drive: column-accumulate the weights of spiking rows.
+        self.acc.iter_mut().for_each(|a| *a = 0.0);
+        for &i in active_inputs {
+            let i = i as usize;
+            debug_assert!(i < self.cfg.n_inputs, "input index out of range");
+            let row = &self.weights[i * n..(i + 1) * n];
+            for (a, &w) in self.acc.iter_mut().zip(row) {
+                *a += w;
+            }
+        }
+
+        // 2. Trace bookkeeping: decay, then register the current spikes.
+        self.pre_traces.decay_step();
+        self.post_traces.decay_step();
+        self.pre_traces.on_spikes(active_inputs);
+
+        // 2b. PrePost rule: depression at pre-synaptic spikes.
+        if self.plastic && self.cfg.stdp.rule == StdpRule::PrePost {
+            let eta = self.cfg.stdp.eta_pre;
+            if eta > 0.0 {
+                for &i in active_inputs {
+                    let i = i as usize;
+                    let row = &mut self.weights[i * n..(i + 1) * n];
+                    for (w, &x_post) in row.iter_mut().zip(self.post_traces.values()) {
+                        *w = (*w - eta * x_post * *w).max(0.0);
+                    }
+                }
+            }
+        }
+
+        // 3. Neuron updates: integrate + leak everyone, collect threshold
+        //    crossers, then decide who actually fires.
+        let mut crossers: Vec<u32> = Vec::new();
+        for j in 0..n {
+            let s = &mut self.state[j];
+            if s.refrac > 0 {
+                s.refrac -= 1;
+                continue;
+            }
+            s.v += self.acc[j];
+            s.v = (s.v - self.params.v_leak).max(0.0);
+            if s.v >= self.cfg.v_thresh + self.homeostasis.theta(j) {
+                crossers.push(j as u32);
+            }
+        }
+        // Training-time WTA tie-break: simultaneous crossers would escape
+        // lateral inhibition and learn identical receptive fields, so only
+        // the highest-membrane crosser fires while plastic. Inference fires
+        // every crosser, matching the hardware engine.
+        let fired: Vec<u32> =
+            if self.plastic && self.cfg.single_winner_training && crossers.len() > 1 {
+                let winner = crossers
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        self.state[a as usize]
+                            .v
+                            .total_cmp(&self.state[b as usize].v)
+                    })
+                    .expect("crossers nonempty");
+                vec![winner]
+            } else {
+                crossers
+            };
+        for &j in &fired {
+            let s = &mut self.state[j as usize];
+            s.v = self.params.v_reset;
+            s.refrac = self.params.t_refrac;
+        }
+
+        // 4. Spike side effects: homeostasis, traces, STDP potentiation.
+        for &j in &fired {
+            let j = j as usize;
+            self.homeostasis.on_spike(j);
+            self.post_traces.on_spike(j);
+            if self.plastic {
+                self.apply_post_spike_stdp(j);
+            }
+        }
+
+        // 5. Direct lateral inhibition: every spike subtracts `v_inh` from
+        //    all *other* neurons' membranes (floored at 0).
+        if !fired.is_empty() && self.cfg.v_inh > 0.0 {
+            let total_inh = self.cfg.v_inh * fired.len() as f32;
+            let mut is_fired = vec![false; n];
+            for &j in &fired {
+                is_fired[j as usize] = true;
+            }
+            for (j, s) in self.state.iter_mut().enumerate() {
+                if !is_fired[j] {
+                    s.v = (s.v - total_inh).max(0.0);
+                }
+            }
+        }
+
+        // 6. Slow homeostatic decay.
+        self.homeostasis.decay();
+
+        fired
+    }
+
+    fn apply_post_spike_stdp(&mut self, j: usize) {
+        let n = self.cfg.n_neurons;
+        let w_max = self.cfg.w_max;
+        match self.cfg.stdp.rule {
+            StdpRule::PostOnly => {
+                let cfg = self.cfg.stdp;
+                for (i, &x_pre) in self.pre_traces.values().iter().enumerate() {
+                    let w = &mut self.weights[i * n + j];
+                    *w = post_only_new_weight(&cfg, w_max, x_pre, *w);
+                }
+            }
+            StdpRule::PrePost => {
+                let eta = self.cfg.stdp.eta_post;
+                for (i, &x_pre) in self.pre_traces.values().iter().enumerate() {
+                    let w = &mut self.weights[i * n + j];
+                    *w = (*w + eta * x_pre * (w_max - *w)).min(w_max);
+                }
+            }
+        }
+    }
+
+    /// Presents one encoded sample, returning per-neuron output spike
+    /// counts. Transient state is reset before the sample and the network
+    /// rests for `cfg.rest_steps` silent steps afterwards.
+    pub fn run_sample(&mut self, train: &SpikeTrain) -> Vec<u32> {
+        let mut counts = vec![0_u32; self.cfg.n_neurons];
+        self.reset_transient();
+        for step in train.iter() {
+            for j in self.step(step) {
+                counts[j as usize] += 1;
+            }
+        }
+        for _ in 0..self.cfg.rest_steps {
+            self.step(&[]);
+        }
+        counts
+    }
+
+    /// Presents one sample with plasticity temporarily disabled, restoring
+    /// the previous mode afterwards. Use for assignment and evaluation.
+    pub fn run_sample_frozen(&mut self, train: &SpikeTrain) -> Vec<u32> {
+        let was_plastic = self.plastic;
+        self.set_frozen();
+        let counts = self.run_sample(train);
+        if was_plastic {
+            self.set_plastic();
+        }
+        counts
+    }
+
+    /// Replaces the weights wholesale (e.g. to load a checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] on length mismatch.
+    pub fn set_weights(&mut self, weights: Vec<f32>) -> Result<(), SnnError> {
+        if weights.len() != self.cfg.n_synapses() {
+            return Err(SnnError::ShapeMismatch {
+                expected: self.cfg.n_synapses(),
+                actual: weights.len(),
+                what: "weights",
+            });
+        }
+        self.weights = weights;
+        Ok(())
+    }
+
+    /// Maximum weight in the network (the clean SNN's `wgh_max` when called
+    /// on a trained, fault-free network).
+    pub fn max_weight(&self) -> f32 {
+        self.weights.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Divisive weight normalization (Diehl & Cook): rescales every
+    /// neuron's incoming weights so their sum equals
+    /// `cfg.norm_frac * n_inputs`. A no-op when `norm_frac == 0` or a
+    /// neuron's weights sum to zero. Individual weights are capped at
+    /// `w_max` after scaling.
+    ///
+    /// Called by the trainer after every sample; exposed publicly so custom
+    /// training loops can do the same.
+    pub fn normalize_weights(&mut self) {
+        if self.cfg.norm_frac <= 0.0 {
+            return;
+        }
+        let target = self.cfg.norm_frac * self.cfg.n_inputs as f32;
+        let n = self.cfg.n_neurons;
+        let m = self.cfg.n_inputs;
+        let w_max = self.cfg.w_max;
+        for j in 0..n {
+            let mut sum = 0.0_f32;
+            for i in 0..m {
+                sum += self.weights[i * n + j];
+            }
+            if sum > 0.0 {
+                let scale = target / sum;
+                for i in 0..m {
+                    let w = &mut self.weights[i * n + j];
+                    *w = (*w * scale).min(w_max);
+                }
+            }
+        }
+    }
+
+    /// The sum of incoming weights for neuron `j`.
+    pub fn weight_sum(&self, j: usize) -> f32 {
+        let n = self.cfg.n_neurons;
+        (0..self.cfg.n_inputs)
+            .map(|i| self.weights[i * n + j])
+            .sum()
+    }
+
+    /// Replaces the adaptive-threshold components wholesale (checkpoint
+    /// restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] on length mismatch.
+    pub fn set_thetas(&mut self, thetas: &[f32]) -> Result<(), SnnError> {
+        if thetas.len() != self.cfg.n_neurons {
+            return Err(SnnError::ShapeMismatch {
+                expected: self.cfg.n_neurons,
+                actual: thetas.len(),
+                what: "thetas",
+            });
+        }
+        self.homeostasis.set_thetas(thetas);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn tiny_cfg() -> SnnConfig {
+        SnnConfig::builder()
+            .n_inputs(8)
+            .n_neurons(4)
+            .v_thresh(2.0)
+            .v_leak(0.1)
+            .v_inh(1.0)
+            .t_refrac(2)
+            .timesteps(20)
+            .rest_steps(5)
+            .w_init((0.2, 0.4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn new_network_has_weights_in_init_range() {
+        let cfg = tiny_cfg();
+        let net = Network::new(cfg.clone(), &mut seeded_rng(1));
+        assert_eq!(net.weights().len(), cfg.n_synapses());
+        assert!(net
+            .weights()
+            .iter()
+            .all(|&w| (cfg.w_init.0..=cfg.w_init.1).contains(&w)));
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_shape() {
+        let cfg = tiny_cfg();
+        assert!(matches!(
+            Network::from_parts(cfg, vec![0.0; 3]),
+            Err(SnnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn strong_drive_makes_neurons_fire() {
+        let cfg = tiny_cfg();
+        let mut net = Network::from_parts(cfg.clone(), vec![0.5; cfg.n_synapses()]).unwrap();
+        net.set_frozen();
+        let mut total = 0;
+        for _ in 0..20 {
+            total += net.step(&[0, 1, 2, 3, 4, 5, 6, 7]).len();
+        }
+        assert!(total > 0, "saturating input must elicit spikes");
+    }
+
+    #[test]
+    fn no_input_no_spikes() {
+        let cfg = tiny_cfg();
+        let mut net = Network::new(cfg, &mut seeded_rng(1));
+        net.set_frozen();
+        for _ in 0..50 {
+            assert!(net.step(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn lateral_inhibition_suppresses_losers() {
+        let cfg = SnnConfig::builder()
+            .n_inputs(2)
+            .n_neurons(2)
+            .v_thresh(1.0)
+            .v_leak(0.0)
+            .v_inh(10.0)
+            .t_refrac(0)
+            .build()
+            .unwrap();
+        // Neuron 0 fires every step (drive 1.2); neuron 1 alone would fire
+        // every other step (drive 0.8), but the winner's inhibition knocks
+        // its membrane back to zero each step, so it should stay silent.
+        let weights = vec![
+            0.6, 0.4, // input 0 -> (n0, n1)
+            0.6, 0.4, // input 1 -> (n0, n1)
+        ];
+        let mut net = Network::from_parts(cfg, weights).unwrap();
+        net.set_frozen();
+        let mut n0 = 0;
+        let mut n1 = 0;
+        for _ in 0..50 {
+            for j in net.step(&[0, 1]) {
+                if j == 0 {
+                    n0 += 1;
+                } else {
+                    n1 += 1;
+                }
+            }
+        }
+        assert!(n0 > 0);
+        assert!(
+            n1 < n0,
+            "inhibited neuron must fire less (n0={n0}, n1={n1})"
+        );
+    }
+
+    #[test]
+    fn stdp_moves_weights_toward_active_inputs() {
+        let mut cfg = tiny_cfg();
+        cfg.v_inh = 0.0;
+        cfg.stdp.eta_post = 0.5;
+        let mut net = Network::from_parts(cfg.clone(), vec![0.3; cfg.n_synapses()]).unwrap();
+        net.set_plastic();
+        // Drive only inputs 0..4 for many steps.
+        for _ in 0..200 {
+            net.step(&[0, 1, 2, 3]);
+        }
+        let n = cfg.n_neurons;
+        let active_mean: f32 =
+            (0..4).map(|i| net.weights()[i * n]).sum::<f32>() / 4.0;
+        let silent_mean: f32 =
+            (4..8).map(|i| net.weights()[i * n]).sum::<f32>() / 4.0;
+        assert!(
+            active_mean > silent_mean,
+            "active inputs should out-learn silent ones ({active_mean} vs {silent_mean})"
+        );
+    }
+
+    #[test]
+    fn weights_stay_bounded_during_training() {
+        let cfg = tiny_cfg();
+        let mut net = Network::new(cfg.clone(), &mut seeded_rng(2));
+        let mut rng = seeded_rng(3);
+        for _ in 0..300 {
+            let active: Vec<u32> = (0..8_u32).filter(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
+            net.step(&active);
+        }
+        assert!(net
+            .weights()
+            .iter()
+            .all(|&w| (0.0..=cfg.w_max).contains(&w)));
+    }
+
+    #[test]
+    fn frozen_network_does_not_learn() {
+        let cfg = tiny_cfg();
+        let mut net = Network::new(cfg, &mut seeded_rng(4));
+        net.set_frozen();
+        let before = net.weights().to_vec();
+        for _ in 0..100 {
+            net.step(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+        assert_eq!(net.weights(), before.as_slice());
+    }
+
+    #[test]
+    fn run_sample_counts_match_manual_stepping() {
+        let cfg = tiny_cfg();
+        let mut train = SpikeTrain::new(8, 3);
+        train.push_step(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        train.push_step(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        train.push_step(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+
+        let mut a = Network::from_parts(cfg.clone(), vec![0.4; cfg.n_synapses()]).unwrap();
+        a.set_frozen();
+        let counts = a.run_sample(&train);
+
+        let mut b = Network::from_parts(cfg.clone(), vec![0.4; cfg.n_synapses()]).unwrap();
+        b.set_frozen();
+        b.reset_transient();
+        let mut manual = vec![0_u32; 4];
+        for step in train.iter() {
+            for j in b.step(step) {
+                manual[j as usize] += 1;
+            }
+        }
+        assert_eq!(counts, manual);
+    }
+
+    #[test]
+    fn run_sample_frozen_restores_plastic_mode() {
+        let cfg = tiny_cfg();
+        let mut net = Network::new(cfg, &mut seeded_rng(5));
+        net.set_plastic();
+        let train = SpikeTrain::new(8, 0);
+        let _ = net.run_sample_frozen(&train);
+        assert!(net.is_plastic());
+    }
+
+    #[test]
+    fn max_weight_reports_maximum() {
+        let cfg = tiny_cfg();
+        let mut w = vec![0.1; cfg.n_synapses()];
+        w[5] = 0.77;
+        let net = Network::from_parts(cfg, w).unwrap();
+        assert!((net.max_weight() - 0.77).abs() < 1e-6);
+    }
+}

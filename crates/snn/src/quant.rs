@@ -1,0 +1,288 @@
+//! 8-bit deployment quantization.
+//!
+//! The paper's compute engine stores each weight in an 8-bit register
+//! (Sec. 2.1). To deploy a float-trained network we quantize weights to
+//! 8-bit *codes* and express every membrane quantity (threshold, leak,
+//! reset, inhibition) in code units, so the hardware engine can run in pure
+//! integer arithmetic.
+//!
+//! The **full scale** of the code space is deliberately set *above* the
+//! trained maximum weight (default headroom 2×). A clean SNN then occupies
+//! only the lower half of the code space — exactly the paper's Fig. 9(a) —
+//! and a bit flip in a high-order bit can push a weight *beyond* the clean
+//! maximum `wgh_max`, which is the signature the Bound-and-Protect weight
+//! bounding detects.
+
+use crate::config::SnnConfig;
+use crate::error::SnnError;
+use crate::network::Network;
+
+/// Linear quantization scheme mapping `[0, full_scale]` onto codes
+/// `0..=max_code`.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::quant::QuantScheme;
+///
+/// let q = QuantScheme::new(8, 2.0);
+/// assert_eq!(q.max_code(), 255);
+/// let code = q.quantize(1.0);
+/// assert!((q.dequantize(code) - 1.0).abs() < q.lsb());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuantScheme {
+    bits: u8,
+    full_scale: f32,
+}
+
+impl QuantScheme {
+    /// Creates a scheme with the given precision and full-scale value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8, or `full_scale <= 0`.
+    pub fn new(bits: u8, full_scale: f32) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+        assert!(full_scale > 0.0, "full_scale must be positive");
+        Self { bits, full_scale }
+    }
+
+    /// The paper's default: 8-bit precision with `headroom ×  w_max` full
+    /// scale (headroom 2.0 leaves the top half of the code space beyond the
+    /// clean maximum).
+    pub fn for_network(cfg: &SnnConfig) -> Self {
+        Self::new(8, 2.0 * cfg.w_max)
+    }
+
+    /// Bit width of each weight register.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> u8 {
+        ((1_u16 << self.bits) - 1) as u8
+    }
+
+    /// Full-scale value (weight represented by `max_code`).
+    pub fn full_scale(&self) -> f32 {
+        self.full_scale
+    }
+
+    /// Weight value of one least-significant bit.
+    pub fn lsb(&self) -> f32 {
+        self.full_scale / self.max_code() as f32
+    }
+
+    /// Quantizes a weight to the nearest code (clamped to range).
+    pub fn quantize(&self, w: f32) -> u8 {
+        let code = (w / self.lsb()).round();
+        code.clamp(0.0, self.max_code() as f32) as u8
+    }
+
+    /// Dequantizes a code back to a weight value.
+    pub fn dequantize(&self, code: u8) -> f32 {
+        code as f32 * self.lsb()
+    }
+
+    /// Quantizes an arbitrary (non-register) quantity such as a threshold
+    /// into signed code units for the integer datapath.
+    pub fn to_code_units(&self, x: f32) -> i32 {
+        (x / self.lsb()).round() as i32
+    }
+}
+
+/// Per-neuron integer parameters of the deployed network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuantizedNeuronParams {
+    /// Per-neuron firing threshold in code units (base + frozen theta).
+    pub v_thresh: Vec<i32>,
+    /// Reset potential in code units.
+    pub v_reset: i32,
+    /// Subtractive leak per step in code units.
+    pub v_leak: i32,
+    /// Refractory period in timesteps.
+    pub t_refrac: u32,
+    /// Direct lateral inhibition in code units.
+    pub v_inh: i32,
+}
+
+/// A float-trained network quantized for deployment on the hardware
+/// engine. Codes are row-major by input, like [`Network::weights`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuantizedNetwork {
+    /// Number of input channels.
+    pub n_inputs: usize,
+    /// Number of neurons.
+    pub n_neurons: usize,
+    /// Weight codes, `codes[i * n_neurons + j]`.
+    pub codes: Vec<u8>,
+    /// The quantization scheme used.
+    pub scheme: QuantScheme,
+    /// Integer neuron parameters.
+    pub neuron: QuantizedNeuronParams,
+    /// Number of presentation timesteps the network was trained with.
+    pub timesteps: u32,
+    /// Peak Poisson rate the network was trained with.
+    pub max_rate: f32,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes a trained network with the given scheme. The adaptive
+    /// thresholds are frozen and folded into per-neuron thresholds, which
+    /// is how the deployed accelerator sees them.
+    pub fn from_network(net: &Network, scheme: QuantScheme) -> Self {
+        let cfg = net.cfg();
+        let codes = net.weights().iter().map(|&w| scheme.quantize(w)).collect();
+        let v_thresh = (0..cfg.n_neurons)
+            .map(|j| scheme.to_code_units(net.effective_threshold(j)))
+            .collect();
+        Self {
+            n_inputs: cfg.n_inputs,
+            n_neurons: cfg.n_neurons,
+            codes,
+            scheme,
+            neuron: QuantizedNeuronParams {
+                v_thresh,
+                v_reset: scheme.to_code_units(cfg.v_reset),
+                v_leak: scheme.to_code_units(cfg.v_leak),
+                t_refrac: cfg.t_refrac,
+                v_inh: scheme.to_code_units(cfg.v_inh),
+            },
+            timesteps: cfg.timesteps,
+            max_rate: cfg.max_rate,
+        }
+    }
+
+    /// Quantizes with the paper-default scheme ([`QuantScheme::for_network`]).
+    pub fn from_network_default(net: &Network) -> Self {
+        Self::from_network(net, QuantScheme::for_network(net.cfg()))
+    }
+
+    /// The weight code from `input` to `neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn code(&self, input: usize, neuron: usize) -> u8 {
+        assert!(input < self.n_inputs && neuron < self.n_neurons);
+        self.codes[input * self.n_neurons + neuron]
+    }
+
+    /// The dequantized weight from `input` to `neuron`.
+    pub fn weight(&self, input: usize, neuron: usize) -> f32 {
+        self.scheme.dequantize(self.code(input, neuron))
+    }
+
+    /// Total number of synapses.
+    pub fn n_synapses(&self) -> usize {
+        self.n_inputs * self.n_neurons
+    }
+
+    /// The maximum weight code present (the clean `wgh_max` in code units
+    /// when called on a fault-free deployment).
+    pub fn max_code_present(&self) -> u8 {
+        self.codes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Validates internal consistency (shapes, parameter vector lengths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if `codes` or `v_thresh` have
+    /// the wrong length.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        if self.codes.len() != self.n_synapses() {
+            return Err(SnnError::ShapeMismatch {
+                expected: self.n_synapses(),
+                actual: self.codes.len(),
+                what: "weight codes",
+            });
+        }
+        if self.neuron.v_thresh.len() != self.n_neurons {
+            return Err(SnnError::ShapeMismatch {
+                expected: self.n_neurons,
+                actual: self.neuron.v_thresh.len(),
+                what: "thresholds",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn quantize_dequantize_round_trips_within_lsb() {
+        let q = QuantScheme::new(8, 2.0);
+        for k in 0..=100 {
+            let w = k as f32 * 0.02;
+            let err = (q.dequantize(q.quantize(w)) - w).abs();
+            assert!(err <= q.lsb() / 2.0 + 1e-6, "w={w} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let q = QuantScheme::new(8, 2.0);
+        assert_eq!(q.quantize(-1.0), 0);
+        assert_eq!(q.quantize(99.0), 255);
+    }
+
+    #[test]
+    fn lower_precision_has_coarser_lsb() {
+        let q4 = QuantScheme::new(4, 2.0);
+        let q8 = QuantScheme::new(8, 2.0);
+        assert!(q4.lsb() > q8.lsb());
+        assert_eq!(q4.max_code(), 15);
+    }
+
+    #[test]
+    fn clean_network_occupies_lower_half_of_code_space() {
+        // With 2x headroom, trained weights (<= w_max) quantize to <= 128.
+        let cfg = SnnConfig::builder().n_inputs(8).n_neurons(4).build().unwrap();
+        let net = Network::new(cfg.clone(), &mut seeded_rng(0));
+        let qn = QuantizedNetwork::from_network_default(&net);
+        let half = (qn.scheme.max_code() / 2) + 1;
+        assert!(qn.codes.iter().all(|&c| c <= half));
+    }
+
+    #[test]
+    fn thresholds_include_theta() {
+        let cfg = SnnConfig::builder()
+            .n_inputs(4)
+            .n_neurons(2)
+            .v_thresh(2.0)
+            .theta_plus(1.0)
+            .build()
+            .unwrap();
+        let mut net = Network::from_parts(cfg.clone(), vec![1.0; 8]).unwrap();
+        // Force neuron 0 to fire once -> theta grows.
+        net.step(&[0, 1, 2, 3]);
+        let qn = QuantizedNetwork::from_network_default(&net);
+        assert!(qn.neuron.v_thresh[0] > qn.scheme.to_code_units(cfg.v_thresh) / 2);
+        qn.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_shapes() {
+        let cfg = SnnConfig::builder().n_inputs(4).n_neurons(2).build().unwrap();
+        let net = Network::new(cfg, &mut seeded_rng(0));
+        let mut qn = QuantizedNetwork::from_network_default(&net);
+        qn.codes.pop();
+        assert!(qn.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nine_bit_scheme_rejected() {
+        let _ = QuantScheme::new(9, 1.0);
+    }
+}

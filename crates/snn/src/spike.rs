@@ -1,0 +1,156 @@
+//! Spike-train containers shared between the encoder, the functional
+//! simulator, and the hardware engine model.
+
+/// A spike train over a fixed number of timesteps, stored as per-step lists
+/// of active channel indices (sparse representation).
+///
+/// The sparse layout matches how both the functional simulator and the
+/// hardware crossbar consume input: per timestep, iterate the spiking rows.
+///
+/// # Examples
+///
+/// ```
+/// use snn_sim::spike::SpikeTrain;
+///
+/// let mut train = SpikeTrain::new(8, 3);
+/// train.push_step(vec![0, 5]);
+/// train.push_step(vec![]);
+/// train.push_step(vec![7]);
+/// assert_eq!(train.total_spikes(), 3);
+/// assert_eq!(train.step(0), &[0, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpikeTrain {
+    n_channels: usize,
+    steps: Vec<Vec<u32>>,
+    capacity_steps: usize,
+}
+
+impl SpikeTrain {
+    /// Creates an empty spike train for `n_channels` channels, expecting
+    /// `n_steps` timesteps to be pushed.
+    pub fn new(n_channels: usize, n_steps: usize) -> Self {
+        Self {
+            n_channels,
+            steps: Vec::with_capacity(n_steps),
+            capacity_steps: n_steps,
+        }
+    }
+
+    /// Number of channels (e.g. input pixels) this train covers.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Number of timesteps currently recorded.
+    pub fn n_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The number of steps this train was created for.
+    pub fn expected_steps(&self) -> usize {
+        self.capacity_steps
+    }
+
+    /// Appends one timestep worth of spikes (channel indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any index is out of range.
+    pub fn push_step(&mut self, mut active: Vec<u32>) {
+        debug_assert!(
+            active.iter().all(|&i| (i as usize) < self.n_channels),
+            "spike index out of range"
+        );
+        active.sort_unstable();
+        self.steps.push(active);
+    }
+
+    /// The active channel indices at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.n_steps()`.
+    pub fn step(&self, step: usize) -> &[u32] {
+        &self.steps[step]
+    }
+
+    /// Iterator over per-step active-index slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.steps.iter().map(|v| v.as_slice())
+    }
+
+    /// Total number of spikes across all steps and channels.
+    pub fn total_spikes(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// Per-channel spike counts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use snn_sim::spike::SpikeTrain;
+    /// let mut t = SpikeTrain::new(3, 2);
+    /// t.push_step(vec![1]);
+    /// t.push_step(vec![1, 2]);
+    /// assert_eq!(t.channel_counts(), vec![0, 2, 1]);
+    /// ```
+    pub fn channel_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0_u32; self.n_channels];
+        for step in &self.steps {
+            for &i in step {
+                counts[i as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Mean firing probability per channel per step.
+    pub fn mean_rate(&self) -> f64 {
+        if self.steps.is_empty() || self.n_channels == 0 {
+            return 0.0;
+        }
+        self.total_spikes() as f64 / (self.steps.len() * self.n_channels) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_train_has_zero_spikes() {
+        let t = SpikeTrain::new(4, 0);
+        assert_eq!(t.total_spikes(), 0);
+        assert_eq!(t.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut t = SpikeTrain::new(10, 2);
+        t.push_step(vec![3, 1]);
+        // indices are kept sorted for deterministic iteration
+        assert_eq!(t.step(0), &[1, 3]);
+    }
+
+    #[test]
+    fn mean_rate_is_fraction_of_all_slots() {
+        let mut t = SpikeTrain::new(4, 2);
+        t.push_step(vec![0, 1]);
+        t.push_step(vec![2, 3]);
+        assert!((t.mean_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics_in_debug() {
+        let mut t = SpikeTrain::new(2, 1);
+        t.push_step(vec![5]);
+        // silence "unused" when debug_assertions are off
+        let _ = t.total_spikes();
+        #[cfg(not(debug_assertions))]
+        panic!("expected panic only in debug builds");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests on the functional simulator's core invariants.
+
+use proptest::prelude::*;
+use snn_sim::config::SnnConfig;
+use snn_sim::metrics::Histogram;
+use snn_sim::network::Network;
+use snn_sim::quant::QuantScheme;
+use snn_sim::rng::seeded_rng;
+use snn_sim::spike::SpikeTrain;
+use snn_sim::stdp::{post_only_new_weight, StdpConfig};
+
+fn small_cfg(v_inh: f32, leak: f32) -> SnnConfig {
+    SnnConfig::builder()
+        .n_inputs(12)
+        .n_neurons(5)
+        .v_thresh(2.0)
+        .v_leak(leak)
+        .v_inh(v_inh)
+        .build()
+        .expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// STDP soft bounds: a single update never leaves [0, w_max].
+    #[test]
+    fn stdp_update_stays_in_bounds(
+        w in 0.0_f32..1.0,
+        x in 0.0_f32..1.0,
+        eta in 0.0_f32..2.0,
+    ) {
+        let cfg = StdpConfig { eta_post: eta, ..StdpConfig::default() };
+        let out = post_only_new_weight(&cfg, 1.0, x, w);
+        prop_assert!((0.0..=1.0).contains(&out), "w'={out}");
+    }
+
+    /// Training steps keep all weights inside [0, w_max] regardless of
+    /// the input pattern.
+    #[test]
+    fn network_weights_bounded_under_any_input(
+        seed in any::<u64>(),
+        steps in 1_usize..60,
+        pattern in prop::collection::vec(0_u32..12, 0..8),
+    ) {
+        let cfg = small_cfg(1.0, 0.1);
+        let mut net = Network::new(cfg.clone(), &mut seeded_rng(seed));
+        net.set_plastic();
+        for _ in 0..steps {
+            let mut active = pattern.clone();
+            active.dedup();
+            net.step(&active);
+        }
+        prop_assert!(net
+            .weights()
+            .iter()
+            .all(|&w| (0.0..=cfg.w_max).contains(&w)));
+    }
+
+    /// Membrane potentials never go negative and thresholds never shrink
+    /// below the base during stimulation.
+    #[test]
+    fn membranes_and_thresholds_stay_sane(
+        seed in any::<u64>(),
+        steps in 1_usize..40,
+    ) {
+        let cfg = small_cfg(2.0, 0.2);
+        let mut net = Network::new(cfg.clone(), &mut seeded_rng(seed));
+        let all: Vec<u32> = (0..12).collect();
+        for _ in 0..steps {
+            net.step(&all);
+            for j in 0..cfg.n_neurons {
+                prop_assert!(net.membrane(j) >= 0.0);
+                prop_assert!(net.effective_threshold(j) >= cfg.v_thresh);
+            }
+        }
+    }
+
+    /// Weight normalization makes every neuron's incoming sum equal the
+    /// target (for nonzero columns).
+    #[test]
+    fn normalization_hits_target(seed in any::<u64>()) {
+        let cfg = SnnConfig::builder()
+            .n_inputs(20)
+            .n_neurons(4)
+            .norm_frac(0.1)
+            .build()
+            .expect("valid");
+        let mut net = Network::new(cfg.clone(), &mut seeded_rng(seed));
+        net.normalize_weights();
+        let target = 0.1 * 20.0;
+        for j in 0..4 {
+            let sum = net.weight_sum(j);
+            // Capping at w_max can undershoot, never overshoot.
+            prop_assert!(sum <= target + 1e-3, "sum {sum} > target {target}");
+            prop_assert!(sum > 0.0);
+        }
+    }
+
+    /// Spike trains preserve every pushed spike and report exact counts.
+    #[test]
+    fn spike_train_accounting(
+        steps in prop::collection::vec(
+            prop::collection::vec(0_u32..16, 0..6), 0..20)
+    ) {
+        let mut train = SpikeTrain::new(16, steps.len());
+        let mut expected = 0;
+        for step in &steps {
+            let mut dedup = step.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            expected += dedup.len();
+            train.push_step(dedup);
+        }
+        prop_assert_eq!(train.total_spikes(), expected);
+        let counts = train.channel_counts();
+        prop_assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), expected);
+    }
+
+    /// Histograms never lose observations.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-10.0_f64..10.0, 0..100)) {
+        let mut h = Histogram::new(0.0, 1.0, 7);
+        h.record_all(xs.iter().copied());
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    /// Quantization is monotone: bigger weights never get smaller codes.
+    #[test]
+    fn quantization_is_monotone(a in 0.0_f32..2.0, b in 0.0_f32..2.0) {
+        let q = QuantScheme::new(8, 2.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+}

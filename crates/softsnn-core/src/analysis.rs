@@ -1,0 +1,145 @@
+//! SNN fault-tolerance analysis (paper Sec. 3.1).
+//!
+//! The key observations the analysis must provide for the BnP techniques:
+//!
+//! * STDP keeps clean weights in a bounded positive range, so the clean
+//!   network's **maximum weight** (`wgh_max`) delimits the *safe range*
+//!   (Fig. 9a) — anything above it at run time must be fault-inflated;
+//! * the clean weight distribution is strongly peaked near zero, so its
+//!   **mode** (`wgh_hp`, the "highly probable value") is small — which is
+//!   why BnP3 behaves like BnP1 (paper Sec. 5.1, observation 4).
+
+use snn_sim::metrics::Histogram;
+use snn_sim::quant::QuantizedNetwork;
+
+/// Statistics of the clean (fault-free) deployed weight image, in code
+/// units — everything the Bound-and-Protect hardware needs to be
+/// configured.
+///
+/// # Examples
+///
+/// ```
+/// use softsnn_core::analysis::WeightAnalysis;
+/// use snn_sim::{config::SnnConfig, network::Network, rng::seeded_rng};
+/// use snn_sim::quant::QuantizedNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SnnConfig::builder().n_inputs(8).n_neurons(2).build()?;
+/// let net = Network::new(cfg, &mut seeded_rng(3));
+/// let qn = QuantizedNetwork::from_network_default(&net);
+/// let analysis = WeightAnalysis::of_clean_network(&qn);
+/// assert!(analysis.wgh_max_code >= analysis.wgh_hp_code);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightAnalysis {
+    /// Maximum weight code present in the clean network (`wgh_max`).
+    pub wgh_max_code: u8,
+    /// Most probable weight code (`wgh_hp`): the mode of the clean
+    /// distribution over non-trivial bins.
+    pub wgh_hp_code: u8,
+    /// Histogram of the clean codes over the full representable range.
+    pub histogram: Histogram,
+    /// Fraction of codes strictly above `wgh_max_code / 2` (tail mass —
+    /// useful to sanity-check that headroom quantization left the upper
+    /// code space empty).
+    pub upper_half_fraction: f64,
+}
+
+/// Number of histogram bins used for the weight-distribution analysis
+/// (64 bins over the 8-bit code space, i.e. 4 codes per bin).
+pub const ANALYSIS_BINS: usize = 64;
+
+impl WeightAnalysis {
+    /// Analyzes a clean quantized network.
+    pub fn of_clean_network(qn: &QuantizedNetwork) -> Self {
+        Self::of_codes(&qn.codes, qn.scheme.max_code())
+    }
+
+    /// Analyzes a raw code image with the given maximum representable
+    /// code.
+    pub fn of_codes(codes: &[u8], max_code: u8) -> Self {
+        let mut histogram = Histogram::new(0.0, max_code as f64 + 1.0, ANALYSIS_BINS);
+        histogram.record_all(codes.iter().map(|&c| c as f64));
+        let wgh_max_code = codes.iter().copied().max().unwrap_or(0);
+        let wgh_hp_code = histogram.mode_value().round().clamp(0.0, max_code as f64) as u8;
+        let above_half = codes
+            .iter()
+            .filter(|&&c| c as u16 > (max_code as u16) / 2)
+            .count();
+        let upper_half_fraction = if codes.is_empty() {
+            0.0
+        } else {
+            above_half as f64 / codes.len() as f64
+        };
+        Self {
+            wgh_max_code,
+            wgh_hp_code,
+            histogram,
+            upper_half_fraction,
+        }
+    }
+
+    /// The safe range of clean weights: `[0, wgh_max]` in code units.
+    pub fn safe_range(&self) -> (u8, u8) {
+        (0, self.wgh_max_code)
+    }
+
+    /// Whether a run-time code lies outside the safe range (i.e. can only
+    /// be explained by a fault).
+    pub fn is_unsafe(&self, code: u8) -> bool {
+        code > self.wgh_max_code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_sim::config::SnnConfig;
+    use snn_sim::network::Network;
+    use snn_sim::rng::seeded_rng;
+
+    #[test]
+    fn max_and_mode_from_known_codes() {
+        // Mostly zeros, a cluster at 40, a single max at 100.
+        let mut codes = vec![0_u8; 100];
+        codes.extend(std::iter::repeat_n(40, 20));
+        codes.push(100);
+        let a = WeightAnalysis::of_codes(&codes, 255);
+        assert_eq!(a.wgh_max_code, 100);
+        // Mode bin is the zero bin; its center rounds to 2 (bin width 4).
+        assert!(a.wgh_hp_code <= 4, "mode should be near zero");
+        assert_eq!(a.safe_range(), (0, 100));
+        assert!(a.is_unsafe(101));
+        assert!(!a.is_unsafe(100));
+    }
+
+    #[test]
+    fn clean_deployment_leaves_upper_half_empty() {
+        // The 2x-headroom quantization means clean codes stay <= 128.
+        let cfg = SnnConfig::builder().n_inputs(16).n_neurons(4).build().unwrap();
+        let net = Network::new(cfg, &mut seeded_rng(1));
+        let qn = snn_sim::quant::QuantizedNetwork::from_network_default(&net);
+        let a = WeightAnalysis::of_clean_network(&qn);
+        assert_eq!(
+            a.upper_half_fraction, 0.0,
+            "paper Fig. 9(a): clean weights inside safe range"
+        );
+    }
+
+    #[test]
+    fn empty_codes_are_harmless() {
+        let a = WeightAnalysis::of_codes(&[], 255);
+        assert_eq!(a.wgh_max_code, 0);
+        assert_eq!(a.upper_half_fraction, 0.0);
+    }
+
+    #[test]
+    fn histogram_covers_all_observations() {
+        let codes: Vec<u8> = (0..=255).collect();
+        let a = WeightAnalysis::of_codes(&codes, 255);
+        assert_eq!(a.histogram.total(), 256);
+    }
+}

@@ -1,0 +1,152 @@
+//! Hardware enhancement descriptions for the BnP techniques (Fig. 11).
+//!
+//! Maps each BnP variant onto the component additions of the paper's
+//! enhanced synapse/neuron architectures, which the `snn-hw` cost models
+//! price into the Fig. 14 area/energy/latency overheads:
+//!
+//! | variant | per synapse | shared | clock |
+//! |---|---|---|---|
+//! | BnP1 | hardened comparator + constant-zero mux | 1 hardened `wgh_th` register | 1.00× |
+//! | BnP2/3 | hardened comparator + 2:1 mux | 2 hardened registers (`wgh_th`, `wgh_def`) | 1.06× |
+//!
+//! All variants additionally add the per-neuron protection logic (AND +
+//! mux + 2-cycle monitor, Fig. 11(c)).
+
+use crate::bounding::BnpVariant;
+use snn_hw::components::{enhancement, EngineEnhancement};
+
+/// Clock-period stretch of the BnP2/3 read-path mux (calibrated to the
+/// paper's ≤1.06× latency observation; BnP1's constant-zero gating folds
+/// into the adder input and leaves the critical path untouched).
+pub const BNP23_CLOCK_FACTOR: f64 = 1.06;
+
+/// Builds the [`EngineEnhancement`] describing the hardware added by a
+/// BnP variant.
+///
+/// # Examples
+///
+/// ```
+/// use softsnn_core::bounding::BnpVariant;
+/// use softsnn_core::enhanced::bnp_enhancement;
+///
+/// let e1 = bnp_enhancement(BnpVariant::Bnp1);
+/// let e2 = bnp_enhancement(BnpVariant::Bnp2);
+/// assert!(e2.clock_factor > e1.clock_factor);
+/// ```
+pub fn bnp_enhancement(variant: BnpVariant) -> EngineEnhancement {
+    let comparator = enhancement::COMPARATOR.hardened();
+    let protection = enhancement::NEURON_PROTECTION.hardened();
+    let shared_reg = enhancement::SHARED_REGISTER.hardened();
+    match variant {
+        BnpVariant::Bnp1 => EngineEnhancement {
+            name: variant.name().to_owned(),
+            per_synapse: vec![comparator, enhancement::MUX_CONST0.hardened()],
+            per_neuron: vec![protection],
+            shared: vec![shared_reg],
+            clock_factor: 1.0,
+            executions: 1,
+        },
+        BnpVariant::Bnp2 | BnpVariant::Bnp3 => EngineEnhancement {
+            name: variant.name().to_owned(),
+            per_synapse: vec![comparator, enhancement::MUX_2TO1.hardened()],
+            per_neuron: vec![protection],
+            shared: vec![shared_reg.clone(), shared_reg],
+            clock_factor: BNP23_CLOCK_FACTOR,
+            executions: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_hw::area::engine_area;
+    use snn_hw::energy::inference_energy;
+    use snn_hw::latency::inference_latency;
+    use snn_hw::mapping::Tiling;
+    use snn_hw::params::EngineConfig;
+
+    const CFG: EngineConfig = EngineConfig::PAPER;
+
+    fn tiling() -> Tiling {
+        Tiling::for_network(CFG, 784, 400)
+    }
+
+    #[test]
+    fn area_overheads_match_paper_fig14c() {
+        // Paper Fig. 14(c): 1.14x (BnP1), 1.18x (BnP2/3).
+        let base = engine_area(CFG, &EngineEnhancement::none());
+        let a1 = engine_area(CFG, &bnp_enhancement(BnpVariant::Bnp1));
+        let a2 = engine_area(CFG, &bnp_enhancement(BnpVariant::Bnp2));
+        let a3 = engine_area(CFG, &bnp_enhancement(BnpVariant::Bnp3));
+        assert!(
+            (a1.ratio_to(&base) - 1.14).abs() < 0.01,
+            "BnP1 area ratio {} vs paper 1.14",
+            a1.ratio_to(&base)
+        );
+        assert!(
+            (a2.ratio_to(&base) - 1.18).abs() < 0.01,
+            "BnP2 area ratio {} vs paper 1.18",
+            a2.ratio_to(&base)
+        );
+        assert_eq!(a2, a3, "BnP2 and BnP3 share the same hardware");
+    }
+
+    #[test]
+    fn latency_overheads_match_paper_fig14a() {
+        let t = tiling();
+        let base = inference_latency(&t, 100, &EngineEnhancement::none());
+        let l1 = inference_latency(&t, 100, &bnp_enhancement(BnpVariant::Bnp1));
+        let l2 = inference_latency(&t, 100, &bnp_enhancement(BnpVariant::Bnp2));
+        assert!((l1.ratio_to(&base) - 1.0).abs() < 1e-9, "BnP1 adds no latency");
+        assert!(
+            (l2.ratio_to(&base) - 1.06).abs() < 0.001,
+            "BnP2/3 latency {} vs paper <=1.06",
+            l2.ratio_to(&base)
+        );
+    }
+
+    #[test]
+    fn energy_overheads_match_paper_fig14b() {
+        // Paper Fig. 14(b): BnP1 ~ 1.28-1.30x, BnP2/3 ~ 1.56x.
+        let t = tiling();
+        let base = inference_energy(CFG, &t, 100, &EngineEnhancement::none());
+        let e1 = inference_energy(CFG, &t, 100, &bnp_enhancement(BnpVariant::Bnp1));
+        let e2 = inference_energy(CFG, &t, 100, &bnp_enhancement(BnpVariant::Bnp2));
+        let r1 = e1.ratio_to(&base);
+        let r2 = e2.ratio_to(&base);
+        assert!((1.23..=1.35).contains(&r1), "BnP1 energy ratio {r1} vs paper ~1.3");
+        assert!((1.50..=1.62).contains(&r2), "BnP2 energy ratio {r2} vs paper ~1.56");
+    }
+
+    #[test]
+    fn savings_vs_reexecution_match_headline() {
+        // Headline: up to 3x latency and 2.3x energy saved vs re-execution.
+        let t = tiling();
+        let re = EngineEnhancement::re_execution(3);
+        let re_lat = inference_latency(&t, 100, &re);
+        let re_energy = inference_energy(CFG, &t, 100, &re);
+        let b1_lat = inference_latency(&t, 100, &bnp_enhancement(BnpVariant::Bnp1));
+        let b1_energy = inference_energy(CFG, &t, 100, &bnp_enhancement(BnpVariant::Bnp1));
+        let lat_saving = re_lat.total_ns() / b1_lat.total_ns();
+        let energy_saving = re_energy.total_nj() / b1_energy.total_nj();
+        assert!((2.9..=3.1).contains(&lat_saving), "latency saving {lat_saving} vs paper 3x");
+        assert!(
+            (2.2..=2.4).contains(&energy_saving),
+            "energy saving {energy_saving} vs paper 2.3x"
+        );
+    }
+
+    #[test]
+    fn all_enhancements_are_hardened() {
+        for v in BnpVariant::ALL {
+            let e = bnp_enhancement(v);
+            assert!(e
+                .per_synapse
+                .iter()
+                .chain(&e.per_neuron)
+                .chain(&e.shared)
+                .all(|c| c.is_hardened));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Radiation hardening of the enhancement circuits (paper Sec. 3.3).
+//!
+//! The BnP enhancements could themselves be struck by particles, so the
+//! paper hardens *only the added components* (resized transistors,
+//! insulating substrates \[7, 9\]) rather than the whole engine: hardened
+//! components always deliver correct values, which then *overwrite* the
+//! corrupted bits flowing out of the unhardened weight registers — this
+//! is why hardening the small additions suffices and why the overhead
+//! stays low (14–18 % of engine area, Fig. 14(c)).
+//!
+//! This module centralizes the hardening cost factors (re-exported from
+//! `snn-hw`) and a helper to price the hardening premium itself.
+
+pub use snn_hw::components::{HARDENED_AREA_FACTOR, HARDENED_POWER_FACTOR};
+
+use snn_hw::components::Component;
+
+/// The extra area (GE) paid for hardening a component versus leaving it
+/// unhardened.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hw::components::Component;
+/// use softsnn_core::hardening::hardening_area_premium_ge;
+///
+/// let c = Component::new("x", 10.0, 0.5);
+/// assert!((hardening_area_premium_ge(&c) - 2.0).abs() < 1e-9);
+/// ```
+pub fn hardening_area_premium_ge(component: &Component) -> f64 {
+    component.hardened().area_ge() - component.ge
+}
+
+/// The extra power (µW) paid for hardening a component.
+pub fn hardening_power_premium_uw(component: &Component) -> f64 {
+    let plain = component.clone();
+    component.hardened().power_uw() - plain.power_uw()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_hw::components::enhancement;
+
+    #[test]
+    fn hardening_factors_are_penalties() {
+        let c = Component::new("probe", 10.0, 0.5);
+        assert!(c.hardened().area_ge() > c.area_ge());
+        assert!(c.hardened().power_uw() > c.power_uw());
+    }
+
+    #[test]
+    fn premiums_are_positive_for_real_components() {
+        for c in [
+            enhancement::COMPARATOR,
+            enhancement::MUX_CONST0,
+            enhancement::MUX_2TO1,
+            enhancement::NEURON_PROTECTION,
+        ] {
+            assert!(hardening_area_premium_ge(&c) > 0.0, "{}", c.name);
+            assert!(hardening_power_premium_uw(&c) > 0.0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn premium_matches_factor_arithmetic() {
+        let c = Component::new("x", 100.0, 0.2);
+        let expected = 100.0 * (HARDENED_AREA_FACTOR - 1.0);
+        assert!((hardening_area_premium_ge(&c) - expected).abs() < 1e-9);
+    }
+}

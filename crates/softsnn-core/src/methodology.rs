@@ -1,0 +1,630 @@
+//! The end-to-end SoftSNN methodology: train → quantize → deploy →
+//! inject → mitigate → evaluate (paper Fig. 4/Fig. 8).
+
+use crate::analysis::WeightAnalysis;
+use crate::bounding::{BoundedRead, BoundingConfig};
+use crate::mitigation::{majority_vote, Technique};
+use crate::protection::{ResetMonitor, PAPER_WINDOW};
+use snn_faults::fault_map::FaultMap;
+use snn_faults::injector::inject;
+use snn_faults::location::{FaultDomain, FaultSpace};
+use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard};
+use snn_hw::error::HwError;
+use snn_sim::assignment::Assignment;
+use snn_sim::config::SnnConfig;
+use snn_sim::encoding::PoissonEncoder;
+use snn_sim::error::SnnError;
+use snn_sim::eval::EvalResult;
+use snn_sim::network::Network;
+use snn_sim::quant::QuantizedNetwork;
+use snn_sim::rng::{derive_seed, seeded_rng, Rng};
+use snn_sim::trainer::{assign_classes, train_unsupervised, TrainOptions};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the end-to-end methodology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MethodologyError {
+    /// The simulator reported an error (training/assignment/eval).
+    Sim(SnnError),
+    /// The hardware model reported an error (deployment/injection).
+    Hw(HwError),
+}
+
+impl fmt::Display for MethodologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodologyError::Sim(e) => write!(f, "simulator error: {e}"),
+            MethodologyError::Hw(e) => write!(f, "hardware error: {e}"),
+        }
+    }
+}
+
+impl Error for MethodologyError {}
+
+impl From<SnnError> for MethodologyError {
+    fn from(e: SnnError) -> Self {
+        MethodologyError::Sim(e)
+    }
+}
+
+impl From<HwError> for MethodologyError {
+    fn from(e: HwError) -> Self {
+        MethodologyError::Hw(e)
+    }
+}
+
+/// A soft-error scenario for an evaluation run: where faults strike, how
+/// often, and the fault-map seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultScenario {
+    /// Which engine part is targeted.
+    pub domain: FaultDomain,
+    /// Fraction of potential locations struck.
+    pub rate: f64,
+    /// Fault-map seed (one seed = one map; the paper's Fig. 3(a) "Fault
+    /// Map 1/2" are two seeds).
+    pub seed: u64,
+}
+
+impl FaultScenario {
+    /// A fault-free scenario.
+    pub fn clean() -> Self {
+        Self {
+            domain: FaultDomain::ComputeEngine,
+            rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Whether this scenario injects anything.
+    pub fn is_clean(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    /// The fault space for an engine of the given logical size.
+    pub fn space(&self, n_inputs: usize, n_neurons: usize) -> FaultSpace {
+        FaultSpace::new(n_inputs, n_neurons, self.domain)
+    }
+}
+
+/// Fraction of the accumulated fault density a single re-execution window
+/// is exposed to (see [`SoftSnnDeployment::set_reexec_exposure`]).
+///
+/// A [`FaultScenario`]'s rate describes the fault density accumulated on
+/// an engine whose parameters are never reloaded (bits persist until
+/// overwritten, Sec. 2.2) — the situation No-Mitigation and BnP face.
+/// Re-execution reloads parameters on every execution, wiping that
+/// accumulation; only the strikes landing *during* one short execution
+/// window affect it. This is why the paper observes that re-execution's
+/// "executions are minimally affected by soft errors" (Sec. 5.1) and its
+/// accuracy stays near-clean at every rate, at 3× latency/energy cost.
+pub const DEFAULT_REEXEC_EXPOSURE: f64 = 0.05;
+
+/// A trained, quantized network deployed on the (bit-accurate) compute
+/// engine together with everything the SoftSNN methodology derives from
+/// it: the class assignment, the clean-weight analysis, and the monitor
+/// window.
+///
+/// This is the object the experiment harness evaluates under different
+/// mitigation [`Technique`]s and [`FaultScenario`]s.
+#[derive(Debug, Clone)]
+pub struct SoftSnnDeployment {
+    qn: QuantizedNetwork,
+    engine: ComputeEngine,
+    assignment: Assignment,
+    analysis: WeightAnalysis,
+    monitor_window: u8,
+    reexec_exposure: f64,
+}
+
+/// Options for [`SoftSnnDeployment::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrainPipelineOptions {
+    /// Unsupervised epochs (paper: 3).
+    pub epochs: usize,
+    /// Number of classes in the workload.
+    pub n_classes: usize,
+    /// RNG seed for the whole pipeline.
+    pub seed: u64,
+}
+
+impl Default for TrainPipelineOptions {
+    fn default() -> Self {
+        Self {
+            epochs: 3,
+            n_classes: 10,
+            seed: 7,
+        }
+    }
+}
+
+impl SoftSnnDeployment {
+    /// Deploys an already trained/quantized network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Hw`] if the network fails engine
+    /// validation.
+    pub fn new(qn: QuantizedNetwork, assignment: Assignment) -> Result<Self, MethodologyError> {
+        let analysis = WeightAnalysis::of_clean_network(&qn);
+        let engine = ComputeEngine::for_network(&qn)?;
+        Ok(Self {
+            qn,
+            engine,
+            assignment,
+            analysis,
+            monitor_window: PAPER_WINDOW,
+            reexec_exposure: DEFAULT_REEXEC_EXPOSURE,
+        })
+    }
+
+    /// Runs the full paper pipeline: unsupervised STDP training, class
+    /// assignment, 8-bit quantization, and deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (shape mismatches, bad labels) and
+    /// hardware validation errors.
+    pub fn train(
+        cfg: SnnConfig,
+        train_images: &[Vec<f32>],
+        train_labels: &[usize],
+        options: TrainPipelineOptions,
+    ) -> Result<Self, MethodologyError> {
+        let mut rng = seeded_rng(options.seed);
+        let mut net = Network::new(cfg, &mut rng);
+        train_unsupervised(
+            &mut net,
+            train_images,
+            TrainOptions {
+                epochs: options.epochs,
+                shuffle: true,
+            },
+            &mut rng,
+        )?;
+        let assignment = assign_classes(
+            &mut net,
+            train_images,
+            train_labels,
+            options.n_classes,
+            &mut rng,
+        )?;
+        let qn = QuantizedNetwork::from_network_default(&net);
+        Self::new(qn, assignment)
+    }
+
+    /// The deployed quantized network.
+    pub fn quantized(&self) -> &QuantizedNetwork {
+        &self.qn
+    }
+
+    /// The engine (mutable access is deliberate: fault-injection studies
+    /// manipulate registers directly).
+    pub fn engine_mut(&mut self) -> &mut ComputeEngine {
+        &mut self.engine
+    }
+
+    /// The clean-weight analysis driving the BnP configuration.
+    pub fn analysis(&self) -> &WeightAnalysis {
+        &self.analysis
+    }
+
+    /// The neuron-to-class assignment/decoder.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Overrides the faulty-reset monitor window (paper default: 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn set_monitor_window(&mut self, window: u8) {
+        assert!(window > 0, "monitor window must be at least 1");
+        self.monitor_window = window;
+    }
+
+    /// Overrides the re-execution exposure fraction
+    /// ([`DEFAULT_REEXEC_EXPOSURE`]): the share of a scenario's
+    /// accumulated fault density that strikes within one re-execution
+    /// window. `1.0` makes every execution face the full density (a
+    /// pessimistic ablation); `0.0` makes re-execution fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exposure` is outside `[0, 1]`.
+    pub fn set_reexec_exposure(&mut self, exposure: f64) {
+        assert!(
+            (0.0..=1.0).contains(&exposure),
+            "exposure must be in [0, 1]"
+        );
+        self.reexec_exposure = exposure;
+    }
+
+    /// The bounding configuration a BnP variant would use on this
+    /// deployment.
+    pub fn bounding_for(&self, variant: crate::bounding::BnpVariant) -> BoundingConfig {
+        BoundingConfig::for_variant(variant, &self.analysis)
+    }
+
+    /// Evaluates a *custom* Bound-and-Protect configuration (explicit
+    /// bounding registers and monitor window) — the hook used by the
+    /// ablation studies (`wgh_th` sensitivity, window-length sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or if the scenario's fault
+    /// space does not fit the engine.
+    pub fn evaluate_custom_bnp(
+        &mut self,
+        bounding: BoundingConfig,
+        monitor_window: u8,
+        scenario: &FaultScenario,
+        images: &[Vec<f32>],
+        labels: &[usize],
+        rng: &mut Rng,
+    ) -> Result<EvalResult, MethodologyError> {
+        let encoder = PoissonEncoder::new(self.qn.max_rate);
+        let timesteps = self.qn.timesteps;
+        let space = scenario.space(self.qn.n_inputs, self.qn.n_neurons);
+        let mut result = EvalResult::new(self.assignment.n_classes());
+        let mut monitor = ResetMonitor::new(self.qn.n_neurons, monitor_window);
+        self.engine.reload_parameters(&mut monitor);
+        if !scenario.is_clean() {
+            let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
+            inject(&mut self.engine, &map)?;
+        }
+        let path = BoundedRead::new(bounding);
+        for (img, &label) in images.iter().zip(labels) {
+            let train = encoder.encode(img, timesteps, rng);
+            let counts = self.engine.run_sample(&train, &path, &mut monitor);
+            result.record(self.assignment.predict(&counts), label);
+        }
+        Ok(result)
+    }
+
+    /// Evaluates classification accuracy of `technique` under `scenario`
+    /// on a labeled test set.
+    ///
+    /// Semantics (paper Secs. 2.2, 4):
+    ///
+    /// * **No-Mitigation / BnP**: parameters are loaded once, the fault
+    ///   map is injected once, and faults persist across the whole test
+    ///   set (bits until overwrite, neuron faults until parameter
+    ///   replacement). BnP evaluates with the bounding read path and the
+    ///   reset monitor installed.
+    /// * **Re-execution ×k**: every sample is executed `k` times; each
+    ///   execution reloads parameters (healing persisted faults) and
+    ///   draws a *fresh* fault map at the same rate (transient strikes
+    ///   are independent across executions); the predictions are
+    ///   majority-voted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or if the scenario's fault
+    /// space does not fit the engine.
+    pub fn evaluate(
+        &mut self,
+        technique: Technique,
+        scenario: &FaultScenario,
+        images: &[Vec<f32>],
+        labels: &[usize],
+        rng: &mut Rng,
+    ) -> Result<EvalResult, MethodologyError> {
+        if images.len() != labels.len() {
+            return Err(SnnError::ShapeMismatch {
+                expected: images.len(),
+                actual: labels.len(),
+                what: "labels",
+            }
+            .into());
+        }
+        let encoder = PoissonEncoder::new(self.qn.max_rate);
+        let timesteps = self.qn.timesteps;
+        let space = scenario.space(self.qn.n_inputs, self.qn.n_neurons);
+        let mut result = EvalResult::new(self.assignment.n_classes());
+
+        match technique {
+            Technique::NoMitigation => {
+                self.engine.reload_parameters(&mut NoGuard);
+                if !scenario.is_clean() {
+                    let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
+                    inject(&mut self.engine, &map)?;
+                }
+                for (img, &label) in images.iter().zip(labels) {
+                    let train = encoder.encode(img, timesteps, rng);
+                    let counts = self.engine.run_sample(&train, &DirectRead, &mut NoGuard);
+                    result.record(self.assignment.predict(&counts), label);
+                }
+            }
+            Technique::Bnp(variant) => {
+                let mut monitor = ResetMonitor::new(self.qn.n_neurons, self.monitor_window);
+                self.engine.reload_parameters(&mut monitor);
+                if !scenario.is_clean() {
+                    let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
+                    inject(&mut self.engine, &map)?;
+                }
+                let path = BoundedRead::new(self.bounding_for(variant));
+                for (img, &label) in images.iter().zip(labels) {
+                    let train = encoder.encode(img, timesteps, rng);
+                    let counts = self.engine.run_sample(&train, &path, &mut monitor);
+                    result.record(self.assignment.predict(&counts), label);
+                }
+            }
+            Technique::ReExecution { runs } => {
+                // Each execution reloads parameters (healing accumulated
+                // faults) and is only exposed to the strikes landing
+                // within its own window — see DEFAULT_REEXEC_EXPOSURE.
+                let exec_rate = scenario.rate * self.reexec_exposure;
+                for (sample_idx, (img, &label)) in images.iter().zip(labels).enumerate() {
+                    let train = encoder.encode(img, timesteps, rng);
+                    let mut votes = Vec::with_capacity(runs as usize);
+                    for k in 0..runs {
+                        self.engine.reload_parameters(&mut NoGuard);
+                        if !scenario.is_clean() && exec_rate > 0.0 {
+                            let exec_seed = derive_seed(
+                                scenario.seed,
+                                (sample_idx as u64) * runs as u64 + k as u64,
+                            );
+                            let map = FaultMap::generate(&space, exec_rate, exec_seed);
+                            inject(&mut self.engine, &map)?;
+                        }
+                        let counts = self.engine.run_sample(&train, &DirectRead, &mut NoGuard);
+                        votes.push(self.assignment.predict(&counts));
+                    }
+                    result.record(majority_vote(&votes), label);
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::BnpVariant;
+    use snn_hw::neuron_unit::NeuronOp;
+
+    /// A tiny hand-built deployment where class 0 = inputs 0..4 active,
+    /// class 1 = inputs 4..8 active, with two neurons tuned to each.
+    fn tiny_deployment() -> (SoftSnnDeployment, Vec<Vec<f32>>, Vec<usize>) {
+        let cfg = SnnConfig::builder()
+            .n_inputs(8)
+            .n_neurons(4)
+            .v_thresh(1.5)
+            .v_leak(0.1)
+            .v_inh(2.0)
+            .t_refrac(2)
+            .timesteps(30)
+            .max_rate(0.8)
+            .norm_frac(0.0)
+            .build()
+            .unwrap();
+        // Neurons 0,1 tuned to inputs 0..4 (class 0); neurons 2,3 to 4..8.
+        let mut weights = vec![0.02_f32; 32];
+        for i in 0..4 {
+            weights[i * 4] = 0.8;
+            weights[i * 4 + 1] = 0.8;
+        }
+        for i in 4..8 {
+            weights[i * 4 + 2] = 0.8;
+            weights[i * 4 + 3] = 0.8;
+        }
+        let net = Network::from_parts(cfg, weights).unwrap();
+        let qn = QuantizedNetwork::from_network_default(&net);
+        let responses = vec![
+            vec![30, 0],
+            vec![30, 0],
+            vec![0, 30],
+            vec![0, 30],
+        ];
+        let assignment = Assignment::from_responses(&responses, &[10, 10]).unwrap();
+        let deployment = SoftSnnDeployment::new(qn, assignment).unwrap();
+
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..10 {
+            let mut img = vec![0.0_f32; 8];
+            let class = k % 2;
+            for i in 0..4 {
+                img[class * 4 + i] = 1.0;
+            }
+            images.push(img);
+            labels.push(class);
+        }
+        (deployment, images, labels)
+    }
+
+    #[test]
+    fn clean_accuracy_is_perfect_on_separable_toy() {
+        let (mut d, images, labels) = tiny_deployment();
+        let mut rng = seeded_rng(1);
+        for technique in Technique::PAPER_SET {
+            let r = d
+                .evaluate(technique, &FaultScenario::clean(), &images, &labels, &mut rng)
+                .unwrap();
+            assert!(
+                r.accuracy() > 0.9,
+                "{technique}: clean accuracy {:.2} too low",
+                r.accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn unmitigated_msb_flips_hurt_and_bnp_recovers() {
+        let (mut d, images, labels) = tiny_deployment();
+        let mut rng = seeded_rng(2);
+        let scenario = FaultScenario {
+            domain: FaultDomain::Synapses,
+            rate: 0.08,
+            seed: 9,
+        };
+        let unmitigated = d
+            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut rng)
+            .unwrap();
+        let bnp1 = d
+            .evaluate(
+                Technique::Bnp(BnpVariant::Bnp1),
+                &scenario,
+                &images,
+                &labels,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            bnp1.accuracy() >= unmitigated.accuracy(),
+            "BnP1 {:.2} must not be worse than no-mitigation {:.2}",
+            bnp1.accuracy(),
+            unmitigated.accuracy()
+        );
+    }
+
+    #[test]
+    fn bnp_protection_silences_burst_neurons() {
+        let (mut d, images, labels) = tiny_deployment();
+        let mut rng = seeded_rng(3);
+        // Directly wedge a vr fault into neuron 3 after reload by using a
+        // neuron-domain scenario at rate 1.0 restricted to VmemReset.
+        let scenario = FaultScenario {
+            domain: FaultDomain::Neurons(Some(NeuronOp::VmemReset)),
+            rate: 0.25, // one of four neurons
+            seed: 4,
+        };
+        let unmitigated = d
+            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut rng)
+            .unwrap();
+        let bnp3 = d
+            .evaluate(
+                Technique::Bnp(BnpVariant::Bnp3),
+                &scenario,
+                &images,
+                &labels,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            bnp3.accuracy() >= unmitigated.accuracy(),
+            "protection must not hurt: bnp3 {:.2} vs nomit {:.2}",
+            bnp3.accuracy(),
+            unmitigated.accuracy()
+        );
+        assert!(bnp3.accuracy() > 0.9, "burst neuron must be muted");
+    }
+
+    #[test]
+    fn reexecution_restores_accuracy_at_moderate_rates() {
+        let (mut d, images, labels) = tiny_deployment();
+        let mut rng = seeded_rng(5);
+        let scenario = FaultScenario {
+            domain: FaultDomain::ComputeEngine,
+            rate: 0.02,
+            seed: 77,
+        };
+        let re = d
+            .evaluate(
+                Technique::ReExecution { runs: 3 },
+                &scenario,
+                &images,
+                &labels,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            re.accuracy() > 0.8,
+            "TMR at 2% rate should stay accurate, got {:.2}",
+            re.accuracy()
+        );
+    }
+
+    #[test]
+    fn faults_persist_across_samples_without_reexecution() {
+        let (mut d, images, labels) = tiny_deployment();
+        let rng = seeded_rng(6);
+        let scenario = FaultScenario {
+            domain: FaultDomain::Synapses,
+            rate: 0.05,
+            seed: 3,
+        };
+        // Evaluate twice with the same scenario: the engine is reloaded at
+        // the start of each evaluate() call, so results must be directly
+        // comparable (deterministic apart from Poisson noise).
+        let a = d
+            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut seeded_rng(10))
+            .unwrap();
+        let b = d
+            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut seeded_rng(10))
+            .unwrap();
+        assert_eq!(a.correct, b.correct, "same seeds → same outcome");
+        let _ = rng;
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let (mut d, images, _) = tiny_deployment();
+        let mut rng = seeded_rng(7);
+        let err = d.evaluate(
+            Technique::NoMitigation,
+            &FaultScenario::clean(),
+            &images,
+            &[0],
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn train_pipeline_produces_working_deployment() {
+        // End-to-end smoke: tiny two-class problem through the full
+        // train→assign→quantize→deploy path.
+        let cfg = SnnConfig::builder()
+            .n_inputs(16)
+            .n_neurons(8)
+            .v_thresh(2.0)
+            .v_leak(0.1)
+            .v_inh(4.0)
+            .theta_plus(0.3)
+            .timesteps(40)
+            .max_rate(0.5)
+            .build()
+            .unwrap();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..30 {
+            let mut img = vec![0.0_f32; 16];
+            let class = k % 2;
+            for i in 0..8 {
+                img[class * 8 + i] = 0.9;
+            }
+            images.push(img);
+            labels.push(class);
+        }
+        let mut d = SoftSnnDeployment::train(
+            cfg,
+            &images,
+            &labels,
+            TrainPipelineOptions {
+                epochs: 3,
+                n_classes: 2,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        let mut rng = seeded_rng(12);
+        let r = d
+            .evaluate(
+                Technique::NoMitigation,
+                &FaultScenario::clean(),
+                &images,
+                &labels,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(r.accuracy() > 0.6, "trained toy accuracy {:.2}", r.accuracy());
+    }
+}

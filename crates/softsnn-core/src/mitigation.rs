@@ -1,0 +1,157 @@
+//! The mitigation techniques compared in the paper's evaluation (Sec. 4):
+//! No-Mitigation, Re-execution (3× TMR with majority voting), and the
+//! three BnP variants.
+
+use crate::bounding::BnpVariant;
+use crate::enhanced::bnp_enhancement;
+use snn_hw::components::EngineEnhancement;
+use std::fmt;
+
+/// A soft-error mitigation technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Technique {
+    /// The unprotected baseline ("No Mitigation").
+    NoMitigation,
+    /// Redundant execution with majority voting (the paper uses 3× = TMR
+    /// mode; 2 gives DMR-style detection-without-correction for
+    /// ablations).
+    ReExecution {
+        /// Number of redundant executions per inference.
+        runs: u32,
+    },
+    /// Bound-and-Protect with the given variant.
+    Bnp(BnpVariant),
+}
+
+impl Technique {
+    /// The paper's standard comparison set, in figure order:
+    /// No-Mitigation, Re-execution×3, BnP1, BnP2, BnP3.
+    pub const PAPER_SET: [Technique; 5] = [
+        Technique::NoMitigation,
+        Technique::ReExecution { runs: 3 },
+        Technique::Bnp(BnpVariant::Bnp1),
+        Technique::Bnp(BnpVariant::Bnp2),
+        Technique::Bnp(BnpVariant::Bnp3),
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> String {
+        match self {
+            Technique::NoMitigation => "No Mitigation".to_owned(),
+            Technique::ReExecution { runs } => format!("Re-execution x{runs}"),
+            Technique::Bnp(v) => v.name().to_owned(),
+        }
+    }
+
+    /// A short identifier for file names and CSV columns.
+    pub fn id(self) -> String {
+        match self {
+            Technique::NoMitigation => "nomit".to_owned(),
+            Technique::ReExecution { runs } => format!("reexec{runs}"),
+            Technique::Bnp(v) => v.name().to_lowercase(),
+        }
+    }
+
+    /// The hardware enhancement this technique requires (for the cost
+    /// models): nothing for No-Mitigation, extra executions for
+    /// re-execution, the Fig. 11 circuits for BnP.
+    pub fn enhancement(self) -> EngineEnhancement {
+        match self {
+            Technique::NoMitigation => EngineEnhancement::none(),
+            Technique::ReExecution { runs } => EngineEnhancement::re_execution(runs),
+            Technique::Bnp(v) => bnp_enhancement(v),
+        }
+    }
+
+    /// Whether the technique mitigates anything (false only for the
+    /// baseline).
+    pub fn is_mitigation(self) -> bool {
+        !matches!(self, Technique::NoMitigation)
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Majority vote over per-execution predictions (TMR-style). Returns the
+/// first prediction that reaches a strict majority; with no majority,
+/// falls back to the first non-abstaining vote (the paper's re-execution
+/// uses 3 runs, where any two agreeing runs form a majority).
+///
+/// # Examples
+///
+/// ```
+/// use softsnn_core::mitigation::majority_vote;
+///
+/// assert_eq!(majority_vote(&[Some(3), Some(3), Some(7)]), Some(3));
+/// assert_eq!(majority_vote(&[Some(1), Some(2), Some(3)]), Some(1));
+/// assert_eq!(majority_vote(&[None, None, None]), None);
+/// ```
+pub fn majority_vote(votes: &[Option<usize>]) -> Option<usize> {
+    let majority = votes.len() / 2 + 1;
+    for (i, &candidate) in votes.iter().enumerate() {
+        let Some(c) = candidate else { continue };
+        let count = votes[i..].iter().filter(|&&v| v == Some(c)).count();
+        if count >= majority {
+            return Some(c);
+        }
+    }
+    votes.iter().flatten().next().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_five_techniques() {
+        assert_eq!(Technique::PAPER_SET.len(), 5);
+        assert_eq!(Technique::PAPER_SET[1], Technique::ReExecution { runs: 3 });
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(Technique::NoMitigation.name(), "No Mitigation");
+        assert_eq!(Technique::ReExecution { runs: 3 }.name(), "Re-execution x3");
+        assert_eq!(Technique::Bnp(BnpVariant::Bnp2).name(), "BnP2");
+    }
+
+    #[test]
+    fn ids_are_filename_safe() {
+        for t in Technique::PAPER_SET {
+            let id = t.id();
+            assert!(id.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn enhancement_mapping() {
+        assert_eq!(Technique::NoMitigation.enhancement().executions, 1);
+        assert_eq!(Technique::ReExecution { runs: 3 }.enhancement().executions, 3);
+        assert!(!Technique::Bnp(BnpVariant::Bnp1)
+            .enhancement()
+            .per_synapse
+            .is_empty());
+    }
+
+    #[test]
+    fn majority_vote_prefers_agreement() {
+        assert_eq!(majority_vote(&[Some(5), Some(2), Some(5)]), Some(5));
+        assert_eq!(majority_vote(&[None, Some(2), Some(2)]), Some(2));
+    }
+
+    #[test]
+    fn majority_vote_tie_falls_back_to_first() {
+        assert_eq!(majority_vote(&[Some(9), Some(2), Some(4)]), Some(9));
+        assert_eq!(majority_vote(&[None, Some(2), Some(4)]), Some(2));
+    }
+
+    #[test]
+    fn majority_vote_empty_is_none() {
+        assert_eq!(majority_vote(&[]), None);
+    }
+}

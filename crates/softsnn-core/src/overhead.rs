@@ -1,0 +1,183 @@
+//! Latency/energy/area overhead evaluation across techniques and network
+//! sizes — the machinery behind the paper's Fig. 3(b) and Fig. 14.
+
+use crate::mitigation::Technique;
+use snn_hw::area::{engine_area, AreaBreakdown};
+use snn_hw::energy::{inference_energy, EnergyEstimate};
+use snn_hw::latency::{inference_latency, LatencyEstimate};
+use snn_hw::mapping::Tiling;
+use snn_hw::params::EngineConfig;
+
+/// Cost estimates of one (technique, network size) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// The mitigation technique.
+    pub technique: Technique,
+    /// Logical input count.
+    pub n_inputs: usize,
+    /// Logical neuron count.
+    pub n_neurons: usize,
+    /// Per-inference latency.
+    pub latency: LatencyEstimate,
+    /// Per-inference energy.
+    pub energy: EnergyEstimate,
+    /// Engine area.
+    pub area: AreaBreakdown,
+}
+
+/// Computes the overhead row for one technique on one network size.
+pub fn overhead_for(
+    technique: Technique,
+    engine: EngineConfig,
+    n_inputs: usize,
+    n_neurons: usize,
+    timesteps: u32,
+) -> OverheadRow {
+    let enhancement = technique.enhancement();
+    let tiling = Tiling::for_network(engine, n_inputs, n_neurons);
+    OverheadRow {
+        technique,
+        n_inputs,
+        n_neurons,
+        latency: inference_latency(&tiling, timesteps, &enhancement),
+        energy: inference_energy(engine, &tiling, timesteps, &enhancement),
+        area: engine_area(engine, &enhancement),
+    }
+}
+
+/// The full Fig. 14 grid: every paper technique × every network size,
+/// using the paper's 784-input networks and physical engine.
+pub fn fig14_grid(sizes: &[usize], timesteps: u32) -> Vec<OverheadRow> {
+    let mut rows = Vec::with_capacity(sizes.len() * Technique::PAPER_SET.len());
+    for &technique in &Technique::PAPER_SET {
+        for &n in sizes {
+            rows.push(overhead_for(
+                technique,
+                EngineConfig::PAPER,
+                784,
+                n,
+                timesteps,
+            ));
+        }
+    }
+    rows
+}
+
+/// Normalizes a grid's latency/energy to the (No-Mitigation, smallest
+/// size) entry, the way the paper's Fig. 14(a)/(b) bars are scaled.
+/// Returns `(technique, n_neurons, latency_norm, energy_norm, area_norm)`
+/// tuples; area is normalized to the No-Mitigation engine.
+pub fn normalize_grid(rows: &[OverheadRow]) -> Vec<(Technique, usize, f64, f64, f64)> {
+    let reference = rows
+        .iter()
+        .filter(|r| r.technique == Technique::NoMitigation)
+        .min_by_key(|r| r.n_neurons)
+        .expect("grid contains a no-mitigation row");
+    rows.iter()
+        .map(|r| {
+            (
+                r.technique,
+                r.n_neurons,
+                r.latency.ratio_to(&reference.latency),
+                r.energy.ratio_to(&reference.energy),
+                r.area.ratio_to(&reference.area),
+            )
+        })
+        .collect()
+}
+
+/// The paper's network sizes (Fig. 13/14): N400…N3600.
+pub const PAPER_SIZES: [usize; 5] = [400, 900, 1600, 2500, 3600];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::BnpVariant;
+
+    #[test]
+    fn fig14_grid_covers_all_combinations() {
+        let rows = fig14_grid(&PAPER_SIZES, 100);
+        assert_eq!(rows.len(), 25);
+    }
+
+    #[test]
+    fn normalized_grid_reproduces_paper_fig14a_latency() {
+        // Paper values: NoMit 1/2/3.5/5/7.5; ReExec 3/6/10.5/15/22.5;
+        // BnP1 = NoMit; BnP2/3 = 1.06x NoMit.
+        let rows = fig14_grid(&PAPER_SIZES, 100);
+        let norm = normalize_grid(&rows);
+        let expect = |tech: Technique, n: usize| -> f64 {
+            norm.iter()
+                .find(|(t, size, ..)| *t == tech && *size == n)
+                .unwrap()
+                .2
+        };
+        let ladder = [(400, 1.0), (900, 2.0), (1600, 3.5), (2500, 5.0), (3600, 7.5)];
+        for (n, base) in ladder {
+            assert!((expect(Technique::NoMitigation, n) - base).abs() < 0.01);
+            assert!((expect(Technique::ReExecution { runs: 3 }, n) - 3.0 * base).abs() < 0.05);
+            assert!((expect(Technique::Bnp(BnpVariant::Bnp1), n) - base).abs() < 0.01);
+            let b2 = expect(Technique::Bnp(BnpVariant::Bnp2), n);
+            assert!(
+                (b2 - 1.06 * base).abs() < 0.02,
+                "BnP2 N{n}: {b2} vs {}",
+                1.06 * base
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_grid_reproduces_paper_fig14b_energy() {
+        // Paper values: BnP1 1.3/2.6/4.5/6.4/9.6 ; BnP2/3 1.6/3.1/5.5/7.8/11.7.
+        let rows = fig14_grid(&PAPER_SIZES, 100);
+        let norm = normalize_grid(&rows);
+        let expect = |tech: Technique, n: usize| -> f64 {
+            norm.iter()
+                .find(|(t, size, ..)| *t == tech && *size == n)
+                .unwrap()
+                .3
+        };
+        let paper_bnp1 = [(400, 1.3), (900, 2.6), (1600, 4.5), (2500, 6.4), (3600, 9.6)];
+        for (n, e) in paper_bnp1 {
+            let v = expect(Technique::Bnp(BnpVariant::Bnp1), n);
+            assert!(
+                (v - e).abs() / e < 0.06,
+                "BnP1 energy N{n}: {v:.2} vs paper {e}"
+            );
+        }
+        let paper_bnp2 = [(400, 1.6), (900, 3.1), (1600, 5.5), (2500, 7.8), (3600, 11.7)];
+        for (n, e) in paper_bnp2 {
+            let v = expect(Technique::Bnp(BnpVariant::Bnp2), n);
+            assert!(
+                (v - e).abs() / e < 0.06,
+                "BnP2 energy N{n}: {v:.2} vs paper {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_grid_reproduces_paper_fig14c_area() {
+        let rows = fig14_grid(&[400], 100);
+        let norm = normalize_grid(&rows);
+        let area = |tech: Technique| -> f64 {
+            norm.iter().find(|(t, ..)| *t == tech).unwrap().4
+        };
+        assert!((area(Technique::NoMitigation) - 1.0).abs() < 1e-9);
+        assert!((area(Technique::ReExecution { runs: 3 }) - 1.0).abs() < 1e-9);
+        assert!((area(Technique::Bnp(BnpVariant::Bnp1)) - 1.14).abs() < 0.01);
+        assert!((area(Technique::Bnp(BnpVariant::Bnp2)) - 1.18).abs() < 0.01);
+        assert!((area(Technique::Bnp(BnpVariant::Bnp3)) - 1.18).abs() < 0.01);
+    }
+
+    #[test]
+    fn area_is_size_independent() {
+        // The physical engine is fixed; bigger logical networks reuse it.
+        let rows = fig14_grid(&PAPER_SIZES, 100);
+        let areas: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.technique == Technique::NoMitigation)
+            .map(|r| r.area.total_ge())
+            .collect();
+        assert!(areas.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,163 @@
+//! Neuron protection: the faulty-`Vmem reset` monitor (paper Sec. 3.2/3.3).
+//!
+//! A healthy neuron's `Vmem ≥ Vth` comparator is true for a single cycle
+//! at a time — the reset operation immediately pulls `Vmem` back below
+//! threshold. A neuron whose reset operation is fault-stuck keeps its
+//! comparator true cycle after cycle and floods the network with burst
+//! spikes that dominate classification (the catastrophic case of
+//! Fig. 10a). The monitor counts consecutive true cycles per neuron; at
+//! `window` (paper: 2) it latches that neuron's spike generation off until
+//! parameter replacement. In hardware this is the AND gate + output mux of
+//! Fig. 11(c).
+
+use snn_hw::engine::SpikeGuard;
+
+/// The paper's monitor window: `Vmem ≥ Vth` for ≥ 2 consecutive cycles
+/// flags a faulty reset.
+pub const PAPER_WINDOW: u8 = 2;
+
+/// Per-neuron faulty-reset monitor implementing [`SpikeGuard`].
+///
+/// # Examples
+///
+/// ```
+/// use softsnn_core::protection::ResetMonitor;
+/// use snn_hw::engine::SpikeGuard;
+///
+/// let mut m = ResetMonitor::new(1, 2);
+/// assert!(m.allow_spike(0, true));  // first hot cycle: spike allowed
+/// assert!(!m.allow_spike(0, true)); // second consecutive: latched off
+/// assert!(m.is_disabled(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetMonitor {
+    window: u8,
+    consecutive: Vec<u8>,
+    disabled: Vec<bool>,
+}
+
+impl ResetMonitor {
+    /// Creates a monitor for `n_neurons` neurons with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(n_neurons: usize, window: u8) -> Self {
+        assert!(window > 0, "monitor window must be at least 1 cycle");
+        Self {
+            window,
+            consecutive: vec![0; n_neurons],
+            disabled: vec![false; n_neurons],
+        }
+    }
+
+    /// Creates a monitor with the paper's 2-cycle window.
+    pub fn paper(n_neurons: usize) -> Self {
+        Self::new(n_neurons, PAPER_WINDOW)
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> u8 {
+        self.window
+    }
+
+    /// Whether neuron `j`'s spike generation is currently latched off.
+    pub fn is_disabled(&self, j: usize) -> bool {
+        self.disabled[j]
+    }
+
+    /// Number of neurons currently latched off.
+    pub fn n_disabled(&self) -> usize {
+        self.disabled.iter().filter(|&&d| d).count()
+    }
+}
+
+impl SpikeGuard for ResetMonitor {
+    fn allow_spike(&mut self, neuron: usize, cmp_out: bool) -> bool {
+        if cmp_out {
+            self.consecutive[neuron] = self.consecutive[neuron].saturating_add(1);
+            if self.consecutive[neuron] >= self.window {
+                self.disabled[neuron] = true;
+            }
+        } else {
+            self.consecutive[neuron] = 0;
+        }
+        !self.disabled[neuron]
+    }
+
+    fn on_param_reload(&mut self) {
+        self.consecutive.iter_mut().for_each(|c| *c = 0);
+        self.disabled.iter_mut().for_each(|d| *d = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_single_cycle_fires_are_always_allowed() {
+        let mut m = ResetMonitor::paper(1);
+        for _ in 0..100 {
+            assert!(m.allow_spike(0, true));  // fire
+            assert!(m.allow_spike(0, false)); // reset pulled Vmem down
+        }
+        assert!(!m.is_disabled(0));
+    }
+
+    #[test]
+    fn two_consecutive_hot_cycles_latch_off() {
+        let mut m = ResetMonitor::paper(1);
+        assert!(m.allow_spike(0, true));
+        assert!(!m.allow_spike(0, true), "second hot cycle must be vetoed");
+        // Stays off even if the comparator later goes false.
+        assert!(!m.allow_spike(0, false));
+        assert!(!m.allow_spike(0, true));
+        assert_eq!(m.n_disabled(), 1);
+    }
+
+    #[test]
+    fn neurons_are_independent() {
+        let mut m = ResetMonitor::paper(2);
+        m.allow_spike(0, true);
+        m.allow_spike(0, true); // neuron 0 latches
+        assert!(m.is_disabled(0));
+        assert!(!m.is_disabled(1));
+        assert!(m.allow_spike(1, true));
+    }
+
+    #[test]
+    fn param_reload_heals_latches() {
+        let mut m = ResetMonitor::paper(1);
+        m.allow_spike(0, true);
+        m.allow_spike(0, true);
+        assert!(m.is_disabled(0));
+        m.on_param_reload();
+        assert!(!m.is_disabled(0));
+        assert!(m.allow_spike(0, true));
+    }
+
+    #[test]
+    fn wider_window_tolerates_longer_streaks() {
+        let mut m = ResetMonitor::new(1, 4);
+        assert!(m.allow_spike(0, true));
+        assert!(m.allow_spike(0, true));
+        assert!(m.allow_spike(0, true));
+        assert!(!m.allow_spike(0, true), "fourth consecutive latches");
+    }
+
+    #[test]
+    fn interrupted_streaks_reset_the_counter() {
+        let mut m = ResetMonitor::paper(1);
+        assert!(m.allow_spike(0, true));
+        assert!(m.allow_spike(0, false));
+        assert!(m.allow_spike(0, true), "streak was broken, still allowed");
+        assert!(!m.is_disabled(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_panics() {
+        let _ = ResetMonitor::new(1, 0);
+    }
+}

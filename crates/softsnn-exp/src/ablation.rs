@@ -1,0 +1,196 @@
+//! Ablation studies of the SoftSNN design choices called out in
+//! `DESIGN.md`:
+//!
+//! * **monitor window** — the paper picks ≥2 consecutive hot cycles; how
+//!   do 1/2/4/8 behave? (1 risks false positives on legitimately fast
+//!   re-firing neurons; large windows let burst neurons corrupt more
+//!   cycles before being muted.)
+//! * **`wgh_th` scaling** — the paper sets `wgh_th = wgh_max`; scaling it
+//!   below 1.0 clips healthy weights, above 1.0 lets inflated weights
+//!   through.
+//! * **re-execution vote width** — 1 (no redundancy) / 2 (DMR-style) / 3
+//!   (the paper's TMR) / 5.
+
+use crate::profile::Profile;
+use crate::table::{fmt_f, Table};
+use crate::workbench::{point_seed, prepare, Bench};
+use snn_data::workload::Workload;
+use snn_faults::location::FaultDomain;
+use snn_sim::rng::seeded_rng;
+use softsnn_core::bounding::{BnpVariant, BoundingConfig};
+use softsnn_core::methodology::FaultScenario;
+use softsnn_core::mitigation::Technique;
+
+/// The fault rate ablations run at (high enough for clear signal).
+pub const ABLATION_RATE: f64 = 0.05;
+
+/// Result of one ablation sweep: `(x, accuracy_pct)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Sweep name.
+    pub name: String,
+    /// `(parameter value, accuracy %)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// All ablation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResults {
+    /// Monitor-window sweep (BnP3, compute-engine faults).
+    pub window: Sweep,
+    /// `wgh_th` scaling sweep (BnP3, synapse faults).
+    pub threshold: Sweep,
+    /// Re-execution vote-width sweep (compute-engine faults).
+    pub votes: Sweep,
+}
+
+/// Runs all three sweeps at the given scale.
+///
+/// # Errors
+///
+/// Propagates dataset/training/evaluation errors.
+pub fn run(profile: Profile) -> Result<AblationResults, Box<dyn std::error::Error>> {
+    let mut bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    let window = window_sweep(&mut bench)?;
+    let threshold = threshold_sweep(&mut bench)?;
+    let votes = vote_sweep(&mut bench)?;
+    Ok(AblationResults {
+        window,
+        threshold,
+        votes,
+    })
+}
+
+fn scenario(domain: FaultDomain, salt: usize) -> FaultScenario {
+    FaultScenario {
+        domain,
+        rate: ABLATION_RATE,
+        seed: point_seed(99, salt, 0, 0),
+    }
+}
+
+/// Sweeps the faulty-reset monitor window length.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn window_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
+    let bounding = bench.deployment.bounding_for(BnpVariant::Bnp3);
+    let mut points = Vec::new();
+    for (i, window) in [1_u8, 2, 4, 8].into_iter().enumerate() {
+        let result = bench.deployment.evaluate_custom_bnp(
+            bounding,
+            window,
+            &scenario(FaultDomain::ComputeEngine, 1),
+            bench.test.images(),
+            bench.test.labels(),
+            &mut seeded_rng(point_seed(99, 10 + i, 1, 0)),
+        )?;
+        points.push((window as f64, result.accuracy_pct()));
+    }
+    Ok(Sweep {
+        name: "monitor window (cycles)".into(),
+        points,
+    })
+}
+
+/// Sweeps the bounding threshold as a fraction of `wgh_max`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn threshold_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
+    let analysis = bench.deployment.analysis().clone();
+    let mut points = Vec::new();
+    for (i, scale) in [0.5_f64, 0.75, 1.0, 1.25, 1.5].into_iter().enumerate() {
+        let threshold_code =
+            ((analysis.wgh_max_code as f64) * scale).round().clamp(0.0, 255.0) as u8;
+        let bounding = BoundingConfig {
+            threshold_code,
+            default_code: analysis.wgh_hp_code,
+        };
+        let result = bench.deployment.evaluate_custom_bnp(
+            bounding,
+            softsnn_core::protection::PAPER_WINDOW,
+            &scenario(FaultDomain::Synapses, 2),
+            bench.test.images(),
+            bench.test.labels(),
+            &mut seeded_rng(point_seed(99, 20 + i, 2, 0)),
+        )?;
+        points.push((scale, result.accuracy_pct()));
+    }
+    Ok(Sweep {
+        name: "wgh_th / wgh_max".into(),
+        points,
+    })
+}
+
+/// Sweeps the redundant-execution count.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn vote_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
+    let mut points = Vec::new();
+    for (i, runs) in [1_u32, 2, 3, 5].into_iter().enumerate() {
+        let result = bench.deployment.evaluate(
+            Technique::ReExecution { runs },
+            &scenario(FaultDomain::ComputeEngine, 3),
+            bench.test.images(),
+            bench.test.labels(),
+            &mut seeded_rng(point_seed(99, 30 + i, 3, 0)),
+        )?;
+        points.push((runs as f64, result.accuracy_pct()));
+    }
+    Ok(Sweep {
+        name: "re-execution runs".into(),
+        points,
+    })
+}
+
+/// Renders one sweep as a table.
+pub fn sweep_table(sweep: &Sweep) -> Table {
+    let mut t = Table::new(&format!("Ablation — {}", sweep.name), &["value", "accuracy_pct"]);
+    for &(x, acc) in &sweep.points {
+        t.row(&[fmt_f(x, 2), fmt_f(acc, 1)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ablations_run_and_have_sane_shapes() {
+        let r = run(Profile::Smoke).unwrap();
+        assert_eq!(r.window.points.len(), 4);
+        assert_eq!(r.threshold.points.len(), 5);
+        assert_eq!(r.votes.points.len(), 4);
+        // More redundant executions can't hurt on average (weak check:
+        // 3 runs >= 1 run - noise margin).
+        let one = r.votes.points[0].1;
+        let three = r.votes.points[2].1;
+        assert!(
+            three >= one - 15.0,
+            "TMR ({three}) should not be drastically worse than single run ({one})"
+        );
+        // Severely clipped thresholds (0.5x) should not beat the paper's
+        // 1.0x by a large margin.
+        let half = r.threshold.points[0].1;
+        let paper = r.threshold.points[2].1;
+        assert!(
+            paper >= half - 20.0,
+            "paper threshold ({paper}) vs half ({half})"
+        );
+    }
+
+    #[test]
+    fn sweep_table_renders() {
+        let s = Sweep {
+            name: "demo".into(),
+            points: vec![(1.0, 50.0)],
+        };
+        assert!(sweep_table(&s).render().contains("demo"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Runs every experiment end to end (Figs. 3, 9, 10, 13, 14 + ablations)
+//! and prints a consolidated summary — the one-command reproduction.
+//!
+//! Usage: `all [--profile smoke|quick|default|full] [--out DIR]`
+
+use snn_data::workload::Workload;
+use softsnn_exp::profile::CliArgs;
+use softsnn_exp::{ablation, fig10, fig13, fig14, fig3, fig9};
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let out = std::path::Path::new(&args.out_dir);
+    eprintln!("[all] profile={} out={}", args.profile, args.out_dir);
+
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        // Fig. 14 first: pure cost models, instant, no training needed.
+        let f14 = fig14::run();
+        let (lat, energy, area) = fig14::panel_tables(&f14);
+        println!("{}\n{}\n{}", lat.render(), energy.render(), area.render());
+        lat.write_csv(out.join("fig14a_latency.csv"))?;
+        energy.write_csv(out.join("fig14b_energy.csv"))?;
+        area.write_csv(out.join("fig14c_area.csv"))?;
+
+        let f3 = fig3::run(args.profile)?;
+        let t3a = fig3::accuracy_table(&f3);
+        let t3b = fig3::overhead_table(&f3);
+        println!("{}\n{}", t3a.render(), t3b.render());
+        t3a.write_csv(out.join("fig3a_accuracy.csv"))?;
+        t3b.write_csv(out.join("fig3b_overheads.csv"))?;
+
+        let f9 = fig9::run(args.profile)?;
+        let t9 = fig9::summary_table(&f9);
+        println!("{}", t9.render());
+        t9.write_csv(out.join("fig9_summary.csv"))?;
+        fig9::histogram_table(&f9).write_csv(out.join("fig9_histograms.csv"))?;
+
+        let f10 = fig10::run(args.profile)?;
+        let t10a = fig10::per_op_table(&f10);
+        let t10b = fig10::combined_table(&f10);
+        println!("{}\n{}", t10a.render(), t10b.render());
+        t10a.write_csv(out.join("fig10a_neuron_ops.csv"))?;
+        t10b.write_csv(out.join("fig10b_compute_engine.csv"))?;
+
+        let f13 = fig13::run(args.profile, &Workload::ALL)?;
+        for &w in &Workload::ALL {
+            let t = fig13::accuracy_table(&f13, w);
+            println!("{}", t.render());
+            t.write_csv(out.join(format!("fig13_{}.csv", w.name())))?;
+        }
+        println!("headline (rate 0.1): re-execution vs best BnP");
+        for (workload, n, re, bnp) in fig13::headline_margins(&f13) {
+            println!(
+                "  {workload} N{n}: re-exec {re:.1}%, best BnP {bnp:.1}% (degradation {:.1} pp)",
+                re - bnp
+            );
+        }
+
+        let ab = ablation::run(args.profile)?;
+        for sweep in [&ab.window, &ab.threshold, &ab.votes] {
+            println!("{}", ablation::sweep_table(sweep).render());
+        }
+        ablation::sweep_table(&ab.window).write_csv(out.join("ablation_window.csv"))?;
+        ablation::sweep_table(&ab.threshold).write_csv(out.join("ablation_threshold.csv"))?;
+        ablation::sweep_table(&ab.votes).write_csv(out.join("ablation_votes.csv"))?;
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("experiment run failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[all] complete; artifacts under {}", args.out_dir);
+}

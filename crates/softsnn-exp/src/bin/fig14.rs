@@ -1,0 +1,54 @@
+//! Regenerates the paper's Fig. 14 overhead comparison and the
+//! synthesis-style reports (cost models only — runs in milliseconds).
+//!
+//! Usage: `fig14 [--out DIR]`
+
+use softsnn_exp::fig14;
+use softsnn_exp::profile::CliArgs;
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let results = fig14::run();
+    let (lat, energy, area) = fig14::panel_tables(&results);
+    println!("{}", lat.render());
+    println!("{}", energy.render());
+    println!("{}", area.render());
+    let conventional = fig14::conventional_table();
+    println!("{}", conventional.render());
+    if let Err(e) = conventional.write_csv(
+        std::path::Path::new(&args.out_dir).join("extension_conventional.csv"),
+    ) {
+        eprintln!("failed to write conventional CSV: {e}");
+        std::process::exit(1);
+    }
+    let out = std::path::Path::new(&args.out_dir);
+    if let Err(e) = lat
+        .write_csv(out.join("fig14a_latency.csv"))
+        .and_then(|()| energy.write_csv(out.join("fig14b_energy.csv")))
+        .and_then(|()| area.write_csv(out.join("fig14c_area.csv")))
+    {
+        eprintln!("failed to write CSVs: {e}");
+        std::process::exit(1);
+    }
+    // Synthesis-style reports (the Genus .txt stand-ins).
+    let mut all_reports = String::new();
+    for report in fig14::synthesis_reports() {
+        all_reports.push_str(&report.to_string());
+        all_reports.push('\n');
+    }
+    let report_path = out.join("synthesis_reports.txt");
+    if let Err(e) = std::fs::write(&report_path, all_reports) {
+        eprintln!("failed to write {}: {e}", report_path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[fig14] wrote fig14a/b/c CSVs and synthesis_reports.txt under {}",
+        args.out_dir
+    );
+}

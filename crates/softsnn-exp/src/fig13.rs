@@ -1,0 +1,255 @@
+//! Fig. 13 — the headline accuracy comparison (paper Sec. 5.1):
+//! No-Mitigation vs Re-execution vs BnP1/2/3 across network sizes,
+//! fault rates, and workloads.
+
+use crate::parallel::parallel_map;
+use crate::profile::Profile;
+use crate::table::{fmt_f, fmt_rate, Table};
+use crate::workbench::{point_seed, prepare, Bench};
+use snn_data::workload::Workload;
+use snn_faults::location::FaultDomain;
+use snn_faults::rate::PAPER_RATES;
+use snn_sim::metrics::{mean, std_dev};
+use snn_sim::rng::seeded_rng;
+use softsnn_core::methodology::FaultScenario;
+use softsnn_core::mitigation::Technique;
+
+/// One aggregated accuracy cell of Fig. 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCell {
+    /// Workload.
+    pub workload: Workload,
+    /// Network size (neurons).
+    pub n_neurons: usize,
+    /// Mitigation technique.
+    pub technique: Technique,
+    /// Fault rate in the compute engine.
+    pub rate: f64,
+    /// Mean accuracy over trials (%).
+    pub mean_pct: f64,
+    /// Standard deviation over trials (%).
+    pub std_pct: f64,
+    /// Individual trial accuracies (%).
+    pub trials: Vec<f64>,
+}
+
+/// All cells of one Fig. 13 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Results {
+    /// Aggregated cells.
+    pub cells: Vec<AccuracyCell>,
+    /// Clean reference accuracy per (workload, size), %.
+    pub clean: Vec<(Workload, usize, f64)>,
+}
+
+/// Runs the comparison for the given workloads at the profile's scale.
+///
+/// Grid points (technique × rate × trial) for each trained network are
+/// evaluated in parallel on multi-core hosts.
+///
+/// # Errors
+///
+/// Propagates dataset/training/evaluation errors.
+pub fn run(
+    profile: Profile,
+    workloads: &[Workload],
+) -> Result<Fig13Results, Box<dyn std::error::Error>> {
+    let mut cells = Vec::new();
+    let mut clean = Vec::new();
+    for &workload in workloads {
+        for &n in &profile.sizes() {
+            let bench = prepare(workload, n, profile)?;
+            clean.push((workload, n, bench.clean_accuracy));
+            cells.extend(run_grid(&bench, profile)?);
+        }
+    }
+    Ok(Fig13Results { cells, clean })
+}
+
+/// Evaluates the full (technique × rate × trial) grid for one trained
+/// deployment.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run_grid(
+    bench: &Bench,
+    profile: Profile,
+) -> Result<Vec<AccuracyCell>, Box<dyn std::error::Error>> {
+    struct Point {
+        technique_idx: usize,
+        rate_idx: usize,
+        trial: usize,
+    }
+    let mut points = Vec::new();
+    for technique_idx in 0..Technique::PAPER_SET.len() {
+        for rate_idx in 0..PAPER_RATES.len() {
+            for trial in 0..profile.trials() {
+                points.push(Point {
+                    technique_idx,
+                    rate_idx,
+                    trial,
+                });
+            }
+        }
+    }
+
+    let outcomes = parallel_map(&points, |p| {
+        let technique = Technique::PAPER_SET[p.technique_idx];
+        let rate = PAPER_RATES[p.rate_idx];
+        let scenario = FaultScenario {
+            domain: FaultDomain::ComputeEngine,
+            rate,
+            seed: point_seed(13, p.rate_idx, p.trial, p.technique_idx),
+        };
+        // Each grid point owns a deployment clone: engine state is
+        // mutated by injection and healed by reloads.
+        let mut deployment = bench.deployment.clone();
+        let mut rng = seeded_rng(point_seed(130, p.rate_idx, p.trial, p.technique_idx));
+        deployment
+            .evaluate(
+                technique,
+                &scenario,
+                bench.test.images(),
+                bench.test.labels(),
+                &mut rng,
+            )
+            .map(|r| r.accuracy_pct())
+    });
+
+    let mut cells = Vec::new();
+    for (technique_idx, &technique) in Technique::PAPER_SET.iter().enumerate() {
+        for (rate_idx, &rate) in PAPER_RATES.iter().enumerate() {
+            let mut trials = Vec::with_capacity(profile.trials());
+            for (p, outcome) in points.iter().zip(&outcomes) {
+                if p.technique_idx == technique_idx && p.rate_idx == rate_idx {
+                    trials.push(outcome.clone().map_err(|e| e.to_string())?);
+                }
+            }
+            cells.push(AccuracyCell {
+                workload: bench.workload,
+                n_neurons: bench.deployment.quantized().n_neurons,
+                technique,
+                rate,
+                mean_pct: mean(&trials),
+                std_pct: std_dev(&trials),
+                trials,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Renders the Fig. 13 table for one workload: rows = (size, rate),
+/// columns = techniques.
+pub fn accuracy_table(results: &Fig13Results, workload: Workload) -> Table {
+    let mut t = Table::new(
+        &format!("Fig. 13 — accuracy (%) on {workload} across techniques"),
+        &["network", "fault_rate", "no_mitigation", "reexecution", "bnp1", "bnp2", "bnp3"],
+    );
+    let mut sizes: Vec<usize> = results
+        .cells
+        .iter()
+        .filter(|c| c.workload == workload)
+        .map(|c| c.n_neurons)
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for &n in &sizes {
+        for &rate in &PAPER_RATES {
+            let cell = |technique: Technique| -> String {
+                results
+                    .cells
+                    .iter()
+                    .find(|c| {
+                        c.workload == workload
+                            && c.n_neurons == n
+                            && c.technique == technique
+                            && c.rate == rate
+                    })
+                    .map(|c| fmt_f(c.mean_pct, 1))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(&[
+                format!("N{n}"),
+                fmt_rate(rate),
+                cell(Technique::PAPER_SET[0]),
+                cell(Technique::PAPER_SET[1]),
+                cell(Technique::PAPER_SET[2]),
+                cell(Technique::PAPER_SET[3]),
+                cell(Technique::PAPER_SET[4]),
+            ]);
+        }
+    }
+    t
+}
+
+/// The paper's headline check: at the highest rate, BnP accuracy must sit
+/// within `max_degradation_pct` of re-execution's. Returns per-(workload,
+/// size) margins `(workload, n, reexec_pct, best_bnp_pct)`.
+pub fn headline_margins(results: &Fig13Results) -> Vec<(Workload, usize, f64, f64)> {
+    let mut out = Vec::new();
+    let mut keys: Vec<(Workload, usize)> = results
+        .cells
+        .iter()
+        .map(|c| (c.workload, c.n_neurons))
+        .collect();
+    keys.sort_by_key(|(w, n)| (w.name(), *n));
+    keys.dedup();
+    for (w, n) in keys {
+        let at = |technique: Technique| -> Option<f64> {
+            results
+                .cells
+                .iter()
+                .find(|c| {
+                    c.workload == w && c.n_neurons == n && c.technique == technique && c.rate == 0.1
+                })
+                .map(|c| c.mean_pct)
+        };
+        let re = at(Technique::ReExecution { runs: 3 });
+        let bnp = Technique::PAPER_SET[2..]
+            .iter()
+            .filter_map(|&t| at(t))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if let Some(re) = re {
+            out.push((w, n, re, bnp));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fig13_bnp_beats_no_mitigation_at_high_rate() {
+        let r = run(Profile::Smoke, &[Workload::Mnist]).unwrap();
+        let at = |technique: Technique, rate: f64| -> f64 {
+            r.cells
+                .iter()
+                .find(|c| c.technique == technique && c.rate == rate)
+                .unwrap()
+                .mean_pct
+        };
+        let nomit = at(Technique::NoMitigation, 0.1);
+        let bnp1 = at(Technique::PAPER_SET[2], 0.1);
+        let bnp3 = at(Technique::PAPER_SET[4], 0.1);
+        assert!(
+            bnp1 > nomit + 5.0,
+            "BnP1 ({bnp1:.1}) must clearly beat no-mitigation ({nomit:.1}) at rate 0.1"
+        );
+        assert!(
+            bnp3 > nomit + 5.0,
+            "BnP3 ({bnp3:.1}) must clearly beat no-mitigation ({nomit:.1}) at rate 0.1"
+        );
+    }
+
+    #[test]
+    fn table_has_rows_for_every_rate() {
+        let r = run(Profile::Smoke, &[Workload::Mnist]).unwrap();
+        let t = accuracy_table(&r, Workload::Mnist);
+        assert_eq!(t.len(), PAPER_RATES.len());
+        assert!(!headline_margins(&r).is_empty());
+    }
+}

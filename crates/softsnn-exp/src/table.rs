@@ -1,0 +1,185 @@
+//! Aligned text tables and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, built row by row.
+///
+/// # Examples
+///
+/// ```
+/// use softsnn_exp::table::Table;
+///
+/// let mut t = Table::new("demo", &["rate", "accuracy"]);
+/// t.row(&["0.01".into(), "87.2".into()]);
+/// let s = t.render();
+/// assert!(s.contains("rate") && s.contains("87.2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV (header + rows, RFC-4180-style quoting for
+    /// cells containing commas or quotes).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", csv_line(&self.header))?;
+        for row in &self.rows {
+            writeln!(f, "{}", csv_line(row))?;
+        }
+        Ok(())
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a fault rate in scientific style (`1e-4`).
+pub fn fmt_rate(rate: f64) -> String {
+    if rate == 0.0 {
+        "0".to_owned()
+    } else if rate >= 0.01 {
+        format!("{rate}")
+    } else {
+        format!("{rate:.0e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", &["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("long_header"));
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        assert_eq!(
+            csv_line(&["a,b".into(), "q\"q".into(), "plain".into()]),
+            "\"a,b\",\"q\"\"q\",plain"
+        );
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        let path = std::env::temp_dir().join(format!("softsnn_table_{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(1e-4), "1e-4");
+        assert_eq!(fmt_rate(0.1), "0.1");
+        assert_eq!(fmt_rate(0.0), "0");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

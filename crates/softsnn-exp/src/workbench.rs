@@ -1,0 +1,151 @@
+//! Shared experiment plumbing: dataset preparation and deployment
+//! training for a (workload, network size, profile) combination.
+
+use crate::profile::Profile;
+use snn_data::dataset::Dataset;
+use snn_data::workload::Workload;
+use snn_sim::config::SnnConfig;
+use snn_sim::rng::derive_seed;
+use softsnn_core::methodology::{MethodologyError, SoftSnnDeployment, TrainPipelineOptions};
+
+/// Base seed all experiments derive theirs from, so the whole evaluation
+/// is reproducible end to end.
+pub const BASE_SEED: u64 = 0x50F7_511F;
+
+/// A prepared experiment bench: a trained deployment plus its test set.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// The workload used.
+    pub workload: Workload,
+    /// The trained, deployed network.
+    pub deployment: SoftSnnDeployment,
+    /// Held-out test set.
+    pub test: Dataset,
+    /// Clean accuracy measured right after training (No-Mitigation, no
+    /// faults), as a reference point.
+    pub clean_accuracy: f64,
+}
+
+/// Builds the paper's network configuration for `n_neurons` (784 inputs,
+/// LIF + direct lateral inhibition + STDP defaults).
+pub fn paper_config(n_neurons: usize) -> SnnConfig {
+    SnnConfig::builder()
+        .n_neurons(n_neurons)
+        .build()
+        .expect("paper configuration is valid")
+}
+
+/// Trains and deploys a network for (workload, size) at the given profile
+/// scale, loading real IDX data from `data/` when present (synthetic
+/// generation otherwise), then measures clean accuracy.
+///
+/// # Errors
+///
+/// Propagates dataset and pipeline errors.
+pub fn prepare(
+    workload: Workload,
+    n_neurons: usize,
+    profile: Profile,
+) -> Result<Bench, Box<dyn std::error::Error>> {
+    let data_seed = derive_seed(BASE_SEED, n_neurons as u64);
+    let (train, test, real) = workload.load_or_generate(
+        "data",
+        profile.n_train(),
+        profile.n_test(),
+        data_seed,
+    )?;
+    eprintln!(
+        "[workbench] {workload} N{n_neurons}: {} train / {} test samples ({})",
+        train.len(),
+        test.len(),
+        if real { "real IDX data" } else { "synthetic" }
+    );
+    let cfg = paper_config(n_neurons);
+    let mut deployment = SoftSnnDeployment::train(
+        cfg,
+        train.images(),
+        train.labels(),
+        TrainPipelineOptions {
+            epochs: profile.epochs(),
+            n_classes: train.n_classes(),
+            seed: derive_seed(BASE_SEED, 1000 + n_neurons as u64),
+        },
+    )?;
+    let clean = measure_clean(&mut deployment, &test)?;
+    eprintln!("[workbench] {workload} N{n_neurons}: clean accuracy {clean:.1}%");
+    Ok(Bench {
+        workload,
+        deployment,
+        test,
+        clean_accuracy: clean,
+    })
+}
+
+/// Measures fault-free No-Mitigation accuracy (%).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn measure_clean(
+    deployment: &mut SoftSnnDeployment,
+    test: &Dataset,
+) -> Result<f64, MethodologyError> {
+    use snn_sim::rng::seeded_rng;
+    use softsnn_core::methodology::FaultScenario;
+    use softsnn_core::mitigation::Technique;
+    let result = deployment.evaluate(
+        Technique::NoMitigation,
+        &FaultScenario::clean(),
+        test.images(),
+        test.labels(),
+        &mut seeded_rng(derive_seed(BASE_SEED, 999)),
+    )?;
+    Ok(result.accuracy_pct())
+}
+
+/// Derived seed for one evaluation grid point, stable across runs and
+/// parallel schedules.
+pub fn point_seed(figure: u64, rate_idx: usize, trial: usize, technique_idx: usize) -> u64 {
+    derive_seed(
+        BASE_SEED ^ (figure << 48),
+        ((rate_idx as u64) << 32) | ((technique_idx as u64) << 16) | trial as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_784_inputs() {
+        let cfg = paper_config(400);
+        assert_eq!(cfg.n_inputs, 784);
+        assert_eq!(cfg.n_neurons, 400);
+    }
+
+    #[test]
+    fn point_seeds_are_unique() {
+        let mut seeds = std::collections::HashSet::new();
+        for fig in 0..3_u64 {
+            for r in 0..4 {
+                for t in 0..3 {
+                    for tech in 0..5 {
+                        assert!(seeds.insert(point_seed(fig, r, t, tech)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_bench_trains_and_classifies() {
+        // This exercises the full prepare() path at smoke scale.
+        let bench = prepare(Workload::Mnist, 100, Profile::Smoke).unwrap();
+        assert_eq!(bench.test.len(), Profile::Smoke.n_test());
+        assert!(
+            bench.clean_accuracy > 25.0,
+            "smoke-scale training should beat chance comfortably, got {:.1}%",
+            bench.clean_accuracy
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Compare all five mitigation techniques of the paper (No-Mitigation,
+//! Re-execution x3, BnP1, BnP2, BnP3) across fault rates on one trained
+//! network — a miniature of the paper's Fig. 13.
+//!
+//! Run with: `cargo run --release --example bnp_mitigation`
+
+use softsnn::prelude::*;
+use softsnn::data::synth_digits::SynthDigits;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gen = SynthDigits::default();
+    let train = gen.generate(800, 5);
+    let test = gen.generate(80, 6);
+    let cfg = SnnConfig::builder().n_neurons(100).build()?;
+    println!("training...");
+    let mut deployment = SoftSnnDeployment::train(
+        cfg,
+        train.images(),
+        train.labels(),
+        TrainPipelineOptions {
+            epochs: 1,
+            n_classes: 10,
+            seed: 21,
+        },
+    )?;
+
+    let rates = [1e-3, 1e-2, 1e-1];
+    println!("\n{:<16} {:>8} {:>8} {:>8}", "technique", "1e-3", "1e-2", "1e-1");
+    for technique in Technique::PAPER_SET {
+        let mut cells = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            let scenario = FaultScenario {
+                domain: FaultDomain::ComputeEngine,
+                rate,
+                seed: 1000 + i as u64,
+            };
+            let r = deployment.evaluate(
+                technique,
+                &scenario,
+                test.images(),
+                test.labels(),
+                &mut seeded_rng(2000 + i as u64),
+            )?;
+            cells.push(r.accuracy_pct());
+        }
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}% {:>7.1}%",
+            technique.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!("\ncosts (from the hardware models, normalized to baseline):");
+    for technique in Technique::PAPER_SET {
+        let row = softsnn::core::overhead::overhead_for(
+            technique,
+            softsnn::hw::params::EngineConfig::PAPER,
+            784,
+            400,
+            100,
+        );
+        let base = softsnn::core::overhead::overhead_for(
+            Technique::NoMitigation,
+            softsnn::hw::params::EngineConfig::PAPER,
+            784,
+            400,
+            100,
+        );
+        println!(
+            "  {:<16} latency {:.2}x  energy {:.2}x  area {:.2}x",
+            technique.name(),
+            row.latency.ratio_to(&base.latency),
+            row.energy.ratio_to(&base.energy),
+            row.area.ratio_to(&base.area),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! SNN fault-tolerance analysis (paper Sec. 3.1): characterize a trained
+//! network's weight distribution, derive the BnP configuration from it,
+//! and study which neuron-operation faults are catastrophic.
+//!
+//! Run with: `cargo run --release --example fault_tolerance_analysis`
+
+use softsnn::core::analysis::WeightAnalysis;
+use softsnn::core::bounding::BoundingConfig;
+use softsnn::data::synth_digits::SynthDigits;
+use softsnn::hw::neuron_unit::NeuronOp;
+use softsnn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gen = SynthDigits::default();
+    let train = gen.generate(600, 1);
+    let test = gen.generate(80, 2);
+    let cfg = SnnConfig::builder().n_neurons(100).build()?;
+    println!("training...");
+    let mut deployment = SoftSnnDeployment::train(
+        cfg,
+        train.images(),
+        train.labels(),
+        TrainPipelineOptions {
+            epochs: 1,
+            n_classes: 10,
+            seed: 3,
+        },
+    )?;
+
+    // --- Weight analysis (Fig. 9) -------------------------------------
+    let analysis: &WeightAnalysis = deployment.analysis();
+    println!("\nclean weight analysis:");
+    println!("  wgh_max (safe-range bound): code {}", analysis.wgh_max_code);
+    println!("  wgh_hp (most probable):     code {}", analysis.wgh_hp_code);
+    println!(
+        "  upper-half code occupancy:  {:.2}% (quantization headroom)",
+        analysis.upper_half_fraction * 100.0
+    );
+
+    // The derived BnP register contents:
+    for variant in [BnpVariant::Bnp1, BnpVariant::Bnp2, BnpVariant::Bnp3] {
+        let b: BoundingConfig = deployment.bounding_for(variant);
+        println!(
+            "  {variant}: wgh_th = {}, wgh_def = {}",
+            b.threshold_code, b.default_code
+        );
+    }
+
+    // --- Neuron-operation fault study (Fig. 10a) ----------------------
+    println!("\naccuracy with all neurons' operation X faulty at rate 0.1:");
+    let mut rng = seeded_rng(10);
+    for op in NeuronOp::ALL {
+        let scenario = FaultScenario {
+            domain: FaultDomain::Neurons(Some(op)),
+            rate: 0.1,
+            seed: 77,
+        };
+        let r = deployment.evaluate(
+            Technique::NoMitigation,
+            &scenario,
+            test.images(),
+            test.labels(),
+            &mut rng,
+        )?;
+        println!("  faulty `{op}`: {:.1}%", r.accuracy_pct());
+    }
+    println!("\n(the paper's observation: faulty `vr` — Vmem reset — is the");
+    println!(" catastrophic one, because burst spikes dominate classification)");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Explore the hardware cost models: per-component gate counts, engine
+//! area/power/timing composition, and synthesis-style reports for every
+//! design variant — the stand-in for the paper's Cadence Genus flow.
+//!
+//! Run with: `cargo run --release --example hardware_overheads`
+
+use softsnn::core::mitigation::Technique;
+use softsnn::hw::components::{baseline, enhancement, EngineEnhancement};
+use softsnn::hw::mapping::Tiling;
+use softsnn::hw::params::EngineConfig;
+use softsnn::hw::report::SynthesisReport;
+
+fn main() {
+    // The paper's physical engine: 256x256 synapses, 256 neurons.
+    let engine = EngineConfig::PAPER;
+
+    println!("component library (gate equivalents):");
+    for c in [
+        baseline::WEIGHT_REGISTER,
+        baseline::COLUMN_ADDER,
+        baseline::NEURON_DATAPATH,
+        enhancement::COMPARATOR,
+        enhancement::MUX_CONST0,
+        enhancement::MUX_2TO1,
+        enhancement::SHARED_REGISTER,
+        enhancement::NEURON_PROTECTION,
+    ] {
+        println!(
+            "  {:<22} {:>7.1} GE  (hardened: {:>7.1} GE, {:>6.2} uW)",
+            c.name,
+            c.ge,
+            c.hardened().area_ge(),
+            c.hardened().power_uw(),
+        );
+    }
+
+    println!("\nhow the paper's N400..N3600 networks map onto the engine:");
+    for n in [400, 900, 1600, 2500, 3600] {
+        let t = Tiling::for_network(engine, 784, n);
+        println!(
+            "  N{n:<5} -> {} row tiles x {} col tiles = {} passes/timestep",
+            t.row_tiles,
+            t.col_tiles,
+            t.passes_per_timestep()
+        );
+    }
+
+    println!("\nsynthesis-style reports (one per design variant):\n");
+    let tiling = Tiling::for_network(engine, 784, 400);
+    let baseline_report =
+        SynthesisReport::generate(engine, &EngineEnhancement::none(), &tiling, 100);
+    println!("{baseline_report}");
+    for technique in [
+        Technique::ReExecution { runs: 3 },
+        Technique::Bnp(softsnn::core::bounding::BnpVariant::Bnp1),
+        Technique::Bnp(softsnn::core::bounding::BnpVariant::Bnp2),
+    ] {
+        let report =
+            SynthesisReport::generate(engine, &technique.enhancement(), &tiling, 100);
+        println!("{report}");
+    }
+}

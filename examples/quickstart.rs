@@ -1,0 +1,86 @@
+//! Quickstart: train a small SNN on synthetic digits, deploy it on the
+//! compute-engine model, strike it with soft errors, and compare
+//! No-Mitigation against BnP3.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use softsnn::prelude::*;
+use softsnn::data::synth_digits::SynthDigits;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Workload: deterministic MNIST-like digits (the real MNIST IDX
+    //    files are used automatically by the experiment harness when
+    //    placed under data/mnist/).
+    let gen = SynthDigits::default();
+    let train = gen.generate(800, 1);
+    let test = gen.generate(100, 2);
+
+    // 2. The paper's fully connected architecture (784 inputs -> N
+    //    excitatory LIF neurons with direct lateral inhibition + STDP).
+    let cfg = SnnConfig::builder().n_neurons(100).build()?;
+
+    // 3. Full pipeline: unsupervised STDP training, neuron-class
+    //    assignment, 8-bit quantization, deployment on the engine.
+    println!("training (unsupervised STDP)...");
+    let mut deployment = SoftSnnDeployment::train(
+        cfg,
+        train.images(),
+        train.labels(),
+        TrainPipelineOptions {
+            epochs: 1,
+            n_classes: 10,
+            seed: 7,
+        },
+    )?;
+
+    // 4. Evaluate clean, then under soft errors at rate 0.01 in the whole
+    //    compute engine (weight registers + neuron operations).
+    let mut rng = seeded_rng(99);
+    let clean = deployment.evaluate(
+        Technique::NoMitigation,
+        &FaultScenario::clean(),
+        test.images(),
+        test.labels(),
+        &mut rng,
+    )?;
+    println!("clean accuracy:              {:.1}%", clean.accuracy_pct());
+
+    let scenario = FaultScenario {
+        domain: FaultDomain::ComputeEngine,
+        rate: 0.01,
+        seed: 1234,
+    };
+    let unprotected = deployment.evaluate(
+        Technique::NoMitigation,
+        &scenario,
+        test.images(),
+        test.labels(),
+        &mut rng,
+    )?;
+    println!(
+        "faulty, no mitigation:       {:.1}%",
+        unprotected.accuracy_pct()
+    );
+
+    let protected = deployment.evaluate(
+        Technique::Bnp(BnpVariant::Bnp3),
+        &scenario,
+        test.images(),
+        test.labels(),
+        &mut rng,
+    )?;
+    println!(
+        "faulty, BnP3 (SoftSNN):      {:.1}%",
+        protected.accuracy_pct()
+    );
+
+    // 5. And what would re-execution cost? (cost models, no simulation)
+    let re = Technique::ReExecution { runs: 3 }.enhancement();
+    let bnp = Technique::Bnp(BnpVariant::Bnp3).enhancement();
+    println!(
+        "re-execution needs {}x executions; BnP3 runs once with a {:.0}% clock stretch",
+        re.executions,
+        (bnp.clock_factor - 1.0) * 100.0
+    );
+    Ok(())
+}

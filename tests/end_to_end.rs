@@ -1,0 +1,283 @@
+//! Cross-crate integration: the full SoftSNN pipeline on a toy workload —
+//! train (snn-sim) → quantize → deploy (snn-hw) → inject (snn-faults) →
+//! mitigate (softsnn-core) → evaluate.
+
+use softsnn::data::dataset::Dataset;
+use softsnn::prelude::*;
+
+/// A linearly separable 4-class toy workload (quadrant blobs).
+fn quadrant_dataset(n: usize, seed: u64) -> Dataset {
+    use rand::Rng as _;
+    let side = 12_usize;
+    let mut rng = seeded_rng(seed);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for k in 0..n {
+        let class = k % 4;
+        let mut img = vec![0.0_f32; side * side];
+        let (qx, qy) = (class % 2, class / 2);
+        for _ in 0..14 {
+            let x = qx * side / 2 + rng.gen_range(1..side / 2 - 1);
+            let y = qy * side / 2 + rng.gen_range(1..side / 2 - 1);
+            img[y * side + x] = 0.95;
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    Dataset::new(side, side, 4, images, labels).expect("consistent shapes")
+}
+
+fn toy_deployment() -> (SoftSnnDeployment, Dataset) {
+    let train = quadrant_dataset(120, 1);
+    let test = quadrant_dataset(60, 2);
+    let cfg = SnnConfig::builder()
+        .n_inputs(144)
+        .n_neurons(48)
+        .v_thresh(5.0)
+        .v_inh(8.0)
+        .max_rate(0.4)
+        .timesteps(60)
+        .build()
+        .expect("valid config");
+    let deployment = SoftSnnDeployment::train(
+        cfg,
+        train.images(),
+        train.labels(),
+        TrainPipelineOptions {
+            epochs: 3,
+            n_classes: 4,
+            seed: 9,
+        },
+    )
+    .expect("training succeeds");
+    (deployment, test)
+}
+
+#[test]
+fn full_pipeline_learns_and_survives_faults() {
+    let (mut deployment, test) = toy_deployment();
+    let mut rng = seeded_rng(50);
+
+    let clean = deployment
+        .evaluate(
+            Technique::NoMitigation,
+            &FaultScenario::clean(),
+            test.images(),
+            test.labels(),
+            &mut rng,
+        )
+        .expect("clean eval");
+    assert!(
+        clean.accuracy() > 0.7,
+        "toy task should be easy, got {:.2}",
+        clean.accuracy()
+    );
+
+    // Under heavy compute-engine faults, BnP must clearly beat the
+    // unprotected engine on average over several fault maps (per-map
+    // comparisons are noisy at toy scale).
+    let n_maps = 10;
+    let mut nomit_accs = Vec::new();
+    let mut bnp_accs = Vec::new();
+    for map_seed in 0..n_maps {
+        let scenario = FaultScenario {
+            domain: FaultDomain::ComputeEngine,
+            rate: 0.1,
+            seed: 100 + map_seed,
+        };
+        let nomit = deployment
+            .evaluate(
+                Technique::NoMitigation,
+                &scenario,
+                test.images(),
+                test.labels(),
+                &mut seeded_rng(200 + map_seed),
+            )
+            .expect("nomit eval");
+        let bnp = deployment
+            .evaluate(
+                Technique::Bnp(BnpVariant::Bnp3),
+                &scenario,
+                test.images(),
+                test.labels(),
+                &mut seeded_rng(200 + map_seed),
+            )
+            .expect("bnp eval");
+        eprintln!(
+            "map {map_seed}: nomit {:.2} bnp3 {:.2}",
+            nomit.accuracy(),
+            bnp.accuracy()
+        );
+        nomit_accs.push(nomit.accuracy());
+        bnp_accs.push(bnp.accuracy());
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let (m_nomit, m_bnp) = (mean(&nomit_accs), mean(&bnp_accs));
+    assert!(
+        m_bnp >= m_nomit - 0.03,
+        "BnP3 mean {m_bnp:.2} must not trail no-mitigation mean {m_nomit:.2}"
+    );
+
+    // The structural mechanism: with Vmem-reset faults injected, burst
+    // neurons dominate the spike counts without protection, and the
+    // reset monitor mutes exactly those neurons.
+    use softsnn::core::protection::ResetMonitor;
+    use softsnn::faults::fault_map::FaultMap;
+    use softsnn::faults::injector::inject;
+    use softsnn::faults::location::FaultSpace;
+    use softsnn::hw::engine::{DirectRead, NoGuard};
+    use softsnn::hw::neuron_unit::NeuronOp;
+    use softsnn::sim::encoding::PoissonEncoder;
+
+    let qn = deployment.quantized().clone();
+    let engine = deployment.engine_mut();
+    engine.reload_parameters(&mut NoGuard);
+    let space = FaultSpace::new(
+        qn.n_inputs,
+        qn.n_neurons,
+        FaultDomain::Neurons(Some(NeuronOp::VmemReset)),
+    );
+    let map = FaultMap::generate(&space, 0.25, 5);
+    inject(engine, &map).expect("fits");
+    let faulty: Vec<usize> = engine
+        .neurons()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.faults.vr)
+        .map(|(j, _)| j)
+        .collect();
+    assert!(!faulty.is_empty());
+
+    let encoder = PoissonEncoder::new(qn.max_rate);
+    let train = encoder.encode(test.image(0), qn.timesteps, &mut seeded_rng(90));
+    let unprotected = engine.run_sample(&train, &DirectRead, &mut NoGuard);
+    let burst_mean = faulty.iter().map(|&j| unprotected[j] as f64).sum::<f64>()
+        / faulty.len() as f64;
+    let healthy_max = unprotected
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !faulty.contains(j))
+        .map(|(_, &c)| c)
+        .max()
+        .unwrap_or(0) as f64;
+    assert!(
+        burst_mean > healthy_max * 2.0,
+        "burst neurons must dominate: burst mean {burst_mean}, healthy max {healthy_max}"
+    );
+
+    // Only faulty neurons that actually burst (crossed threshold and got
+    // stuck) can and must be latched; a vr-faulty neuron that never
+    // received enough drive never manifests its fault.
+    let bursting: Vec<usize> = faulty
+        .iter()
+        .copied()
+        .filter(|&j| unprotected[j] as f64 > healthy_max.max(4.0))
+        .collect();
+    assert!(
+        !bursting.is_empty(),
+        "scenario must produce at least one actual burst"
+    );
+    let mut monitor = ResetMonitor::paper(qn.n_neurons);
+    let protected = engine.run_sample(&train, &DirectRead, &mut monitor);
+    for &j in &bursting {
+        assert!(
+            monitor.is_disabled(j),
+            "monitor must latch burst neuron {j}"
+        );
+        assert!(
+            protected[j] <= 2,
+            "protected burst neuron {j} fired {} times",
+            protected[j]
+        );
+    }
+}
+
+#[test]
+fn reexecution_stays_near_clean_accuracy() {
+    let (mut deployment, test) = toy_deployment();
+    let clean = deployment
+        .evaluate(
+            Technique::NoMitigation,
+            &FaultScenario::clean(),
+            test.images(),
+            test.labels(),
+            &mut seeded_rng(51),
+        )
+        .expect("clean eval");
+    let scenario = FaultScenario {
+        domain: FaultDomain::ComputeEngine,
+        rate: 0.1,
+        seed: 7,
+    };
+    let re = deployment
+        .evaluate(
+            Technique::ReExecution { runs: 3 },
+            &scenario,
+            test.images(),
+            test.labels(),
+            &mut seeded_rng(52),
+        )
+        .expect("reexec eval");
+    // Paper Fig. 13: re-execution's curves are flat near clean accuracy.
+    assert!(
+        re.accuracy() >= clean.accuracy() - 0.15,
+        "re-execution {:.2} must stay near clean {:.2}",
+        re.accuracy(),
+        clean.accuracy()
+    );
+}
+
+#[test]
+fn all_techniques_agree_on_clean_engine() {
+    let (mut deployment, test) = toy_deployment();
+    let mut accs = Vec::new();
+    for technique in Technique::PAPER_SET {
+        let r = deployment
+            .evaluate(
+                technique,
+                &FaultScenario::clean(),
+                test.images(),
+                test.labels(),
+                &mut seeded_rng(60),
+            )
+            .expect("clean eval");
+        accs.push(r.accuracy());
+    }
+    let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = accs.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        max - min < 0.15,
+        "without faults all techniques should agree (got {accs:?})"
+    );
+}
+
+#[test]
+fn monitor_latches_do_not_harm_clean_networks() {
+    // A healthy engine must never trip the reset monitor badly enough to
+    // change outcomes: BnP on a clean engine ≈ baseline on a clean engine.
+    let (mut deployment, test) = toy_deployment();
+    let base = deployment
+        .evaluate(
+            Technique::NoMitigation,
+            &FaultScenario::clean(),
+            test.images(),
+            test.labels(),
+            &mut seeded_rng(70),
+        )
+        .expect("clean eval");
+    let bnp = deployment
+        .evaluate(
+            Technique::Bnp(BnpVariant::Bnp1),
+            &FaultScenario::clean(),
+            test.images(),
+            test.labels(),
+            &mut seeded_rng(70),
+        )
+        .expect("bnp eval");
+    assert!(
+        (bnp.accuracy() - base.accuracy()).abs() < 0.1,
+        "clean BnP {:.2} vs clean baseline {:.2}",
+        bnp.accuracy(),
+        base.accuracy()
+    );
+}

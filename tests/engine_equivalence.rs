@@ -1,0 +1,103 @@
+//! The bit-accurate integer engine must agree with the frozen float
+//! simulator: same architecture, same input spikes, near-identical
+//! behavior (differences bounded by quantization error).
+
+use softsnn::hw::engine::{ComputeEngine, DirectRead, NoGuard};
+use softsnn::prelude::*;
+use softsnn::sim::encoding::PoissonEncoder;
+
+fn trained_pair() -> (Network, ComputeEngine) {
+    let cfg = SnnConfig::builder()
+        .n_inputs(64)
+        .n_neurons(16)
+        .v_thresh(4.0)
+        .v_inh(6.0)
+        .timesteps(50)
+        .build()
+        .expect("valid config");
+    let mut rng = seeded_rng(5);
+    let mut net = Network::new(cfg, &mut rng);
+    // Brief unsupervised shaping so weights are non-trivial.
+    let images: Vec<Vec<f32>> = (0..40)
+        .map(|k| {
+            let mut img = vec![0.05_f32; 64];
+            for i in 0..16 {
+                img[(k % 4) * 16 + i] = 0.9;
+            }
+            img
+        })
+        .collect();
+    softsnn::sim::trainer::train_unsupervised(
+        &mut net,
+        &images,
+        softsnn::sim::trainer::TrainOptions {
+            epochs: 2,
+            shuffle: true,
+        },
+        &mut rng,
+    )
+    .expect("training succeeds");
+    net.set_frozen();
+    let qn = QuantizedNetwork::from_network_default(&net);
+    let engine = ComputeEngine::for_network(&qn).expect("deployable");
+    (net, engine)
+}
+
+#[test]
+fn spike_counts_match_within_quantization_tolerance() {
+    let (mut net, mut engine) = trained_pair();
+    let encoder = PoissonEncoder::new(net.cfg().max_rate);
+    let timesteps = net.cfg().timesteps;
+
+    let mut float_total = 0_u64;
+    let mut int_total = 0_u64;
+    let mut per_neuron_float = vec![0_u64; 16];
+    let mut per_neuron_int = vec![0_u64; 16];
+    for s in 0..30 {
+        let mut img = vec![0.05_f32; 64];
+        for i in 0..16 {
+            img[(s % 4) * 16 + i] = 0.9;
+        }
+        let train = encoder.encode(&img, timesteps, &mut seeded_rng(1000 + s as u64));
+        let f = net.run_sample(&train);
+        let i = engine.run_sample(&train, &DirectRead, &mut NoGuard);
+        for j in 0..16 {
+            per_neuron_float[j] += f[j] as u64;
+            per_neuron_int[j] += i[j] as u64;
+        }
+        float_total += f.iter().map(|&c| c as u64).sum::<u64>();
+        int_total += i.iter().map(|&c| c as u64).sum::<u64>();
+    }
+    assert!(float_total > 50, "float sim should be active");
+    let ratio = int_total as f64 / float_total as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "totals diverge: int {int_total} vs float {float_total}"
+    );
+    // Per-neuron activity pattern must correlate strongly: compare ranks
+    // of the most active neurons.
+    let top_float = argmax(&per_neuron_float);
+    let top_int = argmax(&per_neuron_int);
+    assert_eq!(
+        top_float, top_int,
+        "most active neuron should agree between simulators"
+    );
+}
+
+fn argmax(xs: &[u64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by_key(|&(_, &v)| v)
+        .map(|(i, _)| i)
+        .expect("nonempty")
+}
+
+#[test]
+fn engine_is_deterministic_given_spike_train() {
+    let (_net, mut engine) = trained_pair();
+    let encoder = PoissonEncoder::new(0.3);
+    let train = encoder.encode(&vec![0.5_f32; 64], 50, &mut seeded_rng(77));
+    let a = engine.run_sample(&train, &DirectRead, &mut NoGuard);
+    let b = engine.run_sample(&train, &DirectRead, &mut NoGuard);
+    assert_eq!(a, b);
+}

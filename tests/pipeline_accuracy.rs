@@ -1,0 +1,57 @@
+//! End-to-end check: STDP training on SynthDigits reaches usable accuracy.
+
+use snn_data::synth_digits::SynthDigits;
+use snn_sim::config::SnnConfig;
+use snn_sim::eval::evaluate;
+use snn_sim::network::Network;
+use snn_sim::rng::seeded_rng;
+use snn_sim::trainer::{assign_classes, train_unsupervised, TrainOptions};
+
+#[test]
+fn synth_digits_n100_reaches_decent_accuracy() {
+    let gen = SynthDigits::default();
+    let train = gen.generate(600, 1);
+    let test = gen.generate(100, 999);
+
+    let cfg = SnnConfig::builder()
+        .n_neurons(100)
+        .build()
+        .unwrap();
+    let mut rng = seeded_rng(42);
+    let mut net = Network::new(cfg, &mut rng);
+    let report = train_unsupervised(
+        &mut net,
+        train.images(),
+        TrainOptions { epochs: 2, shuffle: true },
+        &mut rng,
+    )
+    .unwrap();
+    eprintln!(
+        "train: {} samples, {:.1} spikes/sample, {} silent",
+        report.samples_seen,
+        report.mean_spikes_per_sample(),
+        report.silent_samples
+    );
+    let thetas = net.thetas();
+    let tmax = thetas.iter().cloned().fold(0.0f32, f32::max);
+    let tmean: f32 = thetas.iter().sum::<f32>() / thetas.len() as f32;
+    let dead = thetas.iter().filter(|&&t| t == 0.0).count();
+    eprintln!("theta: mean {tmean:.2} max {tmax:.2}, neurons never fired: {dead}");
+
+    let assignment = assign_classes(
+        &mut net,
+        train.images(),
+        train.labels(),
+        10,
+        &mut rng,
+    )
+    .unwrap();
+    eprintln!("assignment coverage: {:.2}, class sizes {:?}", assignment.coverage(), assignment.class_sizes());
+    let result = evaluate(&mut net, &assignment, test.images(), test.labels(), &mut rng).unwrap();
+    eprintln!("accuracy: {:.1}% (abstained {})", result.accuracy_pct(), result.abstained);
+    assert!(
+        result.accuracy() > 0.6,
+        "expected >60% accuracy, got {:.1}%",
+        result.accuracy_pct()
+    );
+}
