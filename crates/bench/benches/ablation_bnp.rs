@@ -68,11 +68,7 @@ fn bench_guard_overhead(c: &mut Criterion) {
         let mut deployment = f.deployment.clone();
         let engine = deployment.engine_mut();
         b.iter(|| {
-            black_box(engine.run_sample(
-                &f.trains[0],
-                &snn_hw::engine::DirectRead,
-                &mut NoGuard,
-            ))
+            black_box(engine.run_sample(&f.trains[0], &snn_hw::engine::DirectRead, &mut NoGuard))
         });
     });
     group.bench_function("reset_monitor", |b| {
@@ -81,11 +77,7 @@ fn bench_guard_overhead(c: &mut Criterion) {
         let engine = deployment.engine_mut();
         let mut monitor = ResetMonitor::paper(n);
         b.iter(|| {
-            black_box(engine.run_sample(
-                &f.trains[0],
-                &snn_hw::engine::DirectRead,
-                &mut monitor,
-            ))
+            black_box(engine.run_sample(&f.trains[0], &snn_hw::engine::DirectRead, &mut monitor))
         });
     });
     group.finish();

@@ -1,0 +1,92 @@
+//! Campaign-throughput benchmark: the paper's standard sweep (4 rates ×
+//! 8 trials) executed sequentially ([`Campaign::run`]) vs fanned across
+//! cores ([`ParallelCampaign::run`]), with each grid point doing real
+//! work — engine clone, fault injection, and inference over cached spike
+//! trains. The ratio of the two times is the multi-core scaling factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snn_faults::campaign::Campaign;
+use snn_faults::fault_map::FaultMap;
+use snn_faults::injector::inject;
+use snn_faults::location::{FaultDomain, FaultSpace};
+use snn_faults::parallel::ParallelCampaign;
+use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard};
+use softsnn_bench::fixture;
+use std::hint::black_box;
+
+const TRIALS: usize = 8;
+const SAMPLES_PER_POINT: usize = 2;
+
+/// One campaign grid point: clone the clean engine, inject the map, run
+/// inference on the cached spike trains, return total spikes.
+fn grid_point(engine: &ComputeEngine, map: &FaultMap) -> f64 {
+    let f = fixture();
+    let mut engine = engine.clone();
+    inject(&mut engine, map).expect("map fits engine");
+    let mut total = 0_u64;
+    for train in f.trains.iter().take(SAMPLES_PER_POINT) {
+        total += engine
+            .run_sample_into(train, &DirectRead, &mut NoGuard)
+            .iter()
+            .map(|&c| c as u64)
+            .sum::<u64>();
+    }
+    total as f64
+}
+
+fn bench_paper_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let mut deployment = f.deployment.clone();
+    let engine = deployment.engine_mut().clone();
+    let space = FaultSpace::new(
+        engine.n_inputs(),
+        engine.n_neurons(),
+        FaultDomain::ComputeEngine,
+    );
+    let campaign = Campaign::paper_sweep(TRIALS, 40_424);
+
+    let mut group = c.benchmark_group("campaign_paper_sweep_4x8");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let r = campaign.run(&space, |map| grid_point(&engine, map));
+            black_box(r.means())
+        })
+    });
+    group.bench_function("parallel", |b| {
+        let runner = ParallelCampaign::new(campaign.clone());
+        b.iter(|| {
+            let r = runner.run(&space, |_ri, _t, map| grid_point(&engine, map));
+            black_box(r.means())
+        })
+    });
+    group.finish();
+}
+
+/// The two runners must agree bit-for-bit on the metric grid (guards the
+/// benchmark itself against comparing different computations).
+fn bench_equivalence_check(c: &mut Criterion) {
+    let f = fixture();
+    let mut deployment = f.deployment.clone();
+    let engine = deployment.engine_mut().clone();
+    let space = FaultSpace::new(
+        engine.n_inputs(),
+        engine.n_neurons(),
+        FaultDomain::ComputeEngine,
+    );
+    let campaign = Campaign::paper_sweep(2, 7);
+    let sequential = campaign.run(&space, |map| grid_point(&engine, map));
+    let parallel =
+        ParallelCampaign::new(campaign).run(&space, |_r, _t, map| grid_point(&engine, map));
+    assert_eq!(
+        sequential, parallel,
+        "parallel campaign diverged from sequential"
+    );
+    let mut group = c.benchmark_group("campaign_equivalence");
+    group.sample_size(10);
+    group.bench_function("checked", |b| b.iter(|| black_box(0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_sweep, bench_equivalence_check);
+criterion_main!(benches);

@@ -15,31 +15,27 @@ fn bench_neuron_op_faults(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10a");
     group.sample_size(10);
     for op in [NeuronOp::VmemReset, NeuronOp::VmemLeak] {
-        group.bench_with_input(
-            BenchmarkId::new("nomit", op.shorthand()),
-            &op,
-            |b, &op| {
-                b.iter(|| {
-                    let mut deployment = f.deployment.clone();
-                    let scenario = FaultScenario {
-                        domain: FaultDomain::Neurons(Some(op)),
-                        rate: 0.1,
-                        seed: 5,
-                    };
-                    black_box(
-                        deployment
-                            .evaluate(
-                                Technique::NoMitigation,
-                                &scenario,
-                                f.test.images(),
-                                f.test.labels(),
-                                &mut seeded_rng(6),
-                            )
-                            .expect("evaluation succeeds"),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("nomit", op.shorthand()), &op, |b, &op| {
+            b.iter(|| {
+                let mut deployment = f.deployment.clone();
+                let scenario = FaultScenario {
+                    domain: FaultDomain::Neurons(Some(op)),
+                    rate: 0.1,
+                    seed: 5,
+                };
+                black_box(
+                    deployment
+                        .evaluate(
+                            Technique::NoMitigation,
+                            &scenario,
+                            f.test.images(),
+                            f.test.labels(),
+                            &mut seeded_rng(6),
+                        )
+                        .expect("evaluation succeeds"),
+                )
+            });
+        });
     }
     group.finish();
 }

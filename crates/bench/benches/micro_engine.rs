@@ -1,5 +1,11 @@
 //! Micro-benchmarks of the compute-engine datapath: single steps and
 //! whole-sample runs, with the baseline and the bounded read path.
+//!
+//! Every group benches the optimized hot path (`step`/`run_sample_into`,
+//! table-driven, allocation-free) side by side with the retained
+//! pre-optimization reference (`step_reference`/`run_sample_reference`,
+//! per-element closure reads, per-call allocations), so the speedup is
+//! measured inside the same binary on the same fixture.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snn_hw::engine::{DirectRead, NoGuard};
@@ -20,7 +26,16 @@ fn bench_engine_step(c: &mut Criterion) {
             |b, active| {
                 let mut deployment = f.deployment.clone();
                 let engine = deployment.engine_mut();
-                b.iter(|| black_box(engine.step(active, &DirectRead, &mut NoGuard)));
+                b.iter(|| black_box(engine.step(active, &DirectRead, &mut NoGuard).len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", n_active),
+            &active,
+            |b, active| {
+                let mut deployment = f.deployment.clone();
+                let engine = deployment.engine_mut();
+                b.iter(|| black_box(engine.step_reference(active, &DirectRead, &mut NoGuard)));
             },
         );
     }
@@ -34,7 +49,18 @@ fn bench_run_sample(c: &mut Criterion) {
     group.bench_function("direct_noguard", |b| {
         let mut deployment = f.deployment.clone();
         let engine = deployment.engine_mut();
-        b.iter(|| black_box(engine.run_sample(&f.trains[0], &DirectRead, &mut NoGuard)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_sample_into(&f.trains[0], &DirectRead, &mut NoGuard)
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("direct_noguard_reference", |b| {
+        let mut deployment = f.deployment.clone();
+        let engine = deployment.engine_mut();
+        b.iter(|| black_box(engine.run_sample_reference(&f.trains[0], &DirectRead, &mut NoGuard)));
     });
     group.bench_function("bounded_monitored", |b| {
         let mut deployment = f.deployment.clone();
@@ -43,7 +69,22 @@ fn bench_run_sample(c: &mut Criterion) {
         let n = deployment.quantized().n_neurons;
         let engine = deployment.engine_mut();
         let mut monitor = ResetMonitor::paper(n);
-        b.iter(|| black_box(engine.run_sample(&f.trains[0], &path, &mut monitor)));
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_sample_into(&f.trains[0], &path, &mut monitor)
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("bounded_monitored_reference", |b| {
+        let mut deployment = f.deployment.clone();
+        let bounding = deployment.bounding_for(BnpVariant::Bnp3);
+        let path = BoundedRead::new(bounding);
+        let n = deployment.quantized().n_neurons;
+        let engine = deployment.engine_mut();
+        let mut monitor = ResetMonitor::paper(n);
+        b.iter(|| black_box(engine.run_sample_reference(&f.trains[0], &path, &mut monitor)));
     });
     group.finish();
 }

@@ -1,0 +1,419 @@
+//! Offline, API-compatible subset of the `criterion` bench harness.
+//!
+//! Implements the surface this workspace's benches use — benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple median-of-samples timer
+//! instead of criterion's full statistical machinery.
+//!
+//! Modes:
+//!
+//! * `cargo bench` — measures and prints `time: <ns>/iter` per benchmark.
+//! * `--test` (as passed by `cargo test --benches`) — runs each benchmark
+//!   body once, without timing, so benches act as smoke tests.
+//! * `BENCH_JSON_OUT=<path>` — additionally writes all measurements as a
+//!   JSON array, used by CI to track the performance trajectory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Measurement {
+    group: String,
+    bench: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// The bench harness entry point (one per bench binary).
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filters: Vec::new(),
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `--test` / `--bench` / filter command-line arguments the way
+    /// cargo passes them to a `harness = false` bench target.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        self.sample_size = v.parse().unwrap_or(self.sample_size);
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown flags (e.g. --color) are ignored; flags with a
+                    // value consume it when present.
+                    if args.peek().map(|n| !n.starts_with('-')).unwrap_or(false) {
+                        args.next();
+                    }
+                }
+                s => self.filters.push(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one("", &name, f);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, group: &str, bench: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = if group.is_empty() {
+            bench.to_owned()
+        } else {
+            format!("{group}/{bench}")
+        };
+        if !self.matches_filter(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {full} ... ok");
+        } else {
+            println!(
+                "{full:<50} time: {} ({} iters)",
+                format_ns(bencher.ns_per_iter),
+                bencher.iters
+            );
+        }
+        self.results.push(Measurement {
+            group: group.to_owned(),
+            bench: bench.to_owned(),
+            ns_per_iter: bencher.ns_per_iter,
+            iters: bencher.iters,
+        });
+    }
+
+    /// Writes collected measurements as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+                m.group,
+                m.bench,
+                m.ns_per_iter,
+                m.iters,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran: honors
+    /// `BENCH_JSON_OUT`.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
+            if !path.is_empty() {
+                match self.write_json(&path) {
+                    Ok(()) => {
+                        eprintln!("[criterion] wrote {} results to {path}", self.results.len())
+                    }
+                    Err(e) => eprintln!("[criterion] failed to write {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `f` under `name` within this group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.dispatch(name.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value (criterion's parameterized form).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.dispatch(id.full_name(), |b| f(b, input));
+        self
+    }
+
+    fn dispatch<F>(&mut self, bench_name: String, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n.min(saved);
+        }
+        let group = self.name.clone();
+        self.criterion.run_one(&group, &bench_name, f);
+        self.criterion.sample_size = saved;
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Bencher::iter) runs and times
+/// the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Smoke mode still records one timed call, so CI's bench-smoke
+            // job gets a (coarse) number for the perf-trajectory JSON.
+            let start = Instant::now();
+            black_box(routine());
+            self.ns_per_iter = start.elapsed().as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that takes ≥ ~1 ms
+        // so short routines are measured over many calls.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= 1_000_000 || batch >= 1 << 20 {
+                break;
+            }
+            batch = if elapsed == 0 {
+                batch * 64
+            } else {
+                (batch * 1_500_000 / elapsed.max(1)).max(batch * 2)
+            };
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0_u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples.push(elapsed / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.iters = total_iters;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a group of benchmark functions (simple `criterion_group!(name,
+/// fn, ...)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group then finalizing
+/// (JSON output, if requested).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut c = Criterion {
+            sample_size: 3,
+            ..Criterion::default()
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0_u64;
+                for i in 0..1000_u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion {
+            filters: vec!["wanted".into()],
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| panic!("must not run")));
+        group.bench_function("wanted_one", |b| b.iter(|| ()));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+    }
+
+    #[test]
+    fn json_output_is_valid_shape() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        c.bench_function("a", |b| b.iter(|| ()));
+        let path = std::env::temp_dir().join("criterion_stub_test.json");
+        c.write_json(path.to_str().unwrap()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('[') && body.trim_end().ends_with(']'));
+        assert!(body.contains("\"ns_per_iter\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

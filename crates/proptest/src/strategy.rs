@@ -1,0 +1,165 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random test inputs of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a full-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f32>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy for the full domain of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The default, full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Strategy that always yields a clone of one value (upstream `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let a = (0_u8..8).generate(&mut r);
+            assert!(a < 8);
+            let b = (10_i32..=20).generate(&mut r);
+            assert!((10..=20).contains(&b));
+            let c = (0.0_f64..=0.3).generate(&mut r);
+            assert!((0.0..=0.3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_composes() {
+        let mut r = rng();
+        let (a, b, c) = (0_usize..2, 0_usize..4, 0_u8..8).generate(&mut r);
+        assert!(a < 2 && b < 4 && c < 8);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut r = rng();
+        let s = crate::collection::vec(0_u32..5, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = crate::collection::vec(any::<u8>(), 12);
+        assert_eq!(exact.generate(&mut r).len(), 12);
+    }
+
+    #[test]
+    fn nested_vec_strategy_works() {
+        let mut r = rng();
+        let s = crate::collection::vec(crate::collection::vec(0_u32..16, 0..6), 0..20);
+        let v = s.generate(&mut r);
+        assert!(v.len() < 20);
+    }
+}

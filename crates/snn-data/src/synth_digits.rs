@@ -42,9 +42,7 @@ fn glyph(digit: usize) -> Vec<Vec<(f32, f32)>> {
             (0.5, 0.92),
             (0.22, 0.8),
         ]],
-        4 => vec![
-            vec![(0.65, 0.9), (0.65, 0.1), (0.2, 0.6), (0.85, 0.6)],
-        ],
+        4 => vec![vec![(0.65, 0.9), (0.65, 0.1), (0.2, 0.6), (0.85, 0.6)]],
         5 => vec![vec![
             (0.75, 0.1),
             (0.25, 0.1),

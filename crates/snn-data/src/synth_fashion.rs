@@ -14,7 +14,15 @@ use rand::{Rng, SeedableRng};
 
 /// Garment classes in Fashion-MNIST order.
 pub const CLASS_NAMES: [&str; 10] = [
-    "t-shirt", "trouser", "pullover", "dress", "coat", "sandal", "shirt", "sneaker", "bag",
+    "t-shirt",
+    "trouser",
+    "pullover",
+    "dress",
+    "coat",
+    "sandal",
+    "shirt",
+    "sneaker",
+    "bag",
     "ankle-boot",
 ];
 
@@ -107,10 +115,10 @@ impl SynthFashion {
             0 | 2 | 4 | 6 => {
                 fill_rect(img, w, h, (0.3, 0.25), (0.7, 0.85), body);
                 let sleeve_len = match class {
-                    0 => 0.45,  // t-shirt: short sleeves
-                    2 => 0.75,  // pullover: long sleeves
-                    4 => 0.85,  // coat: long + wider body
-                    _ => 0.65,  // shirt
+                    0 => 0.45, // t-shirt: short sleeves
+                    2 => 0.75, // pullover: long sleeves
+                    4 => 0.85, // coat: long + wider body
+                    _ => 0.65, // shirt
                 };
                 fill_rect(img, w, h, (0.12, 0.25), (0.3, sleeve_len), body);
                 fill_rect(img, w, h, (0.7, 0.25), (0.88, sleeve_len), body);

@@ -23,8 +23,7 @@ pub fn translate(img: &[f32], width: usize, height: usize, dx: i32, dy: i32) -> 
             let sx = x + dx;
             let sy = y + dy;
             if sx >= 0 && sx < width as i32 && sy >= 0 && sy < height as i32 {
-                out[(y as usize) * width + x as usize] =
-                    img[(sy as usize) * width + sx as usize];
+                out[(y as usize) * width + x as usize] = img[(sy as usize) * width + sx as usize];
             }
         }
     }

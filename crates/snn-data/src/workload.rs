@@ -120,9 +120,7 @@ mod tests {
     #[test]
     fn load_or_generate_falls_back_to_synthetic() {
         let dir = std::env::temp_dir().join("snn_no_real_data_here");
-        let (train, _test, real) = Workload::Mnist
-            .load_or_generate(&dir, 12, 4, 1)
-            .unwrap();
+        let (train, _test, real) = Workload::Mnist.load_or_generate(&dir, 12, 4, 1).unwrap();
         assert!(!real);
         assert_eq!(train.len(), 12);
     }

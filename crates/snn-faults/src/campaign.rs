@@ -53,11 +53,15 @@ impl Campaign {
     }
 
     /// The deterministic seed of the fault map at (`rate_idx`, `trial`).
+    ///
+    /// The stream index packs the rate index into the high half and the
+    /// trial into the low half. The shift is parenthesized explicitly —
+    /// `<<` does bind tighter than `|` in Rust, but the grouping is
+    /// load-bearing for every stored campaign result, so it is spelled
+    /// out and pinned by a regression test rather than left to operator
+    /// precedence.
     pub fn seed_for(&self, rate_idx: usize, trial: usize) -> u64 {
-        snn_sim::rng::derive_seed(
-            self.base_seed,
-            (rate_idx as u64) << 32 | trial as u64,
-        )
+        snn_sim::rng::derive_seed(self.base_seed, ((rate_idx as u64) << 32) | (trial as u64))
     }
 
     /// Runs `f` once per (rate, trial) with a freshly generated fault map
@@ -174,5 +178,30 @@ mod tests {
     #[should_panic]
     fn zero_trials_panics() {
         let _ = Campaign::new(vec![0.1], 0, 0);
+    }
+
+    /// Pins the exact derived seeds: any change to `seed_for`'s packing or
+    /// to `derive_seed` silently invalidates every stored campaign result,
+    /// so the values themselves are part of the contract.
+    #[test]
+    fn seed_for_values_are_pinned() {
+        let c42 = Campaign::new(vec![0.1; 4], 8, 42);
+        assert_eq!(c42.seed_for(0, 0), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(c42.seed_for(0, 1), 0x28EF_E333_B266_F103);
+        assert_eq!(c42.seed_for(1, 0), 0xBF98_AC77_734B_EC1D);
+        assert_eq!(c42.seed_for(3, 7), 0xF6B0_5A59_16DB_E2D8);
+        let coffee = Campaign::new(vec![0.1; 4], 8, 0xC0_FFEE);
+        assert_eq!(coffee.seed_for(2, 5), 0x2729_EA8F_744C_8102);
+    }
+
+    /// The packing must keep rate and trial in disjoint halves: trial
+    /// indices below 2³² can never collide with another rate's stream.
+    #[test]
+    fn seed_for_packs_rate_and_trial_disjointly() {
+        let c = Campaign::new(vec![0.1; 2], 2, 7);
+        // (rate 1, trial 0) must differ from (rate 0, trial 1<<32 ... )
+        // which the packing would conflate if `|` grouped with the shift.
+        assert_ne!(c.seed_for(1, 0), c.seed_for(0, 1));
+        assert_ne!(c.seed_for(1, 0), c.seed_for(0, 0));
     }
 }

@@ -43,7 +43,9 @@ pub fn inject(engine: &mut ComputeEngine, map: &FaultMap) -> Result<InjectionSum
     for site in map.sites() {
         match *site {
             FaultSite::WeightBit { row, col, bit } => {
-                engine.crossbar_mut().flip_bit(row as usize, col as usize, bit)?;
+                engine
+                    .crossbar_mut()
+                    .flip_bit(row as usize, col as usize, bit)?;
                 summary.bits_flipped += 1;
             }
             FaultSite::NeuronOp { neuron, op } => {
@@ -78,7 +80,11 @@ mod tests {
     use snn_sim::rng::seeded_rng;
 
     fn engine(m: usize, n: usize) -> ComputeEngine {
-        let cfg = SnnConfig::builder().n_inputs(m).n_neurons(n).build().unwrap();
+        let cfg = SnnConfig::builder()
+            .n_inputs(m)
+            .n_neurons(n)
+            .build()
+            .unwrap();
         let net = Network::new(cfg, &mut seeded_rng(0));
         let qn = QuantizedNetwork::from_network_default(&net);
         ComputeEngine::for_network(&qn).unwrap()

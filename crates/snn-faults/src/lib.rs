@@ -33,6 +33,7 @@ pub mod campaign;
 pub mod fault_map;
 pub mod injector;
 pub mod location;
+pub mod parallel;
 pub mod permanent;
 pub mod rate;
 
@@ -40,4 +41,5 @@ pub use campaign::{Campaign, CampaignResult};
 pub use fault_map::FaultMap;
 pub use injector::{inject, InjectionSummary};
 pub use location::{FaultDomain, FaultSite, FaultSpace, RawLocation};
+pub use parallel::ParallelCampaign;
 pub use permanent::StuckAtMap;

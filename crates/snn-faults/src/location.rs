@@ -203,10 +203,7 @@ mod tests {
     fn synapse_locations_are_cells_not_bits() {
         let s = FaultSpace::new(2, 3, FaultDomain::Synapses);
         assert_eq!(s.total_locations(), 6);
-        assert_eq!(
-            s.location_at(4),
-            RawLocation::WeightCell { row: 1, col: 1 }
-        );
+        assert_eq!(s.location_at(4), RawLocation::WeightCell { row: 1, col: 1 });
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Multi-core campaign execution.
+//!
+//! A fault-injection campaign is an embarrassingly parallel grid: every
+//! (rate, trial) point generates its own fault map from its own derived
+//! seed and evaluates it on its own engine clone. [`ParallelCampaign`]
+//! fans those points across cores via [`snn_sim::parallel::parallel_map`]
+//! and reassembles the metric grid in deterministic order, so its result
+//! is **bit-for-bit identical** to [`Campaign::run`] — same seeds, same
+//! maps, same layout — only faster. A property test pins that equivalence.
+
+use crate::campaign::{Campaign, CampaignResult};
+use crate::fault_map::FaultMap;
+use crate::location::FaultSpace;
+use snn_sim::parallel::parallel_map;
+
+/// Runs a [`Campaign`]'s (rate × trial) grid across all available cores.
+///
+/// The per-point closure receives `(rate_idx, trial, &FaultMap)` so
+/// callers can derive any additional per-point state (RNG streams, engine
+/// clones) exactly as the sequential runner would. It must be `Sync`:
+/// clone per-point mutable state (e.g. a deployment) inside the closure.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::campaign::Campaign;
+/// use snn_faults::parallel::ParallelCampaign;
+/// use snn_faults::location::{FaultDomain, FaultSpace};
+///
+/// let space = FaultSpace::new(64, 16, FaultDomain::ComputeEngine);
+/// let campaign = Campaign::new(vec![0.01, 0.1], 3, 42);
+/// let sequential = campaign.run(&space, |map| map.len() as f64);
+/// let parallel = ParallelCampaign::new(campaign).run(&space, |_r, _t, map| map.len() as f64);
+/// assert_eq!(sequential, parallel);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelCampaign {
+    campaign: Campaign,
+}
+
+impl ParallelCampaign {
+    /// Wraps a campaign description for parallel execution.
+    pub fn new(campaign: Campaign) -> Self {
+        Self { campaign }
+    }
+
+    /// The underlying campaign description.
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// Runs `f` once per (rate, trial) grid point — fanned across cores —
+    /// and collects the metric grid in the same `values[rate_idx][trial]`
+    /// layout as [`Campaign::run`], with identical per-point seeds.
+    pub fn run<F>(&self, space: &FaultSpace, f: F) -> CampaignResult
+    where
+        F: Fn(usize, usize, &FaultMap) -> f64 + Sync,
+    {
+        let c = &self.campaign;
+        let points: Vec<(usize, usize, f64)> = c
+            .rates
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, &rate)| (0..c.trials).map(move |t| (ri, t, rate)))
+            .collect();
+        let flat = parallel_map(&points, |&(ri, t, rate)| {
+            let map = FaultMap::generate(space, rate, c.seed_for(ri, t));
+            f(ri, t, &map)
+        });
+        let values = flat.chunks(c.trials).map(<[f64]>::to_vec).collect();
+        CampaignResult {
+            rates: c.rates.clone(),
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::FaultDomain;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space() -> FaultSpace {
+        FaultSpace::new(64, 16, FaultDomain::ComputeEngine)
+    }
+
+    /// The headline contract: parallel execution is bit-for-bit identical
+    /// to the sequential runner for a metric that depends on the map's
+    /// exact contents (not just its size).
+    #[test]
+    fn parallel_matches_sequential_bit_exactly() {
+        let campaign = Campaign::paper_sweep(8, 97);
+        let metric_seq = campaign.run(&space(), |map| {
+            map.sites()
+                .iter()
+                .map(|s| format!("{s:?}").len() as f64)
+                .sum::<f64>()
+        });
+        let metric_par = ParallelCampaign::new(campaign).run(&space(), |_ri, _t, map| {
+            map.sites()
+                .iter()
+                .map(|s| format!("{s:?}").len() as f64)
+                .sum::<f64>()
+        });
+        assert_eq!(metric_seq, metric_par);
+    }
+
+    #[test]
+    fn grid_shape_and_order_are_preserved() {
+        let campaign = Campaign::new(vec![0.001, 0.01, 0.1], 5, 3);
+        let r =
+            ParallelCampaign::new(campaign.clone()).run(&space(), |ri, t, _| (ri * 100 + t) as f64);
+        assert_eq!(r.rates, campaign.rates);
+        assert_eq!(r.values.len(), 3);
+        for (ri, row) in r.values.iter().enumerate() {
+            assert_eq!(row.len(), 5);
+            for (t, &v) in row.iter().enumerate() {
+                assert_eq!(v, (ri * 100 + t) as f64, "point ({ri}, {t}) misplaced");
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_runs_exactly_once() {
+        let campaign = Campaign::new(vec![0.01, 0.05], 16, 11);
+        let calls = AtomicUsize::new(0);
+        let _ = ParallelCampaign::new(campaign).run(&space(), |_, _, _| {
+            calls.fetch_add(1, Ordering::Relaxed) as f64
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn per_point_seeds_match_sequential_runner() {
+        let campaign = Campaign::new(vec![0.01, 0.1], 4, 9);
+        let expected = campaign.run(&space(), |map| map.seed() as f64);
+        let got = ParallelCampaign::new(campaign).run(&space(), |_, _, map| map.seed() as f64);
+        assert_eq!(expected, got);
+    }
+}

@@ -158,10 +158,20 @@ mod tests {
 
     #[test]
     fn stuck_at_one_sets_bit_stuck_at_zero_clears_it() {
-        let s1 = StuckBit { row: 0, col: 0, bit: 3, stuck_at: true };
+        let s1 = StuckBit {
+            row: 0,
+            col: 0,
+            bit: 3,
+            stuck_at: true,
+        };
         assert_eq!(s1.apply(0b0000_0000), 0b0000_1000);
         assert_eq!(s1.apply(0b0000_1000), 0b0000_1000);
-        let s0 = StuckBit { row: 0, col: 0, bit: 3, stuck_at: false };
+        let s0 = StuckBit {
+            row: 0,
+            col: 0,
+            bit: 3,
+            stuck_at: false,
+        };
         assert_eq!(s0.apply(0b0000_1000), 0);
         assert_eq!(s0.apply(0b1111_1111), 0b1111_0111);
     }
@@ -179,7 +189,11 @@ mod tests {
         assert_eq!(xbar.codes(), clean, "reload writes clean values");
         // ...but the stuck cells re-manifest immediately.
         map.apply(&mut xbar);
-        assert_eq!(xbar.codes(), corrupted, "stuck bits re-manifest after reload");
+        assert_eq!(
+            xbar.codes(),
+            corrupted,
+            "stuck bits re-manifest after reload"
+        );
     }
 
     #[test]
@@ -204,7 +218,12 @@ mod tests {
         // A stuck-at-1 in bit 7 pushes any clean code <= 127 beyond a
         // wgh_max-style threshold — the BnP detection signature survives
         // into the permanent-fault regime.
-        let s = StuckBit { row: 0, col: 0, bit: 7, stuck_at: true };
+        let s = StuckBit {
+            row: 0,
+            col: 0,
+            bit: 7,
+            stuck_at: true,
+        };
         for clean in [0_u8, 5, 60, 127] {
             assert!(s.apply(clean) >= 128);
         }

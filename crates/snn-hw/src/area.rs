@@ -94,7 +94,10 @@ mod tests {
     fn re_execution_has_baseline_area() {
         let base = engine_area(EngineConfig::PAPER, &EngineEnhancement::none());
         let re = engine_area(EngineConfig::PAPER, &EngineEnhancement::re_execution(3));
-        assert!((re.ratio_to(&base) - 1.0).abs() < 1e-12, "paper Fig. 14(c): 1.00");
+        assert!(
+            (re.ratio_to(&base) - 1.0).abs() < 1e-12,
+            "paper Fig. 14(c): 1.00"
+        );
     }
 
     #[test]
@@ -112,8 +115,7 @@ mod tests {
         };
         let a = engine_area(EngineConfig::PAPER, &enh);
         // 64k synapses vs 256 neurons: synapse adds must dominate.
-        let per_neuron_total =
-            256.0 * enhancement::NEURON_PROTECTION.hardened().area_ge();
+        let per_neuron_total = 256.0 * enhancement::NEURON_PROTECTION.hardened().area_ge();
         assert!(a.enhancement_ge > 10.0 * per_neuron_total);
     }
 

@@ -2,12 +2,21 @@
 //! accumulation (each synapse adds its weight to the running column sum, so
 //! each neuron receives a single accumulated input — the routing
 //! optimization described in the paper's Sec. 2.1).
+//!
+//! # Storage layout
+//!
+//! Weight codes are stored as one flat, row-major `Vec<u8>` rather than a
+//! vector of register structs. [`WeightRegister`] is `#[repr(transparent)]`
+//! over `u8`, so a register *view* of any cell is a free copy
+//! ([`Crossbar::register`]), while the accumulation hot path
+//! ([`Crossbar::accumulate_row_direct`], [`Crossbar::accumulate_row_lut`])
+//! runs over a contiguous byte slice the compiler can autovectorize.
 
 use crate::error::HwError;
 use crate::weight_register::WeightRegister;
 
 /// An M×N crossbar of 8-bit weight registers, row-major
-/// (`reg[row * cols + col]`). Rows are inputs, columns are neurons.
+/// (`codes[row * cols + col]`). Rows are inputs, columns are neurons.
 ///
 /// # Examples
 ///
@@ -23,7 +32,7 @@ use crate::weight_register::WeightRegister;
 pub struct Crossbar {
     rows: usize,
     cols: usize,
-    regs: Vec<WeightRegister>,
+    codes: Vec<u8>,
 }
 
 impl Crossbar {
@@ -32,7 +41,7 @@ impl Crossbar {
         Self {
             rows,
             cols,
-            regs: vec![WeightRegister::default(); rows * cols],
+            codes: vec![0; rows * cols],
         }
     }
 
@@ -54,7 +63,7 @@ impl Crossbar {
         Ok(Self {
             rows,
             cols,
-            regs: codes.iter().map(|&c| WeightRegister::new(c)).collect(),
+            codes: codes.to_vec(),
         })
     }
 
@@ -70,12 +79,12 @@ impl Crossbar {
 
     /// Number of synapses.
     pub fn len(&self) -> usize {
-        self.regs.len()
+        self.codes.len()
     }
 
     /// Whether the crossbar holds zero synapses.
     pub fn is_empty(&self) -> bool {
-        self.regs.is_empty()
+        self.codes.is_empty()
     }
 
     /// Reads the register at (`row`, `col`).
@@ -85,7 +94,17 @@ impl Crossbar {
     /// Panics if either index is out of range.
     pub fn read(&self, row: usize, col: usize) -> u8 {
         assert!(row < self.rows && col < self.cols, "crossbar index");
-        self.regs[row * self.cols + col].read()
+        self.codes[row * self.cols + col]
+    }
+
+    /// A register view of the cell at (`row`, `col`) — a free copy, since
+    /// [`WeightRegister`] is transparent over `u8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn register(&self, row: usize, col: usize) -> WeightRegister {
+        WeightRegister::new(self.read(row, col))
     }
 
     /// Overwrites the register at (`row`, `col`) — clears any persisted
@@ -96,7 +115,7 @@ impl Crossbar {
     /// Panics if either index is out of range.
     pub fn write(&mut self, row: usize, col: usize, code: u8) {
         assert!(row < self.rows && col < self.cols, "crossbar index");
-        self.regs[row * self.cols + col].write(code);
+        self.codes[row * self.cols + col] = code;
     }
 
     /// Reloads every register from row-major codes (parameter replacement).
@@ -105,18 +124,16 @@ impl Crossbar {
     ///
     /// Returns [`HwError::InvalidNetwork`] on length mismatch.
     pub fn reload(&mut self, codes: &[u8]) -> Result<(), HwError> {
-        if codes.len() != self.regs.len() {
+        if codes.len() != self.codes.len() {
             return Err(HwError::InvalidNetwork {
                 detail: format!(
                     "reload expected {} codes, got {}",
-                    self.regs.len(),
+                    self.codes.len(),
                     codes.len()
                 ),
             });
         }
-        for (reg, &c) in self.regs.iter_mut().zip(codes) {
-            reg.write(c);
-        }
+        self.codes.copy_from_slice(codes);
         Ok(())
     }
 
@@ -147,7 +164,9 @@ impl Crossbar {
                 bound: 8,
             });
         }
-        self.regs[row * self.cols + col].flip_bit(bit);
+        let mut reg = WeightRegister::new(self.codes[row * self.cols + col]);
+        reg.flip_bit(bit);
+        self.codes[row * self.cols + col] = reg.read();
         Ok(())
     }
 
@@ -159,21 +178,98 @@ impl Crossbar {
     /// column adder (identity for the baseline engine, bounding logic for
     /// the BnP-enhanced engine).
     ///
+    /// This is the *reference* per-element formulation; the engine's hot
+    /// path uses [`accumulate_row_direct`](Self::accumulate_row_direct) and
+    /// [`accumulate_row_lut`](Self::accumulate_row_lut), which are proven
+    /// equivalent by property tests.
+    ///
     /// # Panics
     ///
     /// Panics if `row` is out of range or `acc.len() != cols`.
     pub fn accumulate_row(&self, row: usize, read_path: impl Fn(u8) -> u8, acc: &mut [i64]) {
         assert!(row < self.rows, "row index");
         assert_eq!(acc.len(), self.cols, "accumulator width");
-        let base = row * self.cols;
-        for (col, a) in acc.iter_mut().enumerate() {
-            *a += read_path(self.regs[base + col].read()) as i64;
+        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
+            *a += read_path(c) as i64;
         }
     }
 
-    /// All codes, row-major (for analysis and checkpointing).
+    /// Accumulates `row` with the identity read path (baseline engine):
+    /// a pure widening add over a contiguous byte slice, which the
+    /// compiler autovectorizes.
+    ///
+    /// The fast kernels accumulate in `i32` (twice the SIMD width of
+    /// `i64`): a full sample's column sum is bounded by `rows × 255`, so
+    /// `i32` is exact for any crossbar under ~8.4M rows — orders of
+    /// magnitude beyond the 784-input engines this workspace builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `acc.len() != cols`.
+    #[inline]
+    pub fn accumulate_row_direct(&self, row: usize, acc: &mut [i32]) {
+        assert!(row < self.rows, "row index");
+        assert_eq!(acc.len(), self.cols, "accumulator width");
+        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
+            *a += c as i32;
+        }
+    }
+
+    /// Accumulates `row` through a precomputed 256-entry read-path table
+    /// (see [`crate::engine::WeightReadPath::table`]) — one indexed load
+    /// per element instead of a closure call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `acc.len() != cols`.
+    #[inline]
+    pub fn accumulate_row_lut(&self, row: usize, lut: &[u8; 256], acc: &mut [i32]) {
+        assert!(row < self.rows, "row index");
+        assert_eq!(acc.len(), self.cols, "accumulator width");
+        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
+            *a += lut[c as usize] as i32;
+        }
+    }
+
+    /// Accumulates `row` through a comparator+mux read path (`code >
+    /// threshold → default`, the shape of every BnP bounding variant) —
+    /// a branchless compare/select the compiler vectorizes, unlike the
+    /// general table gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `acc.len() != cols`.
+    #[inline]
+    pub fn accumulate_row_bounded(&self, row: usize, threshold: u8, default: u8, acc: &mut [i32]) {
+        assert!(row < self.rows, "row index");
+        assert_eq!(acc.len(), self.cols, "accumulator width");
+        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
+            let bounded = if c > threshold { default } else { c };
+            *a += bounded as i32;
+        }
+    }
+
+    /// The codes of one row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn row_codes(&self, row: usize) -> &[u8] {
+        let base = row * self.cols;
+        &self.codes[base..base + self.cols]
+    }
+
+    /// All codes, row-major, borrowed (the allocation-free accessor).
+    pub fn codes_slice(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// All codes, row-major, as an owned copy (for analysis and
+    /// checkpointing; prefer [`codes_slice`](Self::codes_slice) when a
+    /// borrow suffices).
     pub fn codes(&self) -> Vec<u8> {
-        self.regs.iter().map(|r| r.read()).collect()
+        self.codes.clone()
     }
 }
 
@@ -194,6 +290,35 @@ mod tests {
         xbar.accumulate_row(0, |c| c, &mut acc);
         xbar.accumulate_row(1, |c| c, &mut acc);
         assert_eq!(acc, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn direct_and_lut_paths_match_reference() {
+        let codes: Vec<u8> = (0..=255).chain(0..=255).collect();
+        let xbar = Crossbar::from_codes(4, 128, &codes).unwrap();
+        let clamp = |c: u8| if c >= 128 { 7 } else { c };
+        let mut lut = [0_u8; 256];
+        for (i, slot) in lut.iter_mut().enumerate() {
+            *slot = clamp(i as u8);
+        }
+        for row in 0..4 {
+            let mut reference = vec![0_i64; 128];
+            let mut via_lut = vec![0_i32; 128];
+            let mut via_bounded = vec![0_i32; 128];
+            xbar.accumulate_row(row, clamp, &mut reference);
+            xbar.accumulate_row_lut(row, &lut, &mut via_lut);
+            xbar.accumulate_row_bounded(row, 127, 7, &mut via_bounded);
+            let widened: Vec<i64> = via_lut.iter().map(|&a| a as i64).collect();
+            assert_eq!(reference, widened, "lut row {row}");
+            assert_eq!(via_lut, via_bounded, "bounded row {row}");
+
+            let mut ref_direct = vec![0_i64; 128];
+            let mut direct = vec![0_i32; 128];
+            xbar.accumulate_row(row, |c| c, &mut ref_direct);
+            xbar.accumulate_row_direct(row, &mut direct);
+            let widened: Vec<i64> = direct.iter().map(|&a| a as i64).collect();
+            assert_eq!(ref_direct, widened, "direct row {row}");
+        }
     }
 
     #[test]
@@ -230,5 +355,21 @@ mod tests {
         let codes = vec![9, 8, 7, 6];
         let xbar = Crossbar::from_codes(2, 2, &codes).unwrap();
         assert_eq!(xbar.codes(), codes);
+        assert_eq!(xbar.codes_slice(), codes.as_slice());
+    }
+
+    #[test]
+    fn register_view_reflects_cell() {
+        let mut xbar = Crossbar::from_codes(1, 2, &[3, 4]).unwrap();
+        assert_eq!(xbar.register(0, 1).read(), 4);
+        xbar.write(0, 1, 9);
+        assert_eq!(xbar.register(0, 1).read(), 9);
+    }
+
+    #[test]
+    fn row_codes_is_the_row_major_slice() {
+        let xbar = Crossbar::from_codes(2, 3, &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(xbar.row_codes(0), &[1, 2, 3]);
+        assert_eq!(xbar.row_codes(1), &[4, 5, 6]);
     }
 }

@@ -31,7 +31,8 @@ impl PowerBreakdown {
 pub fn engine_power(cfg: EngineConfig, enhancement: &EngineEnhancement) -> PowerBreakdown {
     let n_syn = cfg.n_synapses() as f64;
     let n_neu = cfg.cols as f64;
-    let base_uw = n_syn * (baseline::WEIGHT_REGISTER.power_uw() + baseline::COLUMN_ADDER.power_uw())
+    let base_uw = n_syn
+        * (baseline::WEIGHT_REGISTER.power_uw() + baseline::COLUMN_ADDER.power_uw())
         + n_neu * baseline::NEURON_DATAPATH.power_uw()
         + baseline::CONTROL_FRACTION
             * n_syn

@@ -6,6 +6,24 @@
 //! *physical* 256×256 geometry only affects the latency/energy/area models
 //! (time-multiplexing changes cost, not function — see
 //! [`crate::mapping`]).
+//!
+//! # Hot path
+//!
+//! [`ComputeEngine::step`] and [`ComputeEngine::run_sample_into`] are the
+//! simulation hot path of every fault-injection campaign, and are built to
+//! be allocation-free and autovectorizable:
+//!
+//! * weight reads go through a precomputed 256-entry lookup table
+//!   ([`WeightReadPath::table`]) — or a pure widening add when the path is
+//!   the identity ([`WeightReadPath::is_identity`]) — instead of a
+//!   per-element closure call;
+//! * the `fired` list, inhibition mask, accumulators, and per-neuron spike
+//!   counters are scratch buffers owned by the engine and reused across
+//!   steps and samples.
+//!
+//! The original per-element formulation is retained as
+//! [`ComputeEngine::step_reference`] / [`ComputeEngine::run_sample_reference`];
+//! property tests assert the optimized path is spike-for-spike identical.
 
 use crate::crossbar::Crossbar;
 use crate::error::HwError;
@@ -19,10 +37,71 @@ use snn_sim::spike::SpikeTrain;
 /// The baseline engine reads registers directly ([`DirectRead`]); the
 /// SoftSNN-enhanced engine inserts a comparator + multiplexer here
 /// (weight bounding). Implementations must be pure combinational logic:
-/// same input code → same output code.
+/// same input code → same output code. That purity is what makes the
+/// engine's table-driven hot path valid: [`table`](Self::table) captures
+/// the entire input→output function in 256 entries.
 pub trait WeightReadPath {
     /// Transforms a raw register code into the value fed to the adder.
     fn read(&self, code: u8) -> u8;
+
+    /// The full 256-entry transfer function of this read path.
+    ///
+    /// The default implementation evaluates [`read`](Self::read) for every
+    /// code; stateless paths get this for free, and paths with stored
+    /// configuration (e.g. bounding registers) may override it with a
+    /// cached table.
+    fn table(&self) -> [u8; 256] {
+        let mut t = [0_u8; 256];
+        for (code, slot) in t.iter_mut().enumerate() {
+            *slot = self.read(code as u8);
+        }
+        t
+    }
+
+    /// Whether this path is the identity function. Identity paths skip the
+    /// table entirely and accumulate with a pure widening add.
+    fn is_identity(&self) -> bool {
+        false
+    }
+
+    /// If this path is a comparator + multiplexer (`code > threshold →
+    /// default` — the shape of Eq. 1 weight bounding), its two hardware
+    /// register values. The engine lowers such paths to a branchless
+    /// compare/select kernel, which vectorizes where a general table
+    /// gather does not.
+    fn bound_params(&self) -> Option<(u8, u8)> {
+        None
+    }
+}
+
+/// The accumulation kernel resolved from a [`WeightReadPath`], once per
+/// step or sample (not per element).
+enum ReadKernel {
+    /// Identity path: pure widening add.
+    Direct,
+    /// Comparator + mux: branchless compare/select.
+    Bounded {
+        /// `wgh_th` register.
+        threshold: u8,
+        /// `wgh_def` register.
+        default: u8,
+    },
+    /// Arbitrary combinational logic: 256-entry table (boxed so the
+    /// common kernels stay pointer-sized; resolved once per step/sample,
+    /// so the allocation is off the per-element path).
+    Table(Box<[u8; 256]>),
+}
+
+impl ReadKernel {
+    fn resolve<P: WeightReadPath>(path: &P) -> Self {
+        if path.is_identity() {
+            ReadKernel::Direct
+        } else if let Some((threshold, default)) = path.bound_params() {
+            ReadKernel::Bounded { threshold, default }
+        } else {
+            ReadKernel::Table(Box::new(path.table()))
+        }
+    }
 }
 
 /// The baseline read path: registers feed the adders unmodified.
@@ -33,6 +112,11 @@ impl WeightReadPath for DirectRead {
     #[inline]
     fn read(&self, code: u8) -> u8 {
         code
+    }
+
+    #[inline]
+    fn is_identity(&self) -> bool {
+        true
     }
 }
 
@@ -90,8 +174,14 @@ pub struct ComputeEngine {
     v_thresh: Vec<i32>,
     hw: NeuronHwParams,
     neurons: Vec<NeuronUnit>,
-    acc: Vec<i64>,
     clean_codes: Vec<u8>,
+    // Scratch buffers reused across steps/samples (the hot path never
+    // allocates). `fired_mask` entries are only ever true transiently
+    // inside `step_into`.
+    acc: Vec<i32>,
+    fired: Vec<u32>,
+    fired_mask: Vec<bool>,
+    counts: Vec<u32>,
 }
 
 impl ComputeEngine {
@@ -128,8 +218,11 @@ impl ComputeEngine {
                 v_inh: qn.neuron.v_inh,
             },
             neurons: vec![NeuronUnit::new(); qn.n_neurons],
-            acc: vec![0; qn.n_neurons],
             clean_codes: qn.codes.clone(),
+            acc: vec![0; qn.n_neurons],
+            fired: Vec::with_capacity(qn.n_neurons),
+            fired_mask: vec![false; qn.n_neurons],
+            counts: vec![0; qn.n_neurons],
         })
     }
 
@@ -210,6 +303,10 @@ impl ComputeEngine {
     /// is driven by output spikes, so a neuron whose spike generator is
     /// faulty (or vetoed) does not inhibit its neighbours.
     ///
+    /// The returned slice borrows the engine's scratch buffer and is valid
+    /// until the next `step`/`run_sample` call; copy it out
+    /// (`.to_vec()`) if you need it longer.
+    ///
     /// # Panics
     ///
     /// Panics if any row index is out of range.
@@ -218,15 +315,124 @@ impl ComputeEngine {
         active_rows: &[u32],
         path: &P,
         guard: &mut G,
+    ) -> &[u32] {
+        let kernel = ReadKernel::resolve(path);
+        self.step_into(active_rows, &kernel, guard);
+        &self.fired
+    }
+
+    /// The engine-internal step: accumulate active rows through the
+    /// resolved kernel, advance every neuron, apply lateral inhibition.
+    /// Leaves the fired indices in `self.fired`.
+    fn step_into<G: SpikeGuard>(
+        &mut self,
+        active_rows: &[u32],
+        kernel: &ReadKernel,
+        guard: &mut G,
+    ) {
+        self.acc.fill(0);
+        match kernel {
+            ReadKernel::Direct => {
+                for &row in active_rows {
+                    self.crossbar
+                        .accumulate_row_direct(row as usize, &mut self.acc);
+                }
+            }
+            ReadKernel::Bounded { threshold, default } => {
+                for &row in active_rows {
+                    self.crossbar.accumulate_row_bounded(
+                        row as usize,
+                        *threshold,
+                        *default,
+                        &mut self.acc,
+                    );
+                }
+            }
+            ReadKernel::Table(lut) => {
+                for &row in active_rows {
+                    self.crossbar
+                        .accumulate_row_lut(row as usize, lut, &mut self.acc);
+                }
+            }
+        }
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        for j in 0..self.n_neurons {
+            let out = self.neurons[j].step(self.acc[j] as i64, self.v_thresh[j], &self.hw);
+            let allowed = guard.allow_spike(j, out.cmp_out);
+            if out.spike && allowed {
+                fired.push(j as u32);
+            }
+        }
+        if !fired.is_empty() && self.hw.v_inh > 0 {
+            let total_inh = self.hw.v_inh.saturating_mul(fired.len() as i32);
+            for &j in &fired {
+                self.fired_mask[j as usize] = true;
+            }
+            for (j, n) in self.neurons.iter_mut().enumerate() {
+                if !self.fired_mask[j] {
+                    n.inhibit(total_inh);
+                }
+            }
+            for &j in &fired {
+                self.fired_mask[j as usize] = false;
+            }
+        }
+        self.fired = fired;
+    }
+
+    /// Presents one encoded sample (membrane state is cleared first) and
+    /// returns per-neuron output spike counts as a borrow of the engine's
+    /// scratch counter buffer — the allocation-free form of
+    /// [`run_sample`](Self::run_sample). The slice is valid until the next
+    /// `step`/`run_sample` call.
+    pub fn run_sample_into<P: WeightReadPath, G: SpikeGuard>(
+        &mut self,
+        train: &SpikeTrain,
+        path: &P,
+        guard: &mut G,
+    ) -> &[u32] {
+        self.reset_state();
+        self.counts.fill(0);
+        let kernel = ReadKernel::resolve(path);
+        for step_idx in 0..train.n_steps() {
+            self.step_into(train.step(step_idx), &kernel, guard);
+            for i in 0..self.fired.len() {
+                self.counts[self.fired[i] as usize] += 1;
+            }
+        }
+        &self.counts
+    }
+
+    /// Presents one encoded sample (membrane state is cleared first) and
+    /// returns per-neuron output spike counts as an owned vector.
+    pub fn run_sample<P: WeightReadPath, G: SpikeGuard>(
+        &mut self,
+        train: &SpikeTrain,
+        path: &P,
+        guard: &mut G,
     ) -> Vec<u32> {
-        self.acc.iter_mut().for_each(|a| *a = 0);
+        self.run_sample_into(train, path, guard).to_vec()
+    }
+
+    /// Reference (pre-optimization) formulation of [`step`](Self::step):
+    /// per-element closure reads and per-call allocations. Kept as the
+    /// behavioral oracle for the equivalence property tests; not a hot
+    /// path.
+    pub fn step_reference<P: WeightReadPath, G: SpikeGuard>(
+        &mut self,
+        active_rows: &[u32],
+        path: &P,
+        guard: &mut G,
+    ) -> Vec<u32> {
+        let mut acc = vec![0_i64; self.n_neurons];
         for &row in active_rows {
             self.crossbar
-                .accumulate_row(row as usize, |c| path.read(c), &mut self.acc);
+                .accumulate_row(row as usize, |c| path.read(c), &mut acc);
         }
         let mut fired: Vec<u32> = Vec::new();
-        for j in 0..self.n_neurons {
-            let out = self.neurons[j].step(self.acc[j], self.v_thresh[j], &self.hw);
+        for (j, &drive) in acc.iter().enumerate() {
+            let out = self.neurons[j].step(drive, self.v_thresh[j], &self.hw);
             let allowed = guard.allow_spike(j, out.cmp_out);
             if out.spike && allowed {
                 fired.push(j as u32);
@@ -247,9 +453,9 @@ impl ComputeEngine {
         fired
     }
 
-    /// Presents one encoded sample (membrane state is cleared first) and
-    /// returns per-neuron output spike counts.
-    pub fn run_sample<P: WeightReadPath, G: SpikeGuard>(
+    /// Reference formulation of [`run_sample`](Self::run_sample), built on
+    /// [`step_reference`](Self::step_reference).
+    pub fn run_sample_reference<P: WeightReadPath, G: SpikeGuard>(
         &mut self,
         train: &SpikeTrain,
         path: &P,
@@ -257,12 +463,17 @@ impl ComputeEngine {
     ) -> Vec<u32> {
         self.reset_state();
         let mut counts = vec![0_u32; self.n_neurons];
-        for step in train.iter() {
-            for j in self.step(step, path, guard) {
+        for step in 0..train.n_steps() {
+            for j in self.step_reference(train.step(step), path, guard) {
                 counts[j as usize] += 1;
             }
         }
         counts
+    }
+
+    /// Per-neuron membrane potentials (for trajectory equivalence tests).
+    pub fn membranes(&self) -> Vec<i32> {
+        self.neurons.iter().map(|n| n.vmem).collect()
     }
 }
 
@@ -296,7 +507,9 @@ mod tests {
         let mut e = small_engine();
         let mut total = 0;
         for _ in 0..20 {
-            total += e.step(&[0, 1, 2, 3, 4, 5, 6, 7], &DirectRead, &mut NoGuard).len();
+            total += e
+                .step(&[0, 1, 2, 3, 4, 5, 6, 7], &DirectRead, &mut NoGuard)
+                .len();
         }
         assert!(total > 0);
     }
@@ -376,7 +589,9 @@ mod tests {
         let mut e = small_engine();
         let mut total = 0;
         for _ in 0..20 {
-            total += e.step(&[0, 1, 2, 3, 4, 5, 6, 7], &DirectRead, &mut MuteAll).len();
+            total += e
+                .step(&[0, 1, 2, 3, 4, 5, 6, 7], &DirectRead, &mut MuteAll)
+                .len();
         }
         assert_eq!(total, 0);
     }
@@ -404,8 +619,63 @@ mod tests {
             .run_sample(&train, &DirectRead, &mut NoGuard)
             .iter()
             .sum();
-        let b: u32 = clamped.run_sample(&train, &Clamp, &mut NoGuard).iter().sum();
+        let b: u32 = clamped
+            .run_sample(&train, &Clamp, &mut NoGuard)
+            .iter()
+            .sum();
         assert!(b < a, "clamped engine must fire less ({b} vs {a})");
+    }
+
+    #[test]
+    fn optimized_step_matches_reference() {
+        // Same engine state, same inputs: the table-driven step and the
+        // closure-based reference must agree spike for spike.
+        struct Clamp;
+        impl WeightReadPath for Clamp {
+            fn read(&self, code: u8) -> u8 {
+                if code >= 100 {
+                    13
+                } else {
+                    code
+                }
+            }
+        }
+        let mut fast = small_engine();
+        let mut slow = small_engine();
+        fast.crossbar_mut().flip_bit(3, 1, 7).unwrap();
+        slow.crossbar_mut().flip_bit(3, 1, 7).unwrap();
+        for t in 0..40 {
+            let rows: Vec<u32> = (0..8).filter(|r| (t + r) % 3 != 0).collect();
+            let a = fast.step(&rows, &Clamp, &mut NoGuard).to_vec();
+            let b = slow.step_reference(&rows, &Clamp, &mut NoGuard);
+            assert_eq!(a, b, "step {t}");
+            assert_eq!(fast.membranes(), slow.membranes(), "step {t}");
+        }
+    }
+
+    #[test]
+    fn run_sample_into_matches_owned_and_reference() {
+        let mut e = small_engine();
+        let mut train = SpikeTrain::new(8, 20);
+        for t in 0..20_u32 {
+            train.push_step((0..8).filter(|r| (t + r) % 2 == 0).collect());
+        }
+        let owned = e.run_sample(&train, &DirectRead, &mut NoGuard);
+        let reference = e.run_sample_reference(&train, &DirectRead, &mut NoGuard);
+        let into = e
+            .run_sample_into(&train, &DirectRead, &mut NoGuard)
+            .to_vec();
+        assert_eq!(owned, reference);
+        assert_eq!(owned, into);
+    }
+
+    #[test]
+    fn direct_read_table_is_identity() {
+        let t = DirectRead.table();
+        for (i, &v) in t.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+        assert!(DirectRead.is_identity());
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod tests {
         let t = tiling(400);
         let base = inference_latency(&t, 100, &EngineEnhancement::none());
         let re = inference_latency(&t, 100, &EngineEnhancement::re_execution(3));
-        assert!((re.ratio_to(&base) - 3.0).abs() < 1e-9, "paper Fig. 3(b)/14(a)");
+        assert!(
+            (re.ratio_to(&base) - 3.0).abs() < 1e-9,
+            "paper Fig. 3(b)/14(a)"
+        );
     }
 
     #[test]

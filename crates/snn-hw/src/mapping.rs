@@ -44,7 +44,10 @@ impl Tiling {
     ///
     /// Panics if either logical dimension is zero.
     pub fn for_network(engine: EngineConfig, n_inputs: usize, n_neurons: usize) -> Self {
-        assert!(n_inputs > 0 && n_neurons > 0, "logical dims must be nonzero");
+        assert!(
+            n_inputs > 0 && n_neurons > 0,
+            "logical dims must be nonzero"
+        );
         Self {
             engine,
             n_inputs,

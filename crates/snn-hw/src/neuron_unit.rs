@@ -180,7 +180,9 @@ impl NeuronUnit {
         }
         // Vmem increase
         if !self.faults.vi {
-            self.vmem = self.vmem.saturating_add(drive.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+            self.vmem = self
+                .vmem
+                .saturating_add(drive.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
         }
         // Vmem leak (floored at 0, like the float simulator)
         if !self.faults.vl {

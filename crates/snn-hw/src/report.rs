@@ -76,18 +76,39 @@ impl fmt::Display for SynthesisReport {
         writeln!(f, " Technology: 65nm (representative analytical model)")?;
         writeln!(f, "=====================================================")?;
         writeln!(f, " Area Report")?;
-        writeln!(f, "   synapse array : {:>14.0} GE", self.area.synapse_array_ge)?;
+        writeln!(
+            f,
+            "   synapse array : {:>14.0} GE",
+            self.area.synapse_array_ge
+        )?;
         writeln!(f, "   neurons       : {:>14.0} GE", self.area.neurons_ge)?;
         writeln!(f, "   control       : {:>14.0} GE", self.area.control_ge)?;
-        writeln!(f, "   enhancements  : {:>14.0} GE", self.area.enhancement_ge)?;
-        writeln!(f, "   total         : {:>14.0} GE ({:.3} mm2)", self.area.total_ge(), self.area.total_mm2())?;
+        writeln!(
+            f,
+            "   enhancements  : {:>14.0} GE",
+            self.area.enhancement_ge
+        )?;
+        writeln!(
+            f,
+            "   total         : {:>14.0} GE ({:.3} mm2)",
+            self.area.total_ge(),
+            self.area.total_mm2()
+        )?;
         writeln!(f, " Timing Report")?;
-        writeln!(f, "   clock period  : {:>10.3} ns", self.latency.clock_period_ns)?;
+        writeln!(
+            f,
+            "   clock period  : {:>10.3} ns",
+            self.latency.clock_period_ns
+        )?;
         writeln!(f, "   cycles/infer  : {:>10}", self.latency.cycles)?;
         writeln!(f, "   latency/infer : {:>10.2} us", self.latency.total_us())?;
         writeln!(f, " Power Report")?;
         writeln!(f, "   baseline      : {:>10.1} uW", self.power.base_uw)?;
-        writeln!(f, "   enhancements  : {:>10.1} uW", self.power.enhancement_uw)?;
+        writeln!(
+            f,
+            "   enhancements  : {:>10.1} uW",
+            self.power.enhancement_uw
+        )?;
         writeln!(f, "   total         : {:>10.2} mW", self.power.total_mw())?;
         writeln!(f, "=====================================================")
     }

@@ -19,8 +19,12 @@
 /// r.write(3); // overwrite clears the fault's effect
 /// assert_eq!(r.read(), 3);
 /// ```
+/// The register is `#[repr(transparent)]` over its `u8` code: the crossbar
+/// stores codes as one flat byte vector and materializes register views on
+/// demand at zero cost (see [`crate::crossbar::Crossbar::register`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(transparent)]
 pub struct WeightRegister(u8);
 
 impl WeightRegister {

@@ -1,0 +1,197 @@
+//! Equivalence properties for the optimized engine hot path.
+//!
+//! The table-driven, allocation-free `step`/`run_sample_into` must be
+//! spike-for-spike and membrane-for-membrane identical to the retained
+//! reference scalar implementation (`step_reference` /
+//! `run_sample_reference`) across random networks, random persisted
+//! faults (register bit flips and neuron-op faults), and random
+//! bounding-style read paths.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard, WeightReadPath};
+use snn_hw::neuron_unit::NeuronOp;
+use snn_sim::config::SnnConfig;
+use snn_sim::network::Network;
+use snn_sim::quant::QuantizedNetwork;
+use snn_sim::rng::seeded_rng;
+use snn_sim::spike::SpikeTrain;
+
+/// A bounding-style read path with arbitrary threshold/default registers
+/// (the shape of every real non-identity path in the workspace).
+#[derive(Debug, Clone, Copy)]
+struct RandomBound {
+    threshold: u8,
+    default: u8,
+}
+
+impl WeightReadPath for RandomBound {
+    fn read(&self, code: u8) -> u8 {
+        if code > self.threshold {
+            self.default
+        } else {
+            code
+        }
+    }
+
+    fn bound_params(&self) -> Option<(u8, u8)> {
+        Some((self.threshold, self.default))
+    }
+}
+
+/// The same transfer function as [`RandomBound`] but *without* the
+/// `bound_params` hint, forcing the engine onto the table kernel — so the
+/// equivalence properties cover all three accumulation kernels.
+#[derive(Debug, Clone, Copy)]
+struct RandomBoundAsTable {
+    threshold: u8,
+    default: u8,
+}
+
+impl WeightReadPath for RandomBoundAsTable {
+    fn read(&self, code: u8) -> u8 {
+        if code > self.threshold {
+            self.default
+        } else {
+            code
+        }
+    }
+}
+
+/// Builds a random engine: random trained-ish weights, then random
+/// persisted faults applied identically to both engine copies.
+fn random_faulted_engine(
+    n_inputs: usize,
+    n_neurons: usize,
+    net_seed: u64,
+    fault_seed: u64,
+    n_bit_flips: usize,
+    n_op_faults: usize,
+) -> ComputeEngine {
+    let cfg = SnnConfig::builder()
+        .n_inputs(n_inputs)
+        .n_neurons(n_neurons)
+        .v_thresh(2.0)
+        .v_leak(0.1)
+        .v_inh(3.0)
+        .t_refrac(2)
+        .build()
+        .expect("valid config");
+    let net = Network::new(cfg, &mut seeded_rng(net_seed));
+    let qn = QuantizedNetwork::from_network_default(&net);
+    let mut engine = ComputeEngine::for_network(&qn).expect("deployable");
+    let mut rng = StdRng::seed_from_u64(fault_seed);
+    for _ in 0..n_bit_flips {
+        let row = rng.gen_range(0..n_inputs);
+        let col = rng.gen_range(0..n_neurons);
+        let bit = rng.gen_range(0_u8..8);
+        engine
+            .crossbar_mut()
+            .flip_bit(row, col, bit)
+            .expect("in range");
+    }
+    for _ in 0..n_op_faults {
+        let j = rng.gen_range(0..n_neurons);
+        let op = NeuronOp::ALL[rng.gen_range(0_usize..4)];
+        engine.neurons_mut()[j].faults.set(op);
+    }
+    engine
+}
+
+/// A random spike train over `n_inputs` channels.
+fn random_train(n_inputs: usize, n_steps: usize, seed: u64, density: f64) -> SpikeTrain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = SpikeTrain::new(n_inputs, n_steps);
+    for _ in 0..n_steps {
+        let active: Vec<u32> = (0..n_inputs as u32)
+            .filter(|_| rng.gen_bool(density))
+            .collect();
+        train.push_step(active);
+    }
+    train
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Step-level equivalence under the identity read path: identical
+    /// fired indices and identical membrane trajectories at every step.
+    #[test]
+    fn step_matches_reference_direct(
+        net_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        n_bit_flips in 0_usize..40,
+        n_op_faults in 0_usize..6,
+        density in 0.05_f64..0.9,
+    ) {
+        let mut fast = random_faulted_engine(24, 10, net_seed, fault_seed, n_bit_flips, n_op_faults);
+        let mut slow = fast.clone();
+        let train = random_train(24, 30, fault_seed ^ 1, density);
+        for s in 0..train.n_steps() {
+            let rows = train.step(s).to_vec();
+            let a = fast.step(&rows, &DirectRead, &mut NoGuard).to_vec();
+            let b = slow.step_reference(&rows, &DirectRead, &mut NoGuard);
+            prop_assert_eq!(&a, &b, "fired diverged at step {}", s);
+            prop_assert_eq!(fast.membranes(), slow.membranes(), "membranes diverged at step {}", s);
+        }
+    }
+
+    /// Step-level equivalence under arbitrary bounding read paths.
+    #[test]
+    fn step_matches_reference_bounded(
+        net_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        threshold in any::<u8>(),
+        default in any::<u8>(),
+        n_bit_flips in 0_usize..40,
+    ) {
+        let path = RandomBound { threshold, default };
+        let mut fast = random_faulted_engine(24, 10, net_seed, fault_seed, n_bit_flips, 2);
+        let mut slow = fast.clone();
+        let train = random_train(24, 30, fault_seed ^ 2, 0.4);
+        for s in 0..train.n_steps() {
+            let rows = train.step(s).to_vec();
+            let a = fast.step(&rows, &path, &mut NoGuard).to_vec();
+            let b = slow.step_reference(&rows, &path, &mut NoGuard);
+            prop_assert_eq!(&a, &b, "fired diverged at step {}", s);
+            prop_assert_eq!(fast.membranes(), slow.membranes(), "membranes diverged at step {}", s);
+        }
+    }
+
+    /// Whole-sample equivalence: spike counts agree for the optimized
+    /// owned, optimized borrowed, and reference paths — via both the
+    /// compare/select kernel and the general table kernel.
+    #[test]
+    fn run_sample_matches_reference(
+        net_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        threshold in any::<u8>(),
+        default in any::<u8>(),
+        n_bit_flips in 0_usize..60,
+        n_op_faults in 0_usize..8,
+    ) {
+        let path = RandomBound { threshold, default };
+        let as_table = RandomBoundAsTable { threshold, default };
+        let mut fast = random_faulted_engine(32, 12, net_seed, fault_seed, n_bit_flips, n_op_faults);
+        let mut slow = fast.clone();
+        let train = random_train(32, 40, fault_seed ^ 3, 0.3);
+        let reference = slow.run_sample_reference(&train, &path, &mut NoGuard);
+        let owned = fast.run_sample(&train, &path, &mut NoGuard);
+        prop_assert_eq!(&owned, &reference);
+        let borrowed = fast.run_sample_into(&train, &path, &mut NoGuard).to_vec();
+        prop_assert_eq!(&borrowed, &reference);
+        let via_table = fast.run_sample(&train, &as_table, &mut NoGuard);
+        prop_assert_eq!(&via_table, &reference);
+    }
+
+    /// The read-path table is exactly the transfer function of `read`.
+    #[test]
+    fn table_matches_read(threshold in any::<u8>(), default in any::<u8>()) {
+        let path = RandomBound { threshold, default };
+        let table = path.table();
+        for code in 0..=255_u8 {
+            prop_assert_eq!(table[code as usize], path.read(code));
+        }
+    }
+}

@@ -67,10 +67,7 @@ impl Assignment {
     /// # Errors
     ///
     /// Returns [`SnnError::InvalidConfig`] if any label is `>= n_classes`.
-    pub fn from_labels(
-        labels: Vec<Option<usize>>,
-        n_classes: usize,
-    ) -> Result<Self, SnnError> {
+    pub fn from_labels(labels: Vec<Option<usize>>, n_classes: usize) -> Result<Self, SnnError> {
         if labels.iter().flatten().any(|&c| c >= n_classes) {
             return Err(SnnError::InvalidConfig {
                 field: "labels",

@@ -250,7 +250,11 @@ mod tests {
     fn rejects_wrong_dims_at_load() {
         let (_, net) = trained_net();
         let ckpt = Checkpoint::of(&net);
-        let other = SnnConfig::builder().n_inputs(12).n_neurons(9).build().unwrap();
+        let other = SnnConfig::builder()
+            .n_inputs(12)
+            .n_neurons(9)
+            .build()
+            .unwrap();
         assert!(ckpt.into_network(other).is_err());
     }
 

@@ -340,7 +340,11 @@ mod tests {
 
     #[test]
     fn n_synapses_multiplies() {
-        let cfg = SnnConfig::builder().n_inputs(784).n_neurons(400).build().unwrap();
+        let cfg = SnnConfig::builder()
+            .n_inputs(784)
+            .n_neurons(400)
+            .build()
+            .unwrap();
         assert_eq!(cfg.n_synapses(), 313_600);
     }
 }

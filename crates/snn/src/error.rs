@@ -46,7 +46,10 @@ impl fmt::Display for SnnError {
                 actual,
                 what,
             } => {
-                write!(f, "shape mismatch for {what}: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch for {what}: expected {expected}, got {actual}"
+                )
             }
         }
     }

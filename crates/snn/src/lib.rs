@@ -51,6 +51,7 @@
 //! | [`spike`] | spike-train containers |
 //! | [`metrics`] | summary statistics used across the workspace |
 //! | [`rng`] | seeded RNG helpers for reproducibility |
+//! | [`parallel`] | scoped-thread parallel map shared by campaign runners and the experiment harness |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,6 +66,7 @@ pub mod homeostasis;
 pub mod metrics;
 pub mod network;
 pub mod neuron;
+pub mod parallel;
 pub mod quant;
 pub mod rng;
 pub mod spike;

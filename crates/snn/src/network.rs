@@ -54,13 +54,7 @@ impl Network {
         let n_syn = cfg.n_synapses();
         let (lo, hi) = cfg.w_init;
         let weights = (0..n_syn)
-            .map(|_| {
-                if hi > lo {
-                    rng.gen_range(lo..hi)
-                } else {
-                    lo
-                }
-            })
+            .map(|_| if hi > lo { rng.gen_range(lo..hi) } else { lo })
             .collect();
         Self::from_parts(cfg, weights).expect("generated weights always match shape")
     }
@@ -511,10 +505,8 @@ mod tests {
             net.step(&[0, 1, 2, 3]);
         }
         let n = cfg.n_neurons;
-        let active_mean: f32 =
-            (0..4).map(|i| net.weights()[i * n]).sum::<f32>() / 4.0;
-        let silent_mean: f32 =
-            (4..8).map(|i| net.weights()[i * n]).sum::<f32>() / 4.0;
+        let active_mean: f32 = (0..4).map(|i| net.weights()[i * n]).sum::<f32>() / 4.0;
+        let silent_mean: f32 = (4..8).map(|i| net.weights()[i * n]).sum::<f32>() / 4.0;
         assert!(
             active_mean > silent_mean,
             "active inputs should out-learn silent ones ({active_mean} vs {silent_mean})"
@@ -527,7 +519,9 @@ mod tests {
         let mut net = Network::new(cfg.clone(), &mut seeded_rng(2));
         let mut rng = seeded_rng(3);
         for _ in 0..300 {
-            let active: Vec<u32> = (0..8_u32).filter(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
+            let active: Vec<u32> = (0..8_u32)
+                .filter(|_| rand::Rng::gen_bool(&mut rng, 0.3))
+                .collect();
             net.step(&active);
         }
         assert!(net

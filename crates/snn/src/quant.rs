@@ -247,7 +247,11 @@ mod tests {
     #[test]
     fn clean_network_occupies_lower_half_of_code_space() {
         // With 2x headroom, trained weights (<= w_max) quantize to <= 128.
-        let cfg = SnnConfig::builder().n_inputs(8).n_neurons(4).build().unwrap();
+        let cfg = SnnConfig::builder()
+            .n_inputs(8)
+            .n_neurons(4)
+            .build()
+            .unwrap();
         let net = Network::new(cfg.clone(), &mut seeded_rng(0));
         let qn = QuantizedNetwork::from_network_default(&net);
         let half = (qn.scheme.max_code() / 2) + 1;
@@ -273,7 +277,11 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_shapes() {
-        let cfg = SnnConfig::builder().n_inputs(4).n_neurons(2).build().unwrap();
+        let cfg = SnnConfig::builder()
+            .n_inputs(4)
+            .n_neurons(2)
+            .build()
+            .unwrap();
         let net = Network::new(cfg, &mut seeded_rng(0));
         let mut qn = QuantizedNetwork::from_network_default(&net);
         qn.codes.pop();

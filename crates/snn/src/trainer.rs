@@ -286,8 +286,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let assignment =
-            assign_classes(&mut net, &images, &labels, 2, &mut rng).unwrap();
+        let assignment = assign_classes(&mut net, &images, &labels, 2, &mut rng).unwrap();
         assert!(assignment.coverage() > 0.0);
 
         // Evaluate on the training images (tiny smoke check: trivially

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn clean_deployment_leaves_upper_half_empty() {
         // The 2x-headroom quantization means clean codes stay <= 128.
-        let cfg = SnnConfig::builder().n_inputs(16).n_neurons(4).build().unwrap();
+        let cfg = SnnConfig::builder()
+            .n_inputs(16)
+            .n_neurons(4)
+            .build()
+            .unwrap();
         let net = Network::new(cfg, &mut seeded_rng(1));
         let qn = snn_sim::quant::QuantizedNetwork::from_network_default(&net);
         let a = WeightAnalysis::of_clean_network(&qn);

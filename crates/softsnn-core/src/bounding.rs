@@ -105,15 +105,24 @@ impl BoundingConfig {
 
 /// The bounding read path: a [`WeightReadPath`] plugging the comparator +
 /// mux between registers and adders (Fig. 11(a)/(b)).
+///
+/// The full Eq. 1 transfer function is precomputed into a 256-entry table
+/// at construction, so the engine's table-driven hot path pays no per-read
+/// comparator cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundedRead {
     config: BoundingConfig,
+    table: [u8; 256],
 }
 
 impl BoundedRead {
     /// Creates the read path from a bounding configuration.
     pub fn new(config: BoundingConfig) -> Self {
-        Self { config }
+        let mut table = [0_u8; 256];
+        for (code, slot) in table.iter_mut().enumerate() {
+            *slot = config.bound(code as u8);
+        }
+        Self { config, table }
     }
 
     /// The underlying configuration.
@@ -125,7 +134,19 @@ impl BoundedRead {
 impl WeightReadPath for BoundedRead {
     #[inline]
     fn read(&self, code: u8) -> u8 {
-        self.config.bound(code)
+        self.table[code as usize]
+    }
+
+    #[inline]
+    fn table(&self) -> [u8; 256] {
+        self.table
+    }
+
+    #[inline]
+    fn bound_params(&self) -> Option<(u8, u8)> {
+        // Eq. 1 is exactly the engine's comparator+mux kernel shape, so
+        // the engine lowers this path to a vectorized compare/select.
+        Some((self.config.threshold_code, self.config.default_code))
     }
 }
 
@@ -143,7 +164,10 @@ mod tests {
     #[test]
     fn variants_pick_paper_defaults() {
         let a = analysis();
-        assert_eq!(BoundingConfig::for_variant(BnpVariant::Bnp1, &a).default_code, 0);
+        assert_eq!(
+            BoundingConfig::for_variant(BnpVariant::Bnp1, &a).default_code,
+            0
+        );
         assert_eq!(
             BoundingConfig::for_variant(BnpVariant::Bnp2, &a).default_code,
             a.wgh_max_code
@@ -208,9 +232,6 @@ mod tests {
 
     #[test]
     fn variant_names_match_paper() {
-        assert_eq!(
-            BnpVariant::ALL.map(|v| v.name()),
-            ["BnP1", "BnP2", "BnP3"]
-        );
+        assert_eq!(BnpVariant::ALL.map(|v| v.name()), ["BnP1", "BnP2", "BnP3"]);
     }
 }

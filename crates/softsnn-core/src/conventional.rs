@@ -149,7 +149,11 @@ pub fn correct_crossbar(
 /// Compares the conventional baselines against BnP on the cost models.
 /// Returns `(name, latency_ratio, energy_ratio, area_ratio)` rows
 /// normalized to the unprotected engine.
-pub fn comparison_table(n_inputs: usize, n_neurons: usize, timesteps: u32) -> Vec<(String, f64, f64, f64)> {
+pub fn comparison_table(
+    n_inputs: usize,
+    n_neurons: usize,
+    timesteps: u32,
+) -> Vec<(String, f64, f64, f64)> {
     use snn_hw::area::engine_area;
     use snn_hw::energy::inference_energy;
     use snn_hw::latency::inference_latency;

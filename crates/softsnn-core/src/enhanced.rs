@@ -98,7 +98,10 @@ mod tests {
         let base = inference_latency(&t, 100, &EngineEnhancement::none());
         let l1 = inference_latency(&t, 100, &bnp_enhancement(BnpVariant::Bnp1));
         let l2 = inference_latency(&t, 100, &bnp_enhancement(BnpVariant::Bnp2));
-        assert!((l1.ratio_to(&base) - 1.0).abs() < 1e-9, "BnP1 adds no latency");
+        assert!(
+            (l1.ratio_to(&base) - 1.0).abs() < 1e-9,
+            "BnP1 adds no latency"
+        );
         assert!(
             (l2.ratio_to(&base) - 1.06).abs() < 0.001,
             "BnP2/3 latency {} vs paper <=1.06",
@@ -115,8 +118,14 @@ mod tests {
         let e2 = inference_energy(CFG, &t, 100, &bnp_enhancement(BnpVariant::Bnp2));
         let r1 = e1.ratio_to(&base);
         let r2 = e2.ratio_to(&base);
-        assert!((1.23..=1.35).contains(&r1), "BnP1 energy ratio {r1} vs paper ~1.3");
-        assert!((1.50..=1.62).contains(&r2), "BnP2 energy ratio {r2} vs paper ~1.56");
+        assert!(
+            (1.23..=1.35).contains(&r1),
+            "BnP1 energy ratio {r1} vs paper ~1.3"
+        );
+        assert!(
+            (1.50..=1.62).contains(&r2),
+            "BnP2 energy ratio {r2} vs paper ~1.56"
+        );
     }
 
     #[test]
@@ -130,7 +139,10 @@ mod tests {
         let b1_energy = inference_energy(CFG, &t, 100, &bnp_enhancement(BnpVariant::Bnp1));
         let lat_saving = re_lat.total_ns() / b1_lat.total_ns();
         let energy_saving = re_energy.total_nj() / b1_energy.total_nj();
-        assert!((2.9..=3.1).contains(&lat_saving), "latency saving {lat_saving} vs paper 3x");
+        assert!(
+            (2.9..=3.1).contains(&lat_saving),
+            "latency saving {lat_saving} vs paper 3x"
+        );
         assert!(
             (2.2..=2.4).contains(&energy_saving),
             "energy saving {energy_saving} vs paper 2.3x"

@@ -18,6 +18,7 @@ use snn_sim::eval::EvalResult;
 use snn_sim::network::Network;
 use snn_sim::quant::QuantizedNetwork;
 use snn_sim::rng::{derive_seed, seeded_rng, Rng};
+use snn_sim::spike::SpikeTrain;
 use snn_sim::trainer::{assign_classes, train_unsupervised, TrainOptions};
 use std::error::Error;
 use std::fmt;
@@ -102,6 +103,82 @@ impl FaultScenario {
 /// "executions are minimally affected by soft errors" (Sec. 5.1) and its
 /// accuracy stays near-clean at every rate, at 3× latency/energy cost.
 pub const DEFAULT_REEXEC_EXPOSURE: f64 = 0.05;
+
+/// A labeled test set encoded into spike trains once, up front.
+///
+/// Campaign grids evaluate the same test set under many (technique, rate,
+/// trial) points; Poisson-encoding every image again at every point is
+/// pure waste. An `EncodedTestSet` is built once per deployment — with a
+/// deterministic per-sample RNG stream, so the cache is independent of
+/// evaluation order — and shared by reference across all trials (see
+/// [`SoftSnnDeployment::evaluate_encoded`]).
+#[derive(Debug, Clone)]
+pub struct EncodedTestSet {
+    trains: Vec<SpikeTrain>,
+    labels: Vec<usize>,
+}
+
+impl EncodedTestSet {
+    /// Encodes `images` with the deployment's rate/timestep parameters.
+    /// Sample `i` is encoded from `derive_seed(base_seed, i)`, so any
+    /// single train can be regenerated in isolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Sim`] if `images` and `labels` lengths
+    /// differ.
+    pub fn encode(
+        qn: &QuantizedNetwork,
+        images: &[Vec<f32>],
+        labels: &[usize],
+        base_seed: u64,
+    ) -> Result<Self, MethodologyError> {
+        if images.len() != labels.len() {
+            return Err(SnnError::ShapeMismatch {
+                expected: images.len(),
+                actual: labels.len(),
+                what: "labels",
+            }
+            .into());
+        }
+        let encoder = PoissonEncoder::new(qn.max_rate);
+        let trains = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| {
+                encoder.encode(
+                    img,
+                    qn.timesteps,
+                    &mut seeded_rng(derive_seed(base_seed, i as u64)),
+                )
+            })
+            .collect();
+        Ok(Self {
+            trains,
+            labels: labels.to_vec(),
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.trains.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trains.is_empty()
+    }
+
+    /// The encoded spike trains, in sample order.
+    pub fn trains(&self) -> &[SpikeTrain] {
+        &self.trains
+    }
+
+    /// The labels, in sample order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
 
 /// A trained, quantized network deployed on the (bit-accurate) compute
 /// engine together with everything the SoftSNN methodology derives from
@@ -281,8 +358,8 @@ impl SoftSnnDeployment {
         let path = BoundedRead::new(bounding);
         for (img, &label) in images.iter().zip(labels) {
             let train = encoder.encode(img, timesteps, rng);
-            let counts = self.engine.run_sample(&train, &path, &mut monitor);
-            result.record(self.assignment.predict(&counts), label);
+            let counts = self.engine.run_sample_into(&train, &path, &mut monitor);
+            result.record(self.assignment.predict(counts), label);
         }
         Ok(result)
     }
@@ -323,8 +400,54 @@ impl SoftSnnDeployment {
             }
             .into());
         }
+        // Encoding is the only RNG consumer in the evaluation loop, so
+        // encoding every sample up front (in sample order, from the same
+        // stream) is bit-identical to the historical interleaved form —
+        // and lets this path share the evaluation core with the cached
+        // variant.
         let encoder = PoissonEncoder::new(self.qn.max_rate);
         let timesteps = self.qn.timesteps;
+        let trains: Vec<SpikeTrain> = images
+            .iter()
+            .map(|img| encoder.encode(img, timesteps, rng))
+            .collect();
+        self.evaluate_trains(technique, scenario, &trains, labels)
+    }
+
+    /// Evaluates `technique` under `scenario` on a pre-encoded test set —
+    /// the campaign hot path.
+    ///
+    /// Semantics are identical to [`evaluate`](Self::evaluate) except that
+    /// input spike trains come from the shared [`EncodedTestSet`] cache
+    /// instead of being Poisson-encoded per call, so every trial of a
+    /// campaign sees *the same* input spikes and differs only in its fault
+    /// map — which isolates the fault variable and removes the dominant
+    /// re-encoding cost from grid re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scenario's fault space does not fit the
+    /// engine.
+    pub fn evaluate_encoded(
+        &mut self,
+        technique: Technique,
+        scenario: &FaultScenario,
+        set: &EncodedTestSet,
+    ) -> Result<EvalResult, MethodologyError> {
+        self.evaluate_trains(technique, scenario, &set.trains, &set.labels)
+    }
+
+    /// The shared evaluation core behind [`evaluate`](Self::evaluate) and
+    /// [`evaluate_encoded`](Self::evaluate_encoded): one technique arm
+    /// each for No-Mitigation, BnP, and Re-execution, consuming
+    /// already-encoded spike trains.
+    fn evaluate_trains(
+        &mut self,
+        technique: Technique,
+        scenario: &FaultScenario,
+        trains: &[SpikeTrain],
+        labels: &[usize],
+    ) -> Result<EvalResult, MethodologyError> {
         let space = scenario.space(self.qn.n_inputs, self.qn.n_neurons);
         let mut result = EvalResult::new(self.assignment.n_classes());
 
@@ -335,10 +458,11 @@ impl SoftSnnDeployment {
                     let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
                     inject(&mut self.engine, &map)?;
                 }
-                for (img, &label) in images.iter().zip(labels) {
-                    let train = encoder.encode(img, timesteps, rng);
-                    let counts = self.engine.run_sample(&train, &DirectRead, &mut NoGuard);
-                    result.record(self.assignment.predict(&counts), label);
+                for (train, &label) in trains.iter().zip(labels) {
+                    let counts = self
+                        .engine
+                        .run_sample_into(train, &DirectRead, &mut NoGuard);
+                    result.record(self.assignment.predict(counts), label);
                 }
             }
             Technique::Bnp(variant) => {
@@ -349,10 +473,9 @@ impl SoftSnnDeployment {
                     inject(&mut self.engine, &map)?;
                 }
                 let path = BoundedRead::new(self.bounding_for(variant));
-                for (img, &label) in images.iter().zip(labels) {
-                    let train = encoder.encode(img, timesteps, rng);
-                    let counts = self.engine.run_sample(&train, &path, &mut monitor);
-                    result.record(self.assignment.predict(&counts), label);
+                for (train, &label) in trains.iter().zip(labels) {
+                    let counts = self.engine.run_sample_into(train, &path, &mut monitor);
+                    result.record(self.assignment.predict(counts), label);
                 }
             }
             Technique::ReExecution { runs } => {
@@ -360,8 +483,7 @@ impl SoftSnnDeployment {
                 // faults) and is only exposed to the strikes landing
                 // within its own window — see DEFAULT_REEXEC_EXPOSURE.
                 let exec_rate = scenario.rate * self.reexec_exposure;
-                for (sample_idx, (img, &label)) in images.iter().zip(labels).enumerate() {
-                    let train = encoder.encode(img, timesteps, rng);
+                for (sample_idx, (train, &label)) in trains.iter().zip(labels).enumerate() {
                     let mut votes = Vec::with_capacity(runs as usize);
                     for k in 0..runs {
                         self.engine.reload_parameters(&mut NoGuard);
@@ -373,14 +495,31 @@ impl SoftSnnDeployment {
                             let map = FaultMap::generate(&space, exec_rate, exec_seed);
                             inject(&mut self.engine, &map)?;
                         }
-                        let counts = self.engine.run_sample(&train, &DirectRead, &mut NoGuard);
-                        votes.push(self.assignment.predict(&counts));
+                        let counts = self
+                            .engine
+                            .run_sample_into(train, &DirectRead, &mut NoGuard);
+                        votes.push(self.assignment.predict(counts));
                     }
                     result.record(majority_vote(&votes), label);
                 }
             }
         }
         Ok(result)
+    }
+
+    /// Encodes a labeled test set once for reuse across campaign trials
+    /// (see [`EncodedTestSet`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on image/label length mismatch.
+    pub fn encode_test_set(
+        &self,
+        images: &[Vec<f32>],
+        labels: &[usize],
+        base_seed: u64,
+    ) -> Result<EncodedTestSet, MethodologyError> {
+        EncodedTestSet::encode(&self.qn, images, labels, base_seed)
     }
 }
 
@@ -417,12 +556,7 @@ mod tests {
         }
         let net = Network::from_parts(cfg, weights).unwrap();
         let qn = QuantizedNetwork::from_network_default(&net);
-        let responses = vec![
-            vec![30, 0],
-            vec![30, 0],
-            vec![0, 30],
-            vec![0, 30],
-        ];
+        let responses = vec![vec![30, 0], vec![30, 0], vec![0, 30], vec![0, 30]];
         let assignment = Assignment::from_responses(&responses, &[10, 10]).unwrap();
         let deployment = SoftSnnDeployment::new(qn, assignment).unwrap();
 
@@ -446,7 +580,13 @@ mod tests {
         let mut rng = seeded_rng(1);
         for technique in Technique::PAPER_SET {
             let r = d
-                .evaluate(technique, &FaultScenario::clean(), &images, &labels, &mut rng)
+                .evaluate(
+                    technique,
+                    &FaultScenario::clean(),
+                    &images,
+                    &labels,
+                    &mut rng,
+                )
                 .unwrap();
             assert!(
                 r.accuracy() > 0.9,
@@ -466,7 +606,13 @@ mod tests {
             seed: 9,
         };
         let unmitigated = d
-            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut rng)
+            .evaluate(
+                Technique::NoMitigation,
+                &scenario,
+                &images,
+                &labels,
+                &mut rng,
+            )
             .unwrap();
         let bnp1 = d
             .evaluate(
@@ -497,7 +643,13 @@ mod tests {
             seed: 4,
         };
         let unmitigated = d
-            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut rng)
+            .evaluate(
+                Technique::NoMitigation,
+                &scenario,
+                &images,
+                &labels,
+                &mut rng,
+            )
             .unwrap();
         let bnp3 = d
             .evaluate(
@@ -555,13 +707,80 @@ mod tests {
         // the start of each evaluate() call, so results must be directly
         // comparable (deterministic apart from Poisson noise).
         let a = d
-            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut seeded_rng(10))
+            .evaluate(
+                Technique::NoMitigation,
+                &scenario,
+                &images,
+                &labels,
+                &mut seeded_rng(10),
+            )
             .unwrap();
         let b = d
-            .evaluate(Technique::NoMitigation, &scenario, &images, &labels, &mut seeded_rng(10))
+            .evaluate(
+                Technique::NoMitigation,
+                &scenario,
+                &images,
+                &labels,
+                &mut seeded_rng(10),
+            )
             .unwrap();
         assert_eq!(a.correct, b.correct, "same seeds → same outcome");
         let _ = rng;
+    }
+
+    #[test]
+    fn encoded_evaluation_is_deterministic_and_accurate() {
+        let (mut d, images, labels) = tiny_deployment();
+        let set = d.encode_test_set(&images, &labels, 77).unwrap();
+        for technique in Technique::PAPER_SET {
+            let a = d
+                .evaluate_encoded(technique, &FaultScenario::clean(), &set)
+                .unwrap();
+            let b = d
+                .evaluate_encoded(technique, &FaultScenario::clean(), &set)
+                .unwrap();
+            assert_eq!(
+                a.correct, b.correct,
+                "{technique}: same cache → same outcome"
+            );
+            assert!(
+                a.accuracy() > 0.9,
+                "{technique}: clean encoded accuracy {:.2} too low",
+                a.accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_faulty_evaluation_matches_bnp_ordering() {
+        // The cached-input path must preserve the paper's qualitative
+        // ordering: BnP at a damaging rate is no worse than no-mitigation
+        // on the same fault map and the same input spikes.
+        let (mut d, images, labels) = tiny_deployment();
+        let set = d.encode_test_set(&images, &labels, 78).unwrap();
+        let scenario = FaultScenario {
+            domain: FaultDomain::Synapses,
+            rate: 0.08,
+            seed: 9,
+        };
+        let nomit = d
+            .evaluate_encoded(Technique::NoMitigation, &scenario, &set)
+            .unwrap();
+        let bnp1 = d
+            .evaluate_encoded(Technique::Bnp(BnpVariant::Bnp1), &scenario, &set)
+            .unwrap();
+        assert!(
+            bnp1.accuracy() >= nomit.accuracy(),
+            "BnP1 {:.2} must not trail no-mitigation {:.2}",
+            bnp1.accuracy(),
+            nomit.accuracy()
+        );
+    }
+
+    #[test]
+    fn encode_test_set_rejects_mismatched_labels() {
+        let (d, images, _) = tiny_deployment();
+        assert!(d.encode_test_set(&images, &[0], 1).is_err());
     }
 
     #[test]
@@ -625,6 +844,10 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        assert!(r.accuracy() > 0.6, "trained toy accuracy {:.2}", r.accuracy());
+        assert!(
+            r.accuracy() > 0.6,
+            "trained toy accuracy {:.2}",
+            r.accuracy()
+        );
     }
 }

@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn enhancement_mapping() {
         assert_eq!(Technique::NoMitigation.enhancement().executions, 1);
-        assert_eq!(Technique::ReExecution { runs: 3 }.enhancement().executions, 3);
+        assert_eq!(
+            Technique::ReExecution { runs: 3 }.enhancement().executions,
+            3
+        );
         assert!(!Technique::Bnp(BnpVariant::Bnp1)
             .enhancement()
             .per_synapse

@@ -112,7 +112,13 @@ mod tests {
                 .unwrap()
                 .2
         };
-        let ladder = [(400, 1.0), (900, 2.0), (1600, 3.5), (2500, 5.0), (3600, 7.5)];
+        let ladder = [
+            (400, 1.0),
+            (900, 2.0),
+            (1600, 3.5),
+            (2500, 5.0),
+            (3600, 7.5),
+        ];
         for (n, base) in ladder {
             assert!((expect(Technique::NoMitigation, n) - base).abs() < 0.01);
             assert!((expect(Technique::ReExecution { runs: 3 }, n) - 3.0 * base).abs() < 0.05);
@@ -137,7 +143,13 @@ mod tests {
                 .unwrap()
                 .3
         };
-        let paper_bnp1 = [(400, 1.3), (900, 2.6), (1600, 4.5), (2500, 6.4), (3600, 9.6)];
+        let paper_bnp1 = [
+            (400, 1.3),
+            (900, 2.6),
+            (1600, 4.5),
+            (2500, 6.4),
+            (3600, 9.6),
+        ];
         for (n, e) in paper_bnp1 {
             let v = expect(Technique::Bnp(BnpVariant::Bnp1), n);
             assert!(
@@ -145,7 +157,13 @@ mod tests {
                 "BnP1 energy N{n}: {v:.2} vs paper {e}"
             );
         }
-        let paper_bnp2 = [(400, 1.6), (900, 3.1), (1600, 5.5), (2500, 7.8), (3600, 11.7)];
+        let paper_bnp2 = [
+            (400, 1.6),
+            (900, 3.1),
+            (1600, 5.5),
+            (2500, 7.8),
+            (3600, 11.7),
+        ];
         for (n, e) in paper_bnp2 {
             let v = expect(Technique::Bnp(BnpVariant::Bnp2), n);
             assert!(
@@ -159,9 +177,7 @@ mod tests {
     fn normalized_grid_reproduces_paper_fig14c_area() {
         let rows = fig14_grid(&[400], 100);
         let norm = normalize_grid(&rows);
-        let area = |tech: Technique| -> f64 {
-            norm.iter().find(|(t, ..)| *t == tech).unwrap().4
-        };
+        let area = |tech: Technique| -> f64 { norm.iter().find(|(t, ..)| *t == tech).unwrap().4 };
         assert!((area(Technique::NoMitigation) - 1.0).abs() < 1e-9);
         assert!((area(Technique::ReExecution { runs: 3 }) - 1.0).abs() < 1e-9);
         assert!((area(Technique::Bnp(BnpVariant::Bnp1)) - 1.14).abs() < 0.01);

@@ -99,7 +99,7 @@ mod tests {
     fn healthy_single_cycle_fires_are_always_allowed() {
         let mut m = ResetMonitor::paper(1);
         for _ in 0..100 {
-            assert!(m.allow_spike(0, true));  // fire
+            assert!(m.allow_spike(0, true)); // fire
             assert!(m.allow_spike(0, false)); // reset pulled Vmem down
         }
         assert!(!m.is_disabled(0));

@@ -103,8 +103,9 @@ pub fn threshold_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::E
     let analysis = bench.deployment.analysis().clone();
     let mut points = Vec::new();
     for (i, scale) in [0.5_f64, 0.75, 1.0, 1.25, 1.5].into_iter().enumerate() {
-        let threshold_code =
-            ((analysis.wgh_max_code as f64) * scale).round().clamp(0.0, 255.0) as u8;
+        let threshold_code = ((analysis.wgh_max_code as f64) * scale)
+            .round()
+            .clamp(0.0, 255.0) as u8;
         let bounding = BoundingConfig {
             threshold_code,
             default_code: analysis.wgh_hp_code,
@@ -150,7 +151,10 @@ pub fn vote_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>
 
 /// Renders one sweep as a table.
 pub fn sweep_table(sweep: &Sweep) -> Table {
-    let mut t = Table::new(&format!("Ablation — {}", sweep.name), &["value", "accuracy_pct"]);
+    let mut t = Table::new(
+        &format!("Ablation — {}", sweep.name),
+        &["value", "accuracy_pct"],
+    );
     for &(x, acc) in &sweep.points {
         t.row(&[fmt_f(x, 2), fmt_f(acc, 1)]);
     }

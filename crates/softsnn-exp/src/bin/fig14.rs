@@ -21,9 +21,9 @@ fn main() {
     println!("{}", area.render());
     let conventional = fig14::conventional_table();
     println!("{}", conventional.render());
-    if let Err(e) = conventional.write_csv(
-        std::path::Path::new(&args.out_dir).join("extension_conventional.csv"),
-    ) {
+    if let Err(e) = conventional
+        .write_csv(std::path::Path::new(&args.out_dir).join("extension_conventional.csv"))
+    {
         eprintln!("failed to write conventional CSV: {e}");
         std::process::exit(1);
     }

@@ -34,5 +34,8 @@ fn main() {
         eprintln!("failed to write CSVs: {e}");
         std::process::exit(1);
     }
-    eprintln!("[fig3] wrote {}/fig3a_accuracy.csv and fig3b_overheads.csv", args.out_dir);
+    eprintln!(
+        "[fig3] wrote {}/fig3a_accuracy.csv and fig3b_overheads.csv",
+        args.out_dir
+    );
 }

@@ -33,5 +33,8 @@ fn main() {
         eprintln!("failed to write CSVs: {e}");
         std::process::exit(1);
     }
-    eprintln!("[fig9] wrote {}/fig9_histograms.csv and fig9_summary.csv", args.out_dir);
+    eprintln!(
+        "[fig9] wrote {}/fig9_histograms.csv and fig9_summary.csv",
+        args.out_dir
+    );
 }

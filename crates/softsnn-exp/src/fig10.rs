@@ -7,6 +7,7 @@
 //! (b) accuracy when both weight registers and neuron operations are
 //! struck, rates 10⁻⁴…10⁻¹.
 
+use crate::parallel::parallel_map;
 use crate::profile::Profile;
 use crate::table::{fmt_f, fmt_rate, Table};
 use crate::workbench::{point_seed, prepare, Bench};
@@ -14,7 +15,6 @@ use snn_data::workload::Workload;
 use snn_faults::location::FaultDomain;
 use snn_faults::rate::{NEURON_OP_RATES, PAPER_RATES};
 use snn_hw::neuron_unit::NeuronOp;
-use snn_sim::rng::seeded_rng;
 use softsnn_core::methodology::FaultScenario;
 use softsnn_core::mitigation::Technique;
 
@@ -46,9 +46,9 @@ pub struct Fig10Results {
 ///
 /// Propagates dataset/training/evaluation errors.
 pub fn run(profile: Profile) -> Result<Fig10Results, Box<dyn std::error::Error>> {
-    let mut bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
-    let per_op = run_per_op(&mut bench)?;
-    let combined = run_combined(&mut bench)?;
+    let bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    let per_op = run_per_op(&bench)?;
+    let combined = run_combined(&bench)?;
     Ok(Fig10Results {
         clean_accuracy_pct: bench.clean_accuracy,
         per_op,
@@ -56,61 +56,70 @@ pub fn run(profile: Profile) -> Result<Fig10Results, Box<dyn std::error::Error>>
     })
 }
 
-fn run_per_op(bench: &mut Bench) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
-    let mut out = Vec::new();
-    for (oi, &op) in NeuronOp::ALL.iter().enumerate() {
-        for (ri, &rate) in NEURON_OP_RATES.iter().enumerate() {
-            let scenario = FaultScenario {
-                domain: FaultDomain::Neurons(Some(op)),
+/// Evaluates one sweep of scenarios in parallel, one engine clone per grid
+/// point, against the bench's shared pre-encoded test set.
+fn sweep(
+    bench: &Bench,
+    points: &[(Option<NeuronOp>, f64, FaultScenario)],
+) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
+    let outcomes = parallel_map(points, |&(op, rate, ref scenario)| {
+        let mut deployment = bench.deployment.clone();
+        deployment
+            .evaluate_encoded(Technique::NoMitigation, scenario, &bench.encoded)
+            .map(|r| OpAccuracyPoint {
+                op,
                 rate,
-                seed: point_seed(10, ri, 0, oi),
-            };
-            let result = bench.deployment.evaluate(
-                Technique::NoMitigation,
-                &scenario,
-                bench.test.images(),
-                bench.test.labels(),
-                &mut seeded_rng(point_seed(10, ri, 1, oi)),
-            )?;
-            out.push(OpAccuracyPoint {
-                op: Some(op),
-                rate,
-                accuracy_pct: result.accuracy_pct(),
-            });
-        }
-    }
-    Ok(out)
+                accuracy_pct: r.accuracy_pct(),
+            })
+    });
+    outcomes.into_iter().map(|o| Ok(o?)).collect()
 }
 
-fn run_combined(bench: &mut Bench) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
-    let mut out = Vec::new();
-    for (ri, &rate) in PAPER_RATES.iter().enumerate() {
-        let scenario = FaultScenario {
-            domain: FaultDomain::ComputeEngine,
-            rate,
-            seed: point_seed(10, ri, 2, 9),
-        };
-        let result = bench.deployment.evaluate(
-            Technique::NoMitigation,
-            &scenario,
-            bench.test.images(),
-            bench.test.labels(),
-            &mut seeded_rng(point_seed(10, ri, 3, 9)),
-        )?;
-        out.push(OpAccuracyPoint {
-            op: None,
-            rate,
-            accuracy_pct: result.accuracy_pct(),
-        });
+fn run_per_op(bench: &Bench) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
+    let mut points = Vec::new();
+    for (oi, &op) in NeuronOp::ALL.iter().enumerate() {
+        for (ri, &rate) in NEURON_OP_RATES.iter().enumerate() {
+            points.push((
+                Some(op),
+                rate,
+                FaultScenario {
+                    domain: FaultDomain::Neurons(Some(op)),
+                    rate,
+                    seed: point_seed(10, ri, 0, oi),
+                },
+            ));
+        }
     }
-    Ok(out)
+    sweep(bench, &points)
+}
+
+fn run_combined(bench: &Bench) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
+    let mut points = Vec::new();
+    for (ri, &rate) in PAPER_RATES.iter().enumerate() {
+        points.push((
+            None,
+            rate,
+            FaultScenario {
+                domain: FaultDomain::ComputeEngine,
+                rate,
+                seed: point_seed(10, ri, 2, 9),
+            },
+        ));
+    }
+    sweep(bench, &points)
 }
 
 /// Renders panel (a) as a table: one row per rate, one column per op.
 pub fn per_op_table(results: &Fig10Results) -> Table {
     let mut t = Table::new(
         "Fig. 10(a) — accuracy under faulty neuron operations (No Mitigation)",
-        &["fault_rate", "faulty_vi", "faulty_vl", "faulty_vr", "faulty_sg"],
+        &[
+            "fault_rate",
+            "faulty_vi",
+            "faulty_vl",
+            "faulty_vr",
+            "faulty_sg",
+        ],
     );
     for &rate in &NEURON_OP_RATES {
         let cell = |op: NeuronOp| -> String {

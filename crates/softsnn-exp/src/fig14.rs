@@ -94,12 +94,19 @@ pub fn synthesis_reports() -> Vec<SynthesisReport> {
     let tiling = Tiling::for_network(EngineConfig::PAPER, 784, 400);
     let mut reports: Vec<SynthesisReport> = Technique::PAPER_SET
         .iter()
-        .map(|t| SynthesisReport::generate(EngineConfig::PAPER, &t.enhancement(), &tiling, TIMESTEPS))
+        .map(|t| {
+            SynthesisReport::generate(EngineConfig::PAPER, &t.enhancement(), &tiling, TIMESTEPS)
+        })
         .collect();
     // Also include the raw baseline engine for reference.
     reports.insert(
         0,
-        SynthesisReport::generate(EngineConfig::PAPER, &EngineEnhancement::none(), &tiling, TIMESTEPS),
+        SynthesisReport::generate(
+            EngineConfig::PAPER,
+            &EngineEnhancement::none(),
+            &tiling,
+            TIMESTEPS,
+        ),
     );
     reports
 }
@@ -120,12 +127,18 @@ mod tests {
         };
         // Spot-check the paper's printed bar values.
         let (_, _, lat, energy, area) = find(Technique::ReExecution { runs: 3 }, 3600);
-        assert!((lat - 22.5).abs() < 0.1, "Re-exec N3600 latency {lat} vs 22.5");
+        assert!(
+            (lat - 22.5).abs() < 0.1,
+            "Re-exec N3600 latency {lat} vs 22.5"
+        );
         assert!((energy - 22.5).abs() < 0.1);
         assert!((area - 1.0).abs() < 1e-9);
         let (_, _, lat1, energy1, area1) = find(Technique::PAPER_SET[2], 400);
         assert!((lat1 - 1.0).abs() < 0.01, "BnP1 N400 latency {lat1} vs 1.0");
-        assert!((energy1 - 1.3).abs() < 0.07, "BnP1 N400 energy {energy1} vs 1.3");
+        assert!(
+            (energy1 - 1.3).abs() < 0.07,
+            "BnP1 N400 energy {energy1} vs 1.3"
+        );
         assert!((area1 - 1.14).abs() < 0.01, "BnP1 area {area1} vs 1.14");
     }
 

@@ -78,7 +78,13 @@ pub fn run(profile: Profile) -> Result<Fig3Results, Box<dyn std::error::Error>> 
     // Fig. 3(b): the cost of the re-execution alternative.
     let timesteps = bench.deployment.quantized().timesteps;
     let n = bench.deployment.quantized().n_neurons;
-    let base = overhead_for(Technique::NoMitigation, EngineConfig::PAPER, 784, n, timesteps);
+    let base = overhead_for(
+        Technique::NoMitigation,
+        EngineConfig::PAPER,
+        784,
+        n,
+        timesteps,
+    );
     let re = overhead_for(
         Technique::ReExecution { runs: 3 },
         EngineConfig::PAPER,

@@ -54,10 +54,13 @@ impl Profile {
     }
 
     /// Independent fault maps per (rate, technique) point.
+    ///
+    /// Even the smallest profiles use 3 maps: a single fault map makes
+    /// technique comparisons a coin flip at toy scale, and the campaign
+    /// grid is parallel + encode-cached, so extra trials are cheap.
     pub fn trials(self) -> usize {
         match self {
-            Profile::Smoke | Profile::Quick => 1,
-            Profile::Default => 2,
+            Profile::Smoke | Profile::Quick | Profile::Default => 3,
             Profile::Full => 5,
         }
     }
@@ -169,7 +172,12 @@ mod tests {
 
     #[test]
     fn profiles_scale_monotonically() {
-        let ps = [Profile::Smoke, Profile::Quick, Profile::Default, Profile::Full];
+        let ps = [
+            Profile::Smoke,
+            Profile::Quick,
+            Profile::Default,
+            Profile::Full,
+        ];
         for pair in ps.windows(2) {
             assert!(pair[0].n_train() <= pair[1].n_train());
             assert!(pair[0].n_test() <= pair[1].n_test());
@@ -191,8 +199,7 @@ mod tests {
     #[test]
     fn cli_args_parse_flags() {
         let args = CliArgs::parse(
-            ["--profile", "quick", "--workload", "mnist", "--out", "x"]
-                .map(String::from),
+            ["--profile", "quick", "--workload", "mnist", "--out", "x"].map(String::from),
         )
         .unwrap();
         assert_eq!(args.profile, Profile::Quick);
@@ -208,7 +215,12 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        for p in [Profile::Smoke, Profile::Quick, Profile::Default, Profile::Full] {
+        for p in [
+            Profile::Smoke,
+            Profile::Quick,
+            Profile::Default,
+            Profile::Full,
+        ] {
             assert_eq!(p.to_string().parse::<Profile>().unwrap(), p);
         }
     }

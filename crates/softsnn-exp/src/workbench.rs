@@ -6,7 +6,9 @@ use snn_data::dataset::Dataset;
 use snn_data::workload::Workload;
 use snn_sim::config::SnnConfig;
 use snn_sim::rng::derive_seed;
-use softsnn_core::methodology::{MethodologyError, SoftSnnDeployment, TrainPipelineOptions};
+use softsnn_core::methodology::{
+    EncodedTestSet, MethodologyError, SoftSnnDeployment, TrainPipelineOptions,
+};
 
 /// Base seed all experiments derive theirs from, so the whole evaluation
 /// is reproducible end to end.
@@ -21,6 +23,10 @@ pub struct Bench {
     pub deployment: SoftSnnDeployment,
     /// Held-out test set.
     pub test: Dataset,
+    /// The test set pre-encoded into spike trains, shared across every
+    /// campaign grid point so trials never re-encode (see
+    /// [`EncodedTestSet`]).
+    pub encoded: EncodedTestSet,
     /// Clean accuracy measured right after training (No-Mitigation, no
     /// faults), as a reference point.
     pub clean_accuracy: f64,
@@ -48,12 +54,8 @@ pub fn prepare(
     profile: Profile,
 ) -> Result<Bench, Box<dyn std::error::Error>> {
     let data_seed = derive_seed(BASE_SEED, n_neurons as u64);
-    let (train, test, real) = workload.load_or_generate(
-        "data",
-        profile.n_train(),
-        profile.n_test(),
-        data_seed,
-    )?;
+    let (train, test, real) =
+        workload.load_or_generate("data", profile.n_train(), profile.n_test(), data_seed)?;
     eprintln!(
         "[workbench] {workload} N{n_neurons}: {} train / {} test samples ({})",
         train.len(),
@@ -71,35 +73,36 @@ pub fn prepare(
             seed: derive_seed(BASE_SEED, 1000 + n_neurons as u64),
         },
     )?;
-    let clean = measure_clean(&mut deployment, &test)?;
+    let encoded = deployment.encode_test_set(
+        test.images(),
+        test.labels(),
+        derive_seed(BASE_SEED, 2000 + n_neurons as u64),
+    )?;
+    let clean = measure_clean(&mut deployment, &encoded)?;
     eprintln!("[workbench] {workload} N{n_neurons}: clean accuracy {clean:.1}%");
     Ok(Bench {
         workload,
         deployment,
         test,
+        encoded,
         clean_accuracy: clean,
     })
 }
 
-/// Measures fault-free No-Mitigation accuracy (%).
+/// Measures fault-free No-Mitigation accuracy (%) on the pre-encoded test
+/// set.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
 pub fn measure_clean(
     deployment: &mut SoftSnnDeployment,
-    test: &Dataset,
+    encoded: &EncodedTestSet,
 ) -> Result<f64, MethodologyError> {
-    use snn_sim::rng::seeded_rng;
     use softsnn_core::methodology::FaultScenario;
     use softsnn_core::mitigation::Technique;
-    let result = deployment.evaluate(
-        Technique::NoMitigation,
-        &FaultScenario::clean(),
-        test.images(),
-        test.labels(),
-        &mut seeded_rng(derive_seed(BASE_SEED, 999)),
-    )?;
+    let result =
+        deployment.evaluate_encoded(Technique::NoMitigation, &FaultScenario::clean(), encoded)?;
     Ok(result.accuracy_pct())
 }
 

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example bnp_mitigation`
 
-use softsnn::prelude::*;
 use softsnn::data::synth_digits::SynthDigits;
+use softsnn::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gen = SynthDigits::default();
@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let rates = [1e-3, 1e-2, 1e-1];
-    println!("\n{:<16} {:>8} {:>8} {:>8}", "technique", "1e-3", "1e-2", "1e-1");
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8}",
+        "technique", "1e-3", "1e-2", "1e-1"
+    );
     for technique in Technique::PAPER_SET {
         let mut cells = Vec::new();
         for (i, &rate) in rates.iter().enumerate() {

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example custom_dataset`
 
+use rand::Rng as _;
 use softsnn::data::dataset::Dataset;
 use softsnn::prelude::*;
-use rand::Rng as _;
 
 const SIDE: usize = 16;
 

@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Weight analysis (Fig. 9) -------------------------------------
     let analysis: &WeightAnalysis = deployment.analysis();
     println!("\nclean weight analysis:");
-    println!("  wgh_max (safe-range bound): code {}", analysis.wgh_max_code);
-    println!("  wgh_hp (most probable):     code {}", analysis.wgh_hp_code);
+    println!(
+        "  wgh_max (safe-range bound): code {}",
+        analysis.wgh_max_code
+    );
+    println!(
+        "  wgh_hp (most probable):     code {}",
+        analysis.wgh_hp_code
+    );
     println!(
         "  upper-half code occupancy:  {:.2}% (quantization headroom)",
         analysis.upper_half_fraction * 100.0

@@ -55,8 +55,7 @@ fn main() {
         Technique::Bnp(softsnn::core::bounding::BnpVariant::Bnp1),
         Technique::Bnp(softsnn::core::bounding::BnpVariant::Bnp2),
     ] {
-        let report =
-            SynthesisReport::generate(engine, &technique.enhancement(), &tiling, 100);
+        let report = SynthesisReport::generate(engine, &technique.enhancement(), &tiling, 100);
         println!("{report}");
     }
 }

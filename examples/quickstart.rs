@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use softsnn::prelude::*;
 use softsnn::data::synth_digits::SynthDigits;
+use softsnn::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Workload: deterministic MNIST-like digits (the real MNIST IDX

@@ -148,11 +148,16 @@ fn full_pipeline_learns_and_survives_faults() {
         .collect();
     assert!(!faulty.is_empty());
 
+    // Saturating stimulus: every input channel active, so any vr-faulty
+    // neuron with nonzero incoming weight is driven past threshold and
+    // actually manifests its burst (a weakly driven faulty neuron never
+    // would, regardless of the fault).
     let encoder = PoissonEncoder::new(qn.max_rate);
-    let train = encoder.encode(test.image(0), qn.timesteps, &mut seeded_rng(90));
+    let bright = vec![0.95_f32; qn.n_inputs];
+    let train = encoder.encode(&bright, qn.timesteps, &mut seeded_rng(90));
     let unprotected = engine.run_sample(&train, &DirectRead, &mut NoGuard);
-    let burst_mean = faulty.iter().map(|&j| unprotected[j] as f64).sum::<f64>()
-        / faulty.len() as f64;
+    let burst_mean =
+        faulty.iter().map(|&j| unprotected[j] as f64).sum::<f64>() / faulty.len() as f64;
     let healthy_max = unprotected
         .iter()
         .enumerate()

@@ -32,7 +32,10 @@ fn fig14a_latency_bars_match_paper() {
         let (lat, ..) = lookup(&norm, Technique::NoMitigation, n);
         assert!((lat - nomit[i]).abs() < 0.01, "NoMit N{n}: {lat}");
         let (lat_re, ..) = lookup(&norm, Technique::ReExecution { runs: 3 }, n);
-        assert!((lat_re - 3.0 * nomit[i]).abs() < 0.03, "ReExec N{n}: {lat_re}");
+        assert!(
+            (lat_re - 3.0 * nomit[i]).abs() < 0.03,
+            "ReExec N{n}: {lat_re}"
+        );
         let (lat_b1, ..) = lookup(&norm, Technique::Bnp(BnpVariant::Bnp1), n);
         assert!((lat_b1 - nomit[i]).abs() < 0.01, "BnP1 N{n}: {lat_b1}");
         let (lat_b2, ..) = lookup(&norm, Technique::Bnp(BnpVariant::Bnp2), n);
@@ -109,9 +112,16 @@ fn headline_savings_match_abstract() {
 #[test]
 fn tiling_ladder_is_the_paper_ladder() {
     let base = Tiling::for_network(EngineConfig::PAPER, 784, 400).passes_per_timestep() as f64;
-    let expected = [(400, 1.0), (900, 2.0), (1600, 3.5), (2500, 5.0), (3600, 7.5)];
+    let expected = [
+        (400, 1.0),
+        (900, 2.0),
+        (1600, 3.5),
+        (2500, 5.0),
+        (3600, 7.5),
+    ];
     for (n, e) in expected {
-        let r = Tiling::for_network(EngineConfig::PAPER, 784, n).passes_per_timestep() as f64 / base;
+        let r =
+            Tiling::for_network(EngineConfig::PAPER, 784, n).passes_per_timestep() as f64 / base;
         assert!((r - e).abs() < 1e-9, "N{n}: {r} vs {e}");
     }
 }

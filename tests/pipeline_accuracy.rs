@@ -13,16 +13,16 @@ fn synth_digits_n100_reaches_decent_accuracy() {
     let train = gen.generate(600, 1);
     let test = gen.generate(100, 999);
 
-    let cfg = SnnConfig::builder()
-        .n_neurons(100)
-        .build()
-        .unwrap();
+    let cfg = SnnConfig::builder().n_neurons(100).build().unwrap();
     let mut rng = seeded_rng(42);
     let mut net = Network::new(cfg, &mut rng);
     let report = train_unsupervised(
         &mut net,
         train.images(),
-        TrainOptions { epochs: 2, shuffle: true },
+        TrainOptions {
+            epochs: 2,
+            shuffle: true,
+        },
         &mut rng,
     )
     .unwrap();
@@ -38,17 +38,26 @@ fn synth_digits_n100_reaches_decent_accuracy() {
     let dead = thetas.iter().filter(|&&t| t == 0.0).count();
     eprintln!("theta: mean {tmean:.2} max {tmax:.2}, neurons never fired: {dead}");
 
-    let assignment = assign_classes(
+    let assignment =
+        assign_classes(&mut net, train.images(), train.labels(), 10, &mut rng).unwrap();
+    eprintln!(
+        "assignment coverage: {:.2}, class sizes {:?}",
+        assignment.coverage(),
+        assignment.class_sizes()
+    );
+    let result = evaluate(
         &mut net,
-        train.images(),
-        train.labels(),
-        10,
+        &assignment,
+        test.images(),
+        test.labels(),
         &mut rng,
     )
     .unwrap();
-    eprintln!("assignment coverage: {:.2}, class sizes {:?}", assignment.coverage(), assignment.class_sizes());
-    let result = evaluate(&mut net, &assignment, test.images(), test.labels(), &mut rng).unwrap();
-    eprintln!("accuracy: {:.1}% (abstained {})", result.accuracy_pct(), result.abstained);
+    eprintln!(
+        "accuracy: {:.1}% (abstained {})",
+        result.accuracy_pct(),
+        result.abstained
+    );
     assert!(
         result.accuracy() > 0.6,
         "expected >60% accuracy, got {:.1}%",
