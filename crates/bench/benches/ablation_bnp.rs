@@ -54,6 +54,28 @@ fn bench_monitor_windows(c: &mut Criterion) {
                 });
             },
         );
+        // The same observation stream through the batched word-level
+        // protocol the engine hot path uses.
+        group.bench_with_input(
+            BenchmarkId::new("batched", window),
+            &window,
+            |b, &window| {
+                let mut monitor = ResetMonitor::new(256, window);
+                let mut allow_words = [0_u64; 4];
+                let mut cycle = 0_usize;
+                b.iter(|| {
+                    cycle += 1;
+                    let mut cmp_words = [0_u64; 4];
+                    for j in 0..256 {
+                        if (j + cycle).is_multiple_of(17) {
+                            cmp_words[j >> 6] |= 1 << (j & 63);
+                        }
+                    }
+                    monitor.observe_cycle(&cmp_words, &mut allow_words, 256);
+                    black_box(allow_words.iter().map(|w| w.count_ones()).sum::<u32>())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -2,17 +2,35 @@
 //! whole-sample runs, with the baseline and the bounded read path.
 //!
 //! Every group benches the optimized hot path (`step`/`run_sample_into`,
-//! table-driven, allocation-free) side by side with the retained
-//! pre-optimization reference (`step_reference`/`run_sample_reference`,
-//! per-element closure reads, per-call allocations), so the speedup is
-//! measured inside the same binary on the same fixture.
+//! SoA lanes + batched guard, allocation-free) side by side with the
+//! retained pre-optimization reference (`step_reference`/
+//! `run_sample_reference`, per-element closure reads, per-neuron guard
+//! calls, per-call allocations), so the speedup is measured inside the
+//! same binary on the same fixture.
+//!
+//! `engine_step_guarded` crosses all three accumulation kernels
+//! (direct/bounded/LUT) with both guards (NoGuard/ResetMonitor), so
+//! guard overhead is visible per kernel at step granularity — not only
+//! at whole-sample granularity. A trailing pseudo-group derives
+//! `guard_overhead` (monitored / unguarded sample cost) and
+//! `monitored_speedup_vs_reference` for the JSON perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snn_hw::engine::{DirectRead, NoGuard};
+use snn_hw::engine::{DirectRead, NoGuard, SpikeGuard, WeightReadPath};
 use softsnn_bench::fixture;
 use softsnn_core::bounding::{BnpVariant, BoundedRead};
 use softsnn_core::protection::ResetMonitor;
 use std::hint::black_box;
+
+/// A bounding transfer function stripped of its `bound_params` hint, so
+/// the engine must use the general 256-entry table kernel.
+struct LutRead(BoundedRead);
+
+impl WeightReadPath for LutRead {
+    fn read(&self, code: u8) -> u8 {
+        self.0.read(code)
+    }
+}
 
 fn bench_engine_step(c: &mut Criterion) {
     let f = fixture();
@@ -42,6 +60,70 @@ fn bench_engine_step(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_step_guarded(c: &mut Criterion) {
+    // Step-level guard overhead per accumulation kernel: every kernel
+    // (direct add / bounded compare-select / LUT gather) × every guard
+    // (NoGuard / paper ResetMonitor), 64 active rows each.
+    let f = fixture();
+    let active: Vec<u32> = (0..64).collect();
+    let n = f.deployment.quantized().n_neurons;
+    let bounded = BoundedRead::new(f.deployment.bounding_for(BnpVariant::Bnp3));
+    let lut = LutRead(BoundedRead::new(
+        f.deployment.bounding_for(BnpVariant::Bnp3),
+    ));
+
+    fn bench_kernel<P: WeightReadPath, G: SpikeGuard>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        fixture: &softsnn_bench::Fixture,
+        active: &[u32],
+        path: &P,
+        mut make_guard: impl FnMut() -> G,
+    ) {
+        group.bench_function(name, |b| {
+            let mut deployment = fixture.deployment.clone();
+            let engine = deployment.engine_mut();
+            let mut guard = make_guard();
+            b.iter(|| black_box(engine.step(active, path, &mut guard).len()));
+        });
+    }
+
+    let mut group = c.benchmark_group("engine_step_guarded");
+    group.sample_size(20);
+    bench_kernel(
+        &mut group,
+        "direct_noguard",
+        f,
+        &active,
+        &DirectRead,
+        || NoGuard,
+    );
+    bench_kernel(
+        &mut group,
+        "direct_monitored",
+        f,
+        &active,
+        &DirectRead,
+        || ResetMonitor::paper(n),
+    );
+    bench_kernel(&mut group, "bounded_noguard", f, &active, &bounded, || {
+        NoGuard
+    });
+    bench_kernel(
+        &mut group,
+        "bounded_monitored",
+        f,
+        &active,
+        &bounded,
+        || ResetMonitor::paper(n),
+    );
+    bench_kernel(&mut group, "lut_noguard", f, &active, &lut, || NoGuard);
+    bench_kernel(&mut group, "lut_monitored", f, &active, &lut, || {
+        ResetMonitor::paper(n)
+    });
+    group.finish();
+}
+
 fn bench_run_sample(c: &mut Criterion) {
     let f = fixture();
     let mut group = c.benchmark_group("engine_run_sample");
@@ -61,6 +143,21 @@ fn bench_run_sample(c: &mut Criterion) {
         let mut deployment = f.deployment.clone();
         let engine = deployment.engine_mut();
         b.iter(|| black_box(engine.run_sample_reference(&f.trains[0], &DirectRead, &mut NoGuard)));
+    });
+    group.bench_function("bounded_noguard", |b| {
+        // Same BnP3 read path without the monitor: the denominator that
+        // isolates guard cost from the kernel change.
+        let mut deployment = f.deployment.clone();
+        let bounding = deployment.bounding_for(BnpVariant::Bnp3);
+        let path = BoundedRead::new(bounding);
+        let engine = deployment.engine_mut();
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_sample_into(&f.trains[0], &path, &mut NoGuard)
+                    .len(),
+            )
+        });
     });
     group.bench_function("bounded_monitored", |b| {
         let mut deployment = f.deployment.clone();
@@ -89,5 +186,38 @@ fn bench_run_sample(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_step, bench_run_sample);
+fn emit_derived_metrics(c: &mut Criterion) {
+    // Derived metrics for the BENCH_engine.json trajectory: guard cost
+    // isolated on the same read path (monitored / unmonitored BnP3, so a
+    // monitor regression cannot hide behind the kernel difference), the
+    // protected path's cost relative to the unguarded direct baseline,
+    // and its in-binary speedup over the retained reference formulation.
+    let monitored = c.ns_per_iter("engine_run_sample", "bounded_monitored");
+    let bounded = c.ns_per_iter("engine_run_sample", "bounded_noguard");
+    let direct = c.ns_per_iter("engine_run_sample", "direct_noguard");
+    let reference = c.ns_per_iter("engine_run_sample", "bounded_monitored_reference");
+    if let (Some(monitored), Some(bounded)) = (monitored, bounded) {
+        if bounded > 0.0 {
+            c.add_metric("guard_overhead", monitored / bounded);
+        }
+    }
+    if let (Some(monitored), Some(direct)) = (monitored, direct) {
+        if direct > 0.0 {
+            c.add_metric("protected_vs_direct", monitored / direct);
+        }
+    }
+    if let (Some(monitored), Some(reference)) = (monitored, reference) {
+        if monitored > 0.0 {
+            c.add_metric("monitored_speedup_vs_reference", reference / monitored);
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_engine_step,
+    bench_engine_step_guarded,
+    bench_run_sample,
+    emit_derived_metrics
+);
 criterion_main!(benches);

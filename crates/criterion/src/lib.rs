@@ -10,8 +10,9 @@
 //! * `cargo bench` — measures and prints `time: <ns>/iter` per benchmark.
 //! * `--test` (as passed by `cargo test --benches`) — runs each benchmark
 //!   body once, without timing, so benches act as smoke tests.
-//! * `BENCH_JSON_OUT=<path>` — additionally writes all measurements as a
-//!   JSON array, used by CI to track the performance trajectory.
+//! * `BENCH_JSON_OUT=<path>` — additionally writes all measurements (plus
+//!   any derived metrics registered via [`Criterion::add_metric`]) as a
+//!   JSON object, used by CI to track the performance trajectory.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +38,7 @@ pub struct Criterion {
     filters: Vec<String>,
     sample_size: usize,
     results: Vec<Measurement>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -46,6 +48,7 @@ impl Default for Criterion {
             filters: Vec::new(),
             sample_size: 10,
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 }
@@ -136,16 +139,33 @@ impl Criterion {
         });
     }
 
-    /// Writes collected measurements as JSON to `path`.
+    /// The measured ns/iter of a finished benchmark (`group` empty for
+    /// ungrouped benches) — lets a trailing pseudo-group derive summary
+    /// metrics from earlier measurements.
+    pub fn ns_per_iter(&self, group: &str, bench: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|m| m.group == group && m.bench == bench)
+            .map(|m| m.ns_per_iter)
+    }
+
+    /// Records a named derived metric (e.g. a speedup or overhead ratio)
+    /// to be emitted alongside the raw measurements in the JSON output.
+    pub fn add_metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Writes collected measurements (and derived metrics, if any) as
+    /// JSON to `path`: `{"results": [...], "metrics": {...}}`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from writing the file.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        let mut out = String::from("[\n");
+        let mut out = String::from("{\n  \"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+                "    {{\"group\": \"{}\", \"bench\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
                 m.group,
                 m.bench,
                 m.ns_per_iter,
@@ -153,7 +173,14 @@ impl Criterion {
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
-        out.push_str("]\n");
+        out.push_str("  ],\n  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{name}\": {value:.4}{}\n",
+                if i + 1 == self.metrics.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  }\n}\n");
         std::fs::write(path, out)
     }
 
@@ -409,11 +436,28 @@ mod tests {
             ..Criterion::default()
         };
         c.bench_function("a", |b| b.iter(|| ()));
+        c.add_metric("guard_overhead", 1.25);
         let path = std::env::temp_dir().join("criterion_stub_test.json");
         c.write_json(path.to_str().unwrap()).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.starts_with('[') && body.trim_end().ends_with(']'));
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        assert!(body.contains("\"results\""));
         assert!(body.contains("\"ns_per_iter\""));
+        assert!(body.contains("\"guard_overhead\": 1.2500"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ns_per_iter_lookup_finds_measurements() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| ()));
+        group.finish();
+        assert!(c.ns_per_iter("g", "one").is_some());
+        assert!(c.ns_per_iter("g", "absent").is_none());
+        assert!(c.ns_per_iter("", "one").is_none());
     }
 }

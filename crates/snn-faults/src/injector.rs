@@ -34,36 +34,43 @@ impl InjectionSummary {
 /// persist per the paper's semantics (until overwrite / parameter
 /// replacement — see [`ComputeEngine::reload_parameters`]).
 ///
+/// Weight sites are applied first, then all neuron sites through a single
+/// [`ComputeEngine::neurons_mut`] borrow — the AoS ↔ SoA neuron-state
+/// synchronization happens once per injected map, not once per site.
+///
 /// # Errors
 ///
 /// Returns [`HwError::IndexOutOfRange`] if the map was generated for a
-/// larger engine than `engine`.
+/// larger engine than `engine` (the engine may be left partially
+/// injected; callers treat this as fatal for the trial).
 pub fn inject(engine: &mut ComputeEngine, map: &FaultMap) -> Result<InjectionSummary, HwError> {
     let mut summary = InjectionSummary::default();
+    let n_neurons = engine.n_neurons();
     for site in map.sites() {
-        match *site {
-            FaultSite::WeightBit { row, col, bit } => {
-                engine
-                    .crossbar_mut()
-                    .flip_bit(row as usize, col as usize, bit)?;
-                summary.bits_flipped += 1;
+        if let FaultSite::WeightBit { row, col, bit } = *site {
+            engine
+                .crossbar_mut()
+                .flip_bit(row as usize, col as usize, bit)?;
+            summary.bits_flipped += 1;
+        }
+    }
+    let units = engine.neurons_mut();
+    for site in map.sites() {
+        if let FaultSite::NeuronOp { neuron, op } = *site {
+            let neuron = neuron as usize;
+            if neuron >= n_neurons {
+                return Err(HwError::IndexOutOfRange {
+                    what: "neuron",
+                    index: neuron,
+                    bound: n_neurons,
+                });
             }
-            FaultSite::NeuronOp { neuron, op } => {
-                let neuron = neuron as usize;
-                if neuron >= engine.n_neurons() {
-                    return Err(HwError::IndexOutOfRange {
-                        what: "neuron",
-                        index: neuron,
-                        bound: engine.n_neurons(),
-                    });
-                }
-                engine.neurons_mut()[neuron].faults.set(op);
-                match op {
-                    NeuronOp::VmemIncrease => summary.vi_faults += 1,
-                    NeuronOp::VmemLeak => summary.vl_faults += 1,
-                    NeuronOp::VmemReset => summary.vr_faults += 1,
-                    NeuronOp::SpikeGeneration => summary.sg_faults += 1,
-                }
+            units[neuron].faults.set(op);
+            match op {
+                NeuronOp::VmemIncrease => summary.vi_faults += 1,
+                NeuronOp::VmemLeak => summary.vl_faults += 1,
+                NeuronOp::VmemReset => summary.vr_faults += 1,
+                NeuronOp::SpikeGeneration => summary.sg_faults += 1,
             }
         }
     }

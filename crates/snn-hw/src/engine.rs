@@ -13,20 +13,33 @@
 //! simulation hot path of every fault-injection campaign, and are built to
 //! be allocation-free and autovectorizable:
 //!
-//! * weight reads go through a precomputed 256-entry lookup table
-//!   ([`WeightReadPath::table`]) — or a pure widening add when the path is
-//!   the identity ([`WeightReadPath::is_identity`]) — instead of a
-//!   per-element closure call;
-//! * the `fired` list, inhibition mask, accumulators, and per-neuron spike
+//! * weight reads go through a kernel resolved once per step or sample
+//!   ([`ResolvedPath`]) — a pure widening add, a branchless
+//!   compare/select, or a 256-entry lookup table — instead of a
+//!   per-element closure call; non-identity kernels additionally
+//!   accumulate from a cached transformed-crossbar image (rebuilt only
+//!   when the registers or the transform change), so the bounded/LUT
+//!   paths run at direct-add speed;
+//! * neuron state lives in structure-of-arrays lanes
+//!   ([`crate::neuron_lanes::NeuronLanes`]): a branch-free fused
+//!   integrate→leak→compare kernel covers the fault-free common case,
+//!   with faulty neurons replayed in a sparse patch pass;
+//! * comparator, spike, and fired results are `u64` bitmask words, so
+//!   spike guards observe a whole cycle at once
+//!   ([`SpikeGuard::observe_cycle`]) instead of one call per neuron, and
+//!   lateral inhibition and spike counting are driven by the fired mask;
+//! * the `fired` list, inhibition, accumulators, and per-neuron spike
 //!   counters are scratch buffers owned by the engine and reused across
 //!   steps and samples.
 //!
-//! The original per-element formulation is retained as
+//! The original per-neuron formulation is retained as
 //! [`ComputeEngine::step_reference`] / [`ComputeEngine::run_sample_reference`];
-//! property tests assert the optimized path is spike-for-spike identical.
+//! property tests assert the optimized path is spike-for-spike identical —
+//! including under stateful guards and neuron-op fault maps.
 
 use crate::crossbar::Crossbar;
 use crate::error::HwError;
+use crate::neuron_lanes::{n_words, NeuronLanes};
 use crate::neuron_unit::{NeuronHwParams, NeuronUnit};
 use crate::params::EngineConfig;
 use snn_sim::quant::QuantizedNetwork;
@@ -76,6 +89,7 @@ pub trait WeightReadPath {
 
 /// The accumulation kernel resolved from a [`WeightReadPath`], once per
 /// step or sample (not per element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ReadKernel {
     /// Identity path: pure widening add.
     Direct,
@@ -86,20 +100,63 @@ enum ReadKernel {
         /// `wgh_def` register.
         default: u8,
     },
-    /// Arbitrary combinational logic: 256-entry table (boxed so the
-    /// common kernels stay pointer-sized; resolved once per step/sample,
-    /// so the allocation is off the per-element path).
-    Table(Box<[u8; 256]>),
+    /// Arbitrary combinational logic: the 256-entry table stored in
+    /// [`ResolvedPath::table`].
+    Table,
 }
 
-impl ReadKernel {
-    fn resolve<P: WeightReadPath>(path: &P) -> Self {
+/// A [`WeightReadPath`] lowered to its accumulation kernel once, for reuse
+/// across many [`ComputeEngine::step_resolved`] calls.
+///
+/// [`ComputeEngine::step`] resolves the path on every call — cheap for
+/// identity/bounded paths, but a 256-entry `read` sweep for table paths.
+/// Per-step drivers (workbench-style loops presenting one timestep at a
+/// time) should resolve once and reuse:
+///
+/// ```
+/// use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard, ResolvedPath};
+/// use snn_sim::{config::SnnConfig, network::Network, rng::seeded_rng};
+/// use snn_sim::quant::QuantizedNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SnnConfig::builder().n_inputs(8).n_neurons(2).build()?;
+/// let net = Network::new(cfg, &mut seeded_rng(1));
+/// let qn = QuantizedNetwork::from_network_default(&net);
+/// let mut engine = ComputeEngine::for_network(&qn)?;
+/// let resolved = ResolvedPath::new(&DirectRead);
+/// for _ in 0..10 {
+///     engine.step_resolved(&[0, 3, 5], &resolved, &mut NoGuard);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResolvedPath {
+    kernel: ReadKernel,
+    /// The 256-entry transfer function; meaningful only for
+    /// [`ReadKernel::Table`] (stored inline so resolving never
+    /// allocates).
+    table: [u8; 256],
+}
+
+impl ResolvedPath {
+    /// Resolves `path` to its accumulation kernel (allocation-free).
+    pub fn new<P: WeightReadPath>(path: &P) -> Self {
         if path.is_identity() {
-            ReadKernel::Direct
+            Self {
+                kernel: ReadKernel::Direct,
+                table: [0; 256],
+            }
         } else if let Some((threshold, default)) = path.bound_params() {
-            ReadKernel::Bounded { threshold, default }
+            Self {
+                kernel: ReadKernel::Bounded { threshold, default },
+                table: [0; 256],
+            }
         } else {
-            ReadKernel::Table(Box::new(path.table()))
+            Self {
+                kernel: ReadKernel::Table,
+                table: path.table(),
+            }
         }
     }
 }
@@ -127,6 +184,12 @@ impl WeightReadPath for DirectRead {
 /// a `SpikeGuard` in `softsnn-core`. The guard is stateful: per the paper,
 /// a tripped monitor keeps spike generation disabled until the neuron's
 /// parameters are replaced ([`SpikeGuard::on_param_reload`]).
+///
+/// The engine drives guards through the batched
+/// [`observe_cycle`](Self::observe_cycle) protocol; implementors only
+/// need [`allow_spike`](Self::allow_spike) (the default batched form
+/// forwards to it), but word-level implementations turn the guard from a
+/// per-neuron call chain into a few ops per 64 neurons.
 pub trait SpikeGuard {
     /// Called once per neuron per cycle with that cycle's comparator
     /// output. Returns whether the neuron may emit a spike this cycle.
@@ -134,6 +197,34 @@ pub trait SpikeGuard {
 
     /// Called when the engine reloads parameters (heals monitor latches).
     fn on_param_reload(&mut self) {}
+
+    /// Batched per-cycle observation: bit `j % 64` of `cmp_words[j / 64]`
+    /// is neuron `j`'s comparator output; the guard must write neuron
+    /// `j`'s allow/veto decision to the same bit of `allow_words`,
+    /// fully overwriting every word it covers (incoming contents are
+    /// unspecified). The engine guarantees `cmp_words` padding bits at or
+    /// beyond `n_neurons` are zero, and ignores the corresponding
+    /// `allow_words` bits.
+    ///
+    /// The default implementation forwards to
+    /// [`allow_spike`](Self::allow_spike) in ascending neuron order, so
+    /// every existing guard behaves identically under batching.
+    fn observe_cycle(&mut self, cmp_words: &[u64], allow_words: &mut [u64], n_neurons: usize) {
+        for (w, (&cmp, allow)) in cmp_words.iter().zip(allow_words.iter_mut()).enumerate() {
+            let base = w * 64;
+            if base >= n_neurons {
+                *allow = 0;
+                continue;
+            }
+            let lanes = (n_neurons - base).min(64);
+            let mut out = 0_u64;
+            for b in 0..lanes {
+                let allowed = self.allow_spike(base + b, (cmp >> b) & 1 != 0);
+                out |= (allowed as u64) << b;
+            }
+            *allow = out;
+        }
+    }
 }
 
 /// A guard that never vetoes (the baseline engine).
@@ -144,6 +235,62 @@ impl SpikeGuard for NoGuard {
     #[inline]
     fn allow_spike(&mut self, _neuron: usize, _cmp_out: bool) -> bool {
         true
+    }
+
+    #[inline]
+    fn observe_cycle(&mut self, _cmp_words: &[u64], allow_words: &mut [u64], _n_neurons: usize) {
+        allow_words.fill(u64::MAX);
+    }
+}
+
+/// Which representation currently holds the authoritative neuron
+/// *state* (membrane + refractory). Fault flags are always authoritative
+/// in the architectural units — nothing else mutates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StateHome {
+    /// The SoA lanes are current (after optimized steps).
+    Lanes,
+    /// The `Vec<NeuronUnit>` view is current (after injection /
+    /// reference steps).
+    Units,
+}
+
+/// Which read-path transform the engine's transformed-crossbar image
+/// currently holds. Read paths are pure combinational logic, so the
+/// transformed codes only change when the transform or the register
+/// contents change — the cache is invalidated at the crossbar mutation
+/// boundary ([`ComputeEngine::crossbar_mut`] / parameter reload), and
+/// non-identity kernels then accumulate at direct-add speed.
+///
+/// For [`ReadKernel::Table`] kernels the cached transform additionally
+/// includes the table contents, kept in
+/// [`ComputeEngine::read_cache_table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadCacheKey {
+    /// Cache contents are stale (crossbar mutated, or never built).
+    Invalid,
+    /// Image of `code > threshold → default` over the current registers.
+    Bounded {
+        /// `wgh_th` register.
+        threshold: u8,
+        /// `wgh_def` register.
+        default: u8,
+    },
+    /// Image of the table in `read_cache_table` over the registers.
+    Table,
+}
+
+/// Widening-adds the given rows of a row-major transformed code image
+/// into the per-column accumulators (the direct-add kernel, applied to
+/// pre-transformed codes).
+#[inline]
+fn accumulate_cached_rows(cache: &[u8], cols: usize, active_rows: &[u32], acc: &mut [i32]) {
+    for &row in active_rows {
+        let base = row as usize * cols;
+        let codes = &cache[base..base + cols];
+        for (a, &c) in acc.iter_mut().zip(codes) {
+            *a += c as i32;
+        }
     }
 }
 
@@ -173,14 +320,32 @@ pub struct ComputeEngine {
     crossbar: Crossbar,
     v_thresh: Vec<i32>,
     hw: NeuronHwParams,
+    /// Architectural per-neuron view: the fault-injection API and the
+    /// state store of the reference path. Membrane/refractory values here
+    /// are refreshed from the lanes at the injection boundary
+    /// ([`neurons_mut`](Self::neurons_mut)) — see [`StateHome`].
     neurons: Vec<NeuronUnit>,
+    /// SoA hot-path state (see [`crate::neuron_lanes`]).
+    lanes: NeuronLanes,
+    state_home: StateHome,
     clean_codes: Vec<u8>,
+    /// Row-major image of the crossbar codes after the current
+    /// non-identity read-path transform (see [`ReadCacheKey`]). Allocated
+    /// lazily on first non-identity use, so `DirectRead`-only engines
+    /// (and their per-trial campaign clones) never pay for it.
+    read_cache: Vec<u8>,
+    read_cache_key: ReadCacheKey,
+    /// The table the cache image was built with (valid iff
+    /// `read_cache_key == ReadCacheKey::Table`).
+    read_cache_table: [u8; 256],
     // Scratch buffers reused across steps/samples (the hot path never
-    // allocates). `fired_mask` entries are only ever true transiently
-    // inside `step_into`.
+    // allocates).
     acc: Vec<i32>,
     fired: Vec<u32>,
-    fired_mask: Vec<bool>,
+    cmp_words: Vec<u64>,
+    spike_words: Vec<u64>,
+    allow_words: Vec<u64>,
+    fired_words: Vec<u64>,
     counts: Vec<u32>,
 }
 
@@ -205,6 +370,7 @@ impl ComputeEngine {
             detail: e.to_string(),
         })?;
         let crossbar = Crossbar::from_codes(qn.n_inputs, qn.n_neurons, &qn.codes)?;
+        let words = n_words(qn.n_neurons);
         Ok(Self {
             physical,
             n_inputs: qn.n_inputs,
@@ -218,10 +384,18 @@ impl ComputeEngine {
                 v_inh: qn.neuron.v_inh,
             },
             neurons: vec![NeuronUnit::new(); qn.n_neurons],
+            lanes: NeuronLanes::new(qn.n_neurons),
+            state_home: StateHome::Lanes,
             clean_codes: qn.codes.clone(),
+            read_cache: Vec::new(),
+            read_cache_key: ReadCacheKey::Invalid,
+            read_cache_table: [0; 256],
             acc: vec![0; qn.n_neurons],
             fired: Vec::with_capacity(qn.n_neurons),
-            fired_mask: vec![false; qn.n_neurons],
+            cmp_words: vec![0; words],
+            spike_words: vec![0; words],
+            allow_words: vec![0; words],
+            fired_words: vec![0; words],
             counts: vec![0; qn.n_neurons],
         })
     }
@@ -246,18 +420,35 @@ impl ComputeEngine {
         &self.crossbar
     }
 
-    /// Mutable crossbar access for fault injection.
+    /// Mutable crossbar access for fault injection. Conservatively
+    /// invalidates the transformed-crossbar image (any register may be
+    /// about to change).
     pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+        self.read_cache_key = ReadCacheKey::Invalid;
         &mut self.crossbar
     }
 
-    /// The neuron units (fault injection sets op-fault flags here).
+    /// The neuron units (fault injection reads op-fault flags here).
+    ///
+    /// Fault flags in this view are always current. Membrane/refractory
+    /// values reflect the last synchronization point (a
+    /// [`neurons_mut`](Self::neurons_mut) call or a reference-path step);
+    /// after optimized steps, read live membrane state through
+    /// [`membranes`](Self::membranes) instead.
     pub fn neurons(&self) -> &[NeuronUnit] {
         &self.neurons
     }
 
     /// Mutable neuron access for fault injection.
+    ///
+    /// This is the AoS ↔ SoA synchronization boundary: the architectural
+    /// view is refreshed from the hot-path lanes before being returned,
+    /// and the lanes re-import it (including fault masks and the sparse
+    /// faulty-neuron list) on the next optimized step — once per
+    /// injection, not per step.
     pub fn neurons_mut(&mut self) -> &mut [NeuronUnit] {
+        self.ensure_units();
+        self.state_home = StateHome::Units;
         &mut self.neurons
     }
 
@@ -271,6 +462,22 @@ impl ComputeEngine {
         self.hw
     }
 
+    /// Makes the architectural units current (export lanes state).
+    fn ensure_units(&mut self) {
+        if self.state_home == StateHome::Lanes {
+            self.lanes.sync_to_units(&mut self.neurons);
+            self.state_home = StateHome::Units;
+        }
+    }
+
+    /// Makes the SoA lanes current (import units state + fault masks).
+    fn ensure_lanes(&mut self) {
+        if self.state_home == StateHome::Units {
+            self.lanes.sync_from_units(&self.neurons);
+            self.state_home = StateHome::Lanes;
+        }
+    }
+
     /// Parameter replacement: rewrites every weight register from the
     /// clean deployment image and clears all neuron-operation faults (the
     /// paper's healing event for both fault classes). Also notifies
@@ -279,10 +486,12 @@ impl ComputeEngine {
         self.crossbar
             .reload(&self.clean_codes)
             .expect("clean image always matches crossbar shape");
+        self.read_cache_key = ReadCacheKey::Invalid;
         for n in &mut self.neurons {
             n.clear_faults();
             n.reset_state();
         }
+        self.state_home = StateHome::Units;
         guard.on_param_reload();
     }
 
@@ -290,9 +499,12 @@ impl ComputeEngine {
     /// faults — flipped register bits and stuck neuron ops — remain, per
     /// the paper's persistence semantics.
     pub fn reset_state(&mut self) {
+        // Cleared in both representations, so whichever is current stays
+        // consistent without forcing a sync.
         for n in &mut self.neurons {
             n.reset_state();
         }
+        self.lanes.reset_state();
     }
 
     /// Advances the engine one timestep.
@@ -307,6 +519,10 @@ impl ComputeEngine {
     /// until the next `step`/`run_sample` call; copy it out
     /// (`.to_vec()`) if you need it longer.
     ///
+    /// Resolves `path` on every call; per-step drivers should resolve once
+    /// with [`ResolvedPath::new`] and use
+    /// [`step_resolved`](Self::step_resolved).
+    ///
     /// # Panics
     ///
     /// Panics if any row index is out of range.
@@ -316,69 +532,113 @@ impl ComputeEngine {
         path: &P,
         guard: &mut G,
     ) -> &[u32] {
-        let kernel = ReadKernel::resolve(path);
-        self.step_into(active_rows, &kernel, guard);
+        let resolved = ResolvedPath::new(path);
+        self.step_resolved(active_rows, &resolved, guard)
+    }
+
+    /// [`step`](Self::step) with a pre-resolved read path — the
+    /// allocation-free, resolve-free form for per-step drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn step_resolved<G: SpikeGuard>(
+        &mut self,
+        active_rows: &[u32],
+        path: &ResolvedPath,
+        guard: &mut G,
+    ) -> &[u32] {
+        self.step_into(active_rows, path, guard);
         &self.fired
     }
 
     /// The engine-internal step: accumulate active rows through the
-    /// resolved kernel, advance every neuron, apply lateral inhibition.
-    /// Leaves the fired indices in `self.fired`.
+    /// resolved kernel, advance all neuron lanes, run the guard over the
+    /// comparator bitmask, apply lateral inhibition through the fired
+    /// bitmask. Leaves the fired indices in `self.fired`.
     fn step_into<G: SpikeGuard>(
         &mut self,
         active_rows: &[u32],
-        kernel: &ReadKernel,
+        path: &ResolvedPath,
         guard: &mut G,
     ) {
+        self.ensure_lanes();
         self.acc.fill(0);
-        match kernel {
+        match path.kernel {
             ReadKernel::Direct => {
                 for &row in active_rows {
                     self.crossbar
                         .accumulate_row_direct(row as usize, &mut self.acc);
                 }
             }
+            // Non-identity kernels accumulate from the transformed-crossbar
+            // image at direct-add speed; the image is rebuilt only when the
+            // transform or the register contents changed.
             ReadKernel::Bounded { threshold, default } => {
-                for &row in active_rows {
-                    self.crossbar.accumulate_row_bounded(
-                        row as usize,
-                        *threshold,
-                        *default,
-                        &mut self.acc,
-                    );
+                let key = ReadCacheKey::Bounded { threshold, default };
+                if self.read_cache_key != key {
+                    self.read_cache.resize(self.crossbar.len(), 0);
+                    for (dst, &c) in self.read_cache.iter_mut().zip(self.crossbar.codes_slice()) {
+                        *dst = if c > threshold { default } else { c };
+                    }
+                    self.read_cache_key = key;
                 }
+                accumulate_cached_rows(
+                    &self.read_cache,
+                    self.n_neurons,
+                    active_rows,
+                    &mut self.acc,
+                );
             }
-            ReadKernel::Table(lut) => {
-                for &row in active_rows {
-                    self.crossbar
-                        .accumulate_row_lut(row as usize, lut, &mut self.acc);
+            ReadKernel::Table => {
+                if self.read_cache_key != ReadCacheKey::Table || self.read_cache_table != path.table
+                {
+                    self.read_cache.resize(self.crossbar.len(), 0);
+                    for (dst, &c) in self.read_cache.iter_mut().zip(self.crossbar.codes_slice()) {
+                        *dst = path.table[c as usize];
+                    }
+                    self.read_cache_key = ReadCacheKey::Table;
+                    self.read_cache_table = path.table;
                 }
+                accumulate_cached_rows(
+                    &self.read_cache,
+                    self.n_neurons,
+                    active_rows,
+                    &mut self.acc,
+                );
             }
         }
-        let mut fired = std::mem::take(&mut self.fired);
-        fired.clear();
-        for j in 0..self.n_neurons {
-            let out = self.neurons[j].step(self.acc[j] as i64, self.v_thresh[j], &self.hw);
-            let allowed = guard.allow_spike(j, out.cmp_out);
-            if out.spike && allowed {
-                fired.push(j as u32);
+        self.lanes.step_fused(
+            &self.acc,
+            &self.v_thresh,
+            &self.hw,
+            &mut self.cmp_words,
+            &mut self.spike_words,
+        );
+        guard.observe_cycle(&self.cmp_words, &mut self.allow_words, self.n_neurons);
+        let mut n_fired = 0_u32;
+        for ((fired, &spike), &allow) in self
+            .fired_words
+            .iter_mut()
+            .zip(self.spike_words.iter())
+            .zip(self.allow_words.iter())
+        {
+            let f = spike & allow;
+            *fired = f;
+            n_fired += f.count_ones();
+        }
+        self.fired.clear();
+        for (wi, &fw) in self.fired_words.iter().enumerate() {
+            let mut w = fw;
+            while w != 0 {
+                self.fired.push((wi as u32) * 64 + w.trailing_zeros());
+                w &= w - 1;
             }
         }
-        if !fired.is_empty() && self.hw.v_inh > 0 {
-            let total_inh = self.hw.v_inh.saturating_mul(fired.len() as i32);
-            for &j in &fired {
-                self.fired_mask[j as usize] = true;
-            }
-            for (j, n) in self.neurons.iter_mut().enumerate() {
-                if !self.fired_mask[j] {
-                    n.inhibit(total_inh);
-                }
-            }
-            for &j in &fired {
-                self.fired_mask[j as usize] = false;
-            }
+        if n_fired > 0 && self.hw.v_inh > 0 {
+            let total_inh = self.hw.v_inh.saturating_mul(n_fired as i32);
+            self.lanes.inhibit_non_fired(&self.fired_words, total_inh);
         }
-        self.fired = fired;
     }
 
     /// Presents one encoded sample (membrane state is cleared first) and
@@ -394,9 +654,9 @@ impl ComputeEngine {
     ) -> &[u32] {
         self.reset_state();
         self.counts.fill(0);
-        let kernel = ReadKernel::resolve(path);
+        let resolved = ResolvedPath::new(path);
         for step_idx in 0..train.n_steps() {
-            self.step_into(train.step(step_idx), &kernel, guard);
+            self.step_into(train.step(step_idx), &resolved, guard);
             for i in 0..self.fired.len() {
                 self.counts[self.fired[i] as usize] += 1;
             }
@@ -416,15 +676,16 @@ impl ComputeEngine {
     }
 
     /// Reference (pre-optimization) formulation of [`step`](Self::step):
-    /// per-element closure reads and per-call allocations. Kept as the
-    /// behavioral oracle for the equivalence property tests; not a hot
-    /// path.
+    /// per-element closure reads, per-neuron branch-chain stepping, and
+    /// one guard call per neuron. Kept as the behavioral oracle for the
+    /// equivalence property tests; not a hot path.
     pub fn step_reference<P: WeightReadPath, G: SpikeGuard>(
         &mut self,
         active_rows: &[u32],
         path: &P,
         guard: &mut G,
     ) -> Vec<u32> {
+        self.ensure_units();
         let mut acc = vec![0_i64; self.n_neurons];
         for &row in active_rows {
             self.crossbar
@@ -471,9 +732,13 @@ impl ComputeEngine {
         counts
     }
 
-    /// Per-neuron membrane potentials (for trajectory equivalence tests).
+    /// Per-neuron membrane potentials (for trajectory equivalence tests),
+    /// read from whichever representation is current.
     pub fn membranes(&self) -> Vec<i32> {
-        self.neurons.iter().map(|n| n.vmem).collect()
+        match self.state_home {
+            StateHome::Lanes => self.lanes.vmem().to_vec(),
+            StateHome::Units => self.neurons.iter().map(|n| n.vmem).collect(),
+        }
     }
 }
 
@@ -628,8 +893,8 @@ mod tests {
 
     #[test]
     fn optimized_step_matches_reference() {
-        // Same engine state, same inputs: the table-driven step and the
-        // closure-based reference must agree spike for spike.
+        // Same engine state, same inputs: the SoA fused step and the
+        // per-neuron reference must agree spike for spike.
         struct Clamp;
         impl WeightReadPath for Clamp {
             fn read(&self, code: u8) -> u8 {
@@ -654,6 +919,53 @@ mod tests {
     }
 
     #[test]
+    fn step_resolved_matches_step() {
+        struct Clamp;
+        impl WeightReadPath for Clamp {
+            fn read(&self, code: u8) -> u8 {
+                code.saturating_sub(40)
+            }
+        }
+        let mut by_path = small_engine();
+        let mut by_handle = small_engine();
+        let resolved = ResolvedPath::new(&Clamp);
+        for t in 0..30 {
+            let rows: Vec<u32> = (0..8).filter(|r| (t + r) % 2 == 0).collect();
+            let a = by_path.step(&rows, &Clamp, &mut NoGuard).to_vec();
+            let b = by_handle
+                .step_resolved(&rows, &resolved, &mut NoGuard)
+                .to_vec();
+            assert_eq!(a, b, "step {t}");
+            assert_eq!(by_path.membranes(), by_handle.membranes(), "step {t}");
+        }
+    }
+
+    #[test]
+    fn default_observe_cycle_forwards_to_allow_spike() {
+        // A guard implementing only allow_spike must behave identically
+        // under the batched protocol — including partial trailing words.
+        struct MuteEven;
+        impl SpikeGuard for MuteEven {
+            fn allow_spike(&mut self, n: usize, _c: bool) -> bool {
+                n % 2 == 1
+            }
+        }
+        let n = 70;
+        let words = n_words(n);
+        let cmp = vec![u64::MAX; words];
+        let mut allow = vec![0_u64; words];
+        MuteEven.observe_cycle(&cmp, &mut allow, n);
+        for j in 0..n {
+            let got = (allow[j >> 6] >> (j & 63)) & 1 != 0;
+            assert_eq!(got, j % 2 == 1, "neuron {j}");
+        }
+        // Padding bits beyond n are zero under the default forwarder.
+        for b in (n % 64)..64 {
+            assert_eq!((allow[words - 1] >> b) & 1, 0, "padding bit {b}");
+        }
+    }
+
+    #[test]
     fn run_sample_into_matches_owned_and_reference() {
         let mut e = small_engine();
         let mut train = SpikeTrain::new(8, 20);
@@ -667,6 +979,26 @@ mod tests {
             .to_vec();
         assert_eq!(owned, reference);
         assert_eq!(owned, into);
+    }
+
+    #[test]
+    fn mixed_reference_and_optimized_steps_share_state() {
+        // Interleaving the two formulations on one engine must stay
+        // coherent: state is handed between representations at each
+        // switch, never lost.
+        let mut mixed = small_engine();
+        let mut oracle = small_engine();
+        for t in 0..30 {
+            let rows: Vec<u32> = (0..8).filter(|r| (t + r) % 3 != 0).collect();
+            let a = if t % 2 == 0 {
+                mixed.step(&rows, &DirectRead, &mut NoGuard).to_vec()
+            } else {
+                mixed.step_reference(&rows, &DirectRead, &mut NoGuard)
+            };
+            let b = oracle.step_reference(&rows, &DirectRead, &mut NoGuard);
+            assert_eq!(a, b, "step {t}");
+            assert_eq!(mixed.membranes(), oracle.membranes(), "step {t}");
+        }
     }
 
     #[test]

@@ -55,14 +55,16 @@ pub mod error;
 pub mod latency;
 pub mod learning_unit;
 pub mod mapping;
+pub mod neuron_lanes;
 pub mod neuron_unit;
 pub mod params;
 pub mod report;
 pub mod weight_register;
 
 pub use crossbar::Crossbar;
-pub use engine::{ComputeEngine, DirectRead, NoGuard, SpikeGuard, WeightReadPath};
+pub use engine::{ComputeEngine, DirectRead, NoGuard, ResolvedPath, SpikeGuard, WeightReadPath};
 pub use error::HwError;
 pub use mapping::Tiling;
+pub use neuron_lanes::NeuronLanes;
 pub use neuron_unit::{NeuronOp, NeuronUnit, OpFaults};
 pub use params::EngineConfig;

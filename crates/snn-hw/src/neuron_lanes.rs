@@ -1,0 +1,410 @@
+//! Structure-of-arrays neuron datapath: the engine's hot-path state.
+//!
+//! [`crate::neuron_unit::NeuronUnit`] is the *architectural* view of one
+//! LIF datapath — membrane register, refractory counter, per-operation
+//! fault flags — and remains the fault-injection API and the behavioral
+//! oracle (`step_reference`). The hot path, however, advances every
+//! neuron every timestep, and an array-of-structs layout forces the
+//! compiler through a per-neuron branch chain (refractory? vi faulty?
+//! vl faulty? …) that defeats vectorization.
+//!
+//! [`NeuronLanes`] keeps the same state as parallel lanes:
+//!
+//! * `vmem: Vec<i32>` and `refrac: Vec<u32>` — contiguous per-neuron
+//!   state the fused kernel streams over;
+//! * one `Vec<u64>` bitmask per faulty operation (`vi`/`vl`/`vr`/`sg`),
+//!   bit `j % 64` of word `j / 64` set when neuron `j` has that fault;
+//! * a sparse index list of faulty neurons (`faulty`), rebuilt whenever
+//!   the architectural view is synced in.
+//!
+//! [`NeuronLanes::step_fused`] advances all neurons with a branch-free
+//! integrate→leak→compare→reset kernel assuming the fault-free common
+//! case (selects instead of branches, so the loop autovectorizes), then
+//! re-runs the handful of faulty neurons through the exact
+//! [`NeuronUnit::step`] semantics in a sparse patch pass, overwriting
+//! their lanes and comparator/spike bits. Comparator and spike results
+//! are produced as `u64` bitmask words — the currency of the batched
+//! [`crate::engine::SpikeGuard::observe_cycle`] protocol.
+//!
+//! Synchronization with the architectural view happens at the fault
+//! injection boundary ([`sync_from_units`](NeuronLanes::sync_from_units) /
+//! [`sync_to_units`](NeuronLanes::sync_to_units)), not per step — see
+//! [`crate::engine::ComputeEngine::neurons_mut`].
+
+use crate::neuron_unit::{NeuronHwParams, NeuronUnit, OpFaults};
+
+/// Number of `u64` bitmask words covering `n` neurons.
+#[inline]
+pub fn n_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// The engine's structure-of-arrays neuron state (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeuronLanes {
+    n: usize,
+    vmem: Vec<i32>,
+    refrac: Vec<u32>,
+    vi_words: Vec<u64>,
+    vl_words: Vec<u64>,
+    vr_words: Vec<u64>,
+    sg_words: Vec<u64>,
+    /// Indices of neurons with at least one op fault (the sparse patch
+    /// list), ascending.
+    faulty: Vec<u32>,
+    /// Pre-step (vmem, refrac) snapshots of the faulty neurons, reused
+    /// across steps so the patch pass never allocates.
+    patch_scratch: Vec<(u32, i32, u32)>,
+}
+
+impl NeuronLanes {
+    /// Rested, fault-free lanes for `n` neurons.
+    pub fn new(n: usize) -> Self {
+        let words = n_words(n);
+        Self {
+            n,
+            vmem: vec![0; n],
+            refrac: vec![0; n],
+            vi_words: vec![0; words],
+            vl_words: vec![0; words],
+            vr_words: vec![0; words],
+            sg_words: vec![0; words],
+            faulty: Vec::new(),
+            patch_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the lanes hold zero neurons.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of bitmask words per op-fault / comparator mask.
+    pub fn words(&self) -> usize {
+        self.vi_words.len()
+    }
+
+    /// Per-neuron membrane potentials.
+    pub fn vmem(&self) -> &[i32] {
+        &self.vmem
+    }
+
+    /// Clears membrane and refractory state (per-sample reset); fault
+    /// masks persist, mirroring [`NeuronUnit::reset_state`].
+    pub fn reset_state(&mut self) {
+        self.vmem.fill(0);
+        self.refrac.fill(0);
+    }
+
+    /// Imports state *and* fault flags from the architectural view and
+    /// rebuilds the sparse faulty-neuron list. Called once at the fault
+    /// injection boundary, not per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units.len()` differs from the lane count.
+    pub fn sync_from_units(&mut self, units: &[NeuronUnit]) {
+        assert_eq!(units.len(), self.n, "lane count");
+        self.vi_words.fill(0);
+        self.vl_words.fill(0);
+        self.vr_words.fill(0);
+        self.sg_words.fill(0);
+        self.faulty.clear();
+        for (j, u) in units.iter().enumerate() {
+            self.vmem[j] = u.vmem;
+            self.refrac[j] = u.refrac;
+            let (w, bit) = (j >> 6, 1_u64 << (j & 63));
+            if u.faults.vi {
+                self.vi_words[w] |= bit;
+            }
+            if u.faults.vl {
+                self.vl_words[w] |= bit;
+            }
+            if u.faults.vr {
+                self.vr_words[w] |= bit;
+            }
+            if u.faults.sg {
+                self.sg_words[w] |= bit;
+            }
+            if u.faults.any() {
+                self.faulty.push(j as u32);
+            }
+        }
+    }
+
+    /// Exports membrane/refractory state back into the architectural
+    /// view. Fault flags are *not* written: the architectural view is
+    /// authoritative for faults (they are only ever mutated there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units.len()` differs from the lane count.
+    pub fn sync_to_units(&self, units: &mut [NeuronUnit]) {
+        assert_eq!(units.len(), self.n, "lane count");
+        for (j, u) in units.iter_mut().enumerate() {
+            u.vmem = self.vmem[j];
+            u.refrac = self.refrac[j];
+        }
+    }
+
+    /// The fault flags of neuron `j`, reassembled from the op bitmasks.
+    fn faults_of(&self, j: usize) -> OpFaults {
+        let (w, bit) = (j >> 6, 1_u64 << (j & 63));
+        OpFaults {
+            vi: self.vi_words[w] & bit != 0,
+            vl: self.vl_words[w] & bit != 0,
+            vr: self.vr_words[w] & bit != 0,
+            sg: self.sg_words[w] & bit != 0,
+        }
+    }
+
+    /// Advances every neuron one timestep: the fused integrate → leak →
+    /// compare → reset kernel.
+    ///
+    /// `acc` is the per-neuron accumulated synaptic drive, `v_thresh` the
+    /// per-neuron thresholds. On return, bit `j` of `cmp_words` holds
+    /// neuron `j`'s `Vmem ≥ Vth` comparator output and bit `j` of
+    /// `spike_words` its internal spike (pre-guard); bits at or beyond
+    /// the neuron count are zero.
+    ///
+    /// The main pass is branch-free and assumes no op faults; neurons on
+    /// the sparse faulty list are then re-run through the exact
+    /// [`NeuronUnit::step`] semantics from their pre-step state, patching
+    /// lanes and output bits. Equivalence with the per-neuron reference
+    /// is property-tested in `tests/proptest_engine_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc`/`v_thresh` lengths differ from the lane count or
+    /// the word buffers differ from [`words`](Self::words) (exact length,
+    /// so no caller-supplied word can be left stale).
+    pub fn step_fused(
+        &mut self,
+        acc: &[i32],
+        v_thresh: &[i32],
+        params: &NeuronHwParams,
+        cmp_words: &mut [u64],
+        spike_words: &mut [u64],
+    ) {
+        assert_eq!(acc.len(), self.n, "drive width");
+        assert_eq!(v_thresh.len(), self.n, "threshold width");
+        let words = self.words();
+        assert_eq!(cmp_words.len(), words, "comparator word width");
+        assert_eq!(spike_words.len(), words, "spike word width");
+
+        // Snapshot pre-step state of the (sparse) faulty neurons before
+        // the vector pass clobbers it.
+        self.patch_scratch.clear();
+        for &j in &self.faulty {
+            let j_us = j as usize;
+            self.patch_scratch
+                .push((j, self.vmem[j_us], self.refrac[j_us]));
+        }
+
+        // Branch-free vector pass over 64-neuron chunks, packing the
+        // comparator bits of each chunk into one word.
+        let chunks = self
+            .vmem
+            .chunks_mut(64)
+            .zip(self.refrac.chunks_mut(64))
+            .zip(acc.chunks(64).zip(v_thresh.chunks(64)));
+        for (wi, ((vm_c, rf_c), (acc_c, th_c))) in chunks.enumerate() {
+            let mut cmp_w = 0_u64;
+            let lanes = vm_c
+                .iter_mut()
+                .zip(rf_c.iter_mut())
+                .zip(acc_c.iter().zip(th_c.iter()));
+            for (b, ((vm, rf), (&drive, &thresh))) in lanes.enumerate() {
+                let r = *rf;
+                let active = r == 0;
+                let v = ((*vm).saturating_add(drive) - params.v_leak).max(0);
+                let hot = active && v >= thresh;
+                *vm = if active {
+                    if hot {
+                        params.v_reset
+                    } else {
+                        v
+                    }
+                } else {
+                    *vm
+                };
+                *rf = if hot {
+                    params.t_refrac
+                } else {
+                    r.saturating_sub(1)
+                };
+                cmp_w |= (hot as u64) << b;
+            }
+            cmp_words[wi] = cmp_w;
+            spike_words[wi] = cmp_w;
+        }
+
+        // Sparse patch pass: replay faulty neurons through the exact
+        // architectural semantics from their saved pre-step state.
+        let scratch = std::mem::take(&mut self.patch_scratch);
+        for &(j, vmem0, refrac0) in &scratch {
+            let j_us = j as usize;
+            let mut unit = NeuronUnit {
+                vmem: vmem0,
+                refrac: refrac0,
+                faults: self.faults_of(j_us),
+            };
+            let out = unit.step(acc[j_us] as i64, v_thresh[j_us], params);
+            self.vmem[j_us] = unit.vmem;
+            self.refrac[j_us] = unit.refrac;
+            let (w, shift) = (j_us >> 6, j_us & 63);
+            let mask = !(1_u64 << shift);
+            cmp_words[w] = cmp_words[w] & mask | (out.cmp_out as u64) << shift;
+            spike_words[w] = spike_words[w] & mask | (out.spike as u64) << shift;
+        }
+        self.patch_scratch = scratch;
+    }
+
+    /// Applies lateral inhibition `total_inh` to every neuron whose bit
+    /// in `fired_words` is clear, mirroring [`NeuronUnit::inhibit`]
+    /// (floored at 0, skipped while refractory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired_words` differs from [`words`](Self::words).
+    pub fn inhibit_non_fired(&mut self, fired_words: &[u64], total_inh: i32) {
+        assert_eq!(fired_words.len(), self.words(), "fired word width");
+        let chunks = self.vmem.chunks_mut(64).zip(self.refrac.chunks(64));
+        for (wi, (vm_c, rf_c)) in chunks.enumerate() {
+            let fired = fired_words[wi];
+            for (b, (vm, &r)) in vm_c.iter_mut().zip(rf_c.iter()).enumerate() {
+                let held = (fired >> b) & 1 != 0 || r != 0;
+                let v = (*vm - total_inh).max(0);
+                *vm = if held { *vm } else { v };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron_unit::NeuronOp;
+
+    fn params() -> NeuronHwParams {
+        NeuronHwParams {
+            v_reset: 0,
+            v_leak: 10,
+            t_refrac: 2,
+            v_inh: 100,
+        }
+    }
+
+    /// Drives `n` architectural units and the lanes side by side through
+    /// the same random-ish schedule and asserts identical state and
+    /// outputs every step.
+    fn assert_lockstep(mut units: Vec<NeuronUnit>, drives: impl Fn(usize, usize) -> i32) {
+        let p = params();
+        let n = units.len();
+        let thresholds = vec![500_i32; n];
+        let mut lanes = NeuronLanes::new(n);
+        lanes.sync_from_units(&units);
+        let words = lanes.words();
+        let mut cmp = vec![0_u64; words];
+        let mut spk = vec![0_u64; words];
+        for t in 0..50 {
+            let acc: Vec<i32> = (0..n).map(|j| drives(t, j)).collect();
+            lanes.step_fused(&acc, &thresholds, &p, &mut cmp, &mut spk);
+            for (j, u) in units.iter_mut().enumerate() {
+                let out = u.step(acc[j] as i64, thresholds[j], &p);
+                let (w, b) = (j >> 6, j & 63);
+                assert_eq!((cmp[w] >> b) & 1 != 0, out.cmp_out, "cmp t={t} j={j}");
+                assert_eq!((spk[w] >> b) & 1 != 0, out.spike, "spike t={t} j={j}");
+                assert_eq!(lanes.vmem[j], u.vmem, "vmem t={t} j={j}");
+                assert_eq!(lanes.refrac[j], u.refrac, "refrac t={t} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_lanes_match_units() {
+        let units = vec![NeuronUnit::new(); 70];
+        assert_lockstep(units, |t, j| ((t * 131 + j * 37) % 400) as i32);
+    }
+
+    #[test]
+    fn faulty_lanes_match_units_via_patch_pass() {
+        let mut units = vec![NeuronUnit::new(); 70];
+        units[0].faults.set(NeuronOp::VmemIncrease);
+        units[3].faults.set(NeuronOp::VmemLeak);
+        units[64].faults.set(NeuronOp::VmemReset);
+        units[65].faults.set(NeuronOp::SpikeGeneration);
+        units[69].faults.set(NeuronOp::VmemReset);
+        units[69].faults.set(NeuronOp::SpikeGeneration);
+        assert_lockstep(units, |t, j| ((t * 211 + j * 53) % 600) as i32);
+    }
+
+    #[test]
+    fn inhibition_matches_units() {
+        let p = params();
+        let mut units = vec![NeuronUnit::new(); 66];
+        for (j, u) in units.iter_mut().enumerate() {
+            u.vmem = (j as i32) * 7;
+        }
+        units[5].refrac = 1;
+        let mut lanes = NeuronLanes::new(66);
+        lanes.sync_from_units(&units);
+        let mut fired_words = vec![0_u64; lanes.words()];
+        fired_words[0] |= 1 << 2;
+        fired_words[1] |= 1 << 1; // neuron 65
+        lanes.inhibit_non_fired(&fired_words, 40);
+        for (j, u) in units.iter_mut().enumerate() {
+            if j != 2 && j != 65 {
+                u.inhibit(40);
+            }
+        }
+        for (j, u) in units.iter().enumerate() {
+            assert_eq!(lanes.vmem[j], u.vmem, "j={j}");
+        }
+        let _ = p;
+    }
+
+    #[test]
+    fn sync_round_trips_state() {
+        let mut units = vec![NeuronUnit::new(); 10];
+        units[4].vmem = 77;
+        units[4].refrac = 3;
+        units[7].faults.set(NeuronOp::SpikeGeneration);
+        let mut lanes = NeuronLanes::new(10);
+        lanes.sync_from_units(&units);
+        assert_eq!(lanes.faulty, vec![7]);
+        let mut back = vec![NeuronUnit::new(); 10];
+        lanes.sync_to_units(&mut back);
+        assert_eq!(back[4].vmem, 77);
+        assert_eq!(back[4].refrac, 3);
+        // Faults are not exported: the architectural view owns them.
+        assert!(!back[7].faults.any());
+    }
+
+    #[test]
+    fn reset_state_keeps_fault_masks() {
+        let mut units = vec![NeuronUnit::new(); 4];
+        units[1].faults.set(NeuronOp::VmemReset);
+        units[1].vmem = 50;
+        let mut lanes = NeuronLanes::new(4);
+        lanes.sync_from_units(&units);
+        lanes.reset_state();
+        assert_eq!(lanes.vmem()[1], 0);
+        assert!(lanes.faults_of(1).vr);
+        assert_eq!(lanes.faulty, vec![1]);
+    }
+
+    #[test]
+    fn word_count_covers_partial_words() {
+        assert_eq!(n_words(0), 0);
+        assert_eq!(n_words(1), 1);
+        assert_eq!(n_words(64), 1);
+        assert_eq!(n_words(65), 2);
+        assert_eq!(NeuronLanes::new(130).words(), 3);
+    }
+}

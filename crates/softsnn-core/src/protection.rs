@@ -9,6 +9,18 @@
 //! `window` (paper: 2) it latches that neuron's spike generation off until
 //! parameter replacement. In hardware this is the AND gate + output mux of
 //! Fig. 11(c).
+//!
+//! # Batched observation
+//!
+//! The monitor stores its per-neuron latches as `u64` bitmask words
+//! (bit `j % 64` of word `j / 64`), which makes the engine's batched
+//! [`SpikeGuard::observe_cycle`] protocol nearly free: for the paper's
+//! 2-cycle window the whole update is
+//! `disabled |= streak & cmp; streak = cmp; allow = !disabled` — three
+//! word operations per 64 neurons per cycle, replacing 64 stateful calls.
+//! Wider windows keep exact per-neuron streak counters but only touch
+//! words with a nonzero comparator or live streak, so idle regions of the
+//! network cost one word compare per cycle.
 
 use snn_hw::engine::SpikeGuard;
 
@@ -32,8 +44,15 @@ pub const PAPER_WINDOW: u8 = 2;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResetMonitor {
     window: u8,
+    n_neurons: usize,
+    /// Bit `j`: neuron `j`'s comparator was true last cycle (i.e. its
+    /// consecutive-hot streak is nonzero).
+    streak_words: Vec<u64>,
+    /// Bit `j`: neuron `j`'s spike generation is latched off.
+    disabled_words: Vec<u64>,
+    /// Exact streak counters, maintained only when `window > 2` (for
+    /// windows ≤ 2 the streak bitmask fully determines behaviour).
     consecutive: Vec<u8>,
-    disabled: Vec<bool>,
 }
 
 impl ResetMonitor {
@@ -44,10 +63,17 @@ impl ResetMonitor {
     /// Panics if `window == 0`.
     pub fn new(n_neurons: usize, window: u8) -> Self {
         assert!(window > 0, "monitor window must be at least 1 cycle");
+        let words = n_neurons.div_ceil(64);
         Self {
             window,
-            consecutive: vec![0; n_neurons],
-            disabled: vec![false; n_neurons],
+            n_neurons,
+            streak_words: vec![0; words],
+            disabled_words: vec![0; words],
+            consecutive: if window > 2 {
+                vec![0; n_neurons]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -61,33 +87,129 @@ impl ResetMonitor {
         self.window
     }
 
-    /// Whether neuron `j`'s spike generation is currently latched off.
-    pub fn is_disabled(&self, j: usize) -> bool {
-        self.disabled[j]
+    /// Number of monitored neurons.
+    pub fn n_neurons(&self) -> usize {
+        self.n_neurons
     }
 
-    /// Number of neurons currently latched off.
+    /// Whether neuron `j`'s spike generation is currently latched off.
+    pub fn is_disabled(&self, j: usize) -> bool {
+        self.disabled_words[j >> 6] & (1 << (j & 63)) != 0
+    }
+
+    /// Number of neurons currently latched off — a popcount over the
+    /// disabled bitmask, O(words) rather than O(neurons).
     pub fn n_disabled(&self) -> usize {
-        self.disabled.iter().filter(|&&d| d).count()
+        self.disabled_words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 }
 
 impl SpikeGuard for ResetMonitor {
     fn allow_spike(&mut self, neuron: usize, cmp_out: bool) -> bool {
+        // Explicit bounds check: the word indexing below would otherwise
+        // silently accept (and latch padding bits for) out-of-range
+        // neurons up to the word capacity.
+        assert!(
+            neuron < self.n_neurons,
+            "neuron {neuron} out of range for a {}-neuron monitor",
+            self.n_neurons
+        );
+        let w = neuron >> 6;
+        let bit = 1_u64 << (neuron & 63);
         if cmp_out {
-            self.consecutive[neuron] = self.consecutive[neuron].saturating_add(1);
-            if self.consecutive[neuron] >= self.window {
-                self.disabled[neuron] = true;
+            let latch = match self.window {
+                1 => true,
+                2 => self.streak_words[w] & bit != 0,
+                window => {
+                    let c = self.consecutive[neuron].saturating_add(1);
+                    self.consecutive[neuron] = c;
+                    c >= window
+                }
+            };
+            if latch {
+                self.disabled_words[w] |= bit;
             }
+            self.streak_words[w] |= bit;
         } else {
-            self.consecutive[neuron] = 0;
+            self.streak_words[w] &= !bit;
+            if self.window > 2 {
+                self.consecutive[neuron] = 0;
+            }
         }
-        !self.disabled[neuron]
+        self.disabled_words[w] & bit == 0
+    }
+
+    fn observe_cycle(&mut self, cmp_words: &[u64], allow_words: &mut [u64], n_neurons: usize) {
+        // A monitor smaller than the observed engine would otherwise
+        // leave the uncovered allow words stale — a silent mute of every
+        // neuron past its capacity. Fail loudly, like the per-neuron
+        // protocol does.
+        assert!(
+            n_neurons <= self.n_neurons,
+            "monitor sized for {} neurons observed a {n_neurons}-neuron cycle",
+            self.n_neurons
+        );
+        let words = self
+            .disabled_words
+            .len()
+            .min(cmp_words.len())
+            .min(allow_words.len());
+        match self.window {
+            1 => {
+                for w in 0..words {
+                    self.disabled_words[w] |= cmp_words[w];
+                    self.streak_words[w] = cmp_words[w];
+                    allow_words[w] = !self.disabled_words[w];
+                }
+            }
+            2 => {
+                // The paper's window: a neuron latches iff it was hot last
+                // cycle and is hot again — `prev & cmp`.
+                for w in 0..words {
+                    let cmp = cmp_words[w];
+                    self.disabled_words[w] |= self.streak_words[w] & cmp;
+                    self.streak_words[w] = cmp;
+                    allow_words[w] = !self.disabled_words[w];
+                }
+            }
+            window => {
+                for w in 0..words {
+                    let cmp = cmp_words[w];
+                    // Lanes with no comparator activity and no live streak
+                    // need no counter work at all.
+                    let mut touched = cmp | self.streak_words[w];
+                    if touched != 0 {
+                        let mut streak = 0_u64;
+                        while touched != 0 {
+                            let b = touched.trailing_zeros() as usize;
+                            touched &= touched - 1;
+                            let j = w * 64 + b;
+                            if cmp & (1 << b) != 0 {
+                                let c = self.consecutive[j].saturating_add(1);
+                                self.consecutive[j] = c;
+                                if c >= window {
+                                    self.disabled_words[w] |= 1 << b;
+                                }
+                                streak |= 1 << b;
+                            } else {
+                                self.consecutive[j] = 0;
+                            }
+                        }
+                        self.streak_words[w] = streak;
+                    }
+                    allow_words[w] = !self.disabled_words[w];
+                }
+            }
+        }
     }
 
     fn on_param_reload(&mut self) {
-        self.consecutive.iter_mut().for_each(|c| *c = 0);
-        self.disabled.iter_mut().for_each(|d| *d = false);
+        self.streak_words.fill(0);
+        self.disabled_words.fill(0);
+        self.consecutive.fill(0);
     }
 }
 
@@ -159,5 +281,119 @@ mod tests {
     #[should_panic]
     fn zero_window_panics() {
         let _ = ResetMonitor::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_neuron_panics() {
+        // Word capacity (128 bits for n=70) must not silently accept
+        // neurons beyond n_neurons.
+        let mut m = ResetMonitor::paper(70);
+        m.allow_spike(100, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "observed a")]
+    fn undersized_monitor_rejects_batched_cycle() {
+        // A monitor smaller than the engine must fail loudly under the
+        // batched protocol, like the per-neuron protocol does.
+        let mut m = ResetMonitor::paper(64);
+        let cmp = vec![0_u64; 2];
+        let mut allow = vec![0_u64; 2];
+        m.observe_cycle(&cmp, &mut allow, 100);
+    }
+
+    /// Deterministic pseudo-random comparator pattern over `n` neurons.
+    fn cmp_pattern(n: usize, cycle: usize) -> Vec<bool> {
+        (0..n)
+            .map(|j| {
+                // Mix of cold neurons, single-cycle fires, and long streaks.
+                match j % 5 {
+                    0 => false,
+                    1 => (cycle + j).is_multiple_of(7),
+                    2 => cycle % 4 < 2,
+                    3 => cycle >= j % 11,
+                    _ => (cycle * 31 + j * 17).is_multiple_of(3),
+                }
+            })
+            .collect()
+    }
+
+    fn to_words(bits: &[bool]) -> Vec<u64> {
+        let mut words = vec![0_u64; bits.len().div_ceil(64)];
+        for (j, &b) in bits.iter().enumerate() {
+            words[j >> 6] |= (b as u64) << (j & 63);
+        }
+        words
+    }
+
+    #[test]
+    fn batched_observe_cycle_matches_per_neuron_calls() {
+        // The word-level batched implementation must agree with one
+        // allow_spike call per neuron, for every window class (1, the
+        // paper's 2, and the counter-based wide path), across word
+        // boundaries (n = 130 spans three words).
+        let n = 130;
+        for window in [1_u8, 2, 3, 5] {
+            let mut scalar = ResetMonitor::new(n, window);
+            let mut batched = ResetMonitor::new(n, window);
+            let mut allow_words = vec![0_u64; n.div_ceil(64)];
+            for cycle in 0..40 {
+                let cmp = cmp_pattern(n, cycle);
+                let cmp_words = to_words(&cmp);
+                batched.observe_cycle(&cmp_words, &mut allow_words, n);
+                for (j, &c) in cmp.iter().enumerate() {
+                    let allowed_scalar = scalar.allow_spike(j, c);
+                    let allowed_batched = (allow_words[j >> 6] >> (j & 63)) & 1 != 0;
+                    assert_eq!(
+                        allowed_batched, allowed_scalar,
+                        "window {window}, cycle {cycle}, neuron {j}"
+                    );
+                }
+                assert_eq!(batched, scalar, "window {window}, cycle {cycle}");
+            }
+        }
+    }
+
+    #[test]
+    fn n_disabled_popcount_matches_per_neuron_view() {
+        // Regression pin for the O(words) popcount: it must agree with
+        // counting is_disabled across every neuron, under both the scalar
+        // and batched update paths.
+        let n = 200;
+        for window in [1_u8, 2, 4] {
+            let mut m = ResetMonitor::new(n, window);
+            let mut allow_words = vec![0_u64; n.div_ceil(64)];
+            for cycle in 0..30 {
+                let cmp = cmp_pattern(n, cycle);
+                if cycle % 2 == 0 {
+                    m.observe_cycle(&to_words(&cmp), &mut allow_words, n);
+                } else {
+                    for (j, &c) in cmp.iter().enumerate() {
+                        m.allow_spike(j, c);
+                    }
+                }
+                let per_neuron = (0..n).filter(|&j| m.is_disabled(j)).count();
+                assert_eq!(m.n_disabled(), per_neuron, "window {window}, cycle {cycle}");
+            }
+            assert!(m.n_disabled() > 0, "pattern must latch some neurons");
+        }
+    }
+
+    #[test]
+    fn batched_reload_heals_and_reuses() {
+        let n = 70;
+        let mut m = ResetMonitor::paper(n);
+        let mut allow = vec![0_u64; 2];
+        // All 70 neurons hot; padding bits beyond n stay zero per the
+        // observe_cycle contract.
+        let hot = vec![u64::MAX, (1_u64 << 6) - 1];
+        m.observe_cycle(&hot, &mut allow, n);
+        m.observe_cycle(&hot, &mut allow, n);
+        assert_eq!(m.n_disabled(), n);
+        m.on_param_reload();
+        assert_eq!(m.n_disabled(), 0);
+        m.observe_cycle(&hot, &mut allow, n);
+        assert_eq!(m.n_disabled(), 0, "first hot cycle after heal is allowed");
     }
 }
