@@ -16,7 +16,7 @@
 //! `monitored_speedup_vs_reference` for the JSON perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snn_hw::engine::{DirectRead, NoGuard, SpikeGuard, WeightReadPath};
+use snn_hw::engine::{BatchResult, DirectRead, NoGuard, SpikeGuard, WeightReadPath};
 use softsnn_bench::fixture;
 use softsnn_core::bounding::{BnpVariant, BoundedRead};
 use softsnn_core::protection::ResetMonitor;
@@ -186,6 +186,69 @@ fn bench_run_sample(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_run_batch(c: &mut Criterion) {
+    // The campaign workload at campaign scale: a paper-sized N400 engine
+    // (784 inputs — untrained random weights; engine throughput does not
+    // care) evaluating a test set under the protected configuration
+    // (BnP3-shaped bounding + reset monitor), batched through
+    // `run_batch_into` vs the per-sample loop with the same per-sample
+    // guard-cloning semantics. The two paths produce bit-identical counts
+    // (property-tested), so this measures pure throughput; at N400 the
+    // transformed-crossbar image is ~306 KiB, so keeping each cycle's
+    // active rows hot across the whole batch is where interleaving pays.
+    use snn_sim::encoding::PoissonEncoder;
+    use snn_sim::network::Network;
+    use snn_sim::quant::QuantizedNetwork;
+    use snn_sim::rng::seeded_rng;
+    use softsnn_core::bounding::BoundingConfig;
+
+    let cfg = snn_sim::config::SnnConfig::builder()
+        .n_neurons(400)
+        .timesteps(40)
+        .build()
+        .expect("paper-shaped config");
+    let net = Network::new(cfg.clone(), &mut seeded_rng(0xba7c4));
+    let qn = QuantizedNetwork::from_network_default(&net);
+    let mut engine = snn_hw::engine::ComputeEngine::for_network(&qn).expect("deployable");
+    let path = BoundedRead::new(BoundingConfig {
+        threshold_code: 96,
+        default_code: 6,
+    });
+    let monitor = ResetMonitor::paper(400);
+    let encoder = PoissonEncoder::new(cfg.max_rate);
+    let mut rng = seeded_rng(0x5eed);
+    let trains: Vec<snn_sim::spike::SpikeTrain> = (0..10)
+        .map(|s| {
+            let img: Vec<f32> = (0..784)
+                .map(|p| if (p + s * 13) % 5 < 2 { 0.8 } else { 0.0 })
+                .collect();
+            encoder.encode(&img, cfg.timesteps, &mut rng)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine_run_batch");
+    group.sample_size(20);
+    group.bench_function("bnp3_monitored_batched", |b| {
+        let mut engine = engine.clone();
+        let mut out = BatchResult::new();
+        b.iter(|| {
+            engine.run_batch_into(&trains, &path, &monitor, &mut out);
+            black_box(out.counts(0)[0])
+        });
+    });
+    group.bench_function("bnp3_monitored_per_sample", |b| {
+        b.iter(|| {
+            let mut acc = 0_u32;
+            for train in &trains {
+                let mut guard = monitor.clone();
+                acc += engine.run_sample_into(train, &path, &mut guard)[0];
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
 fn emit_derived_metrics(c: &mut Criterion) {
     // Derived metrics for the BENCH_engine.json trajectory: guard cost
     // isolated on the same read path (monitored / unmonitored BnP3, so a
@@ -211,6 +274,15 @@ fn emit_derived_metrics(c: &mut Criterion) {
             c.add_metric("monitored_speedup_vs_reference", reference / monitored);
         }
     }
+    // Campaign-throughput headline: the batched pass vs the per-sample
+    // loop on the identical BnP3+monitor workload.
+    let batched = c.ns_per_iter("engine_run_batch", "bnp3_monitored_batched");
+    let per_sample = c.ns_per_iter("engine_run_batch", "bnp3_monitored_per_sample");
+    if let (Some(batched), Some(per_sample)) = (batched, per_sample) {
+        if batched > 0.0 {
+            c.add_metric("batch_speedup", per_sample / batched);
+        }
+    }
 }
 
 criterion_group!(
@@ -218,6 +290,7 @@ criterion_group!(
     bench_engine_step,
     bench_engine_step_guarded,
     bench_run_sample,
+    bench_run_batch,
     emit_derived_metrics
 );
 criterion_main!(benches);

@@ -1,4 +1,13 @@
 //! Fault-injection campaigns: sweeps over rates × independent fault maps.
+//!
+//! A campaign is metric-agnostic: each (rate, trial) point hands the
+//! generated [`FaultMap`] to a caller closure. Engine-bound campaigns
+//! should evaluate the whole test set inside that closure through the
+//! batched pipeline — `SoftSnnDeployment::evaluate_encoded` over a shared
+//! `EncodedTestSet` (encoded once per deployment, never per trial) routes
+//! into the engine's interleaved multi-sample pass, and per-trial
+//! injection patches the transformed-crossbar image in place instead of
+//! rebuilding it (`ComputeEngine::flip_weight_bit`).
 
 use crate::fault_map::FaultMap;
 use crate::location::FaultSpace;

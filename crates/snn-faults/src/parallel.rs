@@ -19,6 +19,10 @@ use snn_sim::parallel::parallel_map;
 /// callers can derive any additional per-point state (RNG streams, engine
 /// clones) exactly as the sequential runner would. It must be `Sync`:
 /// clone per-point mutable state (e.g. a deployment) inside the closure.
+/// Per-point evaluations compose with the engine's batched sample pass —
+/// cores × interleaved samples: fan points across cores here, and run the
+/// shared pre-encoded test set through
+/// `SoftSnnDeployment::evaluate_encoded` inside each point.
 ///
 /// # Examples
 ///

@@ -30,6 +30,19 @@
 //! injection boundary ([`sync_from_units`](NeuronLanes::sync_from_units) /
 //! [`sync_to_units`](NeuronLanes::sync_to_units)), not per step — see
 //! [`crate::engine::ComputeEngine::neurons_mut`].
+//!
+//! # Batched samples
+//!
+//! [`BatchLanes`] extends the same layout across samples: a sample-major
+//! `n_neurons × batch` block of `vmem`/`refrac` lanes (sample `s` owns the
+//! contiguous block `[s·n, (s+1)·n)`) sharing a single plane of op-fault
+//! bitmasks (faults live in the hardware, not in the input, so every
+//! sample of a batch sees the same faulty neurons). The fused, patch, and
+//! inhibition kernels are block-level free functions shared verbatim
+//! between the single-sample and batched paths, so the batched pass is
+//! equivalent to the single-sample pass by construction — and the
+//! cross-path property suite in `tests/proptest_engine_equivalence.rs`
+//! pins it.
 
 use crate::neuron_unit::{NeuronHwParams, NeuronUnit, OpFaults};
 
@@ -39,19 +52,187 @@ pub fn n_words(n: usize) -> usize {
     n.div_ceil(64)
 }
 
+/// One plane of per-operation fault bitmasks plus the sparse faulty-index
+/// list, shared by the single-sample and batched lane layouts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct OpMasks {
+    vi_words: Vec<u64>,
+    vl_words: Vec<u64>,
+    vr_words: Vec<u64>,
+    sg_words: Vec<u64>,
+    /// Indices of neurons with at least one op fault, ascending.
+    faulty: Vec<u32>,
+}
+
+impl OpMasks {
+    fn with_words(words: usize) -> Self {
+        Self {
+            vi_words: vec![0; words],
+            vl_words: vec![0; words],
+            vr_words: vec![0; words],
+            sg_words: vec![0; words],
+            faulty: Vec::new(),
+        }
+    }
+
+    /// Rebuilds every mask from the architectural units.
+    fn import(&mut self, units: &[NeuronUnit]) {
+        self.vi_words.fill(0);
+        self.vl_words.fill(0);
+        self.vr_words.fill(0);
+        self.sg_words.fill(0);
+        self.faulty.clear();
+        for (j, u) in units.iter().enumerate() {
+            let (w, bit) = (j >> 6, 1_u64 << (j & 63));
+            if u.faults.vi {
+                self.vi_words[w] |= bit;
+            }
+            if u.faults.vl {
+                self.vl_words[w] |= bit;
+            }
+            if u.faults.vr {
+                self.vr_words[w] |= bit;
+            }
+            if u.faults.sg {
+                self.sg_words[w] |= bit;
+            }
+            if u.faults.any() {
+                self.faulty.push(j as u32);
+            }
+        }
+    }
+
+    /// The fault flags of neuron `j`, reassembled from the op bitmasks.
+    fn faults_of(&self, j: usize) -> OpFaults {
+        let (w, bit) = (j >> 6, 1_u64 << (j & 63));
+        OpFaults {
+            vi: self.vi_words[w] & bit != 0,
+            vl: self.vl_words[w] & bit != 0,
+            vr: self.vr_words[w] & bit != 0,
+            sg: self.sg_words[w] & bit != 0,
+        }
+    }
+}
+
+/// The branch-free fused integrate → leak → compare → reset pass over one
+/// contiguous block of lanes, packing comparator/spike bits into words.
+/// Assumes the fault-free case; faulty lanes are corrected afterwards by
+/// [`patch_block`].
+fn fused_block(
+    vmem: &mut [i32],
+    refrac: &mut [u32],
+    acc: &[i32],
+    v_thresh: &[i32],
+    params: &NeuronHwParams,
+    cmp_words: &mut [u64],
+    spike_words: &mut [u64],
+) {
+    let chunks = vmem
+        .chunks_mut(64)
+        .zip(refrac.chunks_mut(64))
+        .zip(acc.chunks(64).zip(v_thresh.chunks(64)));
+    for (wi, ((vm_c, rf_c), (acc_c, th_c))) in chunks.enumerate() {
+        let mut cmp_w = 0_u64;
+        let lanes = vm_c
+            .iter_mut()
+            .zip(rf_c.iter_mut())
+            .zip(acc_c.iter().zip(th_c.iter()));
+        for (b, ((vm, rf), (&drive, &thresh))) in lanes.enumerate() {
+            let r = *rf;
+            let active = r == 0;
+            let v = ((*vm).saturating_add(drive) - params.v_leak).max(0);
+            let hot = active && v >= thresh;
+            *vm = if active {
+                if hot {
+                    params.v_reset
+                } else {
+                    v
+                }
+            } else {
+                *vm
+            };
+            *rf = if hot {
+                params.t_refrac
+            } else {
+                r.saturating_sub(1)
+            };
+            cmp_w |= (hot as u64) << b;
+        }
+        cmp_words[wi] = cmp_w;
+        spike_words[wi] = cmp_w;
+    }
+}
+
+/// Sparse patch pass over one block: replays each faulty neuron through
+/// the exact [`NeuronUnit::step`] semantics from its saved pre-step state
+/// (`scratch` entries are `(index, vmem, refrac)`), overwriting its lanes
+/// and comparator/spike bits.
+#[allow(clippy::too_many_arguments)]
+fn patch_block(
+    vmem: &mut [i32],
+    refrac: &mut [u32],
+    acc: &[i32],
+    v_thresh: &[i32],
+    params: &NeuronHwParams,
+    cmp_words: &mut [u64],
+    spike_words: &mut [u64],
+    masks: &OpMasks,
+    scratch: &[(u32, i32, u32)],
+) {
+    for &(j, vmem0, refrac0) in scratch {
+        let j_us = j as usize;
+        let mut unit = NeuronUnit {
+            vmem: vmem0,
+            refrac: refrac0,
+            faults: masks.faults_of(j_us),
+        };
+        let out = unit.step(acc[j_us] as i64, v_thresh[j_us], params);
+        vmem[j_us] = unit.vmem;
+        refrac[j_us] = unit.refrac;
+        let (w, shift) = (j_us >> 6, j_us & 63);
+        let mask = !(1_u64 << shift);
+        cmp_words[w] = cmp_words[w] & mask | (out.cmp_out as u64) << shift;
+        spike_words[w] = spike_words[w] & mask | (out.spike as u64) << shift;
+    }
+}
+
+/// Saves `(index, vmem, refrac)` snapshots of the faulty lanes into
+/// `scratch` before the vector pass clobbers them.
+fn snapshot_faulty(
+    faulty: &[u32],
+    vmem: &[i32],
+    refrac: &[u32],
+    scratch: &mut Vec<(u32, i32, u32)>,
+) {
+    scratch.clear();
+    for &j in faulty {
+        let j_us = j as usize;
+        scratch.push((j, vmem[j_us], refrac[j_us]));
+    }
+}
+
+/// Applies lateral inhibition `total_inh` to every lane of one block whose
+/// bit in `fired_words` is clear, mirroring [`NeuronUnit::inhibit`]
+/// (floored at 0, skipped while refractory).
+fn inhibit_block(vmem: &mut [i32], refrac: &[u32], fired_words: &[u64], total_inh: i32) {
+    let chunks = vmem.chunks_mut(64).zip(refrac.chunks(64));
+    for (wi, (vm_c, rf_c)) in chunks.enumerate() {
+        let fired = fired_words[wi];
+        for (b, (vm, &r)) in vm_c.iter_mut().zip(rf_c.iter()).enumerate() {
+            let held = (fired >> b) & 1 != 0 || r != 0;
+            let v = (*vm - total_inh).max(0);
+            *vm = if held { *vm } else { v };
+        }
+    }
+}
+
 /// The engine's structure-of-arrays neuron state (see module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeuronLanes {
     n: usize,
     vmem: Vec<i32>,
     refrac: Vec<u32>,
-    vi_words: Vec<u64>,
-    vl_words: Vec<u64>,
-    vr_words: Vec<u64>,
-    sg_words: Vec<u64>,
-    /// Indices of neurons with at least one op fault (the sparse patch
-    /// list), ascending.
-    faulty: Vec<u32>,
+    masks: OpMasks,
     /// Pre-step (vmem, refrac) snapshots of the faulty neurons, reused
     /// across steps so the patch pass never allocates.
     patch_scratch: Vec<(u32, i32, u32)>,
@@ -60,16 +241,11 @@ pub struct NeuronLanes {
 impl NeuronLanes {
     /// Rested, fault-free lanes for `n` neurons.
     pub fn new(n: usize) -> Self {
-        let words = n_words(n);
         Self {
             n,
             vmem: vec![0; n],
             refrac: vec![0; n],
-            vi_words: vec![0; words],
-            vl_words: vec![0; words],
-            vr_words: vec![0; words],
-            sg_words: vec![0; words],
-            faulty: Vec::new(),
+            masks: OpMasks::with_words(n_words(n)),
             patch_scratch: Vec::new(),
         }
     }
@@ -86,7 +262,7 @@ impl NeuronLanes {
 
     /// Number of bitmask words per op-fault / comparator mask.
     pub fn words(&self) -> usize {
-        self.vi_words.len()
+        self.masks.vi_words.len()
     }
 
     /// Per-neuron membrane potentials.
@@ -110,31 +286,11 @@ impl NeuronLanes {
     /// Panics if `units.len()` differs from the lane count.
     pub fn sync_from_units(&mut self, units: &[NeuronUnit]) {
         assert_eq!(units.len(), self.n, "lane count");
-        self.vi_words.fill(0);
-        self.vl_words.fill(0);
-        self.vr_words.fill(0);
-        self.sg_words.fill(0);
-        self.faulty.clear();
         for (j, u) in units.iter().enumerate() {
             self.vmem[j] = u.vmem;
             self.refrac[j] = u.refrac;
-            let (w, bit) = (j >> 6, 1_u64 << (j & 63));
-            if u.faults.vi {
-                self.vi_words[w] |= bit;
-            }
-            if u.faults.vl {
-                self.vl_words[w] |= bit;
-            }
-            if u.faults.vr {
-                self.vr_words[w] |= bit;
-            }
-            if u.faults.sg {
-                self.sg_words[w] |= bit;
-            }
-            if u.faults.any() {
-                self.faulty.push(j as u32);
-            }
         }
+        self.masks.import(units);
     }
 
     /// Exports membrane/refractory state back into the architectural
@@ -149,17 +305,6 @@ impl NeuronLanes {
         for (j, u) in units.iter_mut().enumerate() {
             u.vmem = self.vmem[j];
             u.refrac = self.refrac[j];
-        }
-    }
-
-    /// The fault flags of neuron `j`, reassembled from the op bitmasks.
-    fn faults_of(&self, j: usize) -> OpFaults {
-        let (w, bit) = (j >> 6, 1_u64 << (j & 63));
-        OpFaults {
-            vi: self.vi_words[w] & bit != 0,
-            vl: self.vl_words[w] & bit != 0,
-            vr: self.vr_words[w] & bit != 0,
-            sg: self.sg_words[w] & bit != 0,
         }
     }
 
@@ -197,71 +342,33 @@ impl NeuronLanes {
         assert_eq!(cmp_words.len(), words, "comparator word width");
         assert_eq!(spike_words.len(), words, "spike word width");
 
-        // Snapshot pre-step state of the (sparse) faulty neurons before
-        // the vector pass clobbers it.
-        self.patch_scratch.clear();
-        for &j in &self.faulty {
-            let j_us = j as usize;
-            self.patch_scratch
-                .push((j, self.vmem[j_us], self.refrac[j_us]));
-        }
-
-        // Branch-free vector pass over 64-neuron chunks, packing the
-        // comparator bits of each chunk into one word.
-        let chunks = self
-            .vmem
-            .chunks_mut(64)
-            .zip(self.refrac.chunks_mut(64))
-            .zip(acc.chunks(64).zip(v_thresh.chunks(64)));
-        for (wi, ((vm_c, rf_c), (acc_c, th_c))) in chunks.enumerate() {
-            let mut cmp_w = 0_u64;
-            let lanes = vm_c
-                .iter_mut()
-                .zip(rf_c.iter_mut())
-                .zip(acc_c.iter().zip(th_c.iter()));
-            for (b, ((vm, rf), (&drive, &thresh))) in lanes.enumerate() {
-                let r = *rf;
-                let active = r == 0;
-                let v = ((*vm).saturating_add(drive) - params.v_leak).max(0);
-                let hot = active && v >= thresh;
-                *vm = if active {
-                    if hot {
-                        params.v_reset
-                    } else {
-                        v
-                    }
-                } else {
-                    *vm
-                };
-                *rf = if hot {
-                    params.t_refrac
-                } else {
-                    r.saturating_sub(1)
-                };
-                cmp_w |= (hot as u64) << b;
-            }
-            cmp_words[wi] = cmp_w;
-            spike_words[wi] = cmp_w;
-        }
-
-        // Sparse patch pass: replay faulty neurons through the exact
-        // architectural semantics from their saved pre-step state.
+        snapshot_faulty(
+            &self.masks.faulty,
+            &self.vmem,
+            &self.refrac,
+            &mut self.patch_scratch,
+        );
+        fused_block(
+            &mut self.vmem,
+            &mut self.refrac,
+            acc,
+            v_thresh,
+            params,
+            cmp_words,
+            spike_words,
+        );
         let scratch = std::mem::take(&mut self.patch_scratch);
-        for &(j, vmem0, refrac0) in &scratch {
-            let j_us = j as usize;
-            let mut unit = NeuronUnit {
-                vmem: vmem0,
-                refrac: refrac0,
-                faults: self.faults_of(j_us),
-            };
-            let out = unit.step(acc[j_us] as i64, v_thresh[j_us], params);
-            self.vmem[j_us] = unit.vmem;
-            self.refrac[j_us] = unit.refrac;
-            let (w, shift) = (j_us >> 6, j_us & 63);
-            let mask = !(1_u64 << shift);
-            cmp_words[w] = cmp_words[w] & mask | (out.cmp_out as u64) << shift;
-            spike_words[w] = spike_words[w] & mask | (out.spike as u64) << shift;
-        }
+        patch_block(
+            &mut self.vmem,
+            &mut self.refrac,
+            acc,
+            v_thresh,
+            params,
+            cmp_words,
+            spike_words,
+            &self.masks,
+            &scratch,
+        );
         self.patch_scratch = scratch;
     }
 
@@ -274,15 +381,134 @@ impl NeuronLanes {
     /// Panics if `fired_words` differs from [`words`](Self::words).
     pub fn inhibit_non_fired(&mut self, fired_words: &[u64], total_inh: i32) {
         assert_eq!(fired_words.len(), self.words(), "fired word width");
-        let chunks = self.vmem.chunks_mut(64).zip(self.refrac.chunks(64));
-        for (wi, (vm_c, rf_c)) in chunks.enumerate() {
-            let fired = fired_words[wi];
-            for (b, (vm, &r)) in vm_c.iter_mut().zip(rf_c.iter()).enumerate() {
-                let held = (fired >> b) & 1 != 0 || r != 0;
-                let v = (*vm - total_inh).max(0);
-                *vm = if held { *vm } else { v };
-            }
-        }
+        inhibit_block(&mut self.vmem, &self.refrac, fired_words, total_inh);
+    }
+}
+
+/// Sample-major batched lane state: `batch` independent samples' membrane
+/// and refractory lanes over the *same* hardware (one shared plane of
+/// op-fault masks), stepped one sample block at a time through the exact
+/// kernels of [`NeuronLanes`]. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchLanes {
+    n: usize,
+    batch: usize,
+    /// `n × batch` membrane lanes, sample-major (sample `s` owns
+    /// `vmem[s*n..(s+1)*n]`).
+    vmem: Vec<i32>,
+    refrac: Vec<u32>,
+    masks: OpMasks,
+    patch_scratch: Vec<(u32, i32, u32)>,
+}
+
+impl BatchLanes {
+    /// Empty batch lanes; [`configure`](Self::configure) sizes them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of neurons per sample.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the batch holds zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.n * self.batch == 0
+    }
+
+    /// Number of samples in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of bitmask words per sample.
+    pub fn words(&self) -> usize {
+        n_words(self.n)
+    }
+
+    /// Sizes the batch for `batch` samples over the hardware described by
+    /// `units`, importing the fault masks and resetting all per-sample
+    /// state (every sample starts from rest, like
+    /// [`NeuronUnit::reset_state`]). Reuses allocations across campaigns.
+    pub fn configure(&mut self, units: &[NeuronUnit], batch: usize) {
+        let n = units.len();
+        self.n = n;
+        self.batch = batch;
+        self.vmem.clear();
+        self.vmem.resize(n * batch, 0);
+        self.refrac.clear();
+        self.refrac.resize(n * batch, 0);
+        let words = n_words(n);
+        self.masks.vi_words.resize(words, 0);
+        self.masks.vl_words.resize(words, 0);
+        self.masks.vr_words.resize(words, 0);
+        self.masks.sg_words.resize(words, 0);
+        self.masks.import(units);
+    }
+
+    /// Sample `s`'s membrane lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= batch`.
+    pub fn vmem_sample(&self, s: usize) -> &[i32] {
+        assert!(s < self.batch, "sample index");
+        &self.vmem[s * self.n..(s + 1) * self.n]
+    }
+
+    /// Advances sample `s` one timestep through the same fused + sparse
+    /// patch kernels as [`NeuronLanes::step_fused`], writing that sample's
+    /// comparator/spike bitmask words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or any buffer width mismatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_fused_sample(
+        &mut self,
+        s: usize,
+        acc: &[i32],
+        v_thresh: &[i32],
+        params: &NeuronHwParams,
+        cmp_words: &mut [u64],
+        spike_words: &mut [u64],
+    ) {
+        assert!(s < self.batch, "sample index");
+        assert_eq!(acc.len(), self.n, "drive width");
+        assert_eq!(v_thresh.len(), self.n, "threshold width");
+        let words = self.words();
+        assert_eq!(cmp_words.len(), words, "comparator word width");
+        assert_eq!(spike_words.len(), words, "spike word width");
+        let vmem = &mut self.vmem[s * self.n..(s + 1) * self.n];
+        let refrac = &mut self.refrac[s * self.n..(s + 1) * self.n];
+        snapshot_faulty(&self.masks.faulty, vmem, refrac, &mut self.patch_scratch);
+        fused_block(vmem, refrac, acc, v_thresh, params, cmp_words, spike_words);
+        patch_block(
+            vmem,
+            refrac,
+            acc,
+            v_thresh,
+            params,
+            cmp_words,
+            spike_words,
+            &self.masks,
+            &self.patch_scratch,
+        );
+    }
+
+    /// Applies lateral inhibition to sample `s` (see
+    /// [`NeuronLanes::inhibit_non_fired`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or `fired_words` width mismatches.
+    pub fn inhibit_non_fired_sample(&mut self, s: usize, fired_words: &[u64], total_inh: i32) {
+        assert!(s < self.batch, "sample index");
+        assert_eq!(fired_words.len(), self.words(), "fired word width");
+        let vmem = &mut self.vmem[s * self.n..(s + 1) * self.n];
+        let refrac = &self.refrac[s * self.n..(s + 1) * self.n];
+        inhibit_block(vmem, refrac, fired_words, total_inh);
     }
 }
 
@@ -377,7 +603,7 @@ mod tests {
         units[7].faults.set(NeuronOp::SpikeGeneration);
         let mut lanes = NeuronLanes::new(10);
         lanes.sync_from_units(&units);
-        assert_eq!(lanes.faulty, vec![7]);
+        assert_eq!(lanes.masks.faulty, vec![7]);
         let mut back = vec![NeuronUnit::new(); 10];
         lanes.sync_to_units(&mut back);
         assert_eq!(back[4].vmem, 77);
@@ -395,8 +621,69 @@ mod tests {
         lanes.sync_from_units(&units);
         lanes.reset_state();
         assert_eq!(lanes.vmem()[1], 0);
-        assert!(lanes.faults_of(1).vr);
-        assert_eq!(lanes.faulty, vec![1]);
+        assert!(lanes.masks.faults_of(1).vr);
+        assert_eq!(lanes.masks.faulty, vec![1]);
+    }
+
+    #[test]
+    fn batch_lanes_match_independent_single_lanes() {
+        // Every sample of a batch must evolve exactly like its own
+        // isolated NeuronLanes instance over the same faulty hardware.
+        let p = params();
+        let mut units = vec![NeuronUnit::new(); 70];
+        units[0].faults.set(NeuronOp::VmemReset);
+        units[65].faults.set(NeuronOp::SpikeGeneration);
+        units[69].faults.set(NeuronOp::VmemLeak);
+        let thresholds = vec![500_i32; 70];
+        let batch_n = 3;
+        let mut batch = BatchLanes::new();
+        batch.configure(&units, batch_n);
+        assert_eq!(batch.batch(), batch_n);
+        assert_eq!(batch.words(), 2);
+        let mut singles: Vec<NeuronLanes> = (0..batch_n)
+            .map(|_| {
+                let mut l = NeuronLanes::new(70);
+                l.sync_from_units(&units);
+                l
+            })
+            .collect();
+        let mut cmp_b = vec![0_u64; 2];
+        let mut spk_b = vec![0_u64; 2];
+        let mut cmp_s = vec![0_u64; 2];
+        let mut spk_s = vec![0_u64; 2];
+        for t in 0..40 {
+            for (s, single) in singles.iter_mut().enumerate() {
+                let acc: Vec<i32> = (0..70)
+                    .map(|j| ((t * 131 + j * 37 + s * 71) % 550) as i32)
+                    .collect();
+                batch.step_fused_sample(s, &acc, &thresholds, &p, &mut cmp_b, &mut spk_b);
+                single.step_fused(&acc, &thresholds, &p, &mut cmp_s, &mut spk_s);
+                assert_eq!(cmp_b, cmp_s, "cmp t={t} s={s}");
+                assert_eq!(spk_b, spk_s, "spike t={t} s={s}");
+                // Inhibit off the spike words to also exercise the
+                // per-sample inhibition block.
+                batch.inhibit_non_fired_sample(s, &spk_b, 40);
+                single.inhibit_non_fired(&spk_s, 40);
+                assert_eq!(batch.vmem_sample(s), single.vmem(), "vmem t={t} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_reconfigure_resets_state() {
+        let units = vec![NeuronUnit::new(); 4];
+        let p = params();
+        let mut batch = BatchLanes::new();
+        batch.configure(&units, 2);
+        let mut cmp = vec![0_u64; 1];
+        let mut spk = vec![0_u64; 1];
+        batch.step_fused_sample(1, &[400; 4], &[500; 4], &p, &mut cmp, &mut spk);
+        assert!(batch.vmem_sample(1).iter().any(|&v| v > 0));
+        // Reconfiguring (next chunk of a campaign) starts from rest again.
+        batch.configure(&units, 2);
+        assert!(batch.vmem_sample(1).iter().all(|&v| v == 0));
+        assert!(!batch.is_empty());
+        assert_eq!(batch.len(), 4);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
-use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard, WeightReadPath};
+use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard, SpikeGuard, WeightReadPath, MAX_BATCH};
 use snn_hw::neuron_unit::NeuronOp;
 use snn_sim::config::SnnConfig;
 use snn_sim::network::Network;
@@ -101,6 +101,36 @@ fn random_faulted_engine(
         engine.neurons_mut()[j].faults.set(op);
     }
     engine
+}
+
+/// Asserts `run_batch_into` over `trains` matches, sample for sample, the
+/// per-sample reference (`run_sample_reference` from rest with a fresh
+/// guard clone per sample — the batched pass's documented contract) *and*
+/// the optimized single-sample path under the same cloning discipline.
+fn assert_batch_matches_reference<P: WeightReadPath, G: SpikeGuard + Clone>(
+    fast: &mut ComputeEngine,
+    slow: &mut ComputeEngine,
+    trains: &[SpikeTrain],
+    path: &P,
+    guard: &G,
+    label: &str,
+) {
+    let batched = fast.run_batch(trains, path, guard);
+    assert_eq!(batched.n_samples(), trains.len(), "{label}: batch width");
+    for (s, train) in trains.iter().enumerate() {
+        let reference = slow.run_sample_reference(train, path, &mut guard.clone());
+        assert_eq!(
+            batched.counts(s),
+            reference.as_slice(),
+            "{label}: sample {s} of {} diverged from reference",
+            trains.len()
+        );
+        let optimized = slow.run_sample(train, path, &mut guard.clone());
+        assert_eq!(
+            optimized, reference,
+            "{label}: sample {s} single-sample cross-check"
+        );
+    }
 }
 
 /// A random spike train over `n_inputs` channels.
@@ -280,4 +310,163 @@ proptest! {
         let _ = fast.run_sample_into(&train, &path, &mut monitor);
         prop_assert!(monitor.n_disabled() <= 12);
     }
+}
+
+proptest! {
+    // The batched cases each evaluate up to ~40 samples × 3 kernels × 2
+    // guards against the per-sample reference, so fewer cases carry the
+    // same coverage budget as the single-sample properties above.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched-vs-reference equivalence across the whole cross-product:
+    /// random batch widths (including 1, 2, chunk-straddling, and a
+    /// ragged final chunk), ragged per-sample train lengths, all three
+    /// accumulation kernels (direct / compare-select / LUT), both guard
+    /// classes (stateless `NoGuard`, stateful `ResetMonitor`), and fault
+    /// maps with vr bursts so the monitor actually latches.
+    #[test]
+    fn run_batch_matches_reference(
+        net_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        threshold in any::<u8>(),
+        default in any::<u8>(),
+        n_bit_flips in 0_usize..40,
+        n_op_faults in 0_usize..4,
+        n_vr_bursts in 0_usize..4,
+        window in 1_u8..4,
+        batch in 1_usize..40,
+        density in 0.1_f64..0.7,
+    ) {
+        let bound = RandomBound { threshold, default };
+        let as_table = RandomBoundAsTable { threshold, default };
+        let mut fast =
+            random_faulted_engine(24, 10, net_seed, fault_seed, n_bit_flips, n_op_faults);
+        let mut rng = StdRng::seed_from_u64(fault_seed ^ 0xba7c4);
+        for _ in 0..n_vr_bursts {
+            let j = rng.gen_range(0..10_usize);
+            fast.neurons_mut()[j].faults.set(NeuronOp::VmemReset);
+        }
+        let mut slow = fast.clone();
+        // Ragged lengths: sample s runs 10..35 steps, so late cycles see
+        // a shrinking active batch.
+        let trains: Vec<SpikeTrain> = (0..batch)
+            .map(|s| random_train(24, 10 + (s * 7) % 25, fault_seed ^ (s as u64 + 1), density))
+            .collect();
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &DirectRead, &NoGuard, "direct/noguard");
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &bound, &NoGuard, "bounded/noguard");
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &as_table, &NoGuard, "table/noguard");
+        let monitor = ResetMonitor::new(10, window);
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &DirectRead, &monitor, "direct/monitored");
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &bound, &monitor, "bounded/monitored");
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &as_table, &monitor, "table/monitored");
+    }
+
+    /// Identical samples inside a batch (the shared-accumulate fast path:
+    /// every cycle's active-row set repeats across the batch) must still
+    /// match the per-sample reference exactly.
+    #[test]
+    fn run_batch_shares_identical_row_sets_exactly(
+        net_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        threshold in any::<u8>(),
+        default in any::<u8>(),
+        n_vr_bursts in 1_usize..4,
+        copies in 2_usize..8,
+    ) {
+        let bound = RandomBound { threshold, default };
+        let mut fast = random_faulted_engine(24, 10, net_seed, fault_seed, 12, 1);
+        let mut rng = StdRng::seed_from_u64(fault_seed ^ 0xc0de);
+        for _ in 0..n_vr_bursts {
+            let j = rng.gen_range(0..10_usize);
+            fast.neurons_mut()[j].faults.set(NeuronOp::VmemReset);
+        }
+        let mut slow = fast.clone();
+        let one = random_train(24, 25, fault_seed ^ 9, 0.4);
+        let trains: Vec<SpikeTrain> = (0..copies).map(|_| one.clone()).collect();
+        let monitor = ResetMonitor::new(10, 2);
+        assert_batch_matches_reference(
+            &mut fast, &mut slow, &trains, &bound, &monitor, "identical-samples");
+    }
+}
+
+/// Deterministic batch widths the chunking logic must get right: single
+/// sample, a pair, exactly one chunk, one over a chunk (ragged tail of 1),
+/// and two chunks plus a tail.
+#[test]
+fn run_batch_chunk_boundaries_match_reference() {
+    for &batch in &[1_usize, 2, MAX_BATCH, MAX_BATCH + 1, 2 * MAX_BATCH + 3] {
+        let mut fast = random_faulted_engine(24, 10, 0xfeed, 0xbeef, 20, 2);
+        fast.neurons_mut()[3].faults.set(NeuronOp::VmemReset);
+        let mut slow = fast.clone();
+        let trains: Vec<SpikeTrain> = (0..batch)
+            .map(|s| random_train(24, 20, 77 + s as u64, 0.4))
+            .collect();
+        let bound = RandomBound {
+            threshold: 90,
+            default: 7,
+        };
+        let monitor = ResetMonitor::new(10, 2);
+        assert_batch_matches_reference(
+            &mut fast,
+            &mut slow,
+            &trains,
+            &bound,
+            &monitor,
+            &format!("chunk-boundary batch={batch}"),
+        );
+    }
+}
+
+/// A word-straddling engine (70 neurons spans two `u64` mask words) run
+/// through the batched pass: per-sample comparator/fired word planes must
+/// keep their padding discipline across samples.
+#[test]
+fn run_batch_word_straddling_engine_matches_reference() {
+    let cfg = snn_sim::config::SnnConfig::builder()
+        .n_inputs(24)
+        .n_neurons(70)
+        .v_thresh(2.0)
+        .v_leak(0.1)
+        .v_inh(3.0)
+        .t_refrac(2)
+        .build()
+        .expect("valid config");
+    let net = snn_sim::network::Network::new(cfg, &mut seeded_rng(0x57add1e));
+    let qn = QuantizedNetwork::from_network_default(&net);
+    let mut fast = ComputeEngine::for_network(&qn).expect("deployable");
+    for j in [0_usize, 63, 64, 69] {
+        fast.neurons_mut()[j].faults.set(NeuronOp::VmemReset);
+    }
+    let mut slow = fast.clone();
+    let trains: Vec<SpikeTrain> = (0..5)
+        .map(|s| random_train(24, 30, 1000 + s as u64, 0.5))
+        .collect();
+    let monitor = ResetMonitor::new(70, 2);
+    assert_batch_matches_reference(
+        &mut fast,
+        &mut slow,
+        &trains,
+        &DirectRead,
+        &monitor,
+        "word-straddling",
+    );
+}
+
+/// An empty batch and zero-length trains are legal degenerate inputs.
+#[test]
+fn run_batch_degenerate_inputs() {
+    let mut engine = random_faulted_engine(24, 10, 1, 2, 0, 0);
+    let empty: Vec<SpikeTrain> = Vec::new();
+    let out = engine.run_batch(&empty, &DirectRead, &NoGuard);
+    assert_eq!(out.n_samples(), 0);
+    let zero_len = vec![SpikeTrain::new(24, 0), SpikeTrain::new(24, 0)];
+    let out = engine.run_batch(&zero_len, &DirectRead, &NoGuard);
+    assert_eq!(out.n_samples(), 2);
+    assert!(out.iter().all(|c| c.iter().all(|&x| x == 0)));
 }

@@ -8,7 +8,7 @@ use crate::protection::{ResetMonitor, PAPER_WINDOW};
 use snn_faults::fault_map::FaultMap;
 use snn_faults::injector::inject;
 use snn_faults::location::{FaultDomain, FaultSpace};
-use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard};
+use snn_hw::engine::{BatchResult, ComputeEngine, DirectRead, NoGuard, SpikeGuard, WeightReadPath};
 use snn_hw::error::HwError;
 use snn_sim::assignment::Assignment;
 use snn_sim::config::SnnConfig;
@@ -118,6 +118,15 @@ pub struct EncodedTestSet {
     labels: Vec<usize>,
 }
 
+/// Process-wide count of [`EncodedTestSet::encode`] invocations — a test
+/// probe for asserting that campaign grids share one encoded set instead
+/// of re-encoding per trial. Monotonic; meaningful as deltas only.
+pub fn encode_invocations() -> u64 {
+    ENCODE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static ENCODE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl EncodedTestSet {
     /// Encodes `images` with the deployment's rate/timestep parameters.
     /// Sample `i` is encoded from `derive_seed(base_seed, i)`, so any
@@ -133,6 +142,7 @@ impl EncodedTestSet {
         labels: &[usize],
         base_seed: u64,
     ) -> Result<Self, MethodologyError> {
+        ENCODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if images.len() != labels.len() {
             return Err(SnnError::ShapeMismatch {
                 expected: images.len(),
@@ -332,6 +342,11 @@ impl SoftSnnDeployment {
     /// bounding registers and monitor window) — the hook used by the
     /// ablation studies (`wgh_th` sensitivity, window-length sweeps).
     ///
+    /// Encoding consumes `rng` in sample order (bit-identical to the
+    /// historical interleaved form); evaluation then runs through the
+    /// engine's batched pass with a fresh monitor clone per sample, like
+    /// the BnP arm of [`evaluate`](Self::evaluate).
+    ///
     /// # Errors
     ///
     /// Returns an error on shape mismatches or if the scenario's fault
@@ -356,12 +371,30 @@ impl SoftSnnDeployment {
             inject(&mut self.engine, &map)?;
         }
         let path = BoundedRead::new(bounding);
-        for (img, &label) in images.iter().zip(labels) {
-            let train = encoder.encode(img, timesteps, rng);
-            let counts = self.engine.run_sample_into(&train, &path, &mut monitor);
-            result.record(self.assignment.predict(counts), label);
-        }
+        let trains: Vec<SpikeTrain> = images
+            .iter()
+            .map(|img| encoder.encode(img, timesteps, rng))
+            .collect();
+        self.record_batch(&trains, labels, &path, &monitor, &mut result);
         Ok(result)
+    }
+
+    /// Runs a labeled set of spike trains through the engine's batched
+    /// pass and records each sample's prediction. Every sample gets a
+    /// fresh clone of `guard` (see [`ComputeEngine::run_batch_into`]).
+    fn record_batch<P: WeightReadPath, G: SpikeGuard + Clone>(
+        &mut self,
+        trains: &[SpikeTrain],
+        labels: &[usize],
+        path: &P,
+        guard: &G,
+        result: &mut EvalResult,
+    ) {
+        let mut batch = BatchResult::new();
+        self.engine.run_batch_into(trains, path, guard, &mut batch);
+        for (s, &label) in labels.iter().enumerate() {
+            result.record(self.assignment.predict(batch.counts(s)), label);
+        }
     }
 
     /// Evaluates classification accuracy of `technique` under `scenario`
@@ -373,7 +406,9 @@ impl SoftSnnDeployment {
     ///   map is injected once, and faults persist across the whole test
     ///   set (bits until overwrite, neuron faults until parameter
     ///   replacement). BnP evaluates with the bounding read path and the
-    ///   reset monitor installed.
+    ///   reset monitor installed; each sample observes its own monitor
+    ///   clone (samples are independent under the batched engine pass, so
+    ///   a sample's outcome does not depend on its position in the set).
     /// * **Re-execution ×k**: every sample is executed `k` times; each
     ///   execution reloads parameters (healing persisted faults) and
     ///   draws a *fresh* fault map at the same rate (transient strikes
@@ -441,6 +476,13 @@ impl SoftSnnDeployment {
     /// [`evaluate_encoded`](Self::evaluate_encoded): one technique arm
     /// each for No-Mitigation, BnP, and Re-execution, consuming
     /// already-encoded spike trains.
+    ///
+    /// The No-Mitigation and BnP arms run the whole test set through the
+    /// engine's batched pass ([`ComputeEngine::run_batch_into`]): one
+    /// injection, then all samples interleaved over the same persisted
+    /// faults, each with an independent guard clone. Re-execution cannot
+    /// batch across samples — every execution draws its own fault map and
+    /// reloads parameters — and keeps the per-sample loop.
     fn evaluate_trains(
         &mut self,
         technique: Technique,
@@ -458,12 +500,9 @@ impl SoftSnnDeployment {
                     let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
                     inject(&mut self.engine, &map)?;
                 }
-                for (train, &label) in trains.iter().zip(labels) {
-                    let counts = self
-                        .engine
-                        .run_sample_into(train, &DirectRead, &mut NoGuard);
-                    result.record(self.assignment.predict(counts), label);
-                }
+                // `NoGuard` is stateless, so the batched pass is
+                // bit-identical to the historical per-sample loop.
+                self.record_batch(trains, labels, &DirectRead, &NoGuard, &mut result);
             }
             Technique::Bnp(variant) => {
                 let mut monitor = ResetMonitor::new(self.qn.n_neurons, self.monitor_window);
@@ -473,10 +512,14 @@ impl SoftSnnDeployment {
                     inject(&mut self.engine, &map)?;
                 }
                 let path = BoundedRead::new(self.bounding_for(variant));
-                for (train, &label) in trains.iter().zip(labels) {
-                    let counts = self.engine.run_sample_into(train, &path, &mut monitor);
-                    result.record(self.assignment.predict(counts), label);
-                }
+                // Each sample observes a fresh clone of the reset monitor
+                // (the batched pass evaluates samples independently), so a
+                // sample's outcome no longer depends on where it sits in
+                // the test set: a neuron latched during one sample is not
+                // pre-muted for the next. The vr-burst signature the
+                // monitor exists for re-latches within `window` cycles of
+                // every sample, so protection strength is unchanged.
+                self.record_batch(trains, labels, &path, &monitor, &mut result);
             }
             Technique::ReExecution { runs } => {
                 // Each execution reloads parameters (healing accumulated

@@ -57,7 +57,9 @@ pub fn run(profile: Profile) -> Result<Fig10Results, Box<dyn std::error::Error>>
 }
 
 /// Evaluates one sweep of scenarios in parallel, one engine clone per grid
-/// point, against the bench's shared pre-encoded test set.
+/// point, against the bench's shared pre-encoded test set; within each
+/// point the whole set runs through the engine's batched multi-sample
+/// pass (`evaluate_encoded` → `ComputeEngine::run_batch_into`).
 fn sweep(
     bench: &Bench,
     points: &[(Option<NeuronOp>, f64, FaultScenario)],

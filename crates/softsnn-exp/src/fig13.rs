@@ -105,6 +105,9 @@ pub fn run_grid(
         // by injection and healed by reloads) but shares the pre-encoded
         // test set: trials differ only in their fault map, never in their
         // input spikes, and re-encoding cost is paid once per bench.
+        // Inside the point, `evaluate_encoded` runs the whole set through
+        // the engine's batched multi-sample pass (one injection, samples
+        // interleaved, per-sample guard clones).
         let mut deployment = bench.deployment.clone();
         deployment
             .evaluate_encoded(technique, &scenario, &bench.encoded)

@@ -1,0 +1,48 @@
+//! Pinned-seed regression: the fig9 smoke numbers and the smoke-scale
+//! clean accuracy, captured on the pre-batching sequential evaluation
+//! pipeline, must stay bit-identical through the batched engine pass.
+//!
+//! `NoGuard` is stateless, so the batched No-Mitigation path (which both
+//! numbers flow through — clean accuracy via `evaluate_encoded`, fig9 via
+//! the same `prepare()` plumbing) is bit-for-bit the sequential loop; any
+//! drift here means the batched pass changed simulation semantics.
+//!
+//! Captured at PR 3 from commit 9a7528e (pre-batching), Smoke profile,
+//! synthetic MNIST (no `data/` directory), N100 / case-study size.
+
+use softsnn::data::workload::Workload;
+use softsnn::exp::fig9;
+use softsnn::exp::profile::Profile;
+use softsnn::exp::workbench::prepare;
+
+#[test]
+fn fig9_smoke_numbers_are_bit_identical_to_pre_batching_capture() {
+    let r = fig9::run(Profile::Smoke).unwrap();
+    assert_eq!(
+        r.out_of_range_fraction.to_bits(),
+        0x3f93_0463_796a_c9e0,
+        "out_of_range_fraction drifted: got {}",
+        r.out_of_range_fraction
+    );
+    assert_eq!(r.clean.wgh_max_code, 77);
+    assert_eq!(r.clean.wgh_hp_code, 6);
+    assert_eq!(r.clean.histogram.total(), 78400);
+    assert_eq!(r.faulty.total(), 78400);
+    // Spot-pin the head of the faulty histogram (full vector captured at
+    // PR 3; the head carries most of the mass).
+    assert_eq!(
+        &r.faulty.counts()[..6],
+        &[8469, 13936, 13272, 13039, 12882, 9364]
+    );
+}
+
+#[test]
+fn smoke_clean_accuracy_is_bit_identical_to_pre_batching_capture() {
+    let bench = prepare(Workload::Mnist, 100, Profile::Smoke).unwrap();
+    assert_eq!(
+        bench.clean_accuracy.to_bits(),
+        0x404f_4000_0000_0000,
+        "smoke clean accuracy drifted: got {} (expected 62.5)",
+        bench.clean_accuracy
+    );
+}
