@@ -1,10 +1,23 @@
 //! Micro-benchmarks of the functional simulator: plastic (STDP) versus
-//! frozen stepping, and weight normalization.
+//! frozen stepping, weight normalization, and the full trainer inner
+//! loop (normalize → encode → present) at paper scale.
+//!
+//! The `train_sample` group benches the optimized trainer hot path
+//! (allocation-free `run_sample_into`, `encode_into` buffer reuse,
+//! layout-aware `normalize_weights` with maintained column sums) side by
+//! side with the retained reference formulation
+//! (`run_sample_reference` / `encode` / `normalize_weights_reference`)
+//! on the paper's 784×400 network, so the speedup is measured inside the
+//! same binary on the same fixture. A trailing pseudo-group derives the
+//! `train_speedup` metric (reference / fast) for the JSON perf
+//! trajectory; CI's bench-smoke job asserts it stays ≥ 1.0.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use snn_sim::config::SnnConfig;
+use snn_sim::encoding::PoissonEncoder;
 use snn_sim::network::Network;
 use snn_sim::rng::seeded_rng;
+use snn_sim::spike::SpikeTrain;
 use std::hint::black_box;
 
 fn net(n_neurons: usize) -> Network {
@@ -22,12 +35,17 @@ fn bench_step_modes(c: &mut Criterion) {
     group.bench_function("plastic_n100", |b| {
         let mut network = net(100);
         network.set_plastic();
-        b.iter(|| black_box(network.step(&active)));
+        b.iter(|| black_box(network.step(&active).len()));
+    });
+    group.bench_function("plastic_n100_reference", |b| {
+        let mut network = net(100);
+        network.set_plastic();
+        b.iter(|| black_box(network.step_reference(&active).len()));
     });
     group.bench_function("frozen_n100", |b| {
         let mut network = net(100);
         network.set_frozen();
-        b.iter(|| black_box(network.step(&active)));
+        b.iter(|| black_box(network.step(&active).len()));
     });
     group.finish();
 }
@@ -42,8 +60,74 @@ fn bench_normalization(c: &mut Criterion) {
             black_box(network.weight_sum(0))
         });
     });
+    group.bench_function("normalize_n400_reference", |b| {
+        let mut network = net(400);
+        b.iter(|| {
+            network.normalize_weights_reference();
+            black_box(network.weight_sum(0))
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_step_modes, bench_normalization);
+/// The trainer's inner loop at paper scale (784 inputs × 400 neurons,
+/// default 100 timesteps): divisive normalization, Poisson encoding, and
+/// one plastic sample presentation — exactly what `train_unsupervised`
+/// pays per training sample. Fast and reference paths are bit-identical
+/// (property-tested), so the ratio is pure throughput.
+fn bench_train_sample(c: &mut Criterion) {
+    let img: Vec<f32> = (0..784)
+        .map(|p| if p % 5 < 2 { 0.8 } else { 0.0 })
+        .collect();
+
+    let mut group = c.benchmark_group("train_sample");
+    group.sample_size(10);
+    group.bench_function("n400_fast", |b| {
+        let mut network = net(400);
+        network.set_plastic();
+        let timesteps = network.cfg().timesteps;
+        let encoder = PoissonEncoder::new(network.cfg().max_rate);
+        let mut rng = seeded_rng(0x7ea1);
+        let mut encoded = SpikeTrain::new(784, timesteps as usize);
+        b.iter(|| {
+            network.normalize_weights();
+            encoder.encode_into(&img, timesteps, &mut rng, &mut encoded);
+            black_box(network.run_sample_into(&encoded)[0])
+        });
+    });
+    group.bench_function("n400_reference", |b| {
+        let mut network = net(400);
+        network.set_plastic();
+        let timesteps = network.cfg().timesteps;
+        let encoder = PoissonEncoder::new(network.cfg().max_rate);
+        let mut rng = seeded_rng(0x7ea1);
+        b.iter(|| {
+            network.normalize_weights_reference();
+            let encoded = encoder.encode(&img, timesteps, &mut rng);
+            black_box(network.run_sample_reference(&encoded)[0])
+        });
+    });
+    group.finish();
+}
+
+fn emit_derived_metrics(c: &mut Criterion) {
+    // Trainer-throughput headline for the BENCH_engine.json trajectory:
+    // the fast trainer inner loop vs the retained reference on the
+    // identical paper-scale workload.
+    let fast = c.ns_per_iter("train_sample", "n400_fast");
+    let reference = c.ns_per_iter("train_sample", "n400_reference");
+    if let (Some(fast), Some(reference)) = (fast, reference) {
+        if fast > 0.0 {
+            c.add_metric("train_speedup", reference / fast);
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_step_modes,
+    bench_normalization,
+    bench_train_sample,
+    emit_derived_metrics
+);
 criterion_main!(benches);

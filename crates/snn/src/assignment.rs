@@ -54,6 +54,16 @@ pub struct Assignment {
     /// Flattened `[neuron][class]` mean response rates; present when built
     /// from response statistics.
     templates: Option<Vec<f64>>,
+    /// Per-class mean of the template column over neurons, precomputed at
+    /// construction (templates are immutable) so
+    /// [`Assignment::predict_template`] — called once per evaluated
+    /// sample — does not re-derive it per prediction. Empty when no
+    /// templates were recorded.
+    template_means: Vec<f64>,
+    /// Per-class template deviation sums `Σ_j (t[j][c] − mean_c)²`,
+    /// precomputed for the same reason (class-invariant across
+    /// predictions). Empty when no templates were recorded.
+    template_devs: Vec<f64>,
     decoder: Decoder,
 }
 
@@ -83,6 +93,8 @@ impl Assignment {
             n_classes,
             per_class,
             templates: None,
+            template_means: Vec::new(),
+            template_devs: Vec::new(),
             decoder: Decoder::MeanVote,
         })
     }
@@ -171,7 +183,33 @@ impl Assignment {
                 }
             }
         }
+        // Per-class means and deviation sums over neurons, accumulated in
+        // neuron order — the same values `predict_template` would
+        // otherwise re-derive from the gathered column on every
+        // prediction.
+        let n_neurons = responses.len();
+        let mut template_means = vec![0.0_f64; n_classes];
+        let mut template_devs = vec![0.0_f64; n_classes];
+        if n_neurons > 0 {
+            let nf = n_neurons as f64;
+            for (c, (mean, dev)) in template_means
+                .iter_mut()
+                .zip(template_devs.iter_mut())
+                .enumerate()
+            {
+                let mut sum = 0.0_f64;
+                for j in 0..n_neurons {
+                    sum += templates[j * n_classes + c];
+                }
+                *mean = sum / nf;
+                for j in 0..n_neurons {
+                    *dev += (templates[j * n_classes + c] - *mean).powi(2);
+                }
+            }
+        }
         assignment.templates = Some(templates);
+        assignment.template_means = template_means;
+        assignment.template_devs = template_devs;
         assignment.decoder = Decoder::RateTemplate;
         Ok(assignment)
     }
@@ -287,50 +325,92 @@ impl Assignment {
     /// against each class's rate template. Returns `None` when the count
     /// vector or every template is constant (no information), or when no
     /// templates were recorded.
+    ///
+    /// Allocation-free: correlations are computed by iterating the flat
+    /// template store directly instead of materializing per-class column
+    /// vectors, with the class-invariant count-deviation sum hoisted out
+    /// of the class loop and the per-class template means/deviations
+    /// precomputed at construction — the arithmetic (and therefore every
+    /// prediction) is identical to a Pearson correlation over gathered
+    /// columns, which the unit tests cross-check against an oracle. This
+    /// sits in evaluation's innermost loop (one call per sample), so it
+    /// must not allocate.
     pub fn predict_template(&self, spike_counts: &[u32]) -> Option<usize> {
         assert_eq!(spike_counts.len(), self.labels.len());
         let templates = self.templates.as_ref()?;
         let n = self.labels.len();
-        let counts: Vec<f64> = spike_counts.iter().map(|&c| c as f64).collect();
+        if n == 0 {
+            return None;
+        }
+        let nf = n as f64;
+        let mut sum_a = 0.0_f64;
+        for &c in spike_counts {
+            sum_a += c as f64;
+        }
+        let ma = sum_a / nf;
+        // The count-side deviation sum is class-invariant: computed once,
+        // outside the class loop. Zero variance in the counts means no
+        // class can correlate, exactly as in the per-class formulation.
+        let mut da = 0.0_f64;
+        for &count in spike_counts {
+            da += (count as f64 - ma).powi(2);
+        }
+        if da <= 0.0 {
+            return None;
+        }
         let mut best: Option<(usize, f64)> = None;
-        for c in 0..self.n_classes {
-            let column: Vec<f64> = (0..n).map(|j| templates[j * self.n_classes + c]).collect();
-            if let Some(r) = pearson(&counts, &column) {
-                if best.is_none_or(|(_, b)| r > b) {
-                    best = Some((c, r));
-                }
+        for (c, (&mb, &db)) in self
+            .template_means
+            .iter()
+            .zip(&self.template_devs)
+            .enumerate()
+        {
+            if db <= 0.0 {
+                continue;
+            }
+            let mut num = 0.0;
+            for (j, &count) in spike_counts.iter().enumerate() {
+                let x = count as f64;
+                let y = templates[j * self.n_classes + c];
+                num += (x - ma) * (y - mb);
+            }
+            let r = num / (da * db).sqrt();
+            if best.is_none_or(|(_, b)| r > b) {
+                best = Some((c, r));
             }
         }
         best.map(|(c, _)| c)
     }
 }
 
-/// Pearson correlation; `None` when either side has zero variance.
-fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
-    let n = a.len() as f64;
-    if a.is_empty() {
-        return None;
-    }
-    let ma = a.iter().sum::<f64>() / n;
-    let mb = b.iter().sum::<f64>() / n;
-    let mut num = 0.0;
-    let mut da = 0.0;
-    let mut db = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        num += (x - ma) * (y - mb);
-        da += (x - ma).powi(2);
-        db += (y - mb).powi(2);
-    }
-    if da <= 0.0 || db <= 0.0 {
-        None
-    } else {
-        Some(num / (da * db).sqrt())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pearson correlation over gathered slices; `None` when either side
+    /// has zero variance. The oracle for
+    /// [`Assignment::predict_template`]'s strided inline formulation.
+    fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+        let n = a.len() as f64;
+        if a.is_empty() {
+            return None;
+        }
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma).powi(2);
+            db += (y - mb).powi(2);
+        }
+        if da <= 0.0 || db <= 0.0 {
+            None
+        } else {
+            Some(num / (da * db).sqrt())
+        }
+    }
 
     #[test]
     fn from_labels_rejects_out_of_range() {
@@ -425,6 +505,28 @@ mod tests {
         let a = Assignment::from_responses_selective(&responses, &[10, 10], 1.5).unwrap();
         assert_eq!(a.label(0), None);
         assert_eq!(a.label(1), Some(1));
+    }
+
+    #[test]
+    fn predict_template_matches_gathered_pearson_oracle() {
+        // The strided inline correlation must pick exactly the class the
+        // original gather-into-columns formulation picks.
+        let responses = vec![vec![10, 3, 1], vec![0, 9, 2], vec![5, 5, 5], vec![1, 0, 8]];
+        let a = Assignment::from_responses(&responses, &[10, 9, 11]).unwrap();
+        let n = responses.len();
+        for counts in [[8_u32, 1, 4, 0], [0, 9, 5, 1], [2, 2, 2, 9], [0, 0, 0, 0]] {
+            let gathered: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..3 {
+                let column: Vec<f64> = (0..n).map(|j| a.template(c).unwrap()[j]).collect();
+                if let Some(r) = pearson(&gathered, &column) {
+                    if best.is_none_or(|(_, b)| r > b) {
+                        best = Some((c, r));
+                    }
+                }
+            }
+            assert_eq!(a.predict_template(&counts), best.map(|(c, _)| c));
+        }
     }
 
     #[test]

@@ -52,23 +52,49 @@ impl PoissonEncoder {
     /// `timesteps` steps.
     ///
     /// Intensities outside `[0, 1]` are clamped.
+    ///
+    /// Delegates to [`PoissonEncoder::encode_into`] on a fresh train, so
+    /// there is exactly one sampling loop and the two paths can never
+    /// drift apart in their RNG draw sequence.
     pub fn encode(&self, intensities: &[f32], timesteps: u32, rng: &mut Rng) -> SpikeTrain {
         let mut train = SpikeTrain::new(intensities.len(), timesteps as usize);
-        // Precompute per-channel probabilities once per sample.
-        let probs: Vec<f32> = intensities
-            .iter()
-            .map(|&p| p.clamp(0.0, 1.0) * self.max_rate)
-            .collect();
-        for _ in 0..timesteps {
-            let mut active = Vec::new();
-            for (i, &p) in probs.iter().enumerate() {
-                if p > 0.0 && rng.gen::<f32>() < p {
-                    active.push(i as u32);
-                }
-            }
-            train.push_step(active);
-        }
+        self.encode_into(intensities, timesteps, rng, &mut train);
         train
+    }
+
+    /// Encodes into an existing train, reusing its step buffers: given the
+    /// same RNG stream this produces a train equal to
+    /// [`PoissonEncoder::encode`] (identical Bernoulli draw sequence)
+    /// while performing no per-step allocations, so training/assignment/
+    /// evaluation loops can recycle one buffer across every sample.
+    ///
+    /// Intensities outside `[0, 1]` are clamped.
+    pub fn encode_into(
+        &self,
+        intensities: &[f32],
+        timesteps: u32,
+        rng: &mut Rng,
+        out: &mut SpikeTrain,
+    ) {
+        out.clear_reuse(intensities.len(), timesteps as usize);
+        // The per-channel probability table lives in the train's scratch
+        // between calls, so a reused train allocates nothing at all.
+        let mut probs = out.take_f32_scratch();
+        probs.extend(
+            intensities
+                .iter()
+                .map(|&p| p.clamp(0.0, 1.0) * self.max_rate),
+        );
+        for _ in 0..timesteps {
+            out.push_step_with(|active| {
+                for (i, &p) in probs.iter().enumerate() {
+                    if p > 0.0 && rng.gen::<f32>() < p {
+                        active.push(i as u32);
+                    }
+                }
+            });
+        }
+        out.put_f32_scratch(probs);
     }
 }
 
@@ -117,5 +143,26 @@ mod tests {
     #[should_panic]
     fn rejects_rate_above_one() {
         let _ = PoissonEncoder::new(1.2);
+    }
+
+    #[test]
+    fn encode_into_equals_encode_for_same_rng_stream() {
+        let enc = PoissonEncoder::new(0.6);
+        let img: Vec<f32> = (0..32).map(|i| (i as f32) / 40.0).collect();
+        let fresh = enc.encode(&img, 25, &mut seeded_rng(0xE0C0));
+        let mut reused = SpikeTrain::new(1, 1);
+        // Dirty the buffer first so reuse actually has something to clear.
+        reused.push_step(vec![0]);
+        enc.encode_into(&img, 25, &mut seeded_rng(0xE0C0), &mut reused);
+        assert_eq!(fresh, reused);
+        // The RNG is left in the same state: subsequent encodes agree too.
+        let mut rng_a = seeded_rng(7);
+        let mut rng_b = seeded_rng(7);
+        let a1 = enc.encode(&img, 10, &mut rng_a);
+        let a2 = enc.encode(&img, 10, &mut rng_a);
+        enc.encode_into(&img, 10, &mut rng_b, &mut reused);
+        assert_eq!(a1, reused);
+        enc.encode_into(&img, 10, &mut rng_b, &mut reused);
+        assert_eq!(a2, reused);
     }
 }

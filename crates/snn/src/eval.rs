@@ -5,6 +5,7 @@ use crate::encoding::PoissonEncoder;
 use crate::error::SnnError;
 use crate::network::Network;
 use crate::rng::Rng;
+use crate::spike::SpikeTrain;
 
 /// Outcome of evaluating a classifier on a labeled set.
 ///
@@ -113,6 +114,9 @@ pub fn evaluate(
     let encoder = PoissonEncoder::new(net.cfg().max_rate);
     let timesteps = net.cfg().timesteps;
     let mut result = EvalResult::new(assignment.n_classes());
+    // One encode buffer for the whole pass; each sample runs through the
+    // allocation-free frozen sample path.
+    let mut encoded = SpikeTrain::new(net.cfg().n_inputs, timesteps as usize);
     for (img, &label) in images.iter().zip(labels) {
         if img.len() != net.cfg().n_inputs {
             return Err(SnnError::ShapeMismatch {
@@ -121,9 +125,9 @@ pub fn evaluate(
                 what: "image pixels",
             });
         }
-        let train = encoder.encode(img, timesteps, rng);
-        let counts = net.run_sample_frozen(&train);
-        result.record(assignment.predict(&counts), label);
+        encoder.encode_into(img, timesteps, rng, &mut encoded);
+        let counts = net.run_sample_frozen_into(&encoded);
+        result.record(assignment.predict(counts), label);
     }
     Ok(result)
 }

@@ -23,13 +23,28 @@
 /// h.decay();
 /// assert!(h.theta(2) < 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Homeostasis {
     theta: Vec<f32>,
     theta_plus: f32,
     theta_decay: f32,
     enabled: bool,
+    /// Whether any theta may be nonzero. While false (fresh layer, or all
+    /// components restored to zero) the decay pass is skipped entirely —
+    /// decaying exact zeros is the identity, so this is float-identical.
+    hot: bool,
+}
+
+/// The `hot` fast-path flag is an internal acceleration detail: two
+/// trackers are equal iff their observable state agrees.
+impl PartialEq for Homeostasis {
+    fn eq(&self, other: &Self) -> bool {
+        self.theta == other.theta
+            && self.theta_plus == other.theta_plus
+            && self.theta_decay == other.theta_decay
+            && self.enabled == other.enabled
+    }
 }
 
 impl Homeostasis {
@@ -40,6 +55,7 @@ impl Homeostasis {
             theta_plus,
             theta_decay,
             enabled: true,
+            hot: false,
         }
     }
 
@@ -87,6 +103,9 @@ impl Homeostasis {
     pub fn on_spike(&mut self, j: usize) {
         if self.enabled {
             self.theta[j] += self.theta_plus;
+            if self.theta_plus != 0.0 {
+                self.hot = true;
+            }
         }
     }
 
@@ -98,11 +117,15 @@ impl Homeostasis {
     pub fn set_thetas(&mut self, thetas: &[f32]) {
         assert_eq!(thetas.len(), self.theta.len(), "theta count mismatch");
         self.theta.copy_from_slice(thetas);
+        self.hot = thetas.iter().any(|&t| t != 0.0);
     }
 
-    /// Applies one timestep of multiplicative decay.
+    /// Applies one timestep of multiplicative decay. Skipped entirely
+    /// while every component is still exactly zero (decaying zeros is the
+    /// identity), which makes the per-step cost of an untrained or
+    /// restored-to-zero layer free.
     pub fn decay(&mut self) {
-        if self.enabled && self.theta_decay < 1.0 {
+        if self.enabled && self.theta_decay < 1.0 && self.hot {
             for t in &mut self.theta {
                 *t *= self.theta_decay;
             }
@@ -151,5 +174,36 @@ mod tests {
         h.on_spike(0);
         h.decay();
         assert_eq!(h.theta(0), 1.0);
+    }
+
+    #[test]
+    fn decay_before_any_spike_is_identical_to_decaying_zeros() {
+        let mut skipped = Homeostasis::new(3, 1.0, 0.5);
+        let mut dense = Homeostasis::new(3, 1.0, 0.5);
+        for _ in 0..10 {
+            skipped.decay(); // hot flag short-circuits
+            for t in 0..dense.len() {
+                // emulate the dense pass by hand
+                let v = dense.theta(t) * 0.5;
+                assert_eq!(v, 0.0);
+            }
+            dense.decay();
+        }
+        assert_eq!(skipped, dense);
+        // First spike re-arms the decay pass.
+        skipped.on_spike(1);
+        skipped.decay();
+        assert_eq!(skipped.theta(1), 0.5);
+    }
+
+    #[test]
+    fn set_thetas_rearms_decay() {
+        let mut h = Homeostasis::new(2, 1.0, 0.5);
+        h.set_thetas(&[0.0, 4.0]);
+        h.decay();
+        assert_eq!(h.theta(1), 2.0);
+        h.set_thetas(&[0.0, 0.0]);
+        h.decay();
+        assert_eq!(h.thetas(), &[0.0, 0.0]);
     }
 }

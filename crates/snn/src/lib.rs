@@ -14,6 +14,15 @@
 //! same once quantized to 8-bit weights and deployed onto the bit-accurate
 //! compute-engine model in the `snn-hw` crate.
 //!
+//! Like the engine, the trainer keeps a reference/fast split: the
+//! optimized, allocation-free datapath ([`network::Network::step`],
+//! [`network::Network::run_sample_into`],
+//! [`network::Network::normalize_weights`]) is proven bit-identical to the
+//! retained oracle formulation (`step_reference` / `run_sample_reference`
+//! / `normalize_weights_reference`) by the equivalence proptests in
+//! `tests/proptest_trainer_equivalence.rs`; see the [`network`] module
+//! docs for the obligation this places on future changes.
+//!
 //! ## Quickstart
 //!
 //! ```

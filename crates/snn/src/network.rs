@@ -5,6 +5,30 @@
 //! crossbar of the paper's Fig. 5 (rows = inputs, columns = neurons) and
 //! makes the per-timestep accumulation `acc[j] += w[i][j]` over spiking
 //! rows contiguous and cache-friendly.
+//!
+//! # Fast path vs. reference
+//!
+//! Like the hardware engine (`snn_hw::engine`), the network keeps two
+//! formulations of its hot path:
+//!
+//! * [`Network::step`] / [`Network::run_sample_into`] — the optimized
+//!   trainer datapath: allocation-free per step (reusable crosser/fired
+//!   scratch, a `u64` fired-bitmask for lateral inhibition, an internal
+//!   counts buffer), layout-aware plasticity (a lazily maintained
+//!   transposed weight view gives [`apply_post_spike_stdp`] contiguous
+//!   column reads, and per-neuron incoming-weight sums are maintained
+//!   incrementally so [`Network::normalize_weights`] skips its `O(m·n)`
+//!   re-summation), and sparsity-aware traces (only live traces decay).
+//! * [`Network::step_reference`] / [`Network::run_sample_reference`] /
+//!   [`Network::normalize_weights_reference`] — the original
+//!   formulation, retained verbatim as the behavioral oracle.
+//!
+//! The two are spike-for-spike *and* weight-for-weight (bit-for-bit)
+//! identical; `crates/snn/tests/proptest_trainer_equivalence.rs` proves
+//! it across plastic/frozen × PostOnly/PrePost × normalization on/off.
+//! Any future change to the fast path must keep those properties green.
+//!
+//! [`apply_post_spike_stdp`]: Network::step
 
 use crate::config::SnnConfig;
 use crate::error::SnnError;
@@ -43,8 +67,26 @@ pub struct Network {
     state: Vec<LifState>,
     pre_traces: Traces,
     post_traces: Traces,
-    acc: Vec<f32>,
     plastic: bool,
+    // --- fast-path state below; never observable through the public API.
+    /// Transposed (neuron-major) weight view: `weights_t[j * m + i]`.
+    /// Column `j` is valid only when `col_epoch[j] == epoch`; refreshed
+    /// lazily on the first post-spike STDP update after a whole-matrix
+    /// write, so repeated updates to the same winner read contiguously.
+    weights_t: Vec<f32>,
+    col_epoch: Vec<u64>,
+    epoch: u64,
+    /// Per-neuron incoming-weight sums, maintained incrementally across
+    /// STDP column rewrites (bit-identical to a fresh input-order
+    /// re-summation) while `sums_valid`.
+    col_sums: Vec<f32>,
+    sums_valid: bool,
+    acc: Vec<f32>,
+    crossers: Vec<u32>,
+    fired: Vec<u32>,
+    fired_words: Vec<u64>,
+    counts: Vec<u32>,
+    norm_scale: Vec<f32>,
 }
 
 impl Network {
@@ -87,8 +129,18 @@ impl Network {
             state: vec![LifState::new(); n],
             pre_traces,
             post_traces,
-            acc: vec![0.0; n],
             plastic: true,
+            weights_t: vec![0.0; m * n],
+            col_epoch: vec![0; n],
+            epoch: 1,
+            col_sums: vec![0.0; n],
+            sums_valid: false,
+            acc: vec![0.0; n],
+            crossers: Vec::with_capacity(n),
+            fired: Vec::with_capacity(n),
+            fired_words: vec![0; n.div_ceil(64)],
+            counts: vec![0; n],
+            norm_scale: vec![0.0; n],
         })
     }
 
@@ -115,6 +167,18 @@ impl Network {
     /// The adaptive-threshold components (one per neuron).
     pub fn thetas(&self) -> &[f32] {
         self.homeostasis.thetas()
+    }
+
+    /// Current pre-synaptic trace values (one per input; for tests and
+    /// inspection).
+    pub fn pre_trace_values(&self) -> &[f32] {
+        self.pre_traces.values()
+    }
+
+    /// Current post-synaptic trace values (one per neuron; for tests and
+    /// inspection).
+    pub fn post_trace_values(&self) -> &[f32] {
+        self.post_traces.values()
     }
 
     /// The effective firing threshold of neuron `j` (base + adaptive).
@@ -152,13 +216,160 @@ impl Network {
         self.post_traces.reset();
     }
 
+    /// Marks every derived weight structure (transposed view, column sums)
+    /// stale. Called after any weight mutation that bypasses the fast
+    /// path's own bookkeeping.
+    fn invalidate_weight_caches(&mut self) {
+        self.sums_valid = false;
+        self.epoch += 1;
+    }
+
     /// Advances the network by one timestep given the spiking input
     /// channels, returning the indices of neurons that fired.
+    ///
+    /// This is the optimized, allocation-free hot path; the returned slice
+    /// borrows internal scratch and is valid until the next `step` /
+    /// `run_sample*` call. Spike-for-spike and weight-for-weight identical
+    /// to [`Network::step_reference`] (property-tested).
     ///
     /// # Panics
     ///
     /// Panics in debug builds if any input index is out of range.
-    pub fn step(&mut self, active_inputs: &[u32]) -> Vec<u32> {
+    pub fn step(&mut self, active_inputs: &[u32]) -> &[u32] {
+        self.step_impl(active_inputs);
+        &self.fired
+    }
+
+    fn step_impl(&mut self, active_inputs: &[u32]) {
+        let n = self.cfg.n_neurons;
+
+        // 1. Synaptic drive: column-accumulate the weights of spiking rows.
+        self.acc.iter_mut().for_each(|a| *a = 0.0);
+        for &i in active_inputs {
+            let i = i as usize;
+            debug_assert!(i < self.cfg.n_inputs, "input index out of range");
+            let row = &self.weights[i * n..(i + 1) * n];
+            for (a, &w) in self.acc.iter_mut().zip(row) {
+                *a += w;
+            }
+        }
+
+        // 2. Trace bookkeeping: decay (live traces only; 0·d == 0 exactly,
+        //    so skipping dead traces is float-identical to the dense pass),
+        //    then register the current spikes.
+        self.pre_traces.decay_step_sparse();
+        self.post_traces.decay_step_sparse();
+        self.pre_traces.on_spikes(active_inputs);
+
+        // 2b. PrePost rule: depression at pre-synaptic spikes. Row-major
+        //     rows are contiguous here; the write invalidates the
+        //     transposed view and the maintained column sums (element-wise
+        //     updates cannot keep the sums bit-identical to a fresh
+        //     input-order re-summation, so normalize re-sums).
+        if self.plastic && self.cfg.stdp.rule == StdpRule::PrePost {
+            let eta = self.cfg.stdp.eta_pre;
+            if eta > 0.0 && !active_inputs.is_empty() {
+                for &i in active_inputs {
+                    let i = i as usize;
+                    let row = &mut self.weights[i * n..(i + 1) * n];
+                    for (w, &x_post) in row.iter_mut().zip(self.post_traces.values()) {
+                        *w = (*w - eta * x_post * *w).max(0.0);
+                    }
+                }
+                self.invalidate_weight_caches();
+            }
+        }
+
+        // 3. Neuron updates: integrate + leak everyone, collect threshold
+        //    crossers, then decide who actually fires.
+        let v_leak = self.params.v_leak;
+        let v_thresh = self.cfg.v_thresh;
+        {
+            let Network {
+                state,
+                acc,
+                homeostasis,
+                crossers,
+                ..
+            } = self;
+            crossers.clear();
+            let thetas = homeostasis.thetas();
+            for (j, (s, (&a, &theta))) in state.iter_mut().zip(acc.iter().zip(thetas)).enumerate() {
+                if s.refrac > 0 {
+                    s.refrac -= 1;
+                    continue;
+                }
+                s.v += a;
+                s.v = (s.v - v_leak).max(0.0);
+                if s.v >= v_thresh + theta {
+                    crossers.push(j as u32);
+                }
+            }
+        }
+        // Training-time WTA tie-break: simultaneous crossers would escape
+        // lateral inhibition and learn identical receptive fields, so only
+        // the highest-membrane crosser fires while plastic. Inference fires
+        // every crosser, matching the hardware engine.
+        self.fired.clear();
+        if self.plastic && self.cfg.single_winner_training && self.crossers.len() > 1 {
+            let winner = self
+                .crossers
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    self.state[a as usize]
+                        .v
+                        .total_cmp(&self.state[b as usize].v)
+                })
+                .expect("crossers nonempty");
+            self.fired.push(winner);
+        } else {
+            self.fired.extend_from_slice(&self.crossers);
+        }
+        for k in 0..self.fired.len() {
+            let s = &mut self.state[self.fired[k] as usize];
+            s.v = self.params.v_reset;
+            s.refrac = self.params.t_refrac;
+        }
+
+        // 4. Spike side effects: homeostasis, traces, STDP potentiation.
+        for k in 0..self.fired.len() {
+            let j = self.fired[k] as usize;
+            self.homeostasis.on_spike(j);
+            self.post_traces.on_spike(j);
+            if self.plastic {
+                self.apply_post_spike_stdp_fast(j);
+            }
+        }
+
+        // 5. Direct lateral inhibition: every spike subtracts `v_inh` from
+        //    all *other* neurons' membranes (floored at 0). The fired set
+        //    is a `u64` bitmask instead of a freshly allocated bool vec.
+        if !self.fired.is_empty() && self.cfg.v_inh > 0.0 {
+            let total_inh = self.cfg.v_inh * self.fired.len() as f32;
+            self.fired_words.iter_mut().for_each(|w| *w = 0);
+            for &j in &self.fired {
+                self.fired_words[(j >> 6) as usize] |= 1_u64 << (j & 63);
+            }
+            let words = &self.fired_words;
+            for (j, s) in self.state.iter_mut().enumerate() {
+                if words[j >> 6] & (1_u64 << (j & 63)) == 0 {
+                    s.v = (s.v - total_inh).max(0.0);
+                }
+            }
+        }
+
+        // 6. Slow homeostatic decay.
+        self.homeostasis.decay();
+    }
+
+    /// Reference formulation of [`Network::step`]: the original
+    /// per-step-allocating implementation, retained verbatim as the
+    /// behavioral oracle for the equivalence proptests.
+    pub fn step_reference(&mut self, active_inputs: &[u32]) -> Vec<u32> {
+        // The reference path mutates weights outside the fast path's
+        // bookkeeping, so every derived structure is stale afterwards.
+        self.invalidate_weight_caches();
         let n = self.cfg.n_neurons;
 
         // 1. Synaptic drive: column-accumulate the weights of spiking rows.
@@ -206,10 +417,6 @@ impl Network {
                 crossers.push(j as u32);
             }
         }
-        // Training-time WTA tie-break: simultaneous crossers would escape
-        // lateral inhibition and learn identical receptive fields, so only
-        // the highest-membrane crosser fires while plastic. Inference fires
-        // every crosser, matching the hardware engine.
         let fired: Vec<u32> =
             if self.plastic && self.cfg.single_winner_training && crossers.len() > 1 {
                 let winner = crossers
@@ -262,6 +469,9 @@ impl Network {
         fired
     }
 
+    /// Reference post-spike STDP: strided column walk through the
+    /// row-major weights (the oracle for
+    /// [`apply_post_spike_stdp_fast`](Network::step)).
     fn apply_post_spike_stdp(&mut self, j: usize) {
         let n = self.cfg.n_neurons;
         let w_max = self.cfg.w_max;
@@ -283,19 +493,107 @@ impl Network {
         }
     }
 
+    /// Fast post-spike STDP. Under `PostOnly` (the paper's rule) it reads
+    /// neuron `j`'s incoming weights through the transposed view
+    /// (contiguous; refreshed lazily on the first update after a
+    /// whole-matrix write, so the repeated winners that single-winner
+    /// training produces pay the strided gather once), scattering the new
+    /// column back into the row-major store. Under `PrePost` the
+    /// per-pre-spike depression invalidates the view nearly every step,
+    /// so the column cache would only add traffic — that rule takes the
+    /// direct strided walk instead. Both arms maintain the column's
+    /// incoming-weight sum, accumulated in input order so it stays
+    /// bit-identical to a fresh re-summation.
+    fn apply_post_spike_stdp_fast(&mut self, j: usize) {
+        let n = self.cfg.n_neurons;
+        let m = self.cfg.n_inputs;
+        let w_max = self.cfg.w_max;
+        let stdp = self.cfg.stdp;
+        let mut sum = 0.0_f32;
+        if stdp.rule == StdpRule::PrePost {
+            let eta = stdp.eta_post;
+            let Network {
+                weights,
+                pre_traces,
+                ..
+            } = self;
+            for (i, &x_pre) in pre_traces.values().iter().enumerate() {
+                let w = &mut weights[i * n + j];
+                *w = (*w + eta * x_pre * (w_max - *w)).min(w_max);
+                sum += *w;
+            }
+            if self.sums_valid {
+                self.col_sums[j] = sum;
+            }
+            return;
+        }
+        if self.col_epoch[j] != self.epoch {
+            let Network {
+                weights, weights_t, ..
+            } = self;
+            let col = &mut weights_t[j * m..(j + 1) * m];
+            for (i, w) in col.iter_mut().enumerate() {
+                *w = weights[i * n + j];
+            }
+            self.col_epoch[j] = self.epoch;
+        }
+        {
+            let Network {
+                weights,
+                weights_t,
+                pre_traces,
+                ..
+            } = self;
+            let col = &mut weights_t[j * m..(j + 1) * m];
+            for (i, (w, &x_pre)) in col.iter_mut().zip(pre_traces.values()).enumerate() {
+                *w = post_only_new_weight(&stdp, w_max, x_pre, *w);
+                sum += *w;
+                weights[i * n + j] = *w;
+            }
+        }
+        if self.sums_valid {
+            self.col_sums[j] = sum;
+        }
+    }
+
     /// Presents one encoded sample, returning per-neuron output spike
     /// counts. Transient state is reset before the sample and the network
     /// rests for `cfg.rest_steps` silent steps afterwards.
     pub fn run_sample(&mut self, train: &SpikeTrain) -> Vec<u32> {
-        let mut counts = vec![0_u32; self.cfg.n_neurons];
+        self.run_sample_into(train).to_vec()
+    }
+
+    /// Allocation-free [`Network::run_sample`]: the returned counts slice
+    /// borrows an internal buffer and is valid until the next `step` /
+    /// `run_sample*` call.
+    pub fn run_sample_into(&mut self, train: &SpikeTrain) -> &[u32] {
+        self.counts.iter_mut().for_each(|c| *c = 0);
         self.reset_transient();
-        for step in train.iter() {
-            for j in self.step(step) {
+        for s in 0..train.n_steps() {
+            self.step_impl(train.step(s));
+            let Network { fired, counts, .. } = self;
+            for &j in fired.iter() {
                 counts[j as usize] += 1;
             }
         }
         for _ in 0..self.cfg.rest_steps {
-            self.step(&[]);
+            self.step_impl(&[]);
+        }
+        &self.counts
+    }
+
+    /// Reference formulation of [`Network::run_sample`], built on
+    /// [`Network::step_reference`]; the behavioral oracle.
+    pub fn run_sample_reference(&mut self, train: &SpikeTrain) -> Vec<u32> {
+        let mut counts = vec![0_u32; self.cfg.n_neurons];
+        self.reset_transient();
+        for step in train.iter() {
+            for j in self.step_reference(step) {
+                counts[j as usize] += 1;
+            }
+        }
+        for _ in 0..self.cfg.rest_steps {
+            self.step_reference(&[]);
         }
         counts
     }
@@ -303,13 +601,20 @@ impl Network {
     /// Presents one sample with plasticity temporarily disabled, restoring
     /// the previous mode afterwards. Use for assignment and evaluation.
     pub fn run_sample_frozen(&mut self, train: &SpikeTrain) -> Vec<u32> {
+        self.run_sample_frozen_into(train).to_vec()
+    }
+
+    /// Allocation-free [`Network::run_sample_frozen`]: the returned counts
+    /// slice borrows an internal buffer and is valid until the next
+    /// `step` / `run_sample*` call.
+    pub fn run_sample_frozen_into(&mut self, train: &SpikeTrain) -> &[u32] {
         let was_plastic = self.plastic;
         self.set_frozen();
-        let counts = self.run_sample(train);
+        let _ = self.run_sample_into(train);
         if was_plastic {
             self.set_plastic();
         }
-        counts
+        &self.counts
     }
 
     /// Replaces the weights wholesale (e.g. to load a checkpoint).
@@ -326,6 +631,7 @@ impl Network {
             });
         }
         self.weights = weights;
+        self.invalidate_weight_caches();
         Ok(())
     }
 
@@ -343,7 +649,71 @@ impl Network {
     ///
     /// Called by the trainer after every sample; exposed publicly so custom
     /// training loops can do the same.
+    ///
+    /// This is the layout-aware fast path: when the maintained per-neuron
+    /// sums are valid (PostOnly training between normalizes keeps them
+    /// bit-exact) the `O(m·n)` summation pass is skipped entirely, and the
+    /// scale pass walks the row-major weights contiguously with a
+    /// per-column scale table instead of striding column by column.
+    /// Bit-identical to [`Network::normalize_weights_reference`]
+    /// (property-tested).
     pub fn normalize_weights(&mut self) {
+        if self.cfg.norm_frac <= 0.0 {
+            return;
+        }
+        let target = self.cfg.norm_frac * self.cfg.n_inputs as f32;
+        let n = self.cfg.n_neurons;
+        let m = self.cfg.n_inputs;
+        let w_max = self.cfg.w_max;
+        if !self.sums_valid {
+            self.col_sums.iter_mut().for_each(|s| *s = 0.0);
+            for i in 0..m {
+                let row = &self.weights[i * n..(i + 1) * n];
+                for (s, &w) in self.col_sums.iter_mut().zip(row) {
+                    *s += w;
+                }
+            }
+        }
+        // NaN marks "leave this column untouched" (sum <= 0), matching the
+        // reference's skip branch exactly.
+        for (scale, &sum) in self.norm_scale.iter_mut().zip(&self.col_sums) {
+            *scale = if sum > 0.0 { target / sum } else { f32::NAN };
+        }
+        // One contiguous pass: scale + cap each element, re-accumulating
+        // the new per-column sums in input order as we go (bit-identical
+        // to a fresh column-by-column re-summation).
+        self.col_sums.iter_mut().for_each(|s| *s = 0.0);
+        {
+            let Network {
+                weights,
+                col_sums,
+                norm_scale,
+                ..
+            } = self;
+            for i in 0..m {
+                let row = &mut weights[i * n..(i + 1) * n];
+                for ((w, &scale), sum) in row
+                    .iter_mut()
+                    .zip(norm_scale.iter())
+                    .zip(col_sums.iter_mut())
+                {
+                    if !scale.is_nan() {
+                        *w = (*w * scale).min(w_max);
+                    }
+                    *sum += *w;
+                }
+            }
+        }
+        self.sums_valid = true;
+        // Whole-matrix write: the transposed view is stale everywhere.
+        self.epoch += 1;
+    }
+
+    /// Reference formulation of [`Network::normalize_weights`]: the
+    /// original strided column-by-column implementation, retained as the
+    /// behavioral oracle.
+    pub fn normalize_weights_reference(&mut self) {
+        self.invalidate_weight_caches();
         if self.cfg.norm_frac <= 0.0 {
             return;
         }
@@ -478,7 +848,7 @@ mod tests {
         let mut n0 = 0;
         let mut n1 = 0;
         for _ in 0..50 {
-            for j in net.step(&[0, 1]) {
+            for &j in net.step(&[0, 1]) {
                 if j == 0 {
                     n0 += 1;
                 } else {
@@ -559,7 +929,7 @@ mod tests {
         b.reset_transient();
         let mut manual = vec![0_u32; 4];
         for step in train.iter() {
-            for j in b.step(step) {
+            for &j in b.step(step) {
                 manual[j as usize] += 1;
             }
         }
@@ -583,5 +953,76 @@ mod tests {
         w[5] = 0.77;
         let net = Network::from_parts(cfg, w).unwrap();
         assert!((net.max_weight() - 0.77).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_normalize_matches_reference() {
+        let cfg = SnnConfig::builder()
+            .n_inputs(13)
+            .n_neurons(5)
+            .norm_frac(0.1)
+            .build()
+            .unwrap();
+        let mut fast = Network::new(cfg.clone(), &mut seeded_rng(9));
+        let mut slow = Network::from_parts(cfg, fast.weights().to_vec()).unwrap();
+        for _ in 0..3 {
+            fast.normalize_weights();
+            slow.normalize_weights_reference();
+            assert_eq!(fast.weights(), slow.weights());
+        }
+    }
+
+    #[test]
+    fn fast_normalize_matches_reference_after_set_weights() {
+        // `set_weights` must invalidate the maintained column sums: the
+        // next normalize has to re-sum the new weights, not reuse stale
+        // sums from the old ones.
+        let cfg = SnnConfig::builder()
+            .n_inputs(6)
+            .n_neurons(3)
+            .norm_frac(0.2)
+            .build()
+            .unwrap();
+        let mut fast = Network::new(cfg.clone(), &mut seeded_rng(10));
+        fast.normalize_weights(); // sums now valid for the *old* weights
+        let fresh: Vec<f32> = (0..cfg.n_synapses())
+            .map(|k| 0.01 * (k + 1) as f32)
+            .collect();
+        fast.set_weights(fresh.clone()).unwrap();
+        let mut slow = Network::from_parts(cfg, fresh).unwrap();
+        fast.normalize_weights();
+        slow.normalize_weights_reference();
+        assert_eq!(fast.weights(), slow.weights());
+    }
+
+    #[test]
+    fn normalize_skips_zero_columns_like_reference() {
+        // Column 1 is all-zero: both paths must leave it untouched.
+        let cfg = SnnConfig::builder()
+            .n_inputs(3)
+            .n_neurons(2)
+            .norm_frac(0.5)
+            .build()
+            .unwrap();
+        let w = vec![0.4, 0.0, 0.2, 0.0, 0.3, 0.0];
+        let mut fast = Network::from_parts(cfg.clone(), w.clone()).unwrap();
+        let mut slow = Network::from_parts(cfg, w).unwrap();
+        fast.normalize_weights();
+        slow.normalize_weights_reference();
+        assert_eq!(fast.weights(), slow.weights());
+        assert_eq!(fast.weight(0, 1), 0.0);
+    }
+
+    #[test]
+    fn run_sample_into_matches_run_sample() {
+        let cfg = tiny_cfg();
+        let mut train = SpikeTrain::new(8, 2);
+        train.push_step(vec![0, 1, 2, 3]);
+        train.push_step(vec![4, 5, 6, 7]);
+        let mut a = Network::new(cfg.clone(), &mut seeded_rng(6));
+        let mut b = a.clone();
+        let owned = a.run_sample(&train);
+        let borrowed = b.run_sample_into(&train).to_vec();
+        assert_eq!(owned, borrowed);
     }
 }

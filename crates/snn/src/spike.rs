@@ -19,13 +19,34 @@
 /// assert_eq!(train.total_spikes(), 3);
 /// assert_eq!(train.step(0), &[0, 5]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// The first `filled` entries of `steps` are the logical timesteps;
+/// entries beyond that are retained spare buffers from a previous use of
+/// this train (see [`SpikeTrain::clear_reuse`]), so re-encoding a sample
+/// into an existing train performs no per-step allocations.
+#[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpikeTrain {
     n_channels: usize,
     steps: Vec<Vec<u32>>,
+    filled: usize,
     capacity_steps: usize,
+    /// Reusable f32 scratch for fillers (the Poisson encoder parks its
+    /// per-sample probability table here between `encode_into` calls).
+    f32_scratch: Vec<f32>,
 }
+
+/// Spare step buffers beyond the logical length (and the filler scratch)
+/// are an allocation-reuse detail: two trains are equal iff their
+/// observable shape and recorded steps agree.
+impl PartialEq for SpikeTrain {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_channels == other.n_channels
+            && self.capacity_steps == other.capacity_steps
+            && self.steps[..self.filled] == other.steps[..other.filled]
+    }
+}
+
+impl Eq for SpikeTrain {}
 
 impl SpikeTrain {
     /// Creates an empty spike train for `n_channels` channels, expecting
@@ -34,8 +55,24 @@ impl SpikeTrain {
         Self {
             n_channels,
             steps: Vec::with_capacity(n_steps),
+            filled: 0,
             capacity_steps: n_steps,
+            f32_scratch: Vec::new(),
         }
+    }
+
+    /// Takes the train's reusable f32 scratch buffer, cleared; return it
+    /// with [`SpikeTrain::put_f32_scratch`] when done so the allocation
+    /// survives to the next use.
+    pub(crate) fn take_f32_scratch(&mut self) -> Vec<f32> {
+        let mut scratch = std::mem::take(&mut self.f32_scratch);
+        scratch.clear();
+        scratch
+    }
+
+    /// Returns a scratch buffer taken with [`SpikeTrain::take_f32_scratch`].
+    pub(crate) fn put_f32_scratch(&mut self, scratch: Vec<f32>) {
+        self.f32_scratch = scratch;
     }
 
     /// Number of channels (e.g. input pixels) this train covers.
@@ -45,12 +82,22 @@ impl SpikeTrain {
 
     /// Number of timesteps currently recorded.
     pub fn n_steps(&self) -> usize {
-        self.steps.len()
+        self.filled
     }
 
     /// The number of steps this train was created for.
     pub fn expected_steps(&self) -> usize {
         self.capacity_steps
+    }
+
+    /// Clears the train for re-filling with a (possibly different) shape,
+    /// retaining the per-step buffers so subsequent
+    /// [`SpikeTrain::push_step_with`] calls allocate nothing. The
+    /// workhorse behind `PoissonEncoder::encode_into`.
+    pub fn clear_reuse(&mut self, n_channels: usize, n_steps: usize) {
+        self.n_channels = n_channels;
+        self.capacity_steps = n_steps;
+        self.filled = 0;
     }
 
     /// Appends one timestep worth of spikes (channel indices).
@@ -64,7 +111,35 @@ impl SpikeTrain {
             "spike index out of range"
         );
         active.sort_unstable();
-        self.steps.push(active);
+        if self.filled < self.steps.len() {
+            self.steps[self.filled] = active;
+        } else {
+            self.steps.push(active);
+        }
+        self.filled += 1;
+    }
+
+    /// Appends one timestep by handing `fill` a cleared, recycled buffer
+    /// to push channel indices into — the allocation-free counterpart of
+    /// [`SpikeTrain::push_step`] for trains prepared with
+    /// [`SpikeTrain::clear_reuse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `fill` pushes an out-of-range index.
+    pub fn push_step_with(&mut self, fill: impl FnOnce(&mut Vec<u32>)) {
+        if self.filled == self.steps.len() {
+            self.steps.push(Vec::new());
+        }
+        let slot = &mut self.steps[self.filled];
+        slot.clear();
+        fill(slot);
+        debug_assert!(
+            slot.iter().all(|&i| (i as usize) < self.n_channels),
+            "spike index out of range"
+        );
+        slot.sort_unstable();
+        self.filled += 1;
     }
 
     /// The active channel indices at `step`.
@@ -73,17 +148,18 @@ impl SpikeTrain {
     ///
     /// Panics if `step >= self.n_steps()`.
     pub fn step(&self, step: usize) -> &[u32] {
+        assert!(step < self.filled, "step out of range");
         &self.steps[step]
     }
 
     /// Iterator over per-step active-index slices.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
-        self.steps.iter().map(|v| v.as_slice())
+        self.steps[..self.filled].iter().map(|v| v.as_slice())
     }
 
     /// Total number of spikes across all steps and channels.
     pub fn total_spikes(&self) -> usize {
-        self.steps.iter().map(Vec::len).sum()
+        self.steps[..self.filled].iter().map(Vec::len).sum()
     }
 
     /// Per-channel spike counts.
@@ -99,7 +175,7 @@ impl SpikeTrain {
     /// ```
     pub fn channel_counts(&self) -> Vec<u32> {
         let mut counts = vec![0_u32; self.n_channels];
-        for step in &self.steps {
+        for step in &self.steps[..self.filled] {
             for &i in step {
                 counts[i as usize] += 1;
             }
@@ -109,10 +185,10 @@ impl SpikeTrain {
 
     /// Mean firing probability per channel per step.
     pub fn mean_rate(&self) -> f64 {
-        if self.steps.is_empty() || self.n_channels == 0 {
+        if self.filled == 0 || self.n_channels == 0 {
             return 0.0;
         }
-        self.total_spikes() as f64 / (self.steps.len() * self.n_channels) as f64
+        self.total_spikes() as f64 / (self.filled * self.n_channels) as f64
     }
 }
 
@@ -152,5 +228,62 @@ mod tests {
         let _ = t.total_spikes();
         #[cfg(not(debug_assertions))]
         panic!("expected panic only in debug builds");
+    }
+
+    #[test]
+    fn clear_reuse_produces_equal_trains_without_reallocating_steps() {
+        let fill = |t: &mut SpikeTrain| {
+            t.push_step_with(|a| a.extend([3, 1]));
+            t.push_step_with(|_| {});
+            t.push_step_with(|a| a.push(0));
+        };
+        let mut fresh = SpikeTrain::new(4, 3);
+        fill(&mut fresh);
+
+        let mut reused = SpikeTrain::new(4, 3);
+        // Fill once with different content, then reuse.
+        reused.push_step(vec![2, 0]);
+        reused.push_step(vec![1]);
+        reused.push_step(vec![3]);
+        reused.clear_reuse(4, 3);
+        fill(&mut reused);
+
+        assert_eq!(fresh, reused);
+        assert_eq!(
+            reused.step(0),
+            &[1, 3],
+            "push_step_with sorts like push_step"
+        );
+        assert_eq!(reused.n_steps(), 3);
+        assert_eq!(reused.total_spikes(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_spare_step_buffers() {
+        let mut long = SpikeTrain::new(4, 3);
+        long.push_step(vec![0]);
+        long.push_step(vec![1]);
+        long.push_step(vec![2]);
+        long.clear_reuse(4, 1); // keeps three spare buffers
+        long.push_step(vec![0]);
+
+        let mut short = SpikeTrain::new(4, 1);
+        short.push_step(vec![0]);
+
+        assert_eq!(long, short);
+        assert_eq!(long.n_steps(), 1);
+        assert_eq!(long.channel_counts(), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn clear_reuse_can_reshape_the_train() {
+        let mut t = SpikeTrain::new(8, 2);
+        t.push_step(vec![7]);
+        t.clear_reuse(2, 4);
+        t.push_step(vec![1]);
+        assert_eq!(t.n_channels(), 2);
+        assert_eq!(t.expected_steps(), 4);
+        assert_eq!(t.n_steps(), 1);
+        assert_eq!(t.step(0), &[1]);
     }
 }

@@ -11,6 +11,7 @@ use crate::encoding::PoissonEncoder;
 use crate::error::SnnError;
 use crate::network::Network;
 use crate::rng::Rng;
+use crate::spike::SpikeTrain;
 use rand::seq::SliceRandom;
 
 /// Options controlling the unsupervised training loop.
@@ -107,14 +108,17 @@ pub fn train_unsupervised(
 
     let mut report = TrainReport::default();
     let mut order: Vec<usize> = (0..images.len()).collect();
+    // One encode buffer for the whole run: every sample re-encodes into it
+    // and runs through the allocation-free sample pass.
+    let mut encoded = SpikeTrain::new(n_inputs, timesteps as usize);
     for _ in 0..options.epochs {
         if options.shuffle {
             order.shuffle(rng);
         }
         for &idx in &order {
             net.normalize_weights();
-            let train = encoder.encode(&images[idx], timesteps, rng);
-            let counts = net.run_sample(&train);
+            encoder.encode_into(&images[idx], timesteps, rng, &mut encoded);
+            let counts = net.run_sample_into(&encoded);
             let spikes: u64 = counts.iter().map(|&c| c as u64).sum();
             report.samples_seen += 1;
             report.total_output_spikes += spikes;
@@ -182,6 +186,7 @@ pub fn assign_classes_selective(
 
     let mut responses = vec![vec![0_u64; n_classes]; n_neurons];
     let mut class_counts = vec![0_usize; n_classes];
+    let mut encoded = SpikeTrain::new(net.cfg().n_inputs, timesteps as usize);
     for (img, &label) in images.iter().zip(labels) {
         if img.len() != net.cfg().n_inputs {
             return Err(SnnError::ShapeMismatch {
@@ -190,8 +195,8 @@ pub fn assign_classes_selective(
                 what: "image pixels",
             });
         }
-        let train = encoder.encode(img, timesteps, rng);
-        let counts = net.run_sample_frozen(&train);
+        encoder.encode_into(img, timesteps, rng, &mut encoded);
+        let counts = net.run_sample_frozen_into(&encoded);
         class_counts[label] += 1;
         for (j, &c) in counts.iter().enumerate() {
             responses[j][label] += c as u64;

@@ -1,0 +1,94 @@
+//! Pinned-seed training regression: a fixed-seed, smoke-scale synthetic
+//! workload trained through the full `snn_sim` pipeline (unsupervised
+//! STDP → class assignment → evaluation) must stay bit-identical through
+//! the allocation-free / layout-aware trainer fast path.
+//!
+//! Any drift here means the fast path changed simulation semantics — the
+//! trainer equivalence proptests
+//! (`crates/snn/tests/proptest_trainer_equivalence.rs`) localize which
+//! operation diverged.
+//!
+//! Captured at PR 4 from commit 861b075 (pre-fast-path), synthetic MNIST
+//! (SynthDigits), 60 train / 30 test samples, N50, 40 timesteps.
+
+use softsnn::data::workload::Workload;
+use softsnn::sim::config::SnnConfig;
+use softsnn::sim::eval::evaluate;
+use softsnn::sim::network::Network;
+use softsnn::sim::rng::seeded_rng;
+use softsnn::sim::trainer::{assign_classes, train_unsupervised, TrainOptions};
+
+/// FNV-1a over the exact bit patterns, so any single-ULP drift in any
+/// weight changes the checksum.
+fn bits_checksum(values: &[f32]) -> u64 {
+    values.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, v| {
+        (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+#[test]
+fn smoke_training_is_bit_identical_to_pre_fastpath_capture() {
+    let (train, test) = Workload::Mnist.generate(60, 30, 0xD1E7);
+    let cfg = SnnConfig::builder()
+        .n_neurons(50)
+        .timesteps(40)
+        .rest_steps(10)
+        .build()
+        .unwrap();
+    let mut rng = seeded_rng(0x7217);
+    let mut net = Network::new(cfg, &mut rng);
+
+    let report = train_unsupervised(
+        &mut net,
+        train.images(),
+        TrainOptions {
+            epochs: 2,
+            shuffle: true,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let assignment = assign_classes(
+        &mut net,
+        train.images(),
+        train.labels(),
+        train.n_classes(),
+        &mut rng,
+    )
+    .unwrap();
+    let result = evaluate(
+        &mut net,
+        &assignment,
+        test.images(),
+        test.labels(),
+        &mut rng,
+    )
+    .unwrap();
+
+    assert_eq!(
+        bits_checksum(net.weights()),
+        0xff6d_ff5e_612c_9659,
+        "trained weights drifted from the pre-fast-path capture"
+    );
+    assert_eq!(
+        bits_checksum(net.thetas()),
+        0x2450_a0bc_1de1_7e65,
+        "adaptive thresholds drifted from the pre-fast-path capture"
+    );
+    assert_eq!(report.samples_seen, 120);
+    assert_eq!(report.total_output_spikes, 1104);
+    assert_eq!(report.silent_samples, 0);
+    assert_eq!(
+        assignment.coverage().to_bits(),
+        0x3fef_5c28_f5c2_8f5c,
+        "assignment coverage drifted: got {}",
+        assignment.coverage()
+    );
+    assert_eq!(
+        result.accuracy().to_bits(),
+        0x3fdb_bbbb_bbbb_bbbc,
+        "assignment accuracy drifted: got {} (expected 13/30)",
+        result.accuracy()
+    );
+    assert_eq!((result.correct, result.abstained), (13, 0));
+}
