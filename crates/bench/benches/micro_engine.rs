@@ -186,16 +186,18 @@ fn bench_run_sample(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_run_batch(c: &mut Criterion) {
-    // The campaign workload at campaign scale: a paper-sized N400 engine
-    // (784 inputs — untrained random weights; engine throughput does not
-    // care) evaluating a test set under the protected configuration
-    // (BnP3-shaped bounding + reset monitor), batched through
-    // `run_batch_into` vs the per-sample loop with the same per-sample
-    // guard-cloning semantics. The two paths produce bit-identical counts
-    // (property-tested), so this measures pure throughput; at N400 the
-    // transformed-crossbar image is ~306 KiB, so keeping each cycle's
-    // active rows hot across the whole batch is where interleaving pays.
+/// The paper-scale campaign fixture shared by the batched-sample and
+/// multi-map groups: an N400 engine (784 inputs — untrained random
+/// weights; engine throughput does not care), a BnP3-shaped bounded read
+/// path, the paper reset monitor, and 10 Poisson-encoded test samples.
+/// Construction is seed-for-seed the fixture `engine_run_batch` has
+/// always used, so its trajectory metrics stay comparable.
+fn paper_scale_campaign_fixture() -> (
+    snn_hw::engine::ComputeEngine,
+    BoundedRead,
+    ResetMonitor,
+    Vec<snn_sim::spike::SpikeTrain>,
+) {
     use snn_sim::encoding::PoissonEncoder;
     use snn_sim::network::Network;
     use snn_sim::quant::QuantizedNetwork;
@@ -209,7 +211,7 @@ fn bench_run_batch(c: &mut Criterion) {
         .expect("paper-shaped config");
     let net = Network::new(cfg.clone(), &mut seeded_rng(0xba7c4));
     let qn = QuantizedNetwork::from_network_default(&net);
-    let mut engine = snn_hw::engine::ComputeEngine::for_network(&qn).expect("deployable");
+    let engine = snn_hw::engine::ComputeEngine::for_network(&qn).expect("deployable");
     let path = BoundedRead::new(BoundingConfig {
         threshold_code: 96,
         default_code: 6,
@@ -225,6 +227,19 @@ fn bench_run_batch(c: &mut Criterion) {
             encoder.encode(&img, cfg.timesteps, &mut rng)
         })
         .collect();
+    (engine, path, monitor, trains)
+}
+
+fn bench_run_batch(c: &mut Criterion) {
+    // The campaign workload at campaign scale: the protected
+    // configuration (BnP3-shaped bounding + reset monitor) batched
+    // through `run_batch_into` vs the per-sample loop with the same
+    // per-sample guard-cloning semantics. The two paths produce
+    // bit-identical counts (property-tested), so this measures pure
+    // throughput; at N400 the transformed-crossbar image is ~306 KiB, so
+    // keeping each cycle's active rows hot across the whole batch is
+    // where interleaving pays.
+    let (mut engine, path, monitor, trains) = paper_scale_campaign_fixture();
 
     let mut group = c.benchmark_group("engine_run_batch");
     group.sample_size(20);
@@ -242,6 +257,62 @@ fn bench_run_batch(c: &mut Criterion) {
             for train in &trains {
                 let mut guard = monitor.clone();
                 acc += engine.run_sample_into(train, &path, &mut guard)[0];
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_run_multi_map(c: &mut Criterion) {
+    // The trials-batching lever: K = 4 neuron-only fault maps of one
+    // trial group (the Fig. 13 cell shape — same technique, same rate,
+    // independent maps) on the N400 BnP3+monitor workload, evaluated
+    // through `run_batch_multi_map` (one drive/accumulate per cycle for
+    // all K maps) vs the previous best — one `run_batch_into` pass per
+    // map. Both produce bit-identical counts (property-tested), so the
+    // ratio is pure drive-phase amortization.
+    use snn_hw::engine::{MultiMapResult, NeuronFaultOverlay};
+    use snn_hw::neuron_unit::NeuronOp;
+
+    let (engine, path, monitor, trains) = paper_scale_campaign_fixture();
+    let maps: Vec<NeuronFaultOverlay> = (0..4)
+        .map(|m| {
+            (0..8)
+                .map(|i| {
+                    (
+                        ((m * 97 + i * 31 + 5) % 400) as u32,
+                        NeuronOp::ALL[(m + i) % 4],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine_multi_map");
+    group.sample_size(20);
+    group.bench_function("bnp3_monitored_multi_map", |b| {
+        let mut engine = engine.clone();
+        let mut out = MultiMapResult::new();
+        b.iter(|| {
+            engine.run_batch_multi_map(&trains, &maps, &path, &monitor, &mut out);
+            black_box(out.counts(0, 0)[0])
+        });
+    });
+    group.bench_function("bnp3_monitored_per_map", |b| {
+        let mut engine = engine.clone();
+        let mut out = BatchResult::new();
+        b.iter(|| {
+            let mut acc = 0_u32;
+            for map in &maps {
+                for &(j, op) in map {
+                    engine.neurons_mut()[j as usize].faults.set(op);
+                }
+                engine.run_batch_into(&trains, &path, &monitor, &mut out);
+                acc += out.counts(0)[0];
+                for unit in engine.neurons_mut() {
+                    unit.faults = Default::default();
+                }
             }
             black_box(acc)
         });
@@ -283,6 +354,15 @@ fn emit_derived_metrics(c: &mut Criterion) {
             c.add_metric("batch_speedup", per_sample / batched);
         }
     }
+    // Trial-group headline: K=4 neuron-only fault maps through one shared
+    // drive phase vs one batched pass per map.
+    let multi = c.ns_per_iter("engine_multi_map", "bnp3_monitored_multi_map");
+    let per_map = c.ns_per_iter("engine_multi_map", "bnp3_monitored_per_map");
+    if let (Some(multi), Some(per_map)) = (multi, per_map) {
+        if multi > 0.0 {
+            c.add_metric("multi_map_speedup", per_map / multi);
+        }
+    }
 }
 
 criterion_group!(
@@ -291,6 +371,7 @@ criterion_group!(
     bench_engine_step_guarded,
     bench_run_sample,
     bench_run_batch,
+    bench_run_multi_map,
     emit_derived_metrics
 );
 criterion_main!(benches);

@@ -64,13 +64,13 @@ impl Campaign {
     /// The deterministic seed of the fault map at (`rate_idx`, `trial`).
     ///
     /// The stream index packs the rate index into the high half and the
-    /// trial into the low half. The shift is parenthesized explicitly —
-    /// `<<` does bind tighter than `|` in Rust, but the grouping is
-    /// load-bearing for every stored campaign result, so it is spelled
-    /// out and pinned by a regression test rather than left to operator
-    /// precedence.
+    /// trial into the low half — the workspace-wide grid packing
+    /// ([`crate::grid::pack_point`]) at technique index 0, so campaign
+    /// seeds and figure-grid seeds share one pinned formula. The values
+    /// are load-bearing for every stored campaign result and pinned by a
+    /// regression test.
     pub fn seed_for(&self, rate_idx: usize, trial: usize) -> u64 {
-        snn_sim::rng::derive_seed(self.base_seed, ((rate_idx as u64) << 32) | (trial as u64))
+        snn_sim::rng::derive_seed(self.base_seed, crate::grid::pack_point(rate_idx, 0, trial))
     }
 
     /// Runs `f` once per (rate, trial) with a freshly generated fault map

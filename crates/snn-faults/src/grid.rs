@@ -1,0 +1,718 @@
+//! Declarative campaign grids: the (technique × rate × trial) sweeps every
+//! figure of the paper is made of, as one first-class object.
+//!
+//! The paper's evidence is campaign-shaped — Fig. 10/13/14 and the
+//! ablations are all accuracy (or cost) grids over a handful of axes —
+//! and before this module each figure hand-rolled its own grid: a private
+//! point struct, its own `parallel_map` call, one full deployment clone
+//! per grid point, and a quadratic per-figure aggregation scan. A
+//! [`GridSpec`] names the axes once; a [`GridRunner`] executes every point
+//! with:
+//!
+//! * **deterministic per-point seeds** unified with the historical
+//!   `point_seed`/[`crate::campaign::Campaign::seed_for`] packing
+//!   ([`pack_point`] / [`grid_point_seed`]), so refactored figures
+//!   reproduce their stored results bit for bit;
+//! * **shard-local deployment reuse** — points are sharded
+//!   deterministically over [`snn_sim::parallel::parallel_map`], one
+//!   evaluation-state clone per shard instead of one per point, healed
+//!   between points by the evaluation path itself (the campaign-trial
+//!   `reload_parameters` cycle restores the cached clean crossbar image by
+//!   copy);
+//! * **trial-group batching hooks** — a shard's contiguous points are
+//!   handed to the evaluation closure together
+//!   ([`GridRunner::run_grouped`]), so neuron-only trial groups can route
+//!   through the engine's multi-map pass
+//!   (`ComputeEngine::run_batch_multi_map`) and share one drive/accumulate
+//!   phase across fault maps;
+//! * **single-pass aggregation** into [`CellKey`]-addressed [`Aggregate`]
+//!   cells (mean/std/trials), replacing the old O(points²) re-scans.
+//!
+//! The three axes are named `techniques`, `rates`, and `trials` after the
+//! dominant figure shape, but the value axis is just an `f64` parameter
+//! sweep: the ablation studies put monitor windows, threshold scales, and
+//! vote widths on it, using [`GridSpec::with_offsets`] to park their
+//! points at the exact seed-stream indices the hand-rolled loops used.
+
+use snn_sim::metrics::{mean, std_dev};
+use snn_sim::parallel::parallel_map;
+use snn_sim::rng::derive_seed;
+
+/// Packs one grid point's indices into a seed-stream index: rate in the
+/// high word, technique in bits 16..32, trial in the low bits.
+///
+/// This is *the* packing of the workspace: with `technique_idx == 0` it
+/// degenerates to [`crate::campaign::Campaign::seed_for`]'s
+/// `(rate_idx << 32) | trial`, and with all three indices it is the figure
+/// harness's historical `point_seed` stream. Every stored campaign result
+/// depends on it, so the values are pinned by regression tests rather
+/// than left to convention.
+#[inline]
+pub fn pack_point(rate_idx: usize, technique_idx: usize, trial: usize) -> u64 {
+    ((rate_idx as u64) << 32) | ((technique_idx as u64) << 16) | (trial as u64)
+}
+
+/// The deterministic seed of one grid point, reproducing the figure
+/// harness's historical `point_seed(figure, rate_idx, trial,
+/// technique_idx)` exactly: the figure number salts the base seed's high
+/// bits, [`pack_point`] selects the stream.
+#[inline]
+pub fn grid_point_seed(
+    base_seed: u64,
+    figure: u64,
+    rate_idx: usize,
+    trial: usize,
+    technique_idx: usize,
+) -> u64 {
+    derive_seed(
+        base_seed ^ (figure << 48),
+        pack_point(rate_idx, technique_idx, trial),
+    )
+}
+
+/// A declarative (technique × rate × trial) grid with deterministic
+/// per-point seeds.
+///
+/// Points are ordered technique-major, then rate, then trial — the order
+/// every figure historically materialized — so a cell's trials are
+/// contiguous and aggregation is a single pass.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::grid::GridSpec;
+///
+/// let spec = GridSpec::new(
+///     13,
+///     0x50F7_511F,
+///     vec!["nomit".into(), "bnp3".into()],
+///     vec![1e-3, 1e-1],
+///     3,
+/// );
+/// assert_eq!(spec.n_points(), 12);
+/// assert_eq!(spec.n_cells(), 4);
+/// let p = spec.point(7);
+/// assert_eq!((p.technique_idx, p.rate_idx, p.trial), (1, 0, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GridSpec {
+    /// Figure number salting the seed stream (see [`grid_point_seed`]).
+    pub figure: u64,
+    /// Base seed all per-point seeds derive from.
+    pub base_seed: u64,
+    /// Labels of the technique axis (mitigation techniques, neuron ops,
+    /// or a single label for pure parameter sweeps).
+    pub techniques: Vec<String>,
+    /// Values of the swept `f64` axis: fault rates for the figures,
+    /// arbitrary parameter values (window lengths, threshold scales, vote
+    /// widths) for ablation-style sweeps.
+    pub rates: Vec<f64>,
+    /// Independent trials per (technique, rate) cell.
+    pub trials: usize,
+    /// Offset added to `technique_idx` in the seed stream.
+    pub technique_base: usize,
+    /// Offset added to `rate_idx` in the seed stream.
+    pub rate_base: usize,
+    /// Offset added to `trial` in the seed stream.
+    pub trial_base: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid over the given axes with zero seed-stream offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero or either axis is empty (a zero-point
+    /// grid is a construction mistake, not a request).
+    pub fn new(
+        figure: u64,
+        base_seed: u64,
+        techniques: Vec<String>,
+        rates: Vec<f64>,
+        trials: usize,
+    ) -> Self {
+        assert!(trials > 0, "a grid needs at least one trial per cell");
+        assert!(
+            !techniques.is_empty(),
+            "a grid needs at least one technique"
+        );
+        assert!(!rates.is_empty(), "a grid needs at least one rate/value");
+        Self {
+            figure,
+            base_seed,
+            techniques,
+            rates,
+            trials,
+            technique_base: 0,
+            rate_base: 0,
+            trial_base: 0,
+        }
+    }
+
+    /// Parks the grid's points at offset seed-stream indices — how the
+    /// ablation sweeps reproduce the exact seeds of their hand-rolled
+    /// predecessors (e.g. the threshold sweep lived at rate indices
+    /// `20 + i` with trial index 2).
+    pub fn with_offsets(
+        mut self,
+        technique_base: usize,
+        rate_base: usize,
+        trial_base: usize,
+    ) -> Self {
+        self.technique_base = technique_base;
+        self.rate_base = rate_base;
+        self.trial_base = trial_base;
+        self
+    }
+
+    /// Number of (technique, rate) cells.
+    pub fn n_cells(&self) -> usize {
+        self.techniques.len() * self.rates.len()
+    }
+
+    /// Total number of grid points.
+    pub fn n_points(&self) -> usize {
+        self.n_cells() * self.trials
+    }
+
+    /// The deterministic seed of the point at (`rate_idx`, `trial`,
+    /// `technique_idx`), including the spec's axis offsets.
+    pub fn seed_for(&self, rate_idx: usize, trial: usize, technique_idx: usize) -> u64 {
+        grid_point_seed(
+            self.base_seed,
+            self.figure,
+            self.rate_base + rate_idx,
+            self.trial_base + trial,
+            self.technique_base + technique_idx,
+        )
+    }
+
+    /// The grid point at flat index `idx` (technique-major, then rate,
+    /// then trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n_points()`.
+    pub fn point(&self, idx: usize) -> GridPointCtx {
+        assert!(idx < self.n_points(), "grid point index out of range");
+        let trial = idx % self.trials;
+        let cell = idx / self.trials;
+        let rate_idx = cell % self.rates.len();
+        let technique_idx = cell / self.rates.len();
+        GridPointCtx {
+            index: idx,
+            technique_idx,
+            rate_idx,
+            trial,
+            rate: self.rates[rate_idx],
+            seed: self.seed_for(rate_idx, trial, technique_idx),
+        }
+    }
+
+    /// Every grid point, in flat-index order.
+    pub fn points(&self) -> Vec<GridPointCtx> {
+        (0..self.n_points()).map(|i| self.point(i)).collect()
+    }
+}
+
+/// Everything an evaluation closure needs to know about one grid point:
+/// its axis indices, the swept value, and its deterministic seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GridPointCtx {
+    /// Flat point index (technique-major, then rate, then trial).
+    pub index: usize,
+    /// Index into [`GridSpec::techniques`].
+    pub technique_idx: usize,
+    /// Index into [`GridSpec::rates`].
+    pub rate_idx: usize,
+    /// Trial index within the cell.
+    pub trial: usize,
+    /// The swept value at `rate_idx` (a fault rate, or any parameter).
+    pub rate: f64,
+    /// The point's deterministic seed ([`GridSpec::seed_for`]).
+    pub seed: u64,
+}
+
+/// Addresses one (technique, rate) cell of a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CellKey {
+    /// Index into [`GridSpec::techniques`].
+    pub technique_idx: usize,
+    /// Index into [`GridSpec::rates`].
+    pub rate_idx: usize,
+}
+
+/// One aggregated grid cell: the per-trial values of one (technique,
+/// rate) combination with their mean and sample standard deviation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Aggregate {
+    /// The cell's grid address.
+    pub key: CellKey,
+    /// Technique-axis label.
+    pub technique: String,
+    /// Swept value (fault rate or parameter).
+    pub rate: f64,
+    /// Mean over trials.
+    pub mean: f64,
+    /// Sample standard deviation over trials.
+    pub std_dev: f64,
+    /// The individual trial values, in trial order.
+    pub trials: Vec<f64>,
+}
+
+/// All aggregated cells of one grid run, in the spec's cell order
+/// (technique-major, then rate) — the store that replaces the figures'
+/// quadratic per-cell outcome re-scans.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GridResults {
+    n_rates: usize,
+    cells: Vec<Aggregate>,
+}
+
+impl GridResults {
+    /// Aggregates point-order values into cells in **one pass**: the
+    /// spec's point order makes each cell's trials contiguous, so every
+    /// outcome is consumed exactly once (no per-cell re-scan of the full
+    /// outcome list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != spec.n_points()`.
+    pub fn aggregate(spec: &GridSpec, values: &[f64]) -> Self {
+        assert_eq!(values.len(), spec.n_points(), "one value per grid point");
+        let mut cells = Vec::with_capacity(spec.n_cells());
+        let mut chunks = values.chunks_exact(spec.trials);
+        for (technique_idx, technique) in spec.techniques.iter().enumerate() {
+            for (rate_idx, &rate) in spec.rates.iter().enumerate() {
+                let trials = chunks.next().expect("length asserted above").to_vec();
+                cells.push(Aggregate {
+                    key: CellKey {
+                        technique_idx,
+                        rate_idx,
+                    },
+                    technique: technique.clone(),
+                    rate,
+                    mean: mean(&trials),
+                    std_dev: std_dev(&trials),
+                    trials,
+                });
+            }
+        }
+        Self {
+            n_rates: spec.rates.len(),
+            cells,
+        }
+    }
+
+    /// The cells, technique-major then rate.
+    pub fn cells(&self) -> &[Aggregate] {
+        &self.cells
+    }
+
+    /// The cell at `key` — an O(1) index, not a search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is outside the grid.
+    pub fn cell(&self, key: CellKey) -> &Aggregate {
+        &self.cells[key.technique_idx * self.n_rates + key.rate_idx]
+    }
+}
+
+/// Executes a [`GridSpec`]'s points over all cores with shard-local
+/// evaluation-state reuse.
+///
+/// Points are split into deterministic shards of
+/// [`cells_per_shard`](Self::with_cells_per_shard) whole cells (so a
+/// cell's trials never straddle shards); each shard clones the prototype
+/// state once and walks its points in order. Shard boundaries affect
+/// scheduling only — every point's seed and inputs are fixed by the spec,
+/// so results are bit-identical at any shard width (property-tested).
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::grid::{GridRunner, GridSpec};
+///
+/// let spec = GridSpec::new(0, 7, vec!["a".into(), "b".into()], vec![0.1, 0.2], 3);
+/// let runner = GridRunner::new(spec);
+/// let results = runner
+///     .run(&(), |(), p| Ok::<f64, std::convert::Infallible>(p.seed as f64))
+///     .unwrap();
+/// assert_eq!(results.cells().len(), 4);
+/// assert_eq!(results.cells()[0].trials.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRunner {
+    spec: GridSpec,
+    cells_per_shard: usize,
+}
+
+impl GridRunner {
+    /// Wraps a spec with the default shard width of one cell (all trials
+    /// of one (technique, rate) point share a state clone — and can share
+    /// one engine multi-map pass).
+    pub fn new(spec: GridSpec) -> Self {
+        Self {
+            spec,
+            cells_per_shard: 1,
+        }
+    }
+
+    /// Overrides how many whole cells one shard (and thus one state
+    /// clone) covers. Wider shards trade scheduling slack for fewer
+    /// clones and bigger trial groups — e.g. Fig. 10's per-op panel puts
+    /// an op's whole rate sweep in one shard so the engine evaluates all
+    /// of its fault maps in a single multi-map pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn with_cells_per_shard(mut self, cells: usize) -> Self {
+        assert!(cells > 0, "a shard needs at least one cell");
+        self.cells_per_shard = cells;
+        self
+    }
+
+    /// The underlying grid description.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Runs the shard-level closure over every shard — in parallel across
+    /// shards, in point order within a shard — and returns the values in
+    /// flat point order. The closure must return exactly one value per
+    /// point it was handed.
+    ///
+    /// This is the hook trial-group batching plugs into: a shard's points
+    /// arrive together, so the closure can hand contiguous same-technique
+    /// neuron-only points to the engine's multi-map pass in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing shard's error (in shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard closure returns the wrong number of values.
+    pub fn run_sharded<S, V, E, F>(&self, proto: &S, f: F) -> Result<Vec<V>, E>
+    where
+        S: Clone + Sync,
+        V: Send,
+        E: Send,
+        F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<V>, E> + Sync,
+    {
+        let points = self.spec.points();
+        let shard_len = (self.cells_per_shard * self.spec.trials).max(1);
+        let shards: Vec<&[GridPointCtx]> = points.chunks(shard_len).collect();
+        let outcomes = parallel_map(&shards, |shard| {
+            let mut state = proto.clone();
+            f(&mut state, shard)
+        });
+        let mut values = Vec::with_capacity(points.len());
+        for (shard, outcome) in shards.iter().zip(outcomes) {
+            let shard_values = outcome?;
+            assert_eq!(
+                shard_values.len(),
+                shard.len(),
+                "shard closure must return one value per point"
+            );
+            values.extend(shard_values);
+        }
+        Ok(values)
+    }
+
+    /// Runs the per-point closure over every grid point (built on
+    /// [`run_sharded`](Self::run_sharded)); values come back in flat
+    /// point order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing point's error.
+    pub fn run_points<S, V, E, F>(&self, proto: &S, f: F) -> Result<Vec<V>, E>
+    where
+        S: Clone + Sync,
+        V: Send,
+        E: Send,
+        F: Fn(&mut S, &GridPointCtx) -> Result<V, E> + Sync,
+    {
+        self.run_sharded(proto, |state, shard| {
+            shard.iter().map(|p| f(state, p)).collect()
+        })
+    }
+
+    /// [`run_points`](Self::run_points) for `f64` metrics, aggregated
+    /// into [`GridResults`] cells in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing point's error.
+    pub fn run<S, E, F>(&self, proto: &S, f: F) -> Result<GridResults, E>
+    where
+        S: Clone + Sync,
+        E: Send,
+        F: Fn(&mut S, &GridPointCtx) -> Result<f64, E> + Sync,
+    {
+        let values = self.run_points(proto, f)?;
+        Ok(GridResults::aggregate(&self.spec, &values))
+    }
+
+    /// [`run_sharded`](Self::run_sharded) for `f64` metrics, aggregated
+    /// into [`GridResults`] cells in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing shard's error.
+    pub fn run_grouped<S, E, F>(&self, proto: &S, f: F) -> Result<GridResults, E>
+    where
+        S: Clone + Sync,
+        E: Send,
+        F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E> + Sync,
+    {
+        let values = self.run_sharded(proto, f)?;
+        Ok(GridResults::aggregate(&self.spec, &values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn spec_3x3x4() -> GridSpec {
+        GridSpec::new(
+            7,
+            0xC0FFEE,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![0.001, 0.01, 0.1],
+            4,
+        )
+    }
+
+    #[test]
+    fn point_order_is_technique_major_then_rate_then_trial() {
+        let spec = spec_3x3x4();
+        let points = spec.points();
+        assert_eq!(points.len(), 36);
+        let mut expected = Vec::new();
+        for t in 0..3 {
+            for r in 0..3 {
+                for trial in 0..4 {
+                    expected.push((t, r, trial));
+                }
+            }
+        }
+        let got: Vec<(usize, usize, usize)> = points
+            .iter()
+            .map(|p| (p.technique_idx, p.rate_idx, p.trial))
+            .collect();
+        assert_eq!(got, expected);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.rate, spec.rates[p.rate_idx]);
+            assert_eq!(p.seed, spec.seed_for(p.rate_idx, p.trial, p.technique_idx));
+        }
+    }
+
+    /// The packing contract with the rest of the workspace: technique 0
+    /// degenerates to the campaign packing, and the full form matches the
+    /// figure harness's historical `point_seed` formula.
+    #[test]
+    fn seed_packing_matches_campaign_and_point_seed() {
+        assert_eq!(pack_point(3, 0, 5), (3_u64 << 32) | 5);
+        assert_eq!(pack_point(3, 2, 5), (3_u64 << 32) | (2 << 16) | 5);
+        // Campaign::seed_for(ri, t) == derive_seed(base, pack_point(ri, 0, t)).
+        let c = crate::campaign::Campaign::new(vec![0.1; 4], 8, 42);
+        for ri in 0..4 {
+            for t in 0..8 {
+                assert_eq!(c.seed_for(ri, t), derive_seed(42, pack_point(ri, 0, t)));
+            }
+        }
+        // grid_point_seed == the historical point_seed formula.
+        let base = 0x50F7_511F_u64;
+        for fig in [10_u64, 13, 99] {
+            for (ri, t, ti) in [(0_usize, 0_usize, 0_usize), (3, 2, 4), (21, 1, 0)] {
+                let legacy = derive_seed(
+                    base ^ (fig << 48),
+                    ((ri as u64) << 32) | ((ti as u64) << 16) | t as u64,
+                );
+                assert_eq!(grid_point_seed(base, fig, ri, t, ti), legacy);
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_shift_the_seed_stream() {
+        let plain = GridSpec::new(99, 1, vec!["x".into()], vec![0.05; 4], 1);
+        let offset = plain.clone().with_offsets(0, 10, 1);
+        for i in 0..4 {
+            assert_eq!(
+                offset.seed_for(i, 0, 0),
+                grid_point_seed(1, 99, 10 + i, 1, 0)
+            );
+            assert_ne!(offset.seed_for(i, 0, 0), plain.seed_for(i, 0, 0));
+        }
+    }
+
+    /// Satellite regression for the old O(points²) scan: on a 3-technique
+    /// × 3-rate × 4-trial grid, aggregation consumes each outcome exactly
+    /// once and lands it in exactly one cell.
+    #[test]
+    fn aggregation_consumes_each_outcome_exactly_once() {
+        let spec = spec_3x3x4();
+        // Values are the (unique) flat point indices, so membership
+        // proves placement.
+        let values: Vec<f64> = (0..spec.n_points()).map(|i| i as f64).collect();
+        let results = GridResults::aggregate(&spec, &values);
+        assert_eq!(results.cells().len(), 9);
+        let mut seen = vec![0_usize; spec.n_points()];
+        for cell in results.cells() {
+            assert_eq!(cell.trials.len(), 4);
+            for &v in &cell.trials {
+                let idx = v as usize;
+                // Each trial value must belong to this cell's points.
+                let p = spec.point(idx);
+                assert_eq!(
+                    (p.technique_idx, p.rate_idx),
+                    (cell.key.technique_idx, cell.key.rate_idx),
+                    "value {idx} landed in the wrong cell"
+                );
+                seen[idx] += 1;
+            }
+            assert_eq!(cell.mean, mean(&cell.trials));
+            assert_eq!(cell.std_dev, std_dev(&cell.trials));
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every outcome consumed exactly once: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn cell_lookup_is_positional() {
+        let spec = spec_3x3x4();
+        let values: Vec<f64> = (0..spec.n_points()).map(|i| i as f64).collect();
+        let results = GridResults::aggregate(&spec, &values);
+        for t in 0..3 {
+            for r in 0..3 {
+                let key = CellKey {
+                    technique_idx: t,
+                    rate_idx: r,
+                };
+                let cell = results.cell(key);
+                assert_eq!(cell.key, key);
+                assert_eq!(cell.technique, spec.techniques[t]);
+                assert_eq!(cell.rate, spec.rates[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_values_are_identical_at_any_shard_width() {
+        let spec = spec_3x3x4();
+        let reference: Vec<f64> = spec.points().iter().map(|p| p.seed as f64).collect();
+        for cells_per_shard in [1, 2, 3, 9, 100] {
+            let runner = GridRunner::new(spec.clone()).with_cells_per_shard(cells_per_shard);
+            let got = runner
+                .run_points(&(), |(), p| {
+                    Ok::<f64, std::convert::Infallible>(p.seed as f64)
+                })
+                .unwrap();
+            assert_eq!(got, reference, "cells_per_shard={cells_per_shard}");
+        }
+    }
+
+    #[test]
+    fn runner_clones_state_once_per_shard() {
+        #[derive(Default)]
+        struct CloneCounter(std::sync::Arc<AtomicUsize>);
+        impl Clone for CloneCounter {
+            fn clone(&self) -> Self {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Self(self.0.clone())
+            }
+        }
+        let spec = spec_3x3x4(); // 9 cells, 36 points
+        let proto = CloneCounter::default();
+        let runner = GridRunner::new(spec.clone());
+        runner
+            .run_points(&proto, |_, _| Ok::<f64, std::convert::Infallible>(0.0))
+            .unwrap();
+        assert_eq!(
+            proto.0.load(Ordering::Relaxed),
+            9,
+            "one clone per cell-shard, not per point"
+        );
+        let proto = CloneCounter::default();
+        GridRunner::new(spec)
+            .with_cells_per_shard(3)
+            .run_points(&proto, |_, _| Ok::<f64, std::convert::Infallible>(0.0))
+            .unwrap();
+        assert_eq!(proto.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn sharded_closure_sees_whole_cells_in_order() {
+        let spec = spec_3x3x4();
+        let runner = GridRunner::new(spec.clone()).with_cells_per_shard(2);
+        let values = runner
+            .run_sharded(&(), |(), shard| {
+                // Shards hold whole cells: length is a multiple of trials
+                // (except possibly the last ragged shard).
+                assert!(shard.len() % spec.trials == 0 || shard.len() < 2 * spec.trials);
+                // Points arrive in flat order.
+                for pair in shard.windows(2) {
+                    assert_eq!(pair[1].index, pair[0].index + 1);
+                }
+                Ok::<Vec<f64>, std::convert::Infallible>(
+                    shard.iter().map(|p| p.index as f64).collect(),
+                )
+            })
+            .unwrap();
+        let expected: Vec<f64> = (0..spec.n_points()).map(|i| i as f64).collect();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn runner_propagates_the_first_error_in_shard_order() {
+        let spec = spec_3x3x4();
+        let runner = GridRunner::new(spec);
+        let err = runner
+            .run_points(
+                &(),
+                |(), p| {
+                    if p.index >= 8 {
+                        Err(p.index)
+                    } else {
+                        Ok(0.0)
+                    }
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, 8, "first failing point in order, not a racy winner");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rates_axis_panics() {
+        let _ = GridSpec::new(0, 0, vec!["a".into()], vec![], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trials_panics() {
+        let _ = GridSpec::new(0, 0, vec!["a".into()], vec![0.1], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_value_count_panics() {
+        let spec = spec_3x3x4();
+        let _ = GridResults::aggregate(&spec, &[1.0, 2.0]);
+    }
+}

@@ -16,6 +16,10 @@
 //!   ([`injector::inject`]).
 //! * **Campaigns**: sweeps over fault rates × independent fault maps
 //!   ([`campaign`]).
+//! * **Grids**: declarative (technique × rate × trial) campaign grids
+//!   with deterministic per-point seeds, shard-local state reuse, and
+//!   single-pass cell aggregation ([`grid`]) — the orchestration layer
+//!   behind every figure harness.
 //!
 //! ```
 //! use snn_faults::location::{FaultDomain, FaultSpace};
@@ -31,6 +35,7 @@
 
 pub mod campaign;
 pub mod fault_map;
+pub mod grid;
 pub mod injector;
 pub mod location;
 pub mod parallel;
@@ -39,6 +44,7 @@ pub mod rate;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use fault_map::FaultMap;
+pub use grid::{Aggregate, CellKey, GridPointCtx, GridResults, GridRunner, GridSpec};
 pub use injector::{inject, InjectionSummary};
 pub use location::{FaultDomain, FaultSite, FaultSpace, RawLocation};
 pub use parallel::ParallelCampaign;

@@ -61,8 +61,8 @@
 
 use crate::crossbar::Crossbar;
 use crate::error::HwError;
-use crate::neuron_lanes::{n_words, BatchLanes, NeuronLanes};
-use crate::neuron_unit::{NeuronHwParams, NeuronUnit};
+use crate::neuron_lanes::{n_words, BatchLanes, MapLanes, NeuronLanes};
+use crate::neuron_unit::{NeuronHwParams, NeuronOp, NeuronUnit, OpFaults};
 use crate::params::EngineConfig;
 use snn_sim::quant::QuantizedNetwork;
 use snn_sim::spike::SpikeTrain;
@@ -366,6 +366,13 @@ pub struct ReadCacheStats {
     pub patches: u64,
 }
 
+/// A neuron-only fault map in engine terms: the `(neuron, op)` sites one
+/// trial's soft errors strike. This is the unit of
+/// [`ComputeEngine::run_batch_multi_map`]'s map axis — campaign layers
+/// lower their fault-map types to this shape at the call boundary (the
+/// engine crate cannot name them).
+pub type NeuronFaultOverlay = Vec<(u32, NeuronOp)>;
+
 /// Samples interleaved per batched chunk: bounds the resident
 /// `n_neurons × MAX_BATCH` lane state and drive planes while keeping the
 /// transformed-crossbar image hot across the whole chunk at each
@@ -430,6 +437,76 @@ impl BatchResult {
     /// Mutable plane of sample `s` (engine-internal).
     fn counts_mut(&mut self, s: usize) -> &mut [u32] {
         &mut self.counts[s * self.n_neurons..(s + 1) * self.n_neurons]
+    }
+}
+
+/// Fault maps interleaved per multi-map chunk: bounds the resident
+/// `n_neurons × MAX_MAPS` per-map lane state.
+/// [`ComputeEngine::run_batch_multi_map`] accepts any number of maps and
+/// chunks internally (the last chunk may be ragged).
+pub const MAX_MAPS: usize = 16;
+
+/// Per-(map, sample) spike-count planes written by
+/// [`ComputeEngine::run_batch_multi_map`]: `counts(m, s)` is what
+/// [`ComputeEngine::run_sample`] would have returned for sample `s` on an
+/// engine with map `m` injected. Reusable across trial groups — the
+/// engine resizes it without reallocating when shapes repeat.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiMapResult {
+    n_neurons: usize,
+    n_samples: usize,
+    n_maps: usize,
+    /// Map-major, then sample-major planes: map `m`, sample `s` owns
+    /// `[(m·S + s)·n, (m·S + s + 1)·n)`.
+    counts: Vec<u32>,
+}
+
+impl MultiMapResult {
+    /// An empty result; [`ComputeEngine::run_batch_multi_map`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of fault maps in the last trial group.
+    pub fn n_maps(&self) -> usize {
+        self.n_maps
+    }
+
+    /// Number of samples per map.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Whether the result holds no planes.
+    pub fn is_empty(&self) -> bool {
+        self.n_maps * self.n_samples == 0
+    }
+
+    /// Per-neuron output spike counts of sample `s` under map `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n_maps` or `s >= n_samples`.
+    pub fn counts(&self, m: usize, s: usize) -> &[u32] {
+        assert!(m < self.n_maps, "map index");
+        assert!(s < self.n_samples, "sample index");
+        let base = (m * self.n_samples + s) * self.n_neurons;
+        &self.counts[base..base + self.n_neurons]
+    }
+
+    /// Sizes the planes and zeroes every counter.
+    fn reset(&mut self, n_neurons: usize, n_samples: usize, n_maps: usize) {
+        self.n_neurons = n_neurons;
+        self.n_samples = n_samples;
+        self.n_maps = n_maps;
+        self.counts.clear();
+        self.counts.resize(n_neurons * n_samples * n_maps, 0);
+    }
+
+    /// Mutable plane of (map `m`, sample `s`) (engine-internal).
+    fn counts_mut(&mut self, m: usize, s: usize) -> &mut [u32] {
+        let base = (m * self.n_samples + s) * self.n_neurons;
+        &mut self.counts[base..base + self.n_neurons]
     }
 }
 
@@ -502,6 +579,9 @@ pub struct ComputeEngine {
     /// [`run_batch_into`](Self::run_batch_into) use).
     batch: BatchLanes,
     batch_acc: Vec<i32>,
+    /// Multi-map pass state (sized on first
+    /// [`run_batch_multi_map`](Self::run_batch_multi_map) use).
+    map_lanes: MapLanes,
 }
 
 impl ComputeEngine {
@@ -559,6 +639,7 @@ impl ComputeEngine {
             counts: vec![0; qn.n_neurons],
             batch: BatchLanes::new(),
             batch_acc: Vec::new(),
+            map_lanes: MapLanes::new(),
         })
     }
 
@@ -1079,6 +1160,165 @@ impl ComputeEngine {
         self.batch_acc = acc_plane;
     }
 
+    /// Evaluates K neuron-only fault maps of one trial group through a
+    /// **single shared drive phase** — the engine-level lever for
+    /// batching a campaign across techniques/trials.
+    ///
+    /// When a trial group's maps strike only neuron operations, the
+    /// crossbar (and therefore the transformed-crossbar image) is
+    /// identical for every map: at each timestep of each sample the
+    /// synaptic drive is accumulated **once** and then every map's neuron
+    /// lanes are stepped against it — K maps cost one accumulate plus K
+    /// cheap neuron passes, instead of K full engine passes.
+    ///
+    /// Each `(map, sample)` pair is evaluated **independently**: map `m`'s
+    /// fault plane is the engine's persisted neuron faults plus
+    /// `maps[m]`'s sites, membrane state starts from rest per sample, and
+    /// the spike guard is cloned per (map, sample) from the `guard`
+    /// prototype — so `out.counts(m, s)` is bit-identical to
+    ///
+    /// ```text
+    /// let mut e = engine.clone();
+    /// for &(j, op) in &maps[m] { e.neurons_mut()[j as usize].faults.set(op); }
+    /// e.run_sample(&trains[s], path, &mut guard.clone())
+    /// ```
+    ///
+    /// (property-tested against
+    /// [`run_batch_multi_map_reference`](Self::run_batch_multi_map_reference)
+    /// across kernels, guards, vr-burst maps, and ragged map counts).
+    /// Maps are processed in chunks of [`MAX_MAPS`]; the engine's own
+    /// fault state and crossbar are left untouched, and its membrane
+    /// state is left reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a map site's neuron index or a train's active-row index
+    /// is out of range for this engine.
+    pub fn run_batch_multi_map<P: WeightReadPath, G: SpikeGuard + Clone>(
+        &mut self,
+        trains: &[SpikeTrain],
+        maps: &[NeuronFaultOverlay],
+        path: &P,
+        guard: &G,
+        out: &mut MultiMapResult,
+    ) {
+        let resolved = ResolvedPath::new(path);
+        out.reset(self.n_neurons, trains.len(), maps.len());
+        // Fault flags are authoritative in the architectural units; make
+        // them current once so every map chunk overlays the same base.
+        self.ensure_units();
+        self.ensure_read_cache(&resolved);
+        for (chunk_idx, chunk) in maps.chunks(MAX_MAPS).enumerate() {
+            self.run_multi_map_chunk(trains, chunk, chunk_idx * MAX_MAPS, &resolved, guard, out);
+        }
+        // The multi-map pass bypasses the single-sample state; leave the
+        // engine at rest in both representations.
+        self.reset_state();
+    }
+
+    /// One ≤ [`MAX_MAPS`] chunk of the multi-map pass: per sample, per
+    /// timestep, one accumulate feeds every map's fused step, guard
+    /// observation, spike counting, and inhibition.
+    fn run_multi_map_chunk<G: SpikeGuard + Clone>(
+        &mut self,
+        trains: &[SpikeTrain],
+        chunk: &[NeuronFaultOverlay],
+        base: usize,
+        path: &ResolvedPath,
+        guard: &G,
+        out: &mut MultiMapResult,
+    ) {
+        let k = chunk.len();
+        let n = self.n_neurons;
+        let words = n_words(n);
+        self.map_lanes.configure(&self.neurons, chunk);
+        let src: &[u8] = match path.kernel {
+            ReadKernel::Direct => self.crossbar.codes_slice(),
+            // `ensure_read_cache` ran in `run_batch_multi_map`, and
+            // neuron-only maps never mutate registers or transform.
+            ReadKernel::Bounded { .. } | ReadKernel::Table => &self.read_cache,
+        };
+        for (s, train) in trains.iter().enumerate() {
+            self.map_lanes.reset_state();
+            let mut guards: Vec<G> = (0..k).map(|_| guard.clone()).collect();
+            for t in 0..train.n_steps() {
+                // Drive phase: one accumulate for the whole map chunk —
+                // the crossbar rows of cycle t are read once, not K times.
+                write_rows_blocked(src, n, train.step(t), &mut self.acc);
+                // Neuron phase: fused step + guard + count + inhibition
+                // per map, reusing the engine's word scratch buffers.
+                for (m, guard_m) in guards.iter_mut().enumerate() {
+                    self.map_lanes.step_fused_map(
+                        m,
+                        &self.acc,
+                        &self.v_thresh,
+                        &self.hw,
+                        &mut self.cmp_words,
+                        &mut self.spike_words,
+                    );
+                    guard_m.observe_cycle(&self.cmp_words, &mut self.allow_words, n);
+                    let mut n_fired = 0_u32;
+                    for w in 0..words {
+                        let f = self.spike_words[w] & self.allow_words[w];
+                        self.fired_words[w] = f;
+                        n_fired += f.count_ones();
+                    }
+                    let counts_m = out.counts_mut(base + m, s);
+                    for (wi, &fw) in self.fired_words.iter().enumerate() {
+                        let mut bits = fw;
+                        while bits != 0 {
+                            counts_m[wi * 64 + bits.trailing_zeros() as usize] += 1;
+                            bits &= bits - 1;
+                        }
+                    }
+                    if n_fired > 0 && self.hw.v_inh > 0 {
+                        let total_inh = self.hw.v_inh.saturating_mul(n_fired as i32);
+                        self.map_lanes
+                            .inhibit_non_fired_map(m, &self.fired_words, total_inh);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference formulation of
+    /// [`run_batch_multi_map`](Self::run_batch_multi_map): the per-map
+    /// scalar loop — inject each map's sites into the architectural
+    /// units, run every sample through
+    /// [`run_sample_reference`](Self::run_sample_reference) with a fresh
+    /// guard clone, restore the fault flags. Kept as the behavioral
+    /// oracle for the equivalence property tests; not a hot path.
+    pub fn run_batch_multi_map_reference<P: WeightReadPath, G: SpikeGuard + Clone>(
+        &mut self,
+        trains: &[SpikeTrain],
+        maps: &[NeuronFaultOverlay],
+        path: &P,
+        guard: &G,
+    ) -> MultiMapResult {
+        let mut out = MultiMapResult::new();
+        out.reset(self.n_neurons, trains.len(), maps.len());
+        self.ensure_units();
+        let baseline: Vec<OpFaults> = self.neurons.iter().map(|u| u.faults).collect();
+        for (m, map) in maps.iter().enumerate() {
+            {
+                let units = self.neurons_mut();
+                for &(j, op) in map {
+                    units[j as usize].faults.set(op);
+                }
+            }
+            for (s, train) in trains.iter().enumerate() {
+                let counts = self.run_sample_reference(train, path, &mut guard.clone());
+                out.counts_mut(m, s).copy_from_slice(&counts);
+            }
+            let units = self.neurons_mut();
+            for (u, &f) in units.iter_mut().zip(&baseline) {
+                u.faults = f;
+            }
+        }
+        self.reset_state();
+        out
+    }
+
     /// Reference (pre-optimization) formulation of [`step`](Self::step):
     /// per-element closure reads, per-neuron branch-chain stepping, and
     /// one guard call per neuron. Kept as the behavioral oracle for the
@@ -1589,6 +1829,119 @@ mod tests {
             assert_eq!(batched.counts(s), single.as_slice(), "sample {s}");
         }
         assert_eq!(batched.iter().count(), trains.len());
+    }
+
+    #[test]
+    fn run_batch_multi_map_matches_reference_on_small_engine() {
+        let mut fast = small_engine();
+        // Persisted base fault: every map must see it in union with its
+        // own overlay.
+        fast.neurons_mut()[0].faults.set(NeuronOp::VmemLeak);
+        let mut slow = fast.clone();
+        let mut trains = Vec::new();
+        for s in 0..3_u32 {
+            let mut train = SpikeTrain::new(8, 12);
+            for t in 0..12 {
+                train.push_step((0..8).filter(|r| (t + r + s) % 3 != 0).collect());
+            }
+            trains.push(train);
+        }
+        let maps: Vec<NeuronFaultOverlay> = vec![
+            vec![],
+            vec![(1, NeuronOp::VmemReset)],
+            vec![(2, NeuronOp::SpikeGeneration), (3, NeuronOp::VmemIncrease)],
+        ];
+        let mut out = MultiMapResult::new();
+        fast.run_batch_multi_map(&trains, &maps, &DirectRead, &NoGuard, &mut out);
+        let reference = slow.run_batch_multi_map_reference(&trains, &maps, &DirectRead, &NoGuard);
+        assert_eq!(out, reference);
+        assert_eq!(out.n_maps(), 3);
+        assert_eq!(out.n_samples(), 3);
+        // The vr map's burst neuron dominates only in its own plane.
+        assert!(out.counts(1, 0)[1] > out.counts(0, 0)[1]);
+        // The engine's own fault state is untouched by the pass.
+        assert!(fast.neurons()[0].faults.vl);
+        assert!(!fast.neurons()[1].faults.vr);
+    }
+
+    #[test]
+    fn run_batch_multi_map_chunks_ragged_map_counts() {
+        // MAX_MAPS + 1 maps forces a ragged second chunk.
+        let mut fast = small_engine();
+        let mut slow = fast.clone();
+        let mut train = SpikeTrain::new(8, 10);
+        for t in 0..10_u32 {
+            train.push_step((0..8).filter(|r| (t + r) % 2 == 0).collect());
+        }
+        let maps: Vec<NeuronFaultOverlay> = (0..MAX_MAPS + 1)
+            .map(|m| vec![((m % 4) as u32, NeuronOp::ALL[m % 4])])
+            .collect();
+        let mut out = MultiMapResult::new();
+        fast.run_batch_multi_map(&[train.clone()], &maps, &DirectRead, &NoGuard, &mut out);
+        let reference = slow.run_batch_multi_map_reference(&[train], &maps, &DirectRead, &NoGuard);
+        assert_eq!(out, reference);
+        assert_eq!(out.n_maps(), MAX_MAPS + 1);
+    }
+
+    #[test]
+    fn run_batch_multi_map_degenerate_inputs() {
+        let mut e = small_engine();
+        let mut out = MultiMapResult::new();
+        // No maps: an empty result, engine untouched.
+        e.run_batch_multi_map(
+            &[SpikeTrain::new(8, 0)],
+            &[],
+            &DirectRead,
+            &NoGuard,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(out.n_samples(), 1);
+        // No samples: K empty planes.
+        e.run_batch_multi_map(&[], &[vec![]], &DirectRead, &NoGuard, &mut out);
+        assert_eq!(out.n_maps(), 1);
+        assert_eq!(out.n_samples(), 0);
+        // Zero-length trains: all-zero counts.
+        e.run_batch_multi_map(
+            &[SpikeTrain::new(8, 0)],
+            &[vec![], vec![(0, NeuronOp::VmemReset)]],
+            &DirectRead,
+            &NoGuard,
+            &mut out,
+        );
+        assert!(out.counts(0, 0).iter().all(|&c| c == 0));
+        assert!(out.counts(1, 0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn multi_map_leaves_read_cache_and_crossbar_alone() {
+        // Neuron-only trial groups must not rebuild the transformed image:
+        // that invariance is what makes the shared drive phase legal.
+        let mut e = small_engine();
+        let mut train = SpikeTrain::new(8, 5);
+        for _ in 0..5 {
+            train.push_step(vec![0, 2, 4, 6]);
+        }
+        e.run_sample(&train, &Bound90, &mut NoGuard);
+        assert_eq!(e.read_cache_stats().rebuilds, 1);
+        let codes_before = e.crossbar().codes();
+        let mut out = MultiMapResult::new();
+        e.run_batch_multi_map(
+            &[train.clone()],
+            &[
+                vec![(0, NeuronOp::VmemReset)],
+                vec![(1, NeuronOp::VmemLeak)],
+            ],
+            &Bound90,
+            &NoGuard,
+            &mut out,
+        );
+        assert_eq!(
+            e.read_cache_stats().rebuilds,
+            1,
+            "no rebuild for neuron-only maps"
+        );
+        assert_eq!(e.crossbar().codes(), codes_before);
     }
 
     #[test]

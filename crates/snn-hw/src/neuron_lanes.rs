@@ -44,7 +44,7 @@
 //! cross-path property suite in `tests/proptest_engine_equivalence.rs`
 //! pins it.
 
-use crate::neuron_unit::{NeuronHwParams, NeuronUnit, OpFaults};
+use crate::neuron_unit::{NeuronHwParams, NeuronOp, NeuronUnit, OpFaults};
 
 /// Number of `u64` bitmask words covering `n` neurons.
 #[inline]
@@ -98,6 +98,32 @@ impl OpMasks {
             }
             if u.faults.any() {
                 self.faulty.push(j as u32);
+            }
+        }
+    }
+
+    /// Marks operation `op` of neuron `j` faulty in the bitmask plane
+    /// (the overlay write path of [`MapLanes`]); callers must
+    /// [`rebuild_faulty`](Self::rebuild_faulty) afterwards.
+    fn set(&mut self, j: usize, op: NeuronOp) {
+        let (w, bit) = (j >> 6, 1_u64 << (j & 63));
+        match op {
+            NeuronOp::VmemIncrease => self.vi_words[w] |= bit,
+            NeuronOp::VmemLeak => self.vl_words[w] |= bit,
+            NeuronOp::VmemReset => self.vr_words[w] |= bit,
+            NeuronOp::SpikeGeneration => self.sg_words[w] |= bit,
+        }
+    }
+
+    /// Recomputes the sparse faulty-index list from the op bitmask words
+    /// (ascending, one entry per neuron with any fault).
+    fn rebuild_faulty(&mut self) {
+        self.faulty.clear();
+        for w in 0..self.vi_words.len() {
+            let mut any = self.vi_words[w] | self.vl_words[w] | self.vr_words[w] | self.sg_words[w];
+            while any != 0 {
+                self.faulty.push((w * 64) as u32 + any.trailing_zeros());
+                any &= any - 1;
             }
         }
     }
@@ -512,6 +538,169 @@ impl BatchLanes {
     }
 }
 
+/// Map-major multi-map lane state: `k` fault-map variants of the *same*
+/// hardware evaluated on the *same* input — per-map membrane/refractory
+/// blocks, each with its **own** plane of op-fault bitmasks (the dual of
+/// [`BatchLanes`], which varies the input and shares one fault plane).
+///
+/// This is the neuron half of the engine's multi-map trial batching
+/// (`ComputeEngine::run_batch_multi_map`): when a trial group's fault maps
+/// touch only neuron operations, the synaptic drive of a cycle is
+/// identical across every map, so the engine accumulates it once and
+/// steps each map's lanes through the shared fused/patch/inhibit kernels.
+///
+/// Map `m`'s fault plane is the engine's persisted fault state *plus*
+/// that map's overlay sites, so a map block evolves exactly like an
+/// engine that had the map injected (property-tested against the per-map
+/// scalar reference).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapLanes {
+    n: usize,
+    k: usize,
+    /// `n × k` membrane lanes, map-major (map `m` owns
+    /// `vmem[m*n..(m+1)*n]`).
+    vmem: Vec<i32>,
+    refrac: Vec<u32>,
+    /// One op-fault bitmask plane per map (base faults ∪ overlay).
+    masks: Vec<OpMasks>,
+    patch_scratch: Vec<(u32, i32, u32)>,
+}
+
+impl MapLanes {
+    /// Empty multi-map lanes; [`configure`](Self::configure) sizes them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of neurons per map.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the lanes hold zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.n * self.k == 0
+    }
+
+    /// Number of fault-map variants resident.
+    pub fn n_maps(&self) -> usize {
+        self.k
+    }
+
+    /// Number of bitmask words per map.
+    pub fn words(&self) -> usize {
+        n_words(self.n)
+    }
+
+    /// Sizes the lanes for one map per `overlays` entry over the hardware
+    /// described by `units`: each map's fault plane is `units`' persisted
+    /// faults plus that overlay's `(neuron, op)` sites, and every map
+    /// starts from rest. Reuses allocations across trial groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an overlay site's neuron index is out of range.
+    pub fn configure(&mut self, units: &[NeuronUnit], overlays: &[Vec<(u32, NeuronOp)>]) {
+        let n = units.len();
+        let k = overlays.len();
+        self.n = n;
+        self.k = k;
+        self.vmem.clear();
+        self.vmem.resize(n * k, 0);
+        self.refrac.clear();
+        self.refrac.resize(n * k, 0);
+        let words = n_words(n);
+        self.masks.resize_with(k, || OpMasks::with_words(words));
+        for (mask, overlay) in self.masks.iter_mut().zip(overlays) {
+            mask.vi_words.resize(words, 0);
+            mask.vl_words.resize(words, 0);
+            mask.vr_words.resize(words, 0);
+            mask.sg_words.resize(words, 0);
+            mask.import(units);
+            for &(j, op) in overlay {
+                assert!(
+                    (j as usize) < n,
+                    "map site neuron {j} out of range for {n} lanes"
+                );
+                mask.set(j as usize, op);
+            }
+            mask.rebuild_faulty();
+        }
+    }
+
+    /// Clears every map's membrane and refractory state (the sample
+    /// boundary); fault planes persist.
+    pub fn reset_state(&mut self) {
+        self.vmem.fill(0);
+        self.refrac.fill(0);
+    }
+
+    /// Map `m`'s membrane lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n_maps`.
+    pub fn vmem_map(&self, m: usize) -> &[i32] {
+        assert!(m < self.k, "map index");
+        &self.vmem[m * self.n..(m + 1) * self.n]
+    }
+
+    /// Advances map `m` one timestep through the same fused + sparse
+    /// patch kernels as [`NeuronLanes::step_fused`], against map `m`'s
+    /// fault plane, writing that map's comparator/spike bitmask words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range or any buffer width mismatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_fused_map(
+        &mut self,
+        m: usize,
+        acc: &[i32],
+        v_thresh: &[i32],
+        params: &NeuronHwParams,
+        cmp_words: &mut [u64],
+        spike_words: &mut [u64],
+    ) {
+        assert!(m < self.k, "map index");
+        assert_eq!(acc.len(), self.n, "drive width");
+        assert_eq!(v_thresh.len(), self.n, "threshold width");
+        let words = self.words();
+        assert_eq!(cmp_words.len(), words, "comparator word width");
+        assert_eq!(spike_words.len(), words, "spike word width");
+        let vmem = &mut self.vmem[m * self.n..(m + 1) * self.n];
+        let refrac = &mut self.refrac[m * self.n..(m + 1) * self.n];
+        let masks = &self.masks[m];
+        snapshot_faulty(&masks.faulty, vmem, refrac, &mut self.patch_scratch);
+        fused_block(vmem, refrac, acc, v_thresh, params, cmp_words, spike_words);
+        patch_block(
+            vmem,
+            refrac,
+            acc,
+            v_thresh,
+            params,
+            cmp_words,
+            spike_words,
+            masks,
+            &self.patch_scratch,
+        );
+    }
+
+    /// Applies lateral inhibition to map `m` (see
+    /// [`NeuronLanes::inhibit_non_fired`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range or `fired_words` width mismatches.
+    pub fn inhibit_non_fired_map(&mut self, m: usize, fired_words: &[u64], total_inh: i32) {
+        assert!(m < self.k, "map index");
+        assert_eq!(fired_words.len(), self.words(), "fired word width");
+        let vmem = &mut self.vmem[m * self.n..(m + 1) * self.n];
+        let refrac = &self.refrac[m * self.n..(m + 1) * self.n];
+        inhibit_block(vmem, refrac, fired_words, total_inh);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +873,100 @@ mod tests {
         assert!(batch.vmem_sample(1).iter().all(|&v| v == 0));
         assert!(!batch.is_empty());
         assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn map_lanes_match_independent_single_lanes_with_union_faults() {
+        // Every map block must evolve exactly like its own NeuronLanes
+        // instance whose units carry the base faults ∪ that map's overlay.
+        let p = params();
+        let mut base_units = vec![NeuronUnit::new(); 70];
+        base_units[7].faults.set(NeuronOp::VmemLeak);
+        base_units[64].faults.set(NeuronOp::SpikeGeneration);
+        let overlays: Vec<Vec<(u32, NeuronOp)>> = vec![
+            vec![],
+            vec![(0, NeuronOp::VmemReset), (69, NeuronOp::VmemReset)],
+            vec![(7, NeuronOp::VmemLeak), (65, NeuronOp::VmemIncrease)],
+        ];
+        let thresholds = vec![500_i32; 70];
+        let mut maps = MapLanes::new();
+        maps.configure(&base_units, &overlays);
+        assert_eq!(maps.n_maps(), 3);
+        assert_eq!(maps.words(), 2);
+        let mut singles: Vec<NeuronLanes> = overlays
+            .iter()
+            .map(|overlay| {
+                let mut units = base_units.clone();
+                for &(j, op) in overlay {
+                    units[j as usize].faults.set(op);
+                }
+                let mut l = NeuronLanes::new(70);
+                l.sync_from_units(&units);
+                l
+            })
+            .collect();
+        let mut cmp_m = vec![0_u64; 2];
+        let mut spk_m = vec![0_u64; 2];
+        let mut cmp_s = vec![0_u64; 2];
+        let mut spk_s = vec![0_u64; 2];
+        for t in 0..40 {
+            // One shared drive per cycle — the whole point of the layout.
+            let acc: Vec<i32> = (0..70).map(|j| (t * 131 + j * 37) % 550).collect();
+            for (m, single) in singles.iter_mut().enumerate() {
+                maps.step_fused_map(m, &acc, &thresholds, &p, &mut cmp_m, &mut spk_m);
+                single.step_fused(&acc, &thresholds, &p, &mut cmp_s, &mut spk_s);
+                assert_eq!(cmp_m, cmp_s, "cmp t={t} m={m}");
+                assert_eq!(spk_m, spk_s, "spike t={t} m={m}");
+                maps.inhibit_non_fired_map(m, &spk_m, 40);
+                single.inhibit_non_fired(&spk_s, 40);
+                assert_eq!(maps.vmem_map(m), single.vmem(), "vmem t={t} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_lanes_reconfigure_resets_state_and_masks() {
+        let units = vec![NeuronUnit::new(); 4];
+        let p = params();
+        let mut maps = MapLanes::new();
+        maps.configure(&units, &[vec![(1, NeuronOp::SpikeGeneration)]]);
+        assert_eq!(maps.masks[0].faulty, vec![1]);
+        let mut cmp = vec![0_u64; 1];
+        let mut spk = vec![0_u64; 1];
+        maps.step_fused_map(0, &[400; 4], &[500; 4], &p, &mut cmp, &mut spk);
+        assert!(maps.vmem_map(0).iter().any(|&v| v > 0));
+        // Reconfiguring (next trial group) starts from rest with fresh
+        // fault planes — the old overlay must not leak into the new maps.
+        maps.configure(&units, &[vec![], vec![(2, NeuronOp::VmemReset)]]);
+        assert_eq!(maps.n_maps(), 2);
+        assert!(maps.vmem_map(0).iter().all(|&v| v == 0));
+        assert!(maps.masks[0].faulty.is_empty());
+        assert_eq!(maps.masks[1].faulty, vec![2]);
+    }
+
+    #[test]
+    fn overlay_duplicates_and_base_overlap_are_idempotent() {
+        let mut units = vec![NeuronUnit::new(); 4];
+        units[3].faults.set(NeuronOp::VmemReset);
+        let mut maps = MapLanes::new();
+        maps.configure(
+            &units,
+            &[vec![
+                (3, NeuronOp::VmemReset),
+                (2, NeuronOp::VmemLeak),
+                (2, NeuronOp::VmemLeak),
+            ]],
+        );
+        assert_eq!(maps.masks[0].faulty, vec![2, 3]);
+        assert!(maps.masks[0].faults_of(3).vr);
+        assert!(maps.masks[0].faults_of(2).vl);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overlay_out_of_range_neuron_panics() {
+        let units = vec![NeuronUnit::new(); 4];
+        MapLanes::new().configure(&units, &[vec![(9, NeuronOp::VmemReset)]]);
     }
 
     #[test]

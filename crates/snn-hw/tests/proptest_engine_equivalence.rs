@@ -13,7 +13,10 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
-use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard, SpikeGuard, WeightReadPath, MAX_BATCH};
+use snn_hw::engine::{
+    ComputeEngine, DirectRead, MultiMapResult, NeuronFaultOverlay, NoGuard, SpikeGuard,
+    WeightReadPath, MAX_BATCH, MAX_MAPS,
+};
 use snn_hw::neuron_unit::NeuronOp;
 use snn_sim::config::SnnConfig;
 use snn_sim::network::Network;
@@ -131,6 +134,56 @@ fn assert_batch_matches_reference<P: WeightReadPath, G: SpikeGuard + Clone>(
             "{label}: sample {s} single-sample cross-check"
         );
     }
+}
+
+/// Asserts `run_batch_multi_map` over `(trains, maps)` matches, plane for
+/// plane, the engine's retained per-map scalar oracle
+/// (`run_batch_multi_map_reference`) *and* a hand-rolled per-map loop that
+/// injects each overlay into a fresh engine clone and runs the optimized
+/// single-sample path — so the multi-map pass is pinned against both
+/// formulations at once.
+fn assert_multi_map_matches_reference<P: WeightReadPath, G: SpikeGuard + Clone>(
+    fast: &mut ComputeEngine,
+    slow: &mut ComputeEngine,
+    trains: &[snn_sim::spike::SpikeTrain],
+    maps: &[NeuronFaultOverlay],
+    path: &P,
+    guard: &G,
+    label: &str,
+) {
+    let mut batched = MultiMapResult::new();
+    fast.run_batch_multi_map(trains, maps, path, guard, &mut batched);
+    assert_eq!(batched.n_maps(), maps.len(), "{label}: map count");
+    assert_eq!(batched.n_samples(), trains.len(), "{label}: sample count");
+    let reference = slow.run_batch_multi_map_reference(trains, maps, path, guard);
+    assert_eq!(batched, reference, "{label}: diverged from scalar oracle");
+    for (m, map) in maps.iter().enumerate() {
+        let mut injected = slow.clone();
+        for &(j, op) in map {
+            injected.neurons_mut()[j as usize].faults.set(op);
+        }
+        for (s, train) in trains.iter().enumerate() {
+            let single = injected.run_sample(train, path, &mut guard.clone());
+            assert_eq!(
+                batched.counts(m, s),
+                single.as_slice(),
+                "{label}: map {m} sample {s} single-sample cross-check"
+            );
+        }
+    }
+}
+
+/// A random neuron-only fault overlay over `n_neurons` neurons.
+fn random_overlay(n_neurons: usize, n_sites: usize, seed: u64) -> NeuronFaultOverlay {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_sites)
+        .map(|_| {
+            (
+                rng.gen_range(0..n_neurons) as u32,
+                snn_hw::neuron_unit::NeuronOp::ALL[rng.gen_range(0_usize..4)],
+            )
+        })
+        .collect()
 }
 
 /// A random spike train over `n_inputs` channels.
@@ -367,6 +420,62 @@ proptest! {
             &mut fast, &mut slow, &trains, &as_table, &monitor, "table/monitored");
     }
 
+    /// Multi-map-vs-reference equivalence across the cross-product the
+    /// acceptance criteria name: both guard classes (`NoGuard`, stateful
+    /// `ResetMonitor`), vr-burst-heavy overlays so the monitor actually
+    /// latches, ragged map counts `K` (including 1 and chunk-straddling
+    /// values via the standalone test below), all three accumulation
+    /// kernels, persisted base faults underneath the overlays, and
+    /// multiple samples per trial group.
+    #[test]
+    fn run_batch_multi_map_matches_reference(
+        net_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        threshold in any::<u8>(),
+        default in any::<u8>(),
+        n_bit_flips in 0_usize..30,
+        n_base_op_faults in 0_usize..3,
+        k in 1_usize..10,
+        n_samples in 1_usize..4,
+        window in 1_u8..4,
+        density in 0.1_f64..0.7,
+    ) {
+        let bound = RandomBound { threshold, default };
+        let as_table = RandomBoundAsTable { threshold, default };
+        // Base faults include register bit flips: the maps themselves are
+        // neuron-only, but the shared crossbar may be (persistently)
+        // faulted — the drive is still identical across maps.
+        let mut fast =
+            random_faulted_engine(24, 10, net_seed, fault_seed, n_bit_flips, n_base_op_faults);
+        let mut slow = fast.clone();
+        // Ragged overlays: map m carries m % 4 random sites plus one
+        // forced vr burst so suppression paths light up.
+        let maps: Vec<NeuronFaultOverlay> = (0..k)
+            .map(|m| {
+                let mut overlay = random_overlay(10, m % 4, fault_seed ^ (m as u64 + 1));
+                let mut rng = StdRng::seed_from_u64(fault_seed ^ (0x5eed_0000 + m as u64));
+                overlay.push((rng.gen_range(0..10_u32), snn_hw::neuron_unit::NeuronOp::VmemReset));
+                overlay
+            })
+            .collect();
+        let trains: Vec<snn_sim::spike::SpikeTrain> = (0..n_samples)
+            .map(|s| random_train(24, 12 + (s * 5) % 20, fault_seed ^ (0x100 + s as u64), density))
+            .collect();
+        assert_multi_map_matches_reference(
+            &mut fast, &mut slow, &trains, &maps, &DirectRead, &NoGuard, "direct/noguard");
+        assert_multi_map_matches_reference(
+            &mut fast, &mut slow, &trains, &maps, &bound, &NoGuard, "bounded/noguard");
+        assert_multi_map_matches_reference(
+            &mut fast, &mut slow, &trains, &maps, &as_table, &NoGuard, "table/noguard");
+        let monitor = ResetMonitor::new(10, window);
+        assert_multi_map_matches_reference(
+            &mut fast, &mut slow, &trains, &maps, &DirectRead, &monitor, "direct/monitored");
+        assert_multi_map_matches_reference(
+            &mut fast, &mut slow, &trains, &maps, &bound, &monitor, "bounded/monitored");
+        assert_multi_map_matches_reference(
+            &mut fast, &mut slow, &trains, &maps, &as_table, &monitor, "table/monitored");
+    }
+
     /// Identical samples inside a batch (the shared-accumulate fast path:
     /// every cycle's active-row set repeats across the batch) must still
     /// match the per-sample reference exactly.
@@ -455,6 +564,87 @@ fn run_batch_word_straddling_engine_matches_reference() {
         &DirectRead,
         &monitor,
         "word-straddling",
+    );
+}
+
+/// Deterministic map counts the multi-map chunking logic must get right:
+/// a single map, a pair, exactly one chunk, one over a chunk (ragged tail
+/// of 1), and two chunks plus a tail — each against the scalar oracle
+/// under the full BnP shape (bounded path + reset monitor + vr bursts).
+#[test]
+fn run_batch_multi_map_chunk_boundaries_match_reference() {
+    for &k in &[1_usize, 2, MAX_MAPS, MAX_MAPS + 1, 2 * MAX_MAPS + 3] {
+        let mut fast = random_faulted_engine(24, 10, 0xfeed, 0xbeef, 15, 1);
+        let mut slow = fast.clone();
+        let maps: Vec<NeuronFaultOverlay> = (0..k)
+            .map(|m| {
+                vec![
+                    ((m % 10) as u32, snn_hw::neuron_unit::NeuronOp::VmemReset),
+                    (
+                        ((m * 3 + 1) % 10) as u32,
+                        snn_hw::neuron_unit::NeuronOp::ALL[m % 4],
+                    ),
+                ]
+            })
+            .collect();
+        let trains: Vec<snn_sim::spike::SpikeTrain> = (0..2)
+            .map(|s| random_train(24, 18, 500 + s as u64, 0.4))
+            .collect();
+        let bound = RandomBound {
+            threshold: 90,
+            default: 7,
+        };
+        let monitor = ResetMonitor::new(10, 2);
+        assert_multi_map_matches_reference(
+            &mut fast,
+            &mut slow,
+            &trains,
+            &maps,
+            &bound,
+            &monitor,
+            &format!("multi-map chunk-boundary k={k}"),
+        );
+    }
+}
+
+/// A word-straddling engine (70 neurons spans two `u64` mask words) run
+/// through the multi-map pass: per-map fault planes and comparator words
+/// must keep their padding discipline across maps.
+#[test]
+fn run_batch_multi_map_word_straddling_engine_matches_reference() {
+    let cfg = snn_sim::config::SnnConfig::builder()
+        .n_inputs(24)
+        .n_neurons(70)
+        .v_thresh(2.0)
+        .v_leak(0.1)
+        .v_inh(3.0)
+        .t_refrac(2)
+        .build()
+        .expect("valid config");
+    let net = snn_sim::network::Network::new(cfg, &mut seeded_rng(0x57add1e));
+    let qn = QuantizedNetwork::from_network_default(&net);
+    let mut fast = ComputeEngine::for_network(&qn).expect("deployable");
+    let mut slow = fast.clone();
+    let maps: Vec<NeuronFaultOverlay> = vec![
+        vec![(0, snn_hw::neuron_unit::NeuronOp::VmemReset)],
+        vec![
+            (63, snn_hw::neuron_unit::NeuronOp::VmemReset),
+            (64, snn_hw::neuron_unit::NeuronOp::SpikeGeneration),
+        ],
+        vec![(69, snn_hw::neuron_unit::NeuronOp::VmemLeak)],
+    ];
+    let trains: Vec<snn_sim::spike::SpikeTrain> = (0..3)
+        .map(|s| random_train(24, 25, 2000 + s as u64, 0.5))
+        .collect();
+    let monitor = ResetMonitor::new(70, 2);
+    assert_multi_map_matches_reference(
+        &mut fast,
+        &mut slow,
+        &trains,
+        &maps,
+        &DirectRead,
+        &monitor,
+        "multi-map word-straddling",
     );
 }
 

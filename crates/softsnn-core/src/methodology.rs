@@ -7,8 +7,11 @@ use crate::mitigation::{majority_vote, Technique};
 use crate::protection::{ResetMonitor, PAPER_WINDOW};
 use snn_faults::fault_map::FaultMap;
 use snn_faults::injector::inject;
-use snn_faults::location::{FaultDomain, FaultSpace};
-use snn_hw::engine::{BatchResult, ComputeEngine, DirectRead, NoGuard, SpikeGuard, WeightReadPath};
+use snn_faults::location::{FaultDomain, FaultSite, FaultSpace};
+use snn_hw::engine::{
+    BatchResult, ComputeEngine, DirectRead, MultiMapResult, NeuronFaultOverlay, NoGuard,
+    SpikeGuard, WeightReadPath,
+};
 use snn_hw::error::HwError;
 use snn_sim::assignment::Assignment;
 use snn_sim::config::SnnConfig;
@@ -472,6 +475,114 @@ impl SoftSnnDeployment {
         self.evaluate_trains(technique, scenario, &set.trains, &set.labels)
     }
 
+    /// Evaluates one **trial group** — several [`FaultScenario`]s of the
+    /// same `technique` against the same pre-encoded test set — returning
+    /// one [`EvalResult`] per scenario, in scenario order. This is the
+    /// grid-point entry the campaign-grid runner
+    /// (`snn_faults::grid::GridRunner`) hands shards to.
+    ///
+    /// Results are **bit-identical** to calling
+    /// [`evaluate_encoded`](Self::evaluate_encoded) once per scenario;
+    /// the difference is cost. When every scenario's fault map strikes
+    /// only neuron operations (clean scenarios count as empty maps) and
+    /// the technique persists faults across the set (No-Mitigation or
+    /// BnP), the whole group runs through the engine's multi-map pass
+    /// ([`ComputeEngine::run_batch_multi_map`]): parameters are reloaded
+    /// once, and each timestep's synaptic drive is accumulated once for
+    /// all K maps instead of once per map — weight reads are identical
+    /// when maps don't touch the crossbar, so sharing the drive phase is
+    /// exact, and the equivalence is property-tested at the engine layer.
+    /// Any group containing a weight-bit site (or a re-execution
+    /// technique, whose per-execution maps defeat sharing) falls back to
+    /// the per-scenario loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a scenario's fault space does not fit the
+    /// engine.
+    pub fn evaluate_encoded_group(
+        &mut self,
+        technique: Technique,
+        scenarios: &[FaultScenario],
+        set: &EncodedTestSet,
+    ) -> Result<Vec<EvalResult>, MethodologyError> {
+        if scenarios.len() > 1 {
+            if let Some(overlays) = self.neuron_only_overlays(scenarios) {
+                match technique {
+                    Technique::NoMitigation => {
+                        self.engine.reload_parameters(&mut NoGuard);
+                        return Ok(self.record_multi_map(&overlays, &DirectRead, &NoGuard, set));
+                    }
+                    Technique::Bnp(variant) => {
+                        let mut monitor = ResetMonitor::new(self.qn.n_neurons, self.monitor_window);
+                        self.engine.reload_parameters(&mut monitor);
+                        let path = BoundedRead::new(self.bounding_for(variant));
+                        return Ok(self.record_multi_map(&overlays, &path, &monitor, set));
+                    }
+                    Technique::ReExecution { .. } => {}
+                }
+            }
+        }
+        scenarios
+            .iter()
+            .map(|scenario| self.evaluate_encoded(technique, scenario, set))
+            .collect()
+    }
+
+    /// Lowers the group's fault maps to engine-level neuron overlays, or
+    /// `None` if any map strikes a weight bit (the multi-map drive
+    /// sharing would be unsound). Clean scenarios lower to empty
+    /// overlays — injecting nothing and overlaying nothing are the same
+    /// event.
+    fn neuron_only_overlays(&self, scenarios: &[FaultScenario]) -> Option<Vec<NeuronFaultOverlay>> {
+        let mut overlays = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            if scenario.is_clean() {
+                overlays.push(NeuronFaultOverlay::new());
+                continue;
+            }
+            let space = scenario.space(self.qn.n_inputs, self.qn.n_neurons);
+            let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
+            if map.n_weight_bits() > 0 {
+                return None;
+            }
+            overlays.push(
+                map.sites()
+                    .iter()
+                    .map(|site| match *site {
+                        FaultSite::NeuronOp { neuron, op } => (neuron, op),
+                        FaultSite::WeightBit { .. } => unreachable!("weight sites filtered above"),
+                    })
+                    .collect(),
+            );
+        }
+        Some(overlays)
+    }
+
+    /// Runs a lowered trial group through the engine's multi-map pass and
+    /// records per-(map, sample) predictions — one [`EvalResult`] per
+    /// map, in map order.
+    fn record_multi_map<P: WeightReadPath, G: SpikeGuard + Clone>(
+        &mut self,
+        overlays: &[NeuronFaultOverlay],
+        path: &P,
+        guard: &G,
+        set: &EncodedTestSet,
+    ) -> Vec<EvalResult> {
+        let mut out = MultiMapResult::new();
+        self.engine
+            .run_batch_multi_map(&set.trains, overlays, path, guard, &mut out);
+        (0..overlays.len())
+            .map(|m| {
+                let mut result = EvalResult::new(self.assignment.n_classes());
+                for (s, &label) in set.labels.iter().enumerate() {
+                    result.record(self.assignment.predict(out.counts(m, s)), label);
+                }
+                result
+            })
+            .collect()
+    }
+
     /// The shared evaluation core behind [`evaluate`](Self::evaluate) and
     /// [`evaluate_encoded`](Self::evaluate_encoded): one technique arm
     /// each for No-Mitigation, BnP, and Re-execution, consuming
@@ -818,6 +929,74 @@ mod tests {
             bnp1.accuracy(),
             nomit.accuracy()
         );
+    }
+
+    /// The trial-group contract: `evaluate_encoded_group` is bit-identical
+    /// to one `evaluate_encoded` call per scenario — through the
+    /// multi-map fast path (neuron-only groups under No-Mitigation and
+    /// BnP) and through the fallback (mixed-domain groups, re-execution).
+    #[test]
+    fn encoded_group_matches_per_scenario_evaluation() {
+        let (mut d, images, labels) = tiny_deployment();
+        let set = d.encode_test_set(&images, &labels, 99).unwrap();
+        let neuron_group: Vec<FaultScenario> = (0..4)
+            .map(|t| FaultScenario {
+                domain: FaultDomain::Neurons(None),
+                rate: 0.25,
+                seed: 100 + t,
+            })
+            .collect();
+        let mut mixed_group = neuron_group.clone();
+        mixed_group[1] = FaultScenario {
+            domain: FaultDomain::Synapses,
+            rate: 0.1,
+            seed: 7,
+        };
+        let mut with_clean = neuron_group.clone();
+        with_clean[2] = FaultScenario::clean();
+        for technique in Technique::PAPER_SET {
+            for group in [&neuron_group, &mixed_group, &with_clean] {
+                let grouped = d.evaluate_encoded_group(technique, group, &set).unwrap();
+                assert_eq!(grouped.len(), group.len());
+                for (i, scenario) in group.iter().enumerate() {
+                    let single = d.evaluate_encoded(technique, scenario, &set).unwrap();
+                    assert_eq!(
+                        grouped[i], single,
+                        "{technique}: scenario {i} diverged from per-scenario evaluation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_group_multi_map_path_recovers_with_bnp() {
+        // Sanity that the fast path produces meaningful results, not just
+        // self-consistent ones: under a vr-only group, BnP3 must not
+        // trail no-mitigation on any trial.
+        let (mut d, images, labels) = tiny_deployment();
+        let set = d.encode_test_set(&images, &labels, 41).unwrap();
+        let group: Vec<FaultScenario> = (0..3)
+            .map(|t| FaultScenario {
+                domain: FaultDomain::Neurons(Some(NeuronOp::VmemReset)),
+                rate: 0.25,
+                seed: 900 + t,
+            })
+            .collect();
+        let nomit = d
+            .evaluate_encoded_group(Technique::NoMitigation, &group, &set)
+            .unwrap();
+        let bnp3 = d
+            .evaluate_encoded_group(Technique::Bnp(BnpVariant::Bnp3), &group, &set)
+            .unwrap();
+        for (trial, (n, b)) in nomit.iter().zip(&bnp3).enumerate() {
+            assert!(
+                b.accuracy() >= n.accuracy(),
+                "trial {trial}: BnP3 {:.2} must not trail no-mitigation {:.2}",
+                b.accuracy(),
+                n.accuracy()
+            );
+        }
     }
 
     #[test]

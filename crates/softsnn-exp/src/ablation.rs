@@ -11,10 +11,12 @@
 //! * **re-execution vote width** — 1 (no redundancy) / 2 (DMR-style) / 3
 //!   (the paper's TMR) / 5.
 
+use crate::artifact::Json;
 use crate::profile::Profile;
 use crate::table::{fmt_f, Table};
-use crate::workbench::{point_seed, prepare, Bench};
+use crate::workbench::{point_seed, prepare, Bench, BASE_SEED};
 use snn_data::workload::Workload;
+use snn_faults::grid::{GridRunner, GridSpec};
 use snn_faults::location::FaultDomain;
 use snn_sim::rng::seeded_rng;
 use softsnn_core::bounding::{BnpVariant, BoundingConfig};
@@ -50,10 +52,10 @@ pub struct AblationResults {
 ///
 /// Propagates dataset/training/evaluation errors.
 pub fn run(profile: Profile) -> Result<AblationResults, Box<dyn std::error::Error>> {
-    let mut bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
-    let window = window_sweep(&mut bench)?;
-    let threshold = threshold_sweep(&mut bench)?;
-    let votes = vote_sweep(&mut bench)?;
+    let bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    let window = window_sweep(&bench)?;
+    let threshold = threshold_sweep(&bench)?;
+    let votes = vote_sweep(&bench)?;
     Ok(AblationResults {
         window,
         threshold,
@@ -69,29 +71,71 @@ fn scenario(domain: FaultDomain, salt: usize) -> FaultScenario {
     }
 }
 
+/// The declarative grid of one ablation sweep: the swept parameter values
+/// ride the grid's value axis, and [`GridSpec::with_offsets`] parks the
+/// points at the exact seed-stream indices the historical hand-rolled
+/// loops used (parameter `i` at rate index `rate_base + i`, trial index
+/// `trial_base`), so every sweep reproduces its pre-grid seeds bit for
+/// bit. Each point is one cell — the runner fans them across cores with
+/// one deployment clone each, where the old loops ran serially.
+fn sweep_spec(name: &str, values: &[f64], rate_base: usize, trial_base: usize) -> GridSpec {
+    GridSpec::new(99, BASE_SEED, vec![name.to_owned()], values.to_vec(), 1)
+        .with_offsets(0, rate_base, trial_base)
+}
+
+/// Runs one parameter sweep through the shared [`GridRunner`].
+fn run_sweep<F>(
+    bench: &Bench,
+    name: &str,
+    values: &[f64],
+    rate_base: usize,
+    trial_base: usize,
+    eval: F,
+) -> Result<Sweep, Box<dyn std::error::Error>>
+where
+    F: Fn(
+            &mut softsnn_core::methodology::SoftSnnDeployment,
+            f64,
+            u64,
+        ) -> Result<f64, softsnn_core::methodology::MethodologyError>
+        + Sync,
+{
+    let runner = GridRunner::new(sweep_spec(name, values, rate_base, trial_base));
+    let results = runner.run(&bench.deployment, |deployment, p| {
+        eval(deployment, p.rate, p.seed)
+    })?;
+    Ok(Sweep {
+        name: name.into(),
+        points: results.cells().iter().map(|c| (c.rate, c.mean)).collect(),
+    })
+}
+
 /// Sweeps the faulty-reset monitor window length.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn window_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
+pub fn window_sweep(bench: &Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
     let bounding = bench.deployment.bounding_for(BnpVariant::Bnp3);
-    let mut points = Vec::new();
-    for (i, window) in [1_u8, 2, 4, 8].into_iter().enumerate() {
-        let result = bench.deployment.evaluate_custom_bnp(
-            bounding,
-            window,
-            &scenario(FaultDomain::ComputeEngine, 1),
-            bench.test.images(),
-            bench.test.labels(),
-            &mut seeded_rng(point_seed(99, 10 + i, 1, 0)),
-        )?;
-        points.push((window as f64, result.accuracy_pct()));
-    }
-    Ok(Sweep {
-        name: "monitor window (cycles)".into(),
-        points,
-    })
+    run_sweep(
+        bench,
+        "monitor window (cycles)",
+        &[1.0, 2.0, 4.0, 8.0],
+        10,
+        1,
+        |deployment, window, seed| {
+            deployment
+                .evaluate_custom_bnp(
+                    bounding,
+                    window as u8,
+                    &scenario(FaultDomain::ComputeEngine, 1),
+                    bench.test.images(),
+                    bench.test.labels(),
+                    &mut seeded_rng(seed),
+                )
+                .map(|r| r.accuracy_pct())
+        },
+    )
 }
 
 /// Sweeps the bounding threshold as a fraction of `wgh_max`.
@@ -99,31 +143,34 @@ pub fn window_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Erro
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn threshold_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
+pub fn threshold_sweep(bench: &Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
     let analysis = bench.deployment.analysis().clone();
-    let mut points = Vec::new();
-    for (i, scale) in [0.5_f64, 0.75, 1.0, 1.25, 1.5].into_iter().enumerate() {
-        let threshold_code = ((analysis.wgh_max_code as f64) * scale)
-            .round()
-            .clamp(0.0, 255.0) as u8;
-        let bounding = BoundingConfig {
-            threshold_code,
-            default_code: analysis.wgh_hp_code,
-        };
-        let result = bench.deployment.evaluate_custom_bnp(
-            bounding,
-            softsnn_core::protection::PAPER_WINDOW,
-            &scenario(FaultDomain::Synapses, 2),
-            bench.test.images(),
-            bench.test.labels(),
-            &mut seeded_rng(point_seed(99, 20 + i, 2, 0)),
-        )?;
-        points.push((scale, result.accuracy_pct()));
-    }
-    Ok(Sweep {
-        name: "wgh_th / wgh_max".into(),
-        points,
-    })
+    run_sweep(
+        bench,
+        "wgh_th / wgh_max",
+        &[0.5, 0.75, 1.0, 1.25, 1.5],
+        20,
+        2,
+        move |deployment, scale, seed| {
+            let threshold_code = ((analysis.wgh_max_code as f64) * scale)
+                .round()
+                .clamp(0.0, 255.0) as u8;
+            let bounding = BoundingConfig {
+                threshold_code,
+                default_code: analysis.wgh_hp_code,
+            };
+            deployment
+                .evaluate_custom_bnp(
+                    bounding,
+                    softsnn_core::protection::PAPER_WINDOW,
+                    &scenario(FaultDomain::Synapses, 2),
+                    bench.test.images(),
+                    bench.test.labels(),
+                    &mut seeded_rng(seed),
+                )
+                .map(|r| r.accuracy_pct())
+        },
+    )
 }
 
 /// Sweeps the redundant-execution count.
@@ -131,22 +178,25 @@ pub fn threshold_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::E
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn vote_sweep(bench: &mut Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
-    let mut points = Vec::new();
-    for (i, runs) in [1_u32, 2, 3, 5].into_iter().enumerate() {
-        let result = bench.deployment.evaluate(
-            Technique::ReExecution { runs },
-            &scenario(FaultDomain::ComputeEngine, 3),
-            bench.test.images(),
-            bench.test.labels(),
-            &mut seeded_rng(point_seed(99, 30 + i, 3, 0)),
-        )?;
-        points.push((runs as f64, result.accuracy_pct()));
-    }
-    Ok(Sweep {
-        name: "re-execution runs".into(),
-        points,
-    })
+pub fn vote_sweep(bench: &Bench) -> Result<Sweep, Box<dyn std::error::Error>> {
+    run_sweep(
+        bench,
+        "re-execution runs",
+        &[1.0, 2.0, 3.0, 5.0],
+        30,
+        3,
+        |deployment, runs, seed| {
+            deployment
+                .evaluate(
+                    Technique::ReExecution { runs: runs as u32 },
+                    &scenario(FaultDomain::ComputeEngine, 3),
+                    bench.test.images(),
+                    bench.test.labels(),
+                    &mut seeded_rng(seed),
+                )
+                .map(|r| r.accuracy_pct())
+        },
+    )
 }
 
 /// Renders one sweep as a table.
@@ -161,9 +211,54 @@ pub fn sweep_table(sweep: &Sweep) -> Table {
     t
 }
 
+/// The machine-readable `ablation.json` artifact.
+pub fn to_json(results: &AblationResults) -> Json {
+    let sweep = |s: &Sweep| {
+        Json::obj([
+            ("name", s.name.as_str().into()),
+            (
+                "points",
+                Json::Arr(
+                    s.points
+                        .iter()
+                        .map(|&(value, acc)| {
+                            Json::obj([("value", value.into()), ("accuracy_pct", acc.into())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    Json::obj([
+        ("rate", ABLATION_RATE.into()),
+        ("window", sweep(&results.window)),
+        ("threshold", sweep(&results.threshold)),
+        ("votes", sweep(&results.votes)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The sweeps' grid specs must park every point at the seed the
+    /// hand-rolled loops drew: `point_seed(99, rate_base + i, trial_base,
+    /// 0)` — the regression that keeps ablation results stable across the
+    /// grid refactor.
+    #[test]
+    fn sweep_specs_reproduce_historical_seeds() {
+        for (values, rate_base, trial_base) in [
+            (vec![1.0, 2.0, 4.0, 8.0], 10_usize, 1_usize),
+            (vec![0.5, 0.75, 1.0, 1.25, 1.5], 20, 2),
+            (vec![1.0, 2.0, 3.0, 5.0], 30, 3),
+        ] {
+            let spec = sweep_spec("s", &values, rate_base, trial_base);
+            for (i, p) in spec.points().iter().enumerate() {
+                assert_eq!(p.seed, point_seed(99, rate_base + i, trial_base, 0));
+                assert_eq!(p.rate, values[i]);
+            }
+        }
+    }
 
     #[test]
     fn smoke_ablations_run_and_have_sane_shapes() {
@@ -196,5 +291,12 @@ mod tests {
             points: vec![(1.0, 50.0)],
         };
         assert!(sweep_table(&s).render().contains("demo"));
+        let results = AblationResults {
+            window: s.clone(),
+            threshold: s.clone(),
+            votes: s,
+        };
+        let json = to_json(&results).render();
+        assert!(json.contains("\"window\"") && json.contains("\"accuracy_pct\""));
     }
 }

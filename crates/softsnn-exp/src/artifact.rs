@@ -1,0 +1,252 @@
+//! Machine-readable JSON artifacts for the figure harness.
+//!
+//! The printed tables and CSVs are for humans; downstream tooling (plot
+//! scripts, regression dashboards) wants the aggregated grid cells as
+//! structured data. The workspace vendors no serde, so this is a minimal
+//! by-construction-well-formed JSON value tree: build a [`Json`], render
+//! it, and escaping/number formatting cannot be forgotten at a call site.
+
+use snn_faults::grid::Aggregate;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder: `Json::obj([("k", v), ...])`.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Self {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// An array from anything that yields values convertible to [`Json`].
+    pub fn arr<T: Into<Json>, I: IntoIterator<Item = T>>(items: I) -> Self {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+/// One aggregated grid cell as a JSON object — the shared shape every
+/// `figN.json` artifact builds its cell arrays from.
+pub fn cell_json(cell: &Aggregate) -> Json {
+    Json::obj([
+        ("technique", Json::Str(cell.technique.clone())),
+        ("technique_idx", cell.key.technique_idx.into()),
+        ("rate", cell.rate.into()),
+        ("rate_idx", cell.key.rate_idx.into()),
+        ("mean", cell.mean.into()),
+        ("std_dev", cell.std_dev.into()),
+        ("trials", Json::arr(cell.trials.iter().copied())),
+    ])
+}
+
+/// Writes `json` (plus a trailing newline) to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_json<P: AsRef<Path>>(path: P, json: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut content = json.render();
+    content.push('\n');
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_faults::grid::CellKey;
+
+    /// A minimal JSON well-formedness scanner: enough to catch an
+    /// emitter that forgets a comma, quote, or brace.
+    fn check_balanced(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in s.chars() {
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in {s}");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(!in_str, "unterminated string: {s}");
+    }
+
+    #[test]
+    fn renders_scalars_arrays_and_objects() {
+        let j = Json::obj([
+            ("a", Json::Num(62.5)),
+            ("b", Json::arr([1.0_f64, 2.0])),
+            ("c", Json::Str("x".into())),
+            ("d", Json::Bool(true)),
+            ("e", Json::Null),
+        ]);
+        let s = j.render();
+        assert_eq!(s, r#"{"a":62.5,"b":[1,2],"c":"x","d":true,"e":null}"#);
+        check_balanced(&s);
+    }
+
+    #[test]
+    fn escapes_strings_and_guards_non_finite_numbers() {
+        let s = Json::obj([
+            ("q", Json::Str("he said \"hi\"\n\\".into())),
+            ("nan", Json::Num(f64::NAN)),
+            ("inf", Json::Num(f64::INFINITY)),
+        ])
+        .render();
+        assert_eq!(s, r#"{"q":"he said \"hi\"\n\\","nan":null,"inf":null}"#);
+        check_balanced(&s);
+    }
+
+    #[test]
+    fn cell_json_carries_every_aggregate_field() {
+        let cell = Aggregate {
+            key: CellKey {
+                technique_idx: 2,
+                rate_idx: 1,
+            },
+            technique: "bnp3".into(),
+            rate: 0.1,
+            mean: 55.25,
+            std_dev: 1.5,
+            trials: vec![54.0, 56.5],
+        };
+        let s = cell_json(&cell).render();
+        check_balanced(&s);
+        for needle in [
+            r#""technique":"bnp3""#,
+            r#""technique_idx":2"#,
+            r#""rate":0.1"#,
+            r#""mean":55.25"#,
+            r#""std_dev":1.5"#,
+            r#""trials":[54,56.5]"#,
+        ] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn write_json_creates_parents_and_appends_newline() {
+        let dir = std::env::temp_dir().join(format!("softsnn_json_{}", std::process::id()));
+        let path = dir.join("nested").join("x.json");
+        write_json(&path, &Json::arr([1.0_f64])).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "[1]\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -4,6 +4,7 @@
 //! Usage: `all [--profile smoke|quick|default|full] [--out DIR]`
 
 use snn_data::workload::Workload;
+use softsnn_exp::artifact::write_json;
 use softsnn_exp::profile::CliArgs;
 use softsnn_exp::{ablation, fig10, fig13, fig14, fig3, fig9};
 
@@ -26,6 +27,7 @@ fn main() {
         lat.write_csv(out.join("fig14a_latency.csv"))?;
         energy.write_csv(out.join("fig14b_energy.csv"))?;
         area.write_csv(out.join("fig14c_area.csv"))?;
+        write_json(out.join("fig14.json"), &fig14::to_json(&f14))?;
 
         let f3 = fig3::run(args.profile)?;
         let t3a = fig3::accuracy_table(&f3);
@@ -46,6 +48,7 @@ fn main() {
         println!("{}\n{}", t10a.render(), t10b.render());
         t10a.write_csv(out.join("fig10a_neuron_ops.csv"))?;
         t10b.write_csv(out.join("fig10b_compute_engine.csv"))?;
+        write_json(out.join("fig10.json"), &fig10::to_json(&f10))?;
 
         let f13 = fig13::run(args.profile, &Workload::ALL)?;
         for &w in &Workload::ALL {
@@ -60,6 +63,7 @@ fn main() {
                 re - bnp
             );
         }
+        write_json(out.join("fig13.json"), &fig13::to_json(&f13))?;
 
         let ab = ablation::run(args.profile)?;
         for sweep in [&ab.window, &ab.threshold, &ab.votes] {
@@ -68,6 +72,7 @@ fn main() {
         ablation::sweep_table(&ab.window).write_csv(out.join("ablation_window.csv"))?;
         ablation::sweep_table(&ab.threshold).write_csv(out.join("ablation_threshold.csv"))?;
         ablation::sweep_table(&ab.votes).write_csv(out.join("ablation_votes.csv"))?;
+        write_json(out.join("ablation.json"), &ablation::to_json(&ab))?;
         Ok(())
     };
     if let Err(e) = run() {

@@ -30,12 +30,15 @@ fn main() {
     if let Err(e) = per_op
         .write_csv(out.join("fig10a_neuron_ops.csv"))
         .and_then(|()| combined.write_csv(out.join("fig10b_compute_engine.csv")))
+        .and_then(|()| {
+            softsnn_exp::artifact::write_json(out.join("fig10.json"), &fig10::to_json(&results))
+        })
     {
-        eprintln!("failed to write CSVs: {e}");
+        eprintln!("failed to write artifacts: {e}");
         std::process::exit(1);
     }
     eprintln!(
-        "[fig10] wrote {}/fig10a_neuron_ops.csv and fig10b_compute_engine.csv",
+        "[fig10] wrote {}/fig10a_neuron_ops.csv, fig10b_compute_engine.csv, and fig10.json",
         args.out_dir
     );
 }

@@ -56,5 +56,11 @@ fn main() {
             re - bnp
         );
     }
-    eprintln!("[fig13] wrote CSVs under {}", args.out_dir);
+    if let Err(e) =
+        softsnn_exp::artifact::write_json(out.join("fig13.json"), &fig13::to_json(&results))
+    {
+        eprintln!("failed to write fig13.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[fig13] wrote CSVs and fig13.json under {}", args.out_dir);
 }

@@ -32,8 +32,11 @@ fn main() {
         .write_csv(out.join("fig14a_latency.csv"))
         .and_then(|()| energy.write_csv(out.join("fig14b_energy.csv")))
         .and_then(|()| area.write_csv(out.join("fig14c_area.csv")))
+        .and_then(|()| {
+            softsnn_exp::artifact::write_json(out.join("fig14.json"), &fig14::to_json(&results))
+        })
     {
-        eprintln!("failed to write CSVs: {e}");
+        eprintln!("failed to write artifacts: {e}");
         std::process::exit(1);
     }
     // Synthesis-style reports (the Genus .txt stand-ins).

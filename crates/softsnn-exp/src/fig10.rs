@@ -7,11 +7,12 @@
 //! (b) accuracy when both weight registers and neuron operations are
 //! struck, rates 10⁻⁴…10⁻¹.
 
-use crate::parallel::parallel_map;
+use crate::artifact::Json;
 use crate::profile::Profile;
 use crate::table::{fmt_f, fmt_rate, Table};
-use crate::workbench::{point_seed, prepare, Bench};
+use crate::workbench::{prepare, Bench, BASE_SEED};
 use snn_data::workload::Workload;
+use snn_faults::grid::{GridRunner, GridSpec};
 use snn_faults::location::FaultDomain;
 use snn_faults::rate::{NEURON_OP_RATES, PAPER_RATES};
 use snn_hw::neuron_unit::NeuronOp;
@@ -56,59 +57,96 @@ pub fn run(profile: Profile) -> Result<Fig10Results, Box<dyn std::error::Error>>
     })
 }
 
-/// Evaluates one sweep of scenarios in parallel, one engine clone per grid
-/// point, against the bench's shared pre-encoded test set; within each
-/// point the whole set runs through the engine's batched multi-sample
-/// pass (`evaluate_encoded` → `ComputeEngine::run_batch_into`).
-fn sweep(
-    bench: &Bench,
-    points: &[(Option<NeuronOp>, f64, FaultScenario)],
-) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
-    let outcomes = parallel_map(points, |&(op, rate, ref scenario)| {
-        let mut deployment = bench.deployment.clone();
-        deployment
-            .evaluate_encoded(Technique::NoMitigation, scenario, &bench.encoded)
-            .map(|r| OpAccuracyPoint {
-                op,
-                rate,
-                accuracy_pct: r.accuracy_pct(),
-            })
-    });
-    outcomes.into_iter().map(|o| Ok(o?)).collect()
+/// Panel (a)'s declarative grid: the technique axis carries the four
+/// neuron operations, the value axis their fault rates, seeded exactly
+/// like the historical `point_seed(10, ri, 0, oi)` loop.
+pub fn per_op_grid_spec() -> GridSpec {
+    GridSpec::new(
+        10,
+        BASE_SEED,
+        NeuronOp::ALL
+            .iter()
+            .map(|op| op.shorthand().to_owned())
+            .collect(),
+        NEURON_OP_RATES.to_vec(),
+        1,
+    )
 }
 
+/// Panel (a): one shard per operation, so an op's whole rate sweep shares
+/// one deployment clone **and** one engine multi-map pass — the maps are
+/// neuron-only by construction, so `evaluate_encoded_group` accumulates
+/// each cycle's synaptic drive once for all of the op's fault maps.
 fn run_per_op(bench: &Bench) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
-    let mut points = Vec::new();
-    for (oi, &op) in NeuronOp::ALL.iter().enumerate() {
-        for (ri, &rate) in NEURON_OP_RATES.iter().enumerate() {
-            points.push((
-                Some(op),
-                rate,
-                FaultScenario {
+    let runner = GridRunner::new(per_op_grid_spec()).with_cells_per_shard(NEURON_OP_RATES.len());
+    let results = runner.run_grouped(
+        &bench.deployment,
+        |deployment, shard| -> Result<Vec<f64>, softsnn_core::methodology::MethodologyError> {
+            let op = NeuronOp::ALL[shard[0].technique_idx];
+            let scenarios: Vec<FaultScenario> = shard
+                .iter()
+                .map(|p| FaultScenario {
                     domain: FaultDomain::Neurons(Some(op)),
-                    rate,
-                    seed: point_seed(10, ri, 0, oi),
-                },
-            ));
-        }
-    }
-    sweep(bench, &points)
+                    rate: p.rate,
+                    seed: p.seed,
+                })
+                .collect();
+            let group = deployment.evaluate_encoded_group(
+                Technique::NoMitigation,
+                &scenarios,
+                &bench.encoded,
+            )?;
+            Ok(group.iter().map(|r| r.accuracy_pct()).collect())
+        },
+    )?;
+    Ok(results
+        .cells()
+        .iter()
+        .map(|cell| OpAccuracyPoint {
+            op: Some(NeuronOp::ALL[cell.key.technique_idx]),
+            rate: cell.rate,
+            accuracy_pct: cell.mean,
+        })
+        .collect())
 }
 
+/// Panel (b)'s declarative grid: a single whole-engine technique parked
+/// at the historical seed-stream slot (`point_seed(10, ri, 2, 9)`).
+pub fn combined_grid_spec() -> GridSpec {
+    GridSpec::new(
+        10,
+        BASE_SEED,
+        vec!["compute_engine".into()],
+        PAPER_RATES.to_vec(),
+        1,
+    )
+    .with_offsets(9, 0, 2)
+}
+
+/// Panel (b): whole-engine fault maps strike weight bits, so points run
+/// per-scenario (no drive sharing is possible); the runner still shards
+/// them across cores with one deployment clone per point.
 fn run_combined(bench: &Bench) -> Result<Vec<OpAccuracyPoint>, Box<dyn std::error::Error>> {
-    let mut points = Vec::new();
-    for (ri, &rate) in PAPER_RATES.iter().enumerate() {
-        points.push((
-            None,
-            rate,
-            FaultScenario {
-                domain: FaultDomain::ComputeEngine,
-                rate,
-                seed: point_seed(10, ri, 2, 9),
-            },
-        ));
-    }
-    sweep(bench, &points)
+    let runner = GridRunner::new(combined_grid_spec());
+    let results = runner.run(&bench.deployment, |deployment, p| {
+        let scenario = FaultScenario {
+            domain: FaultDomain::ComputeEngine,
+            rate: p.rate,
+            seed: p.seed,
+        };
+        deployment
+            .evaluate_encoded(Technique::NoMitigation, &scenario, &bench.encoded)
+            .map(|r| r.accuracy_pct())
+    })?;
+    Ok(results
+        .cells()
+        .iter()
+        .map(|cell| OpAccuracyPoint {
+            op: None,
+            rate: cell.rate,
+            accuracy_pct: cell.mean,
+        })
+        .collect())
 }
 
 /// Renders panel (a) as a table: one row per rate, one column per op.
@@ -153,6 +191,35 @@ pub fn combined_table(results: &Fig10Results) -> Table {
         t.row(&[fmt_rate(p.rate), fmt_f(p.accuracy_pct, 1)]);
     }
     t
+}
+
+/// The machine-readable `fig10.json` artifact.
+pub fn to_json(results: &Fig10Results) -> Json {
+    let point = |p: &OpAccuracyPoint| {
+        Json::obj([
+            (
+                "op",
+                match p.op {
+                    Some(op) => op.shorthand().into(),
+                    None => Json::Null,
+                },
+            ),
+            ("rate", p.rate.into()),
+            ("accuracy_pct", p.accuracy_pct.into()),
+        ])
+    };
+    Json::obj([
+        ("figure", Json::Num(10.0)),
+        ("clean_accuracy_pct", results.clean_accuracy_pct.into()),
+        (
+            "per_op",
+            Json::Arr(results.per_op.iter().map(point).collect()),
+        ),
+        (
+            "combined",
+            Json::Arr(results.combined.iter().map(point).collect()),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -203,5 +270,21 @@ mod tests {
         let r = run(Profile::Smoke).unwrap();
         assert_eq!(per_op_table(&r).len(), NEURON_OP_RATES.len());
         assert_eq!(combined_table(&r).len(), PAPER_RATES.len());
+        let json = to_json(&r).render();
+        assert!(json.contains("\"per_op\"") && json.contains("\"combined\""));
+    }
+
+    /// The per-op grid must keep the historical seed placement: panel (a)
+    /// at `point_seed(10, ri, 0, oi)`, panel (b) at
+    /// `point_seed(10, ri, 2, 9)`.
+    #[test]
+    fn grid_specs_reproduce_historical_seeds() {
+        use crate::workbench::point_seed;
+        for p in per_op_grid_spec().points() {
+            assert_eq!(p.seed, point_seed(10, p.rate_idx, 0, p.technique_idx));
+        }
+        for p in combined_grid_spec().points() {
+            assert_eq!(p.seed, point_seed(10, p.rate_idx, 2, 9));
+        }
     }
 }

@@ -2,14 +2,14 @@
 //! No-Mitigation vs Re-execution vs BnP1/2/3 across network sizes,
 //! fault rates, and workloads.
 
-use crate::parallel::parallel_map;
+use crate::artifact::Json;
 use crate::profile::Profile;
 use crate::table::{fmt_f, fmt_rate, Table};
-use crate::workbench::{point_seed, prepare, Bench};
+use crate::workbench::{prepare, Bench, BASE_SEED};
 use snn_data::workload::Workload;
+use snn_faults::grid::{GridRunner, GridSpec};
 use snn_faults::location::FaultDomain;
 use snn_faults::rate::PAPER_RATES;
-use snn_sim::metrics::{mean, std_dev};
 use softsnn_core::methodology::FaultScenario;
 use softsnn_core::mitigation::Technique;
 
@@ -65,8 +65,29 @@ pub fn run(
     Ok(Fig13Results { cells, clean })
 }
 
+/// The declarative Fig. 13 grid at a profile's trial count: the paper's
+/// five techniques × four rates, seeded exactly like the historical
+/// hand-rolled loops (`point_seed(13, ...)`).
+pub fn grid_spec(profile: Profile) -> GridSpec {
+    GridSpec::new(
+        13,
+        BASE_SEED,
+        Technique::PAPER_SET.iter().map(|t| t.id()).collect(),
+        PAPER_RATES.to_vec(),
+        profile.trials(),
+    )
+}
+
 /// Evaluates the full (technique × rate × trial) grid for one trained
-/// deployment.
+/// deployment through the shared [`GridRunner`]: one deployment clone per
+/// (technique, rate) cell — healed between trials by the campaign-trial
+/// reload cycle — instead of one per point, with each cell's trials
+/// handed to [`SoftSnnDeployment::evaluate_encoded_group`] together so
+/// neuron-only trial groups share one engine drive phase. All trials
+/// reuse the bench's pre-encoded test set: they differ only in their
+/// fault map, never in their input spikes.
+///
+/// [`SoftSnnDeployment::evaluate_encoded_group`]: softsnn_core::methodology::SoftSnnDeployment::evaluate_encoded_group
 ///
 /// # Errors
 ///
@@ -75,66 +96,55 @@ pub fn run_grid(
     bench: &Bench,
     profile: Profile,
 ) -> Result<Vec<AccuracyCell>, Box<dyn std::error::Error>> {
-    struct Point {
-        technique_idx: usize,
-        rate_idx: usize,
-        trial: usize,
-    }
-    let mut points = Vec::new();
-    for technique_idx in 0..Technique::PAPER_SET.len() {
-        for rate_idx in 0..PAPER_RATES.len() {
-            for trial in 0..profile.trials() {
-                points.push(Point {
-                    technique_idx,
-                    rate_idx,
-                    trial,
-                });
+    let runner = GridRunner::new(grid_spec(profile));
+    let results = runner.run_grouped(
+        &bench.deployment,
+        |deployment, shard| -> Result<Vec<f64>, softsnn_core::methodology::MethodologyError> {
+            let mut accuracies = Vec::with_capacity(shard.len());
+            // A shard holds whole cells, so consecutive points share their
+            // technique; hand each same-technique run to the deployment as
+            // one trial group.
+            let mut start = 0;
+            while start < shard.len() {
+                let technique_idx = shard[start].technique_idx;
+                let end = start
+                    + shard[start..]
+                        .iter()
+                        .position(|p| p.technique_idx != technique_idx)
+                        .unwrap_or(shard.len() - start);
+                let scenarios: Vec<FaultScenario> = shard[start..end]
+                    .iter()
+                    .map(|p| FaultScenario {
+                        domain: FaultDomain::ComputeEngine,
+                        rate: p.rate,
+                        seed: p.seed,
+                    })
+                    .collect();
+                let group = deployment.evaluate_encoded_group(
+                    Technique::PAPER_SET[technique_idx],
+                    &scenarios,
+                    &bench.encoded,
+                )?;
+                accuracies.extend(group.iter().map(|r| r.accuracy_pct()));
+                start = end;
             }
-        }
-    }
-
-    let outcomes = parallel_map(&points, |p| {
-        let technique = Technique::PAPER_SET[p.technique_idx];
-        let rate = PAPER_RATES[p.rate_idx];
-        let scenario = FaultScenario {
-            domain: FaultDomain::ComputeEngine,
-            rate,
-            seed: point_seed(13, p.rate_idx, p.trial, p.technique_idx),
-        };
-        // Each grid point owns a deployment clone (engine state is mutated
-        // by injection and healed by reloads) but shares the pre-encoded
-        // test set: trials differ only in their fault map, never in their
-        // input spikes, and re-encoding cost is paid once per bench.
-        // Inside the point, `evaluate_encoded` runs the whole set through
-        // the engine's batched multi-sample pass (one injection, samples
-        // interleaved, per-sample guard clones).
-        let mut deployment = bench.deployment.clone();
-        deployment
-            .evaluate_encoded(technique, &scenario, &bench.encoded)
-            .map(|r| r.accuracy_pct())
-    });
-
-    let mut cells = Vec::new();
-    for (technique_idx, &technique) in Technique::PAPER_SET.iter().enumerate() {
-        for (rate_idx, &rate) in PAPER_RATES.iter().enumerate() {
-            let mut trials = Vec::with_capacity(profile.trials());
-            for (p, outcome) in points.iter().zip(&outcomes) {
-                if p.technique_idx == technique_idx && p.rate_idx == rate_idx {
-                    trials.push(outcome.clone().map_err(|e| e.to_string())?);
-                }
-            }
-            cells.push(AccuracyCell {
-                workload: bench.workload,
-                n_neurons: bench.deployment.quantized().n_neurons,
-                technique,
-                rate,
-                mean_pct: mean(&trials),
-                std_pct: std_dev(&trials),
-                trials,
-            });
-        }
-    }
-    Ok(cells)
+            Ok(accuracies)
+        },
+    )?;
+    let n_neurons = bench.deployment.quantized().n_neurons;
+    Ok(results
+        .cells()
+        .iter()
+        .map(|cell| AccuracyCell {
+            workload: bench.workload,
+            n_neurons,
+            technique: Technique::PAPER_SET[cell.key.technique_idx],
+            rate: cell.rate,
+            mean_pct: cell.mean,
+            std_pct: cell.std_dev,
+            trials: cell.trials.clone(),
+        })
+        .collect())
 }
 
 /// Renders the Fig. 13 table for one workload: rows = (size, rate),
@@ -223,6 +233,50 @@ pub fn headline_margins(results: &Fig13Results) -> Vec<(Workload, usize, f64, f6
     out
 }
 
+/// The machine-readable `fig13.json` artifact: clean references plus one
+/// object per aggregated accuracy cell.
+pub fn to_json(results: &Fig13Results) -> Json {
+    Json::obj([
+        ("figure", Json::Num(13.0)),
+        (
+            "clean",
+            Json::Arr(
+                results
+                    .clean
+                    .iter()
+                    .map(|&(workload, n, acc)| {
+                        Json::obj([
+                            ("workload", workload.name().into()),
+                            ("n_neurons", n.into()),
+                            ("accuracy_pct", acc.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cells",
+            Json::Arr(
+                results
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("workload", c.workload.name().into()),
+                            ("n_neurons", c.n_neurons.into()),
+                            ("technique", c.technique.id().into()),
+                            ("rate", c.rate.into()),
+                            ("mean_pct", c.mean_pct.into()),
+                            ("std_pct", c.std_pct.into()),
+                            ("trials", Json::arr(c.trials.iter().copied())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +319,51 @@ mod tests {
         let t = accuracy_table(&r, Workload::Mnist);
         assert_eq!(t.len(), PAPER_RATES.len());
         assert!(!headline_margins(&r).is_empty());
+        let json = to_json(&r).render();
+        assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"mean_pct\""));
+    }
+
+    /// Satellite regression: every cell contributes its (workload, size)
+    /// key, so without dedup a two-size grid would compute each margin
+    /// once *per cell* sharing the key. Margins must come out exactly one
+    /// per distinct (workload, size).
+    #[test]
+    fn headline_margins_deduplicate_workload_size_keys() {
+        let cell = |n: usize, technique: Technique, rate: f64, pct: f64| AccuracyCell {
+            workload: Workload::Mnist,
+            n_neurons: n,
+            technique,
+            rate,
+            mean_pct: pct,
+            std_pct: 0.0,
+            trials: vec![pct],
+        };
+        // Two sizes, several cells per (workload, size) key — including
+        // the rate-0.1 cells the margin reads.
+        let mut cells = Vec::new();
+        for &n in &[100_usize, 400] {
+            for &rate in &[0.01, 0.1] {
+                cells.push(cell(n, Technique::NoMitigation, rate, 40.0));
+                cells.push(cell(n, Technique::ReExecution { runs: 3 }, rate, 60.0));
+                cells.push(cell(n, Technique::PAPER_SET[4], rate, 58.0));
+            }
+        }
+        let results = Fig13Results {
+            cells,
+            clean: vec![(Workload::Mnist, 100, 62.5), (Workload::Mnist, 400, 70.0)],
+        };
+        let margins = headline_margins(&results);
+        assert_eq!(
+            margins.len(),
+            2,
+            "one margin per (workload, size): {margins:?}"
+        );
+        let sizes: Vec<usize> = margins.iter().map(|&(_, n, _, _)| n).collect();
+        assert_eq!(sizes, vec![100, 400]);
+        for &(_, _, re, bnp) in &margins {
+            assert_eq!(re, 60.0);
+            assert_eq!(bnp, 58.0);
+        }
     }
 }

@@ -1,13 +1,15 @@
 //! Fig. 14 — latency, energy, and area across techniques and network
 //! sizes (paper Sec. 5.2), plus synthesis-style reports.
 
+use crate::artifact::Json;
 use crate::table::{fmt_f, Table};
+use snn_faults::grid::{GridRunner, GridSpec};
 use snn_hw::components::EngineEnhancement;
 use snn_hw::mapping::Tiling;
 use snn_hw::params::EngineConfig;
 use snn_hw::report::SynthesisReport;
 use softsnn_core::mitigation::Technique;
-use softsnn_core::overhead::{fig14_grid, normalize_grid, OverheadRow, PAPER_SIZES};
+use softsnn_core::overhead::{normalize_grid, overhead_for, OverheadRow, PAPER_SIZES};
 
 /// Simulation timesteps per inference (the deployment default).
 pub const TIMESTEPS: u32 = 100;
@@ -21,9 +23,35 @@ pub struct Fig14Results {
     pub normalized: Vec<(Technique, usize, f64, f64, f64)>,
 }
 
-/// Computes the full Fig. 14 grid (pure cost models — fast at any scale).
+/// The declarative Fig. 14 grid: techniques × network sizes (the value
+/// axis carries the sizes — the grid layer's axes are shape, not
+/// semantics). Cost models draw no randomness, so the seeds are unused.
+pub fn grid_spec() -> GridSpec {
+    GridSpec::new(
+        14,
+        0,
+        Technique::PAPER_SET.iter().map(|t| t.id()).collect(),
+        PAPER_SIZES.iter().map(|&n| n as f64).collect(),
+        1,
+    )
+}
+
+/// Computes the full Fig. 14 grid (pure cost models — fast at any scale)
+/// through the shared [`GridRunner`], one row per (technique, size)
+/// point, in the same technique-major order the cost tables expect.
 pub fn run() -> Fig14Results {
-    let rows = fig14_grid(&PAPER_SIZES, TIMESTEPS);
+    let runner = GridRunner::new(grid_spec());
+    let rows = runner
+        .run_points(&(), |(), p| {
+            Ok::<OverheadRow, std::convert::Infallible>(overhead_for(
+                Technique::PAPER_SET[p.technique_idx],
+                EngineConfig::PAPER,
+                784,
+                p.rate as usize,
+                TIMESTEPS,
+            ))
+        })
+        .unwrap_or_else(|e| match e {});
     let normalized = normalize_grid(&rows);
     Fig14Results { rows, normalized }
 }
@@ -111,9 +139,44 @@ pub fn synthesis_reports() -> Vec<SynthesisReport> {
     reports
 }
 
+/// The machine-readable `fig14.json` artifact: normalized latency /
+/// energy / area per (technique, size).
+pub fn to_json(results: &Fig14Results) -> Json {
+    Json::obj([
+        ("figure", Json::Num(14.0)),
+        (
+            "normalized",
+            Json::Arr(
+                results
+                    .normalized
+                    .iter()
+                    .map(|&(technique, n, lat, energy, area)| {
+                        Json::obj([
+                            ("technique", technique.id().into()),
+                            ("n_neurons", n.into()),
+                            ("latency_norm", lat.into()),
+                            ("energy_norm", energy.into()),
+                            ("area_norm", area.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use softsnn_core::overhead::fig14_grid;
+
+    /// Routing through the runner must reproduce the direct cost-model
+    /// grid row for row.
+    #[test]
+    fn runner_grid_matches_direct_fig14_grid() {
+        let direct = fig14_grid(&PAPER_SIZES, TIMESTEPS);
+        assert_eq!(run().rows, direct);
+    }
 
     #[test]
     fn grid_matches_paper_values() {
@@ -156,5 +219,13 @@ mod tests {
         let reports = synthesis_reports();
         assert_eq!(reports.len(), 6);
         assert!(reports[0].to_string().contains("Baseline"));
+    }
+
+    #[test]
+    fn json_covers_every_grid_entry() {
+        let r = run();
+        let json = to_json(&r).render();
+        assert!(json.contains("\"latency_norm\""));
+        assert_eq!(json.matches("\"technique\"").count(), r.normalized.len());
     }
 }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod artifact;
 pub mod fig10;
 pub mod fig13;
 pub mod fig14;

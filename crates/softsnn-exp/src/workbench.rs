@@ -108,11 +108,14 @@ pub fn measure_clean(
 
 /// Derived seed for one evaluation grid point, stable across runs and
 /// parallel schedules.
+///
+/// Delegates to [`snn_faults::grid::grid_point_seed`] over [`BASE_SEED`]:
+/// the packing is owned by the grid layer now, so a
+/// [`snn_faults::grid::GridSpec`] built on `BASE_SEED` reproduces these
+/// seeds exactly (pinned by a regression test below — every stored figure
+/// result depends on the values).
 pub fn point_seed(figure: u64, rate_idx: usize, trial: usize, technique_idx: usize) -> u64 {
-    derive_seed(
-        BASE_SEED ^ (figure << 48),
-        ((rate_idx as u64) << 32) | ((technique_idx as u64) << 16) | trial as u64,
-    )
+    snn_faults::grid::grid_point_seed(BASE_SEED, figure, rate_idx, trial, technique_idx)
 }
 
 #[cfg(test)]
@@ -124,6 +127,49 @@ mod tests {
         let cfg = paper_config(400);
         assert_eq!(cfg.n_inputs, 784);
         assert_eq!(cfg.n_neurons, 400);
+    }
+
+    /// Seed-compatibility regression: `GridSpec` per-point seeds must
+    /// reproduce the exact historical `point_seed(fig, rate_idx, trial,
+    /// technique_idx)` values of the figures — both via the shared
+    /// formula and via pinned literal values (any drift silently
+    /// invalidates every stored figure result).
+    #[test]
+    fn grid_spec_seeds_reproduce_point_seed() {
+        use snn_faults::grid::GridSpec;
+        // Fig. 13's shape: 5 techniques × 4 rates × trials.
+        let spec = GridSpec::new(
+            13,
+            BASE_SEED,
+            (0..5).map(|t| format!("t{t}")).collect(),
+            vec![1e-4, 1e-3, 1e-2, 1e-1],
+            3,
+        );
+        for p in spec.points() {
+            assert_eq!(
+                p.seed,
+                point_seed(13, p.rate_idx, p.trial, p.technique_idx),
+                "grid point {} drifted from point_seed",
+                p.index
+            );
+        }
+        // Fig. 10's combined panel parks at (trial 2, technique 9).
+        let combined = GridSpec::new(
+            10,
+            BASE_SEED,
+            vec!["engine".into()],
+            vec![1e-4, 1e-3, 1e-2, 1e-1],
+            1,
+        )
+        .with_offsets(9, 0, 2);
+        for p in combined.points() {
+            assert_eq!(p.seed, point_seed(10, p.rate_idx, 2, 9));
+        }
+        // Pinned literals, captured from the pre-grid formula.
+        assert_eq!(point_seed(13, 0, 0, 0), 0xC3FC_4F1F_37C8_02B7);
+        assert_eq!(point_seed(13, 3, 2, 4), 0x5131_BCF7_2E71_D49A);
+        assert_eq!(point_seed(10, 0, 2, 9), 0x2405_2A3A_5DA0_4DB3);
+        assert_eq!(point_seed(99, 12, 1, 0), 0x5D0D_229C_547A_D265);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! synthetic MNIST (no `data/` directory), N100 / case-study size.
 
 use softsnn::data::workload::Workload;
-use softsnn::exp::fig9;
 use softsnn::exp::profile::Profile;
 use softsnn::exp::workbench::prepare;
+use softsnn::exp::{fig13, fig9};
+use softsnn_core::mitigation::Technique;
 
 #[test]
 fn fig9_smoke_numbers_are_bit_identical_to_pre_batching_capture() {
@@ -33,6 +34,80 @@ fn fig9_smoke_numbers_are_bit_identical_to_pre_batching_capture() {
     assert_eq!(
         &r.faulty.counts()[..6],
         &[8469, 13936, 13272, 13039, 12882, 9364]
+    );
+}
+
+/// Pinned-seed regression for the campaign-grid refactor: the full Fig. 13
+/// smoke grid (5 techniques × 4 rates × 3 trials on synthetic MNIST N100),
+/// captured at commit 36ff0d7 on the pre-grid per-point pipeline (private
+/// `Point` structs, one deployment clone per point, O(points²)
+/// aggregation), must stay bit-identical through `GridSpec`/`GridRunner`
+/// sharding, shard-local deployment reuse, and the engine's multi-map
+/// trial batching. Any drift here means the grid layer changed seeds,
+/// point order, or simulation semantics.
+#[test]
+fn fig13_smoke_cells_are_bit_identical_to_pre_grid_capture() {
+    let r = fig13::run(Profile::Smoke, &[Workload::Mnist]).unwrap();
+    assert_eq!(r.cells.len(), 20, "5 techniques × 4 rates");
+    // (technique index into PAPER_SET, rate, mean bits) for every cell.
+    let expected_means: [(usize, f64, u64); 20] = [
+        (0, 1e-4, 0x4050_0AAA_AAAA_AAAB),
+        (0, 1e-3, 0x404E_D555_5555_5555),
+        (0, 1e-2, 0x4044_6AAA_AAAA_AAAB),
+        (0, 1e-1, 0x4033_2AAA_AAAA_AAAB),
+        (1, 1e-4, 0x404F_4000_0000_0000),
+        (1, 1e-3, 0x404F_4000_0000_0000),
+        (1, 1e-2, 0x4051_8000_0000_0000),
+        (1, 1e-1, 0x404F_4000_0000_0000),
+        (2, 1e-4, 0x404F_4000_0000_0000),
+        (2, 1e-3, 0x4050_0AAA_AAAA_AAAB),
+        (2, 1e-2, 0x404C_5555_5555_5555),
+        (2, 1e-1, 0x403A_AAAA_AAAA_AAAB),
+        (3, 1e-4, 0x404F_AAAA_AAAA_AAAB),
+        (3, 1e-3, 0x404F_4000_0000_0000),
+        (3, 1e-2, 0x4048_9555_5555_5555),
+        (3, 1e-1, 0x4033_2AAA_AAAA_AAAB),
+        (4, 1e-4, 0x404F_AAAA_AAAA_AAAB),
+        (4, 1e-3, 0x4050_4000_0000_0000),
+        (4, 1e-2, 0x404F_4000_0000_0000),
+        (4, 1e-1, 0x4037_5555_5555_5555),
+    ];
+    for (cell, &(technique_idx, rate, mean_bits)) in r.cells.iter().zip(&expected_means) {
+        assert_eq!(
+            cell.technique,
+            Technique::PAPER_SET[technique_idx],
+            "cell order"
+        );
+        assert_eq!(cell.rate, rate, "cell order");
+        assert_eq!(
+            cell.mean_pct.to_bits(),
+            mean_bits,
+            "{} @ {}: mean drifted, got {}",
+            cell.technique,
+            cell.rate,
+            cell.mean_pct
+        );
+        assert_eq!(cell.trials.len(), 3);
+    }
+    // Spot-pin two cells' individual trial values (captured bit patterns),
+    // so per-trial seeds — not just means — are locked.
+    let nomit_high: Vec<u64> = r.cells[3].trials.iter().map(|t| t.to_bits()).collect();
+    assert_eq!(
+        nomit_high,
+        vec![
+            0x4039_0000_0000_0000,
+            0x4029_0000_0000_0000,
+            0x4034_0000_0000_0000
+        ]
+    );
+    let bnp3_mid: Vec<u64> = r.cells[18].trials.iter().map(|t| t.to_bits()).collect();
+    assert_eq!(
+        bnp3_mid,
+        vec![
+            0x4050_4000_0000_0000,
+            0x404E_0000_0000_0000,
+            0x404F_4000_0000_0000
+        ]
     );
 }
 
