@@ -320,6 +320,71 @@ fn bench_run_multi_map(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_accumulate(c: &mut Criterion) {
+    // The accumulate kernels in isolation at N400 paper scale: one
+    // cycle's drive phase over the fixture crossbar image (784 × 400
+    // codes) with a realistic Poisson-encoded active-row set. The
+    // scalar row-at-a-time formulation (the historical
+    // `accumulate_cached_rows` shape: one accumulator pass per row) is
+    // the baseline; the lane-explicit chunked and u64-packed kernels run
+    // at the historical fixed quad block, and `autotuned` runs whatever
+    // `EngineTuning::autotune` picked for this host at fixture
+    // construction. All variants are bit-identical (property-tested);
+    // the ratio is pure formulation cost.
+    use snn_hw::kernels::{accumulate_rows, write_rows_blocked, AccumKernel, RowBlock};
+
+    let (engine, _path, _monitor, trains) = paper_scale_campaign_fixture();
+    let n = 400_usize;
+    let src: Vec<u8> = engine.crossbar().codes_slice().to_vec();
+    let active: Vec<u32> = trains[0].step(0).to_vec();
+    let tuned = engine.tuning();
+    let mut acc = vec![0_i32; n];
+
+    let mut group = c.benchmark_group("engine_accumulate");
+    group.sample_size(20);
+    group.bench_function("scalar_rows", |b| {
+        b.iter(|| {
+            acc.fill(0);
+            accumulate_rows(AccumKernel::Scalar, &src, n, &active, &mut acc);
+            black_box(acc[0])
+        });
+    });
+    group.bench_function("chunked_quad", |b| {
+        // The fixed-quad escape-hatch shape (`EngineTuning::fixed()`).
+        b.iter(|| {
+            write_rows_blocked(
+                AccumKernel::Lanes8,
+                RowBlock::R4,
+                &src,
+                n,
+                &active,
+                &mut acc,
+            );
+            black_box(acc[0])
+        });
+    });
+    group.bench_function("packed64_quad", |b| {
+        b.iter(|| {
+            write_rows_blocked(
+                AccumKernel::Packed64,
+                RowBlock::R4,
+                &src,
+                n,
+                &active,
+                &mut acc,
+            );
+            black_box(acc[0])
+        });
+    });
+    group.bench_function("autotuned", |b| {
+        b.iter(|| {
+            write_rows_blocked(tuned.kernel, tuned.row_block, &src, n, &active, &mut acc);
+            black_box(acc[0])
+        });
+    });
+    group.finish();
+}
+
 fn emit_derived_metrics(c: &mut Criterion) {
     // Derived metrics for the BENCH_engine.json trajectory: guard cost
     // isolated on the same read path (monitored / unmonitored BnP3, so a
@@ -363,6 +428,15 @@ fn emit_derived_metrics(c: &mut Criterion) {
             c.add_metric("multi_map_speedup", per_map / multi);
         }
     }
+    // Kernel headline: the host-autotuned accumulate vs the scalar
+    // row-at-a-time formulation on the same N400 drive phase.
+    let scalar = c.ns_per_iter("engine_accumulate", "scalar_rows");
+    let autotuned = c.ns_per_iter("engine_accumulate", "autotuned");
+    if let (Some(scalar), Some(autotuned)) = (scalar, autotuned) {
+        if autotuned > 0.0 {
+            c.add_metric("accum_speedup", scalar / autotuned);
+        }
+    }
 }
 
 criterion_group!(
@@ -372,6 +446,7 @@ criterion_group!(
     bench_run_sample,
     bench_run_batch,
     bench_run_multi_map,
+    bench_engine_accumulate,
     emit_derived_metrics
 );
 criterion_main!(benches);

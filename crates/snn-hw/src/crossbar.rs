@@ -10,9 +10,13 @@
 //! over `u8`, so a register *view* of any cell is a free copy
 //! ([`Crossbar::register`]), while the accumulation hot path
 //! ([`Crossbar::accumulate_row_direct`], [`Crossbar::accumulate_row_lut`])
-//! runs over a contiguous byte slice the compiler can autovectorize.
+//! runs over a contiguous byte slice through the shared lane-explicit
+//! bodies of [`crate::kernels`] — the same code the engine's blocked
+//! drive phases use, so the per-row and blocked formulations cannot
+//! drift apart.
 
 use crate::error::HwError;
+use crate::kernels::{self, AccumKernel};
 use crate::weight_register::WeightRegister;
 
 /// An M×N crossbar of 8-bit weight registers, row-major
@@ -210,9 +214,7 @@ impl Crossbar {
     pub fn accumulate_row_direct(&self, row: usize, acc: &mut [i32]) {
         assert!(row < self.rows, "row index");
         assert_eq!(acc.len(), self.cols, "accumulator width");
-        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
-            *a += c as i32;
-        }
+        kernels::accumulate_row_direct(AccumKernel::Lanes8, self.row_codes(row), acc);
     }
 
     /// Accumulates `row` through a precomputed 256-entry read-path table
@@ -226,9 +228,7 @@ impl Crossbar {
     pub fn accumulate_row_lut(&self, row: usize, lut: &[u8; 256], acc: &mut [i32]) {
         assert!(row < self.rows, "row index");
         assert_eq!(acc.len(), self.cols, "accumulator width");
-        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
-            *a += lut[c as usize] as i32;
-        }
+        kernels::accumulate_row_lut(AccumKernel::Lanes8, self.row_codes(row), lut, acc);
     }
 
     /// Accumulates `row` through a comparator+mux read path (`code >
@@ -243,10 +243,13 @@ impl Crossbar {
     pub fn accumulate_row_bounded(&self, row: usize, threshold: u8, default: u8, acc: &mut [i32]) {
         assert!(row < self.rows, "row index");
         assert_eq!(acc.len(), self.cols, "accumulator width");
-        for (a, &c) in acc.iter_mut().zip(self.row_codes(row)) {
-            let bounded = if c > threshold { default } else { c };
-            *a += bounded as i32;
-        }
+        kernels::accumulate_row_bounded(
+            AccumKernel::Lanes8,
+            self.row_codes(row),
+            threshold,
+            default,
+            acc,
+        );
     }
 
     /// The codes of one row as a contiguous slice.
@@ -318,6 +321,44 @@ mod tests {
             xbar.accumulate_row_direct(row, &mut direct);
             let widened: Vec<i64> = direct.iter().map(|&a| a as i64).collect();
             assert_eq!(ref_direct, widened, "direct row {row}");
+        }
+    }
+
+    #[test]
+    fn row_kernels_match_closure_oracle_on_ragged_widths() {
+        // The per-row kernels route through the shared lane-explicit
+        // bodies in `crate::kernels`; pin them against the closure-based
+        // `accumulate_row` oracle across every column-count residue of
+        // the lane width (including odd widths, which exercise the
+        // Packed64 pair remainder and the Lanes8 scalar tail).
+        let clamp = |c: u8| if c > 96 { 6 } else { c };
+        let mut lut = [0_u8; 256];
+        for (i, slot) in lut.iter_mut().enumerate() {
+            *slot = clamp(i as u8);
+        }
+        for cols in 1..=17_usize {
+            let codes: Vec<u8> = (0..3 * cols).map(|i| ((i * 41 + 93) % 256) as u8).collect();
+            let xbar = Crossbar::from_codes(3, cols, &codes).unwrap();
+            for row in 0..3 {
+                let mut oracle_id = vec![0_i64; cols];
+                let mut oracle_clamp = vec![0_i64; cols];
+                xbar.accumulate_row(row, |c| c, &mut oracle_id);
+                xbar.accumulate_row(row, clamp, &mut oracle_clamp);
+                let mut direct = vec![0_i32; cols];
+                let mut via_lut = vec![0_i32; cols];
+                let mut via_bounded = vec![0_i32; cols];
+                xbar.accumulate_row_direct(row, &mut direct);
+                xbar.accumulate_row_lut(row, &lut, &mut via_lut);
+                xbar.accumulate_row_bounded(row, 96, 6, &mut via_bounded);
+                let widen = |v: &[i32]| v.iter().map(|&a| a as i64).collect::<Vec<_>>();
+                assert_eq!(widen(&direct), oracle_id, "direct cols={cols} row={row}");
+                assert_eq!(widen(&via_lut), oracle_clamp, "lut cols={cols} row={row}");
+                assert_eq!(
+                    widen(&via_bounded),
+                    oracle_clamp,
+                    "bounded cols={cols} row={row}"
+                );
+            }
         }
     }
 

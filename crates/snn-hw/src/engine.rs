@@ -39,7 +39,9 @@
 //! [`crate::neuron_lanes::BatchLanes`] blocks, the transformed-crossbar
 //! image stays hot across every sample of a timestep, identical
 //! active-row sets are accumulated once and copied, and the accumulate
-//! kernel is row-blocked (four rows per accumulator pass). Each sample is
+//! kernel is row-blocked with the lane formulation and block size the
+//! engine's [`crate::kernels::EngineTuning`] measured at construction
+//! (every choice is bit-identical — see [`crate::kernels`]). Each sample is
 //! evaluated *independently* — state reset first, spike guard cloned from
 //! the caller's prototype — so a batched run is spike-for-spike identical
 //! to per-sample [`run_sample_reference`](ComputeEngine::run_sample_reference)
@@ -61,6 +63,7 @@
 
 use crate::crossbar::Crossbar;
 use crate::error::HwError;
+use crate::kernels::{self, EngineTuning};
 use crate::neuron_lanes::{n_words, BatchLanes, MapLanes, NeuronLanes};
 use crate::neuron_unit::{NeuronHwParams, NeuronOp, NeuronUnit, OpFaults};
 use crate::params::EngineConfig;
@@ -302,56 +305,6 @@ enum ReadCacheKey {
     Table,
 }
 
-/// Widening-adds the given rows of a row-major transformed code image
-/// into the per-column accumulators (the direct-add kernel, applied to
-/// pre-transformed codes).
-#[inline]
-fn accumulate_cached_rows(cache: &[u8], cols: usize, active_rows: &[u32], acc: &mut [i32]) {
-    for &row in active_rows {
-        let base = row as usize * cols;
-        let codes = &cache[base..base + cols];
-        for (a, &c) in acc.iter_mut().zip(codes) {
-            *a += c as i32;
-        }
-    }
-}
-
-/// Row-blocked accumulate over a flat row-major code image, writing the
-/// drives of one cycle into `acc` (previous contents are overwritten, so
-/// callers skip the zero-fill pass): four rows are summed per accumulator
-/// pass — and the first quad *stores* instead of accumulating — so each
-/// `acc` element is touched once per quad instead of once per row. All
-/// values are exact `u8` widenings and `i32` addition of non-negative
-/// values is associative here (a full crossbar column sums to at most
-/// `rows × 255`), so the result is bit-identical to the zero-then-add
-/// row-at-a-time kernel — the batched pass's property tests pin that.
-#[inline]
-fn write_rows_blocked(src: &[u8], cols: usize, active_rows: &[u32], acc: &mut [i32]) {
-    let mut quads = active_rows.chunks_exact(4);
-    let mut first = true;
-    for quad in quads.by_ref() {
-        let r0 = &src[quad[0] as usize * cols..][..cols];
-        let r1 = &src[quad[1] as usize * cols..][..cols];
-        let r2 = &src[quad[2] as usize * cols..][..cols];
-        let r3 = &src[quad[3] as usize * cols..][..cols];
-        let lanes = acc.iter_mut().zip(r0.iter().zip(r1).zip(r2.iter().zip(r3)));
-        if first {
-            for (a, ((&c0, &c1), (&c2, &c3))) in lanes {
-                *a = c0 as i32 + c1 as i32 + c2 as i32 + c3 as i32;
-            }
-            first = false;
-        } else {
-            for (a, ((&c0, &c1), (&c2, &c3))) in lanes {
-                *a += c0 as i32 + c1 as i32 + c2 as i32 + c3 as i32;
-            }
-        }
-    }
-    if first {
-        acc.fill(0);
-    }
-    accumulate_cached_rows(src, cols, quads.remainder(), acc);
-}
-
 /// Rebuild/restore/patch counters of the transformed-crossbar image cache
 /// — the observation hook campaign-reuse tests assert against.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -373,11 +326,13 @@ pub struct ReadCacheStats {
 /// engine crate cannot name them).
 pub type NeuronFaultOverlay = Vec<(u32, NeuronOp)>;
 
-/// Samples interleaved per batched chunk: bounds the resident
+/// Cap on samples interleaved per batched chunk: bounds the resident
 /// `n_neurons × MAX_BATCH` lane state and drive planes while keeping the
 /// transformed-crossbar image hot across the whole chunk at each
 /// timestep. [`ComputeEngine::run_batch_into`] accepts any number of
-/// samples and chunks internally (the last chunk may be ragged).
+/// samples and chunks internally (the last chunk may be ragged); the
+/// effective chunk width is the engine's measured
+/// [`EngineTuning::batch_chunk`], clamped to this cap.
 pub const MAX_BATCH: usize = 16;
 
 /// Per-sample spike-count planes written by
@@ -440,10 +395,12 @@ impl BatchResult {
     }
 }
 
-/// Fault maps interleaved per multi-map chunk: bounds the resident
-/// `n_neurons × MAX_MAPS` per-map lane state.
+/// Cap on fault maps interleaved per multi-map chunk: bounds the
+/// resident `n_neurons × MAX_MAPS` per-map lane state.
 /// [`ComputeEngine::run_batch_multi_map`] accepts any number of maps and
-/// chunks internally (the last chunk may be ragged).
+/// chunks internally (the last chunk may be ragged); the effective chunk
+/// width is the engine's measured [`EngineTuning::map_chunk`], clamped
+/// to this cap.
 pub const MAX_MAPS: usize = 16;
 
 /// Per-(map, sample) spike-count planes written by
@@ -566,6 +523,11 @@ pub struct ComputeEngine {
     /// mutation APIs, cleared by parameter reload).
     crossbar_dirty: bool,
     cache_stats: ReadCacheStats,
+    /// Accumulate-kernel and chunk-width tuning (see
+    /// [`crate::kernels::EngineTuning`]): measured at construction by
+    /// default, inherited by campaign clones. Bit-identical for every
+    /// value — tuning trades time, never results.
+    tuning: EngineTuning,
     // Scratch buffers reused across steps/samples (the hot path never
     // allocates).
     acc: Vec<i32>,
@@ -595,12 +557,36 @@ impl ComputeEngine {
         Self::with_config(EngineConfig::PAPER, qn)
     }
 
-    /// Builds an engine with an explicit physical geometry.
+    /// Builds an engine with an explicit physical geometry, autotuning
+    /// the accumulate kernels for this host (see
+    /// [`EngineTuning::autotune`]); [`with_tuning`](Self::with_tuning) is
+    /// the fixed-choice escape hatch.
     ///
     /// # Errors
     ///
     /// Returns [`HwError::InvalidNetwork`] if the network fails validation.
     pub fn with_config(physical: EngineConfig, qn: &QuantizedNetwork) -> Result<Self, HwError> {
+        Self::with_tuning(
+            physical,
+            qn,
+            EngineTuning::autotune(qn.n_inputs, qn.n_neurons),
+        )
+    }
+
+    /// Builds an engine with an explicit physical geometry and an
+    /// explicit [`EngineTuning`] — no construction-time measurement.
+    /// Results are bit-identical for every tuning value (only timings
+    /// differ), so this exists for deterministic construction cost and
+    /// for the tuning-invariance regression tests, not for correctness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNetwork`] if the network fails validation.
+    pub fn with_tuning(
+        physical: EngineConfig,
+        qn: &QuantizedNetwork,
+        tuning: EngineTuning,
+    ) -> Result<Self, HwError> {
         qn.validate().map_err(|e| HwError::InvalidNetwork {
             detail: e.to_string(),
         })?;
@@ -630,6 +616,7 @@ impl ComputeEngine {
             clean_cache_table: [0; 256],
             crossbar_dirty: false,
             cache_stats: ReadCacheStats::default(),
+            tuning,
             acc: vec![0; qn.n_neurons],
             fired: Vec::with_capacity(qn.n_neurons),
             cmp_words: vec![0; words],
@@ -656,6 +643,18 @@ impl ComputeEngine {
     /// Physical engine geometry (for the cost models).
     pub fn physical(&self) -> EngineConfig {
         self.physical
+    }
+
+    /// The accumulate tuning this engine runs with.
+    pub fn tuning(&self) -> EngineTuning {
+        self.tuning
+    }
+
+    /// Replaces the accumulate tuning. Outputs are bit-identical for
+    /// every value (the tuning-invariance tests pin that); this is a
+    /// timing knob and a test hook, not a behavioural setting.
+    pub fn set_tuning(&mut self, tuning: EngineTuning) {
+        self.tuning = tuning;
     }
 
     /// The weight crossbar (fault injection reads/writes registers here).
@@ -866,27 +865,31 @@ impl ComputeEngine {
         guard: &mut G,
     ) {
         self.ensure_lanes();
-        self.acc.fill(0);
-        match path.kernel {
-            ReadKernel::Direct => {
-                for &row in active_rows {
-                    self.crossbar
-                        .accumulate_row_direct(row as usize, &mut self.acc);
-                }
-            }
-            // Non-identity kernels accumulate from the transformed-crossbar
-            // image at direct-add speed; the image is rebuilt only when the
-            // transform or the register contents changed.
-            ReadKernel::Bounded { .. } | ReadKernel::Table => {
-                self.ensure_read_cache(path);
-                accumulate_cached_rows(
-                    &self.read_cache,
-                    self.n_neurons,
-                    active_rows,
-                    &mut self.acc,
-                );
-            }
+        // Non-identity kernels accumulate from the transformed-crossbar
+        // image at direct-add speed; the image is rebuilt only when the
+        // transform or the register contents changed.
+        if !matches!(path.kernel, ReadKernel::Direct) {
+            self.ensure_read_cache(path);
         }
+        let src: &[u8] = match path.kernel {
+            ReadKernel::Direct => self.crossbar.codes_slice(),
+            ReadKernel::Bounded { .. } | ReadKernel::Table => &self.read_cache,
+        };
+        // The per-step API accumulates row-at-a-time through the tuned
+        // lane formulation (the historical shape, now shared with every
+        // other datapath via `kernels`); row-*blocking* the drive phase
+        // is the batched passes' lever — `run_batch_into` and
+        // `run_batch_multi_map` amortize it across samples/maps, which
+        // is exactly what the `batch_speedup`/`multi_map_speedup`
+        // trajectory metrics measure against this path.
+        self.acc.fill(0);
+        kernels::accumulate_rows(
+            self.tuning.kernel,
+            src,
+            self.n_neurons,
+            active_rows,
+            &mut self.acc,
+        );
         self.lanes.step_fused(
             &self.acc,
             &self.v_thresh,
@@ -1028,9 +1031,10 @@ impl ComputeEngine {
     /// [`run_sample_reference`](Self::run_sample_reference) across kernels,
     /// guards, and fault maps). Trains may have ragged lengths; samples
     /// past their last timestep simply sit out the remaining cycles.
-    /// Internally the batch is processed in chunks of [`MAX_BATCH`]
-    /// samples. Persisted faults apply to every sample, per the paper's
-    /// semantics; the engine's own membrane state is left reset.
+    /// Internally the batch is processed in chunks of the engine's tuned
+    /// width (at most [`MAX_BATCH`] samples). Persisted faults apply to
+    /// every sample, per the paper's semantics; the engine's own membrane
+    /// state is left reset.
     ///
     /// # Panics
     ///
@@ -1049,8 +1053,9 @@ impl ComputeEngine {
         // them current once for the whole batch.
         self.ensure_units();
         self.ensure_read_cache(&resolved);
-        for (chunk_idx, chunk) in trains.chunks(MAX_BATCH).enumerate() {
-            self.run_batch_chunk(chunk, chunk_idx * MAX_BATCH, &resolved, guard, out);
+        let batch_chunk = self.tuning.clamped_batch_chunk();
+        for (chunk_idx, chunk) in trains.chunks(batch_chunk).enumerate() {
+            self.run_batch_chunk(chunk, chunk_idx * batch_chunk, &resolved, guard, out);
         }
         // The batch pass bypasses the single-sample state; leave the
         // engine at rest in both representations so a later step/sample
@@ -1117,7 +1122,14 @@ impl ComputeEngine {
                 if let Some(p) = shared {
                     acc_s.copy_from_slice(&done[p * n..p * n + n]);
                 } else {
-                    write_rows_blocked(src, n, rows, acc_s);
+                    kernels::write_rows_blocked(
+                        self.tuning.kernel,
+                        self.tuning.row_block,
+                        src,
+                        n,
+                        rows,
+                        acc_s,
+                    );
                 }
             }
             // Neuron phase: fused step + guard + count + inhibition per
@@ -1186,7 +1198,8 @@ impl ComputeEngine {
     /// (property-tested against
     /// [`run_batch_multi_map_reference`](Self::run_batch_multi_map_reference)
     /// across kernels, guards, vr-burst maps, and ragged map counts).
-    /// Maps are processed in chunks of [`MAX_MAPS`]; the engine's own
+    /// Maps are processed in chunks of the engine's tuned width (at most
+    /// [`MAX_MAPS`]); the engine's own
     /// fault state and crossbar are left untouched, and its membrane
     /// state is left reset.
     ///
@@ -1208,8 +1221,9 @@ impl ComputeEngine {
         // them current once so every map chunk overlays the same base.
         self.ensure_units();
         self.ensure_read_cache(&resolved);
-        for (chunk_idx, chunk) in maps.chunks(MAX_MAPS).enumerate() {
-            self.run_multi_map_chunk(trains, chunk, chunk_idx * MAX_MAPS, &resolved, guard, out);
+        let map_chunk = self.tuning.clamped_map_chunk();
+        for (chunk_idx, chunk) in maps.chunks(map_chunk).enumerate() {
+            self.run_multi_map_chunk(trains, chunk, chunk_idx * map_chunk, &resolved, guard, out);
         }
         // The multi-map pass bypasses the single-sample state; leave the
         // engine at rest in both representations.
@@ -1244,7 +1258,14 @@ impl ComputeEngine {
             for t in 0..train.n_steps() {
                 // Drive phase: one accumulate for the whole map chunk —
                 // the crossbar rows of cycle t are read once, not K times.
-                write_rows_blocked(src, n, train.step(t), &mut self.acc);
+                kernels::write_rows_blocked(
+                    self.tuning.kernel,
+                    self.tuning.row_block,
+                    src,
+                    n,
+                    train.step(t),
+                    &mut self.acc,
+                );
                 // Neuron phase: fused step + guard + count + inhibition
                 // per map, reusing the engine's word scratch buffers.
                 for (m, guard_m) in guards.iter_mut().enumerate() {

@@ -52,6 +52,7 @@ pub mod crossbar;
 pub mod energy;
 pub mod engine;
 pub mod error;
+pub mod kernels;
 pub mod latency;
 pub mod learning_unit;
 pub mod mapping;
@@ -64,6 +65,7 @@ pub mod weight_register;
 pub use crossbar::Crossbar;
 pub use engine::{ComputeEngine, DirectRead, NoGuard, ResolvedPath, SpikeGuard, WeightReadPath};
 pub use error::HwError;
+pub use kernels::{AccumKernel, EngineTuning, RowBlock};
 pub use mapping::Tiling;
 pub use neuron_lanes::NeuronLanes;
 pub use neuron_unit::{NeuronOp, NeuronUnit, OpFaults};

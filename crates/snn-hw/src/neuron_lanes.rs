@@ -415,6 +415,13 @@ impl NeuronLanes {
 /// and refractory lanes over the *same* hardware (one shared plane of
 /// op-fault masks), stepped one sample block at a time through the exact
 /// kernels of [`NeuronLanes`]. See the module docs.
+///
+/// The resident plane width (`batch`) is the engine's tuned chunk width
+/// ([`crate::kernels::EngineTuning::batch_chunk`], measured per host at
+/// engine construction and capped by [`crate::engine::MAX_BATCH`]):
+/// wider planes amortize per-chunk setup, narrower planes keep the
+/// `n × batch` state resident in faster cache levels. Results are
+/// bit-identical for every width — samples are independent.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchLanes {
     n: usize,
@@ -553,6 +560,12 @@ impl BatchLanes {
 /// that map's overlay sites, so a map block evolves exactly like an
 /// engine that had the map injected (property-tested against the per-map
 /// scalar reference).
+///
+/// The resident plane width (`k`) is the engine's tuned chunk width
+/// ([`crate::kernels::EngineTuning::map_chunk`], measured per host at
+/// engine construction and capped by [`crate::engine::MAX_MAPS`]);
+/// as with [`BatchLanes`], every width is bit-identical — maps are
+/// independent.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MapLanes {
     n: usize,

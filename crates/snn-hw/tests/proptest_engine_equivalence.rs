@@ -17,6 +17,7 @@ use snn_hw::engine::{
     ComputeEngine, DirectRead, MultiMapResult, NeuronFaultOverlay, NoGuard, SpikeGuard,
     WeightReadPath, MAX_BATCH, MAX_MAPS,
 };
+use snn_hw::kernels::{AccumKernel, EngineTuning, RowBlock};
 use snn_hw::neuron_unit::NeuronOp;
 use snn_sim::config::SnnConfig;
 use snn_sim::network::Network;
@@ -104,6 +105,21 @@ fn random_faulted_engine(
         engine.neurons_mut()[j].faults.set(op);
     }
     engine
+}
+
+/// An arbitrary `EngineTuning` drawn from `seed` — every kernel/block
+/// pair and chunk widths across (and past) the clamp range. The batched
+/// properties force the fast engine onto one of these, so equivalence
+/// holds under *any* tuning an autotune pass could pick, not just the
+/// one this host measured.
+fn random_tuning(seed: u64) -> EngineTuning {
+    let mut rng = StdRng::seed_from_u64(seed);
+    EngineTuning {
+        kernel: AccumKernel::ALL[rng.gen_range(0_usize..3)],
+        row_block: RowBlock::ALL[rng.gen_range(0_usize..3)],
+        batch_chunk: rng.gen_range(0..2 * MAX_BATCH),
+        map_chunk: rng.gen_range(0..2 * MAX_MAPS),
+    }
 }
 
 /// Asserts `run_batch_into` over `trains` matches, sample for sample, the
@@ -400,6 +416,9 @@ proptest! {
             fast.neurons_mut()[j].faults.set(NeuronOp::VmemReset);
         }
         let mut slow = fast.clone();
+        // Equivalence must hold under any accumulate tuning, not just
+        // the one this host's autotune measured.
+        fast.set_tuning(random_tuning(net_seed ^ fault_seed));
         // Ragged lengths: sample s runs 10..35 steps, so late cycles see
         // a shrinking active batch.
         let trains: Vec<SpikeTrain> = (0..batch)
@@ -448,6 +467,9 @@ proptest! {
         let mut fast =
             random_faulted_engine(24, 10, net_seed, fault_seed, n_bit_flips, n_base_op_faults);
         let mut slow = fast.clone();
+        // Randomized tuning on the fast path; the reference is
+        // formulation-independent by construction.
+        fast.set_tuning(random_tuning(net_seed ^ fault_seed ^ 0x7a9e));
         // Ragged overlays: map m carries m % 4 random sites plus one
         // forced vr burst so suppression paths light up.
         let maps: Vec<NeuronFaultOverlay> = (0..k)
