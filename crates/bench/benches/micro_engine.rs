@@ -385,6 +385,74 @@ fn bench_engine_accumulate(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_sparse(c: &mut Criterion) {
+    // The event-backend lever: the same N400 BnP3+monitor workload on a
+    // *sparse* input regime — a handful of low-intensity pixels per
+    // image, the shape of paper-typical low-rate Poisson coding — where
+    // most cycles carry no spikes at all. The dense engine pays the full
+    // neuron phase every cycle; the event engine skips provably-silent
+    // cycles and replays leak lazily. Both loops use identical per-sample
+    // guard-clone discipline and produce bit-identical counts
+    // (property-tested), so the ratio is pure silent-cycle savings.
+    use snn_hw::event::EventEngine;
+    use snn_sim::encoding::PoissonEncoder;
+    use snn_sim::rng::seeded_rng;
+    use softsnn_core::methodology::SpikeActivityStats;
+
+    let (engine, path, monitor, _dense_trains) = paper_scale_campaign_fixture();
+    let encoder = PoissonEncoder::new(0.25);
+    let mut rng = seeded_rng(0x5a75e);
+    let trains: Vec<snn_sim::spike::SpikeTrain> = (0..10)
+        .map(|s| {
+            // 12 lit pixels at intensity 0.14 → per-pixel rate 0.035,
+            // P(silent cycle) = 0.965^12 ≈ 0.65.
+            let img: Vec<f32> = (0..784)
+                .map(|p| {
+                    if (p * 61 + s * 17) % 784 < 12 {
+                        0.14
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            encoder.encode(&img, 40, &mut rng)
+        })
+        .collect();
+    // Ground the claimed regime in what was actually encoded.
+    let stats = SpikeActivityStats::of_trains(&trains);
+    eprintln!(
+        "engine_sparse fixture: {:.2} events/cycle, {:.1}% silent cycles",
+        stats.events_per_cycle(),
+        stats.silent_fraction() * 100.0,
+    );
+
+    let mut group = c.benchmark_group("engine_sparse");
+    group.sample_size(20);
+    group.bench_function("dense_per_sample", |b| {
+        let mut engine = engine.clone();
+        b.iter(|| {
+            let mut acc = 0_u32;
+            for train in &trains {
+                let mut guard = monitor.clone();
+                acc += engine.run_sample_into(train, &path, &mut guard)[0];
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("event_per_sample", |b| {
+        let mut event = EventEngine::new(engine.clone());
+        b.iter(|| {
+            let mut acc = 0_u32;
+            for train in &trains {
+                let mut guard = monitor.clone();
+                acc += event.run_sample_into(train, &path, &mut guard)[0];
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
 fn emit_derived_metrics(c: &mut Criterion) {
     // Derived metrics for the BENCH_engine.json trajectory: guard cost
     // isolated on the same read path (monitored / unmonitored BnP3, so a
@@ -437,6 +505,15 @@ fn emit_derived_metrics(c: &mut Criterion) {
             c.add_metric("accum_speedup", scalar / autotuned);
         }
     }
+    // Sparse-workload headline: the event-driven backend vs the dense
+    // engine on the identical sparse N400 workload and guard discipline.
+    let dense = c.ns_per_iter("engine_sparse", "dense_per_sample");
+    let event = c.ns_per_iter("engine_sparse", "event_per_sample");
+    if let (Some(dense), Some(event)) = (dense, event) {
+        if event > 0.0 {
+            c.add_metric("sparse_speedup", dense / event);
+        }
+    }
 }
 
 criterion_group!(
@@ -447,6 +524,7 @@ criterion_group!(
     bench_run_batch,
     bench_run_multi_map,
     bench_engine_accumulate,
+    bench_engine_sparse,
     emit_derived_metrics
 );
 criterion_main!(benches);

@@ -14,7 +14,7 @@ use snn_sim::config::SnnConfig;
 use snn_sim::encoding::PoissonEncoder;
 use snn_sim::rng::seeded_rng;
 use snn_sim::spike::SpikeTrain;
-use softsnn_core::methodology::{SoftSnnDeployment, TrainPipelineOptions};
+use softsnn_core::methodology::{SoftSnnDeployment, SpikeActivityStats, TrainPipelineOptions};
 use std::sync::OnceLock;
 
 /// Number of neurons in the bench fixture network (small on purpose: the
@@ -59,11 +59,22 @@ pub fn fixture() -> &'static Fixture {
         .expect("bench training succeeds");
         let encoder = PoissonEncoder::new(cfg.max_rate);
         let mut rng = seeded_rng(14);
-        let trains = test
+        let trains: Vec<SpikeTrain> = test
             .images()
             .iter()
             .map(|img| encoder.encode(img, cfg.timesteps, &mut rng))
             .collect();
+        // Ground sparse-speedup claims in the measured input sparsity of
+        // what the benches actually run.
+        let stats = SpikeActivityStats::of_trains(&trains);
+        eprintln!(
+            "bench fixture activity: {:.2} events/cycle, {:.1}% silent cycles \
+             ({} samples x {} steps)",
+            stats.events_per_cycle(),
+            stats.silent_fraction() * 100.0,
+            stats.n_samples,
+            cfg.timesteps,
+        );
         Fixture {
             deployment,
             test,

@@ -115,7 +115,7 @@ pub trait WeightReadPath {
 /// The accumulation kernel resolved from a [`WeightReadPath`], once per
 /// step or sample (not per element).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ReadKernel {
+pub(crate) enum ReadKernel {
     /// Identity path: pure widening add.
     Direct,
     /// Comparator + mux: branchless compare/select.
@@ -157,11 +157,11 @@ enum ReadKernel {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ResolvedPath {
-    kernel: ReadKernel,
+    pub(crate) kernel: ReadKernel,
     /// The 256-entry transfer function; meaningful only for
     /// [`ReadKernel::Table`] (stored inline so resolving never
     /// allocates).
-    table: [u8; 256],
+    pub(crate) table: [u8; 256],
 }
 
 impl ResolvedPath {
@@ -381,16 +381,16 @@ impl BatchResult {
             .take(self.n_samples)
     }
 
-    /// Sizes the planes and zeroes every counter.
-    fn reset(&mut self, n_neurons: usize, n_samples: usize) {
+    /// Sizes the planes and zeroes every counter (backend-internal).
+    pub(crate) fn reset(&mut self, n_neurons: usize, n_samples: usize) {
         self.n_neurons = n_neurons;
         self.n_samples = n_samples;
         self.counts.clear();
         self.counts.resize(n_neurons * n_samples, 0);
     }
 
-    /// Mutable plane of sample `s` (engine-internal).
-    fn counts_mut(&mut self, s: usize) -> &mut [u32] {
+    /// Mutable plane of sample `s` (backend-internal).
+    pub(crate) fn counts_mut(&mut self, s: usize) -> &mut [u32] {
         &mut self.counts[s * self.n_neurons..(s + 1) * self.n_neurons]
     }
 }
@@ -451,8 +451,8 @@ impl MultiMapResult {
         &self.counts[base..base + self.n_neurons]
     }
 
-    /// Sizes the planes and zeroes every counter.
-    fn reset(&mut self, n_neurons: usize, n_samples: usize, n_maps: usize) {
+    /// Sizes the planes and zeroes every counter (backend-internal).
+    pub(crate) fn reset(&mut self, n_neurons: usize, n_samples: usize, n_maps: usize) {
         self.n_neurons = n_neurons;
         self.n_samples = n_samples;
         self.n_maps = n_maps;
@@ -460,8 +460,8 @@ impl MultiMapResult {
         self.counts.resize(n_neurons * n_samples * n_maps, 0);
     }
 
-    /// Mutable plane of (map `m`, sample `s`) (engine-internal).
-    fn counts_mut(&mut self, m: usize, s: usize) -> &mut [u32] {
+    /// Mutable plane of (map `m`, sample `s`) (backend-internal).
+    pub(crate) fn counts_mut(&mut self, m: usize, s: usize) -> &mut [u32] {
         let base = (m * self.n_samples + s) * self.n_neurons;
         &mut self.counts[base..base + self.n_neurons]
     }
@@ -523,6 +523,13 @@ pub struct ComputeEngine {
     /// mutation APIs, cleared by parameter reload).
     crossbar_dirty: bool,
     cache_stats: ReadCacheStats,
+    /// Bumped by every API that can change what the crossbar's resolved
+    /// read path yields (`crossbar_mut`, `flip_weight_bit`,
+    /// `reload_parameters`). Derived backends (the event-driven engine's
+    /// compiled adjacency lists) key their caches on this counter, so a
+    /// reload-heal or an injected fault can never be served from a stale
+    /// compilation.
+    mutation_epoch: u64,
     /// Accumulate-kernel and chunk-width tuning (see
     /// [`crate::kernels::EngineTuning`]): measured at construction by
     /// default, inherited by campaign clones. Bit-identical for every
@@ -616,6 +623,7 @@ impl ComputeEngine {
             clean_cache_table: [0; 256],
             crossbar_dirty: false,
             cache_stats: ReadCacheStats::default(),
+            mutation_epoch: 0,
             tuning,
             acc: vec![0; qn.n_neurons],
             fired: Vec::with_capacity(qn.n_neurons),
@@ -670,6 +678,7 @@ impl ComputeEngine {
     pub fn crossbar_mut(&mut self) -> &mut Crossbar {
         self.read_cache_key = ReadCacheKey::Invalid;
         self.crossbar_dirty = true;
+        self.mutation_epoch += 1;
         &mut self.crossbar
     }
 
@@ -686,6 +695,7 @@ impl ComputeEngine {
     pub fn flip_weight_bit(&mut self, row: usize, col: usize, bit: u8) -> Result<(), HwError> {
         self.crossbar.flip_bit(row, col, bit)?;
         self.crossbar_dirty = true;
+        self.mutation_epoch += 1;
         if self.read_cache_key != ReadCacheKey::Invalid {
             let code = self.crossbar.read(row, col);
             let transformed = match self.read_cache_key {
@@ -766,11 +776,21 @@ impl ComputeEngine {
     /// clean deployment image and clears all neuron-operation faults (the
     /// paper's healing event for both fault classes). Also notifies
     /// `guard` so monitor latches reset.
+    ///
+    /// This is the heal-on-entry contract for **all** backends: every
+    /// evaluate entry point (dense or event-driven — see
+    /// [`crate::backend::EngineBackend`]) heals through this method first,
+    /// which is what makes it sound for grid shards to reuse one
+    /// deployment clone across trials. The reload bumps the mutation
+    /// epoch, so backends that compile derived views of the crossbar (the
+    /// event engine's adjacency lists) recompile from the healed image
+    /// instead of serving a stale one.
     pub fn reload_parameters<G: SpikeGuard>(&mut self, guard: &mut G) {
         self.crossbar
             .reload(&self.clean_codes)
             .expect("clean image always matches crossbar shape");
         self.crossbar_dirty = false;
+        self.mutation_epoch += 1;
         // The registers are back to the clean deployment image; if the
         // clean transform image was ever captured, restoring it is a copy
         // — no transform sweep. Otherwise, if a transform is active (the
@@ -864,6 +884,15 @@ impl ComputeEngine {
         path: &ResolvedPath,
         guard: &mut G,
     ) {
+        self.accumulate_active_rows(active_rows, path);
+        self.neuron_phase(guard);
+    }
+
+    /// Drive phase of one timestep: zeroes the accumulators and
+    /// accumulates `active_rows` through the resolved read path. Shared
+    /// verbatim between the dense per-step path and the event backend's
+    /// delay-free processed cycles, so both drive the very same kernel.
+    pub(crate) fn accumulate_active_rows(&mut self, active_rows: &[u32], path: &ResolvedPath) {
         self.ensure_lanes();
         // Non-identity kernels accumulate from the transformed-crossbar
         // image at direct-add speed; the image is rebuilt only when the
@@ -890,6 +919,41 @@ impl ComputeEngine {
             active_rows,
             &mut self.acc,
         );
+    }
+
+    /// Drive phase of one timestep from an external pre-resolved weight
+    /// image (row-major, same shape as the crossbar). The event backend's
+    /// delayed path accumulates its zero-delay "immediate" image this way
+    /// and then adds matured ring-buffer events via
+    /// [`acc_add`](Self::acc_add).
+    pub(crate) fn accumulate_image_rows(&mut self, src: &[u8], active_rows: &[u32]) {
+        self.ensure_lanes();
+        self.acc.fill(0);
+        kernels::accumulate_rows(
+            self.tuning.kernel,
+            src,
+            self.n_neurons,
+            active_rows,
+            &mut self.acc,
+        );
+    }
+
+    /// Adds an externally accumulated drive plane (matured delayed
+    /// events) into the current cycle's accumulators. Plain `i32`
+    /// addition, so contribution order cannot change results.
+    pub(crate) fn acc_add(&mut self, extra: &[i32]) {
+        debug_assert_eq!(extra.len(), self.acc.len());
+        for (a, &e) in self.acc.iter_mut().zip(extra) {
+            *a += e;
+        }
+    }
+
+    /// Neuron phase of one timestep over the already-filled accumulators:
+    /// fused LIF step, guard observation, output-spike extraction, and
+    /// lateral inhibition. Returns whether any comparator fired this
+    /// cycle (`cmp`, pre-guard) — the event backend's hot-neuron gate.
+    pub(crate) fn neuron_phase<G: SpikeGuard>(&mut self, guard: &mut G) -> bool {
+        self.ensure_lanes();
         self.lanes.step_fused(
             &self.acc,
             &self.v_thresh,
@@ -899,12 +963,14 @@ impl ComputeEngine {
         );
         guard.observe_cycle(&self.cmp_words, &mut self.allow_words, self.n_neurons);
         let mut n_fired = 0_u32;
-        for ((fired, &spike), &allow) in self
-            .fired_words
-            .iter_mut()
-            .zip(self.spike_words.iter())
+        let mut cmp_any = 0_u64;
+        for ((&cmp, (fired, &spike)), &allow) in self
+            .cmp_words
+            .iter()
+            .zip(self.fired_words.iter_mut().zip(self.spike_words.iter()))
             .zip(self.allow_words.iter())
         {
+            cmp_any |= cmp;
             let f = spike & allow;
             *fired = f;
             n_fired += f.count_ones();
@@ -920,6 +986,79 @@ impl ComputeEngine {
         if n_fired > 0 && self.hw.v_inh > 0 {
             let total_inh = self.hw.v_inh.saturating_mul(n_fired as i32);
             self.lanes.inhibit_non_fired(&self.fired_words, total_inh);
+        }
+        cmp_any != 0
+    }
+
+    /// Output spikes of the last processed cycle (indices into the neuron
+    /// range), as left by [`neuron_phase`](Self::neuron_phase).
+    pub(crate) fn last_fired(&self) -> &[u32] {
+        &self.fired
+    }
+
+    /// Whether any lane's membrane currently sits at or above its
+    /// threshold — the event backend's skip-safety check after a cycle
+    /// whose comparators fired.
+    pub(crate) fn lanes_any_at_or_above(&mut self) -> bool {
+        self.ensure_lanes();
+        self.lanes.any_at_or_above(&self.v_thresh)
+    }
+
+    /// Applies `k` drive-free cycles to every lane in one catch-up pass
+    /// (refractory countdown first, then `k − r` floored leak steps) —
+    /// the event backend's lazy-leak flush. Bit-identical to `k`
+    /// sequential silent fused steps; see
+    /// [`NeuronLanes::advance_silent`].
+    pub(crate) fn advance_lanes_silent(&mut self, k: u32, leak: &crate::event::LeakTable) {
+        self.ensure_lanes();
+        self.lanes.advance_silent(k, leak);
+    }
+
+    /// Monotone counter of crossbar-affecting mutations (see the field
+    /// doc); derived backends key compiled views on it.
+    pub(crate) fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
+    }
+
+    /// A zero-sized stand-in engine for `mem::replace` when a backend
+    /// container swaps representations in place. Never stepped.
+    pub(crate) fn placeholder() -> Self {
+        Self {
+            physical: EngineConfig::PAPER,
+            n_inputs: 0,
+            n_neurons: 0,
+            crossbar: Crossbar::zeroed(0, 0),
+            v_thresh: Vec::new(),
+            hw: NeuronHwParams {
+                v_reset: 0,
+                v_leak: 0,
+                t_refrac: 0,
+                v_inh: 0,
+            },
+            neurons: Vec::new(),
+            lanes: NeuronLanes::new(0),
+            state_home: StateHome::Lanes,
+            clean_codes: Vec::new(),
+            read_cache: Vec::new(),
+            read_cache_key: ReadCacheKey::Invalid,
+            read_cache_table: [0; 256],
+            clean_cache: Vec::new(),
+            clean_cache_key: ReadCacheKey::Invalid,
+            clean_cache_table: [0; 256],
+            crossbar_dirty: false,
+            cache_stats: ReadCacheStats::default(),
+            mutation_epoch: 0,
+            tuning: EngineTuning::fixed(),
+            acc: Vec::new(),
+            fired: Vec::new(),
+            cmp_words: Vec::new(),
+            spike_words: Vec::new(),
+            allow_words: Vec::new(),
+            fired_words: Vec::new(),
+            counts: Vec::new(),
+            batch: BatchLanes::new(),
+            batch_acc: Vec::new(),
+            map_lanes: MapLanes::new(),
         }
     }
 

@@ -47,11 +47,13 @@
 #![forbid(unsafe_code)]
 
 pub mod area;
+pub mod backend;
 pub mod components;
 pub mod crossbar;
 pub mod energy;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod kernels;
 pub mod latency;
 pub mod learning_unit;
@@ -62,9 +64,11 @@ pub mod params;
 pub mod report;
 pub mod weight_register;
 
+pub use backend::{AnyBackend, EngineBackend, EngineBackendKind};
 pub use crossbar::Crossbar;
 pub use engine::{ComputeEngine, DirectRead, NoGuard, ResolvedPath, SpikeGuard, WeightReadPath};
 pub use error::HwError;
+pub use event::{EventEngine, LeakTable};
 pub use kernels::{AccumKernel, EngineTuning, RowBlock};
 pub use mapping::Tiling;
 pub use neuron_lanes::NeuronLanes;

@@ -409,6 +409,53 @@ impl NeuronLanes {
         assert_eq!(fired_words.len(), self.words(), "fired word width");
         inhibit_block(&mut self.vmem, &self.refrac, fired_words, total_inh);
     }
+
+    /// Whether any lane's membrane sits at or above its per-neuron
+    /// threshold. The event backend uses this after a comparator-active
+    /// cycle to decide whether silent cycles may be skipped (a lane still
+    /// at threshold — a reset-faulty burst neuron — must keep stepping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_thresh` length differs from the lane count.
+    pub fn any_at_or_above(&self, v_thresh: &[i32]) -> bool {
+        assert_eq!(v_thresh.len(), self.n, "threshold width");
+        self.vmem.iter().zip(v_thresh).any(|(&v, &t)| v >= t)
+    }
+
+    /// Advances every lane `k` drive-free timesteps in one pass: each
+    /// neuron first burns `r = min(refrac, k)` cycles of refractory
+    /// countdown (membrane held, exactly as the fused kernel holds it),
+    /// then applies `k − r` floored leak steps collapsed to a single
+    /// subtraction via the precomputed cumulative
+    /// [`LeakTable`](crate::event::LeakTable) — `max(v − k·d, 0)` equals
+    /// `k` sequential `max(v − d, 0)` folds for any `d ≥ 0`, which the
+    /// lazy-leak proptest pins against sequential [`step_fused`] cycles.
+    /// Leak-faulty (`vl`) lanes hold their membrane, mirroring
+    /// [`NeuronUnit::step`]'s faulty path with zero drive.
+    ///
+    /// Callers guarantee the skipped cycles were genuinely silent (no
+    /// drive, no comparator activity); under that contract no spike,
+    /// reset, or inhibition could have occurred, so state advance is all
+    /// there is to replay.
+    pub fn advance_silent(&mut self, k: u32, leak: &crate::event::LeakTable) {
+        if k == 0 {
+            return;
+        }
+        for j in 0..self.n {
+            let r = self.refrac[j].min(k);
+            self.refrac[j] -= r;
+            let k_leak = k - r;
+            if k_leak == 0 {
+                continue;
+            }
+            if self.masks.vl_words[j >> 6] >> (j & 63) & 1 != 0 {
+                continue;
+            }
+            let v = i64::from(self.vmem[j]) - leak.total(k_leak);
+            self.vmem[j] = v.max(0) as i32;
+        }
+    }
 }
 
 /// Sample-major batched lane state: `batch` independent samples' membrane

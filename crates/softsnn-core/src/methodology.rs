@@ -8,6 +8,8 @@ use crate::protection::{ResetMonitor, PAPER_WINDOW};
 use snn_faults::fault_map::FaultMap;
 use snn_faults::injector::inject;
 use snn_faults::location::{FaultDomain, FaultSite, FaultSpace};
+pub use snn_hw::backend::EngineBackendKind;
+use snn_hw::backend::{AnyBackend, EngineBackend};
 use snn_hw::engine::{
     BatchResult, ComputeEngine, DirectRead, MultiMapResult, NeuronFaultOverlay, NoGuard,
     SpikeGuard, WeightReadPath,
@@ -191,6 +193,70 @@ impl EncodedTestSet {
     pub fn labels(&self) -> &[usize] {
         &self.labels
     }
+
+    /// Spike-activity statistics of the encoded trains — what grounds a
+    /// backend choice (and any `sparse_speedup` claim) in measured
+    /// sparsity rather than intuition.
+    pub fn activity_stats(&self) -> SpikeActivityStats {
+        SpikeActivityStats::of_trains(&self.trains)
+    }
+}
+
+/// Input spike-activity statistics of a set of encoded trains: how many
+/// events each simulated cycle carries and how often a cycle is fully
+/// silent. The silent fraction is the event backend's headroom — those
+/// are exactly the cycles it can skip.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpikeActivityStats {
+    /// Number of trains measured.
+    pub n_samples: usize,
+    /// Total simulated cycles across all trains.
+    pub total_cycles: usize,
+    /// Total input spike events across all cycles.
+    pub total_events: usize,
+    /// Cycles carrying no input event at all.
+    pub silent_cycles: usize,
+}
+
+impl SpikeActivityStats {
+    /// Measures a slice of spike trains (the [`EncodedTestSet`] method
+    /// delegates here; raw-train holders like bench fixtures can call it
+    /// directly).
+    pub fn of_trains(trains: &[SpikeTrain]) -> Self {
+        let mut stats = Self {
+            n_samples: trains.len(),
+            ..Self::default()
+        };
+        for train in trains {
+            for t in 0..train.n_steps() {
+                let events = train.step(t).len();
+                stats.total_cycles += 1;
+                stats.total_events += events;
+                if events == 0 {
+                    stats.silent_cycles += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Mean input events per simulated cycle.
+    pub fn events_per_cycle(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_events as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Fraction of cycles with no input event.
+    pub fn silent_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.silent_cycles as f64 / self.total_cycles as f64
+        }
+    }
 }
 
 /// A trained, quantized network deployed on the (bit-accurate) compute
@@ -203,7 +269,11 @@ impl EncodedTestSet {
 #[derive(Debug, Clone)]
 pub struct SoftSnnDeployment {
     qn: QuantizedNetwork,
-    engine: ComputeEngine,
+    /// The evaluate backend (dense by default; see
+    /// [`set_backend`](Self::set_backend)). Every evaluate entry point
+    /// drives it through the [`EngineBackend`] trait, so dense and
+    /// event-driven runs share one methodology code path.
+    engine: AnyBackend,
     assignment: Assignment,
     analysis: WeightAnalysis,
     monitor_window: u8,
@@ -241,7 +311,7 @@ impl SoftSnnDeployment {
     /// validation.
     pub fn new(qn: QuantizedNetwork, assignment: Assignment) -> Result<Self, MethodologyError> {
         let analysis = WeightAnalysis::of_clean_network(&qn);
-        let engine = ComputeEngine::for_network(&qn)?;
+        let engine = AnyBackend::dense(ComputeEngine::for_network(&qn)?);
         Ok(Self {
             qn,
             engine,
@@ -293,9 +363,23 @@ impl SoftSnnDeployment {
     }
 
     /// The engine (mutable access is deliberate: fault-injection studies
-    /// manipulate registers directly).
+    /// manipulate registers directly). Always the wrapped dense
+    /// [`ComputeEngine`] regardless of the active backend — it is the
+    /// shared state store and fault-injection surface.
     pub fn engine_mut(&mut self) -> &mut ComputeEngine {
-        &mut self.engine
+        self.engine.engine_mut()
+    }
+
+    /// The active evaluate backend.
+    pub fn backend(&self) -> EngineBackendKind {
+        self.engine.kind()
+    }
+
+    /// Switches the evaluate backend in place (state, faults, and the
+    /// crossbar carry over; delay-free results are bit-identical across
+    /// backends).
+    pub fn set_backend(&mut self, kind: EngineBackendKind) {
+        self.engine.set_kind(kind);
     }
 
     /// The clean-weight analysis driving the BnP configuration.
@@ -371,7 +455,7 @@ impl SoftSnnDeployment {
         self.engine.reload_parameters(&mut monitor);
         if !scenario.is_clean() {
             let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
-            inject(&mut self.engine, &map)?;
+            inject(self.engine.engine_mut(), &map)?;
         }
         let path = BoundedRead::new(bounding);
         let trains: Vec<SpikeTrain> = images
@@ -609,7 +693,7 @@ impl SoftSnnDeployment {
                 self.engine.reload_parameters(&mut NoGuard);
                 if !scenario.is_clean() {
                     let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
-                    inject(&mut self.engine, &map)?;
+                    inject(self.engine.engine_mut(), &map)?;
                 }
                 // `NoGuard` is stateless, so the batched pass is
                 // bit-identical to the historical per-sample loop.
@@ -620,7 +704,7 @@ impl SoftSnnDeployment {
                 self.engine.reload_parameters(&mut monitor);
                 if !scenario.is_clean() {
                     let map = FaultMap::generate(&space, scenario.rate, scenario.seed);
-                    inject(&mut self.engine, &map)?;
+                    inject(self.engine.engine_mut(), &map)?;
                 }
                 let path = BoundedRead::new(self.bounding_for(variant));
                 // Each sample observes a fresh clone of the reset monitor
@@ -647,7 +731,7 @@ impl SoftSnnDeployment {
                                 (sample_idx as u64) * runs as u64 + k as u64,
                             );
                             let map = FaultMap::generate(&space, exec_rate, exec_seed);
-                            inject(&mut self.engine, &map)?;
+                            inject(self.engine.engine_mut(), &map)?;
                         }
                         let counts = self
                             .engine

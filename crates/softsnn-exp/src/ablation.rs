@@ -14,12 +14,13 @@
 use crate::artifact::Json;
 use crate::profile::Profile;
 use crate::table::{fmt_f, Table};
-use crate::workbench::{point_seed, prepare, Bench, BASE_SEED};
+use crate::workbench::{point_seed, prepare_with_backend, Bench, BASE_SEED};
 use snn_data::workload::Workload;
 use snn_faults::grid::{GridRunner, GridSpec};
 use snn_faults::location::FaultDomain;
 use snn_sim::rng::seeded_rng;
 use softsnn_core::bounding::{BnpVariant, BoundingConfig};
+use softsnn_core::methodology::EngineBackendKind;
 use softsnn_core::methodology::FaultScenario;
 use softsnn_core::mitigation::Technique;
 
@@ -52,7 +53,20 @@ pub struct AblationResults {
 ///
 /// Propagates dataset/training/evaluation errors.
 pub fn run(profile: Profile) -> Result<AblationResults, Box<dyn std::error::Error>> {
-    let bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    run_with_backend(profile, EngineBackendKind::Dense)
+}
+
+/// [`run`], evaluating through an explicit engine backend (delay-free
+/// results are bit-identical across backends).
+///
+/// # Errors
+///
+/// Propagates dataset/training/evaluation errors.
+pub fn run_with_backend(
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> Result<AblationResults, Box<dyn std::error::Error>> {
+    let bench = prepare_with_backend(Workload::Mnist, profile.case_study_size(), profile, backend)?;
     let window = window_sweep(&bench)?;
     let threshold = threshold_sweep(&bench)?;
     let votes = vote_sweep(&bench)?;

@@ -29,20 +29,20 @@ fn main() {
         area.write_csv(out.join("fig14c_area.csv"))?;
         write_json(out.join("fig14.json"), &fig14::to_json(&f14))?;
 
-        let f3 = fig3::run(args.profile)?;
+        let f3 = fig3::run_with_backend(args.profile, args.backend)?;
         let t3a = fig3::accuracy_table(&f3);
         let t3b = fig3::overhead_table(&f3);
         println!("{}\n{}", t3a.render(), t3b.render());
         t3a.write_csv(out.join("fig3a_accuracy.csv"))?;
         t3b.write_csv(out.join("fig3b_overheads.csv"))?;
 
-        let f9 = fig9::run(args.profile)?;
+        let f9 = fig9::run_with_backend(args.profile, args.backend)?;
         let t9 = fig9::summary_table(&f9);
         println!("{}", t9.render());
         t9.write_csv(out.join("fig9_summary.csv"))?;
         fig9::histogram_table(&f9).write_csv(out.join("fig9_histograms.csv"))?;
 
-        let f10 = fig10::run(args.profile)?;
+        let f10 = fig10::run_with_backend(args.profile, args.backend)?;
         let t10a = fig10::per_op_table(&f10);
         let t10b = fig10::combined_table(&f10);
         println!("{}\n{}", t10a.render(), t10b.render());
@@ -50,7 +50,7 @@ fn main() {
         t10b.write_csv(out.join("fig10b_compute_engine.csv"))?;
         write_json(out.join("fig10.json"), &fig10::to_json(&f10))?;
 
-        let f13 = fig13::run(args.profile, &Workload::ALL)?;
+        let f13 = fig13::run_with_backend(args.profile, &Workload::ALL, args.backend)?;
         for &w in &Workload::ALL {
             let t = fig13::accuracy_table(&f13, w);
             println!("{}", t.render());
@@ -65,7 +65,7 @@ fn main() {
         }
         write_json(out.join("fig13.json"), &fig13::to_json(&f13))?;
 
-        let ab = ablation::run(args.profile)?;
+        let ab = ablation::run_with_backend(args.profile, args.backend)?;
         for sweep in [&ab.window, &ab.threshold, &ab.votes] {
             println!("{}", ablation::sweep_table(sweep).render());
         }

@@ -14,7 +14,7 @@ fn main() {
         }
     };
     eprintln!("[fig10] profile={}", args.profile);
-    let results = match fig10::run(args.profile) {
+    let results = match fig10::run_with_backend(args.profile, args.backend) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fig10 failed: {e}");

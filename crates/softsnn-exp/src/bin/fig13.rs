@@ -29,7 +29,7 @@ fn main() {
         args.profile,
         workloads.iter().map(|w| w.name()).collect::<Vec<_>>()
     );
-    let results = match fig13::run(args.profile, &workloads) {
+    let results = match fig13::run_with_backend(args.profile, &workloads, args.backend) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fig13 failed: {e}");

@@ -14,7 +14,7 @@ fn main() {
         }
     };
     eprintln!("[fig3] profile={}", args.profile);
-    let results = match fig3::run(args.profile) {
+    let results = match fig3::run_with_backend(args.profile, args.backend) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fig3 failed: {e}");

@@ -14,7 +14,7 @@ fn main() {
         }
     };
     eprintln!("[fig9] profile={}", args.profile);
-    let results = match fig9::run(args.profile) {
+    let results = match fig9::run_with_backend(args.profile, args.backend) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fig9 failed: {e}");

@@ -10,12 +10,13 @@
 use crate::artifact::Json;
 use crate::profile::Profile;
 use crate::table::{fmt_f, fmt_rate, Table};
-use crate::workbench::{prepare, Bench, BASE_SEED};
+use crate::workbench::{prepare_with_backend, Bench, BASE_SEED};
 use snn_data::workload::Workload;
 use snn_faults::grid::{GridRunner, GridSpec};
 use snn_faults::location::FaultDomain;
 use snn_faults::rate::{NEURON_OP_RATES, PAPER_RATES};
 use snn_hw::neuron_unit::NeuronOp;
+use softsnn_core::methodology::EngineBackendKind;
 use softsnn_core::methodology::FaultScenario;
 use softsnn_core::mitigation::Technique;
 
@@ -47,7 +48,20 @@ pub struct Fig10Results {
 ///
 /// Propagates dataset/training/evaluation errors.
 pub fn run(profile: Profile) -> Result<Fig10Results, Box<dyn std::error::Error>> {
-    let bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    run_with_backend(profile, EngineBackendKind::Dense)
+}
+
+/// [`run`], evaluating through an explicit engine backend (delay-free
+/// results are bit-identical across backends).
+///
+/// # Errors
+///
+/// Propagates dataset/training/evaluation errors.
+pub fn run_with_backend(
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> Result<Fig10Results, Box<dyn std::error::Error>> {
+    let bench = prepare_with_backend(Workload::Mnist, profile.case_study_size(), profile, backend)?;
     let per_op = run_per_op(&bench)?;
     let combined = run_combined(&bench)?;
     Ok(Fig10Results {

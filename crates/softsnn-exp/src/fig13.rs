@@ -5,11 +5,12 @@
 use crate::artifact::Json;
 use crate::profile::Profile;
 use crate::table::{fmt_f, fmt_rate, Table};
-use crate::workbench::{prepare, Bench, BASE_SEED};
+use crate::workbench::{prepare_with_backend, Bench, BASE_SEED};
 use snn_data::workload::Workload;
 use snn_faults::grid::{GridRunner, GridSpec};
 use snn_faults::location::FaultDomain;
 use snn_faults::rate::PAPER_RATES;
+use softsnn_core::methodology::EngineBackendKind;
 use softsnn_core::methodology::FaultScenario;
 use softsnn_core::mitigation::Technique;
 
@@ -53,11 +54,25 @@ pub fn run(
     profile: Profile,
     workloads: &[Workload],
 ) -> Result<Fig13Results, Box<dyn std::error::Error>> {
+    run_with_backend(profile, workloads, EngineBackendKind::Dense)
+}
+
+/// [`run`], evaluating every grid shard through an explicit engine
+/// backend (delay-free results are bit-identical across backends).
+///
+/// # Errors
+///
+/// Propagates dataset/training/evaluation errors.
+pub fn run_with_backend(
+    profile: Profile,
+    workloads: &[Workload],
+    backend: EngineBackendKind,
+) -> Result<Fig13Results, Box<dyn std::error::Error>> {
     let mut cells = Vec::new();
     let mut clean = Vec::new();
     for &workload in workloads {
         for &n in &profile.sizes() {
-            let bench = prepare(workload, n, profile)?;
+            let bench = prepare_with_backend(workload, n, profile, backend)?;
             clean.push((workload, n, bench.clean_accuracy));
             cells.extend(run_grid(&bench, profile)?);
         }

@@ -8,12 +8,13 @@
 
 use crate::profile::Profile;
 use crate::table::{fmt_f, fmt_rate, Table};
-use crate::workbench::{point_seed, prepare};
+use crate::workbench::{point_seed, prepare_with_backend};
 use snn_data::workload::Workload;
 use snn_faults::location::FaultDomain;
 use snn_faults::rate::PAPER_RATES;
 use snn_hw::params::EngineConfig;
 use snn_sim::rng::seeded_rng;
+use softsnn_core::methodology::EngineBackendKind;
 use softsnn_core::methodology::FaultScenario;
 use softsnn_core::mitigation::Technique;
 use softsnn_core::overhead::overhead_for;
@@ -51,7 +52,21 @@ pub const N_FAULT_MAPS: usize = 2;
 ///
 /// Propagates dataset/training/evaluation errors.
 pub fn run(profile: Profile) -> Result<Fig3Results, Box<dyn std::error::Error>> {
-    let mut bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    run_with_backend(profile, EngineBackendKind::Dense)
+}
+
+/// [`run`], evaluating through an explicit engine backend (delay-free
+/// results are bit-identical across backends).
+///
+/// # Errors
+///
+/// Propagates dataset/training/evaluation errors.
+pub fn run_with_backend(
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> Result<Fig3Results, Box<dyn std::error::Error>> {
+    let mut bench =
+        prepare_with_backend(Workload::Mnist, profile.case_study_size(), profile, backend)?;
     let mut accuracy = Vec::new();
     for (ri, &rate) in PAPER_RATES.iter().enumerate() {
         for map in 0..N_FAULT_MAPS {

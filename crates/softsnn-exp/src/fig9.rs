@@ -7,7 +7,7 @@
 
 use crate::profile::Profile;
 use crate::table::{fmt_f, Table};
-use crate::workbench::{point_seed, prepare};
+use crate::workbench::{point_seed, prepare_with_backend};
 use snn_data::workload::Workload;
 use snn_faults::fault_map::FaultMap;
 use snn_faults::injector::inject;
@@ -15,6 +15,7 @@ use snn_faults::location::{FaultDomain, FaultSpace};
 use snn_hw::engine::NoGuard;
 use snn_sim::metrics::Histogram;
 use softsnn_core::analysis::WeightAnalysis;
+use softsnn_core::methodology::EngineBackendKind;
 
 /// The histogrammed weight distributions of Fig. 9.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +40,21 @@ pub const FAULTY_RATE: f64 = 0.1;
 ///
 /// Propagates dataset/training/injection errors.
 pub fn run(profile: Profile) -> Result<Fig9Results, Box<dyn std::error::Error>> {
-    let mut bench = prepare(Workload::Mnist, profile.case_study_size(), profile)?;
+    run_with_backend(profile, EngineBackendKind::Dense)
+}
+
+/// [`run`], evaluating through an explicit engine backend (the weight
+/// analysis reads the shared dense fault-injection surface either way).
+///
+/// # Errors
+///
+/// Propagates dataset/training/injection errors.
+pub fn run_with_backend(
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> Result<Fig9Results, Box<dyn std::error::Error>> {
+    let mut bench =
+        prepare_with_backend(Workload::Mnist, profile.case_study_size(), profile, backend)?;
     let qn = bench.deployment.quantized().clone();
     let clean = WeightAnalysis::of_clean_network(&qn);
 

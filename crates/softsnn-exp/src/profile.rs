@@ -6,6 +6,7 @@
 //! that preserves the *shapes* of every figure; `--profile full`
 //! approaches paper scale when compute is available.
 
+use softsnn_core::methodology::EngineBackendKind;
 use std::fmt;
 use std::str::FromStr;
 
@@ -112,8 +113,9 @@ impl FromStr for Profile {
     }
 }
 
-/// Parses `--profile`, `--workload`, and `--out` style arguments shared by
-/// every experiment binary. Unknown flags are reported, not ignored.
+/// Parses `--profile`, `--workload`, `--backend`, and `--out` style
+/// arguments shared by every experiment binary. Unknown flags are
+/// reported, not ignored.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
     /// The selected scale profile.
@@ -122,6 +124,10 @@ pub struct CliArgs {
     pub workload: Option<String>,
     /// Output directory for CSV artifacts.
     pub out_dir: String,
+    /// Which engine backend deployments evaluate through (delay-free
+    /// results are bit-identical across backends; this is a performance
+    /// knob keyed to workload sparsity).
+    pub backend: EngineBackendKind,
 }
 
 impl Default for CliArgs {
@@ -130,6 +136,7 @@ impl Default for CliArgs {
             profile: Profile::Default,
             workload: None,
             out_dir: "results".to_owned(),
+            backend: EngineBackendKind::Dense,
         }
     }
 }
@@ -155,9 +162,21 @@ impl CliArgs {
                 "--out" => {
                     parsed.out_dir = it.next().ok_or("--out needs a value")?;
                 }
+                "--backend" => {
+                    let v = it.next().ok_or("--backend needs a value")?;
+                    parsed.backend = match v.to_ascii_lowercase().as_str() {
+                        "dense" => EngineBackendKind::Dense,
+                        "event" => EngineBackendKind::Event,
+                        other => {
+                            return Err(format!(
+                                "unknown backend `{other}` (expected dense|event)"
+                            ))
+                        }
+                    };
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument `{other}`; usage: [--profile smoke|quick|default|full] [--workload mnist|fashion] [--out DIR]"
+                        "unknown argument `{other}`; usage: [--profile smoke|quick|default|full] [--workload mnist|fashion] [--backend dense|event] [--out DIR]"
                     ))
                 }
             }
@@ -211,6 +230,17 @@ mod tests {
     fn cli_args_reject_unknown_flags() {
         assert!(CliArgs::parse(["--nope".to_owned()]).is_err());
         assert!(CliArgs::parse(["--profile".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn cli_args_parse_backend() {
+        let args = CliArgs::parse(["--backend", "event"].map(String::from)).unwrap();
+        assert_eq!(args.backend, EngineBackendKind::Event);
+        assert_eq!(
+            CliArgs::parse([]).unwrap().backend,
+            EngineBackendKind::Dense
+        );
+        assert!(CliArgs::parse(["--backend", "gpu"].map(String::from)).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use snn_data::workload::Workload;
 use snn_sim::config::SnnConfig;
 use snn_sim::rng::derive_seed;
 use softsnn_core::methodology::{
-    EncodedTestSet, MethodologyError, SoftSnnDeployment, TrainPipelineOptions,
+    EncodedTestSet, EngineBackendKind, MethodologyError, SoftSnnDeployment, TrainPipelineOptions,
 };
 
 /// Base seed all experiments derive theirs from, so the whole evaluation
@@ -53,6 +53,23 @@ pub fn prepare(
     n_neurons: usize,
     profile: Profile,
 ) -> Result<Bench, Box<dyn std::error::Error>> {
+    prepare_with_backend(workload, n_neurons, profile, EngineBackendKind::Dense)
+}
+
+/// [`prepare`], but with an explicit engine backend. Training and clean
+/// accuracy are measured on the dense backend first (delay-free results
+/// are bit-identical across backends), then the deployment is switched so
+/// every subsequent evaluation runs through `backend`.
+///
+/// # Errors
+///
+/// Propagates dataset and pipeline errors.
+pub fn prepare_with_backend(
+    workload: Workload,
+    n_neurons: usize,
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> Result<Bench, Box<dyn std::error::Error>> {
     let data_seed = derive_seed(BASE_SEED, n_neurons as u64);
     let (train, test, real) =
         workload.load_or_generate("data", profile.n_train(), profile.n_test(), data_seed)?;
@@ -80,6 +97,10 @@ pub fn prepare(
     )?;
     let clean = measure_clean(&mut deployment, &encoded)?;
     eprintln!("[workbench] {workload} N{n_neurons}: clean accuracy {clean:.1}%");
+    if backend != EngineBackendKind::Dense {
+        eprintln!("[workbench] {workload} N{n_neurons}: evaluating via {backend:?} backend");
+        deployment.set_backend(backend);
+    }
     Ok(Bench {
         workload,
         deployment,

@@ -1,0 +1,128 @@
+//! Deployment-level backend equivalence and the grid-shard reuse
+//! regression for the event-driven backend.
+//!
+//! The engine-layer proptests prove the backends bit-identical per
+//! call; these tests prove the *deployment* plumbing preserves that —
+//! every technique's evaluate path (including re-execution's repeated
+//! runs and BnP's guarded bounded reads) must produce identical
+//! accuracies through either backend, and a shard-style reused
+//! event-backend deployment clone must match fresh clones point for
+//! point (heal-on-entry recompiles the adjacency, so no state leaks
+//! across trials).
+
+use snn_faults::location::FaultDomain;
+use softsnn::data::workload::Workload;
+use softsnn::exp::profile::Profile;
+use softsnn::exp::workbench::{prepare, prepare_with_backend};
+use softsnn_core::methodology::{EngineBackendKind, FaultScenario};
+use softsnn_core::mitigation::Technique;
+
+/// Every paper technique, at a fault rate high enough to matter, must
+/// give bit-identical accuracy through the dense and event backends.
+#[test]
+fn techniques_are_bit_identical_across_backends() {
+    let dense_bench = prepare(Workload::Mnist, 100, Profile::Smoke).unwrap();
+    let event_bench = prepare_with_backend(
+        Workload::Mnist,
+        100,
+        Profile::Smoke,
+        EngineBackendKind::Event,
+    )
+    .unwrap();
+    assert_eq!(dense_bench.deployment.backend(), EngineBackendKind::Dense);
+    assert_eq!(event_bench.deployment.backend(), EngineBackendKind::Event);
+    let mut dense = dense_bench.deployment.clone();
+    let mut event = event_bench.deployment.clone();
+    for technique in Technique::PAPER_SET {
+        for domain in [FaultDomain::Synapses, FaultDomain::ComputeEngine] {
+            let scenario = FaultScenario {
+                domain,
+                rate: 0.05,
+                seed: 0xeb_1234,
+            };
+            let a = dense
+                .evaluate_encoded(technique, &scenario, &dense_bench.encoded)
+                .unwrap();
+            let b = event
+                .evaluate_encoded(technique, &scenario, &event_bench.encoded)
+                .unwrap();
+            assert_eq!(
+                a.accuracy_pct().to_bits(),
+                b.accuracy_pct().to_bits(),
+                "{technique} / {domain:?}: backends diverged ({} vs {})",
+                a.accuracy_pct(),
+                b.accuracy_pct()
+            );
+        }
+    }
+}
+
+/// The grid runner's shard discipline — one deployment clone reused
+/// across many points, healing on entry — must leak no state between
+/// trials on the event backend: a reused clone's point-by-point results
+/// equal a fresh clone per point, and equal the dense backend.
+#[test]
+fn event_backend_shard_reuse_leaks_no_state() {
+    let bench = prepare_with_backend(
+        Workload::Mnist,
+        100,
+        Profile::Smoke,
+        EngineBackendKind::Event,
+    )
+    .unwrap();
+    let dense_bench = prepare(Workload::Mnist, 100, Profile::Smoke).unwrap();
+    // Point list shaped like a shard: mixed techniques, domains, rates.
+    let points: Vec<(Technique, FaultScenario)> = (0..8)
+        .map(|i| {
+            (
+                Technique::PAPER_SET[i % 5],
+                FaultScenario {
+                    domain: if i % 2 == 0 {
+                        FaultDomain::ComputeEngine
+                    } else {
+                        FaultDomain::Synapses
+                    },
+                    rate: [0.02, 0.1][i % 2],
+                    seed: 0x5ead + i as u64,
+                },
+            )
+        })
+        .collect();
+    // One reused clone (shard-local discipline)...
+    let mut reused = bench.deployment.clone();
+    let via_reuse: Vec<u64> = points
+        .iter()
+        .map(|(t, s)| {
+            reused
+                .evaluate_encoded(*t, s, &bench.encoded)
+                .unwrap()
+                .accuracy_pct()
+                .to_bits()
+        })
+        .collect();
+    // ...versus a fresh clone per point, and the dense backend.
+    for (i, (t, s)) in points.iter().enumerate() {
+        let fresh = bench
+            .deployment
+            .clone()
+            .evaluate_encoded(*t, s, &bench.encoded)
+            .unwrap()
+            .accuracy_pct()
+            .to_bits();
+        assert_eq!(
+            via_reuse[i], fresh,
+            "point {i} ({t} / {s:?}): reused event-backend clone diverged from fresh clone"
+        );
+        let dense = dense_bench
+            .deployment
+            .clone()
+            .evaluate_encoded(*t, s, &dense_bench.encoded)
+            .unwrap()
+            .accuracy_pct()
+            .to_bits();
+        assert_eq!(
+            via_reuse[i], dense,
+            "point {i} ({t} / {s:?}): event backend diverged from dense"
+        );
+    }
+}
