@@ -57,7 +57,6 @@ impl From<std::io::Error> for DataError {
 /// assert_eq!(data.label(1), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dataset {
     width: usize,
     height: usize,

@@ -70,7 +70,14 @@ pub fn read_idx<R: Read>(mut reader: R) -> Result<IdxTensor, DataError> {
         reader.read_exact(&mut b)?;
         dims.push(u32::from_be_bytes(b) as usize);
     }
-    let total: usize = dims.iter().product();
+    // Checked: a corrupt header must fail cleanly, not overflow the
+    // element count (or try to allocate the wrapped-around "size").
+    let total = dims
+        .iter()
+        .try_fold(1_usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| DataError::ParseIdx {
+            detail: format!("dimension product overflows usize: {dims:?}"),
+        })?;
     let mut data = vec![0_u8; total];
     reader.read_exact(&mut data)?;
     Ok(IdxTensor { dims, data })
@@ -223,6 +230,22 @@ mod tests {
     fn rejects_unsupported_dtype() {
         let buf = vec![0, 0, 0x0D, 1, 0, 0, 0, 1, 0, 0, 0, 0]; // float dtype
         assert!(read_idx(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_dimension_product() {
+        // Regression: a corrupt header whose dims multiply past usize
+        // used to wrap around silently (allocating the wrapped size)
+        // instead of failing. Four maxed u32 dims overflow on every
+        // target width we build for.
+        let mut buf = vec![0, 0, 0x08, 4];
+        for _ in 0..4 {
+            buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        }
+        assert!(matches!(
+            read_idx(Cursor::new(buf)),
+            Err(DataError::ParseIdx { .. })
+        ));
     }
 
     #[test]

@@ -19,7 +19,6 @@ use crate::dataset::Dataset;
 /// assert_eq!(stats.class_counts.len(), 10);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatasetStats {
     /// Number of samples.
     pub n_samples: usize,

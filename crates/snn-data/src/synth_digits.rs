@@ -103,7 +103,6 @@ fn glyph(digit: usize) -> Vec<Vec<(f32, f32)>> {
 /// assert_eq!(data.n_classes(), 10);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthDigits {
     /// Image width (MNIST: 28).
     pub width: usize,

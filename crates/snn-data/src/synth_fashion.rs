@@ -37,7 +37,6 @@ pub const CLASS_NAMES: [&str; 10] = [
 /// assert_eq!(data.n_classes(), 10);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthFashion {
     /// Image width (Fashion-MNIST: 28).
     pub width: usize,

@@ -22,7 +22,6 @@ use std::path::Path;
 /// assert_eq!(test.len(), 20);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Workload {
     /// MNIST (or the MNIST-like [`SynthDigits`] substitute).
     Mnist,

@@ -31,7 +31,6 @@ use crate::location::FaultSpace;
 /// assert_eq!(result.values[0].len(), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Campaign {
     /// Fault rates to sweep.
     pub rates: Vec<f64>,
@@ -97,7 +96,6 @@ impl Campaign {
 
 /// Metric grid produced by [`Campaign::run`]: `values[rate_idx][trial]`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CampaignResult {
     /// The swept fault rates.
     pub rates: Vec<f64>,

@@ -25,7 +25,6 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(a.len(), 10); // 100*10 weight cells * 0.01
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultMap {
     space: FaultSpace,
     rate: f64,

@@ -2,13 +2,13 @@
 
 use crate::fault_map::FaultMap;
 use crate::location::FaultSite;
-use snn_hw::engine::ComputeEngine;
+use crate::permanent::StuckAtMap;
+use snn_hw::engine::{ComputeEngine, StuckWeightBit};
 use snn_hw::error::HwError;
 use snn_hw::neuron_unit::NeuronOp;
 
 /// What an injection actually touched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InjectionSummary {
     /// Weight-register bits flipped.
     pub bits_flipped: usize,
@@ -78,6 +78,34 @@ pub fn inject(engine: &mut ComputeEngine, map: &FaultMap) -> Result<InjectionSum
         }
     }
     Ok(summary)
+}
+
+/// Installs a permanent stuck-at map on `engine` and returns the number
+/// of sites installed. Unlike [`inject`], whose bit flips the next
+/// [`ComputeEngine::reload_parameters`] heals, the installed stuck bits
+/// **re-manifest after every reload** — the engine re-applies them on top
+/// of each freshly restored clean image (on every backend: the mutation
+/// epoch bump makes derived views recompile). Install with an empty map
+/// (or call [`ComputeEngine::clear_stuck_bits`]) to remove them.
+///
+/// # Errors
+///
+/// Returns [`HwError::IndexOutOfRange`] if the map was generated for a
+/// larger crossbar than `engine`'s (the engine is unchanged in that
+/// case).
+pub fn install_stuck_at(engine: &mut ComputeEngine, map: &StuckAtMap) -> Result<usize, HwError> {
+    let sites: Vec<StuckWeightBit> = map
+        .sites()
+        .iter()
+        .map(|s| StuckWeightBit {
+            row: s.row as usize,
+            col: s.col as usize,
+            bit: s.bit,
+            stuck_at: s.stuck_at,
+        })
+        .collect();
+    engine.install_stuck_bits(&sites)?;
+    Ok(sites.len())
 }
 
 #[cfg(test)]
@@ -220,6 +248,42 @@ mod tests {
         assert_eq!(stats.rebuilds, 1, "injection must not trigger a rebuild");
         assert_eq!(stats.patches as usize, map.n_weight_bits());
         assert_eq!(rebuilt.read_cache_stats().rebuilds, 2);
+    }
+
+    #[test]
+    fn stuck_at_map_survives_reload() {
+        let mut e = engine(8, 4);
+        let clean = e.crossbar().codes();
+        let space = FaultSpace::new(8, 4, FaultDomain::Synapses);
+        let map = StuckAtMap::generate(&space, 0.25, 6);
+        assert_eq!(install_stuck_at(&mut e, &map).unwrap(), map.len());
+        let mut expected = clean.clone();
+        for s in map.sites() {
+            let i = s.row as usize * 4 + s.col as usize;
+            expected[i] = s.apply(expected[i]);
+        }
+        assert_ne!(expected, clean);
+        // Unlike a transient flip, the heal does not clear a stuck bit.
+        e.reload_parameters(&mut snn_hw::engine::NoGuard);
+        assert_eq!(
+            e.crossbar().codes(),
+            expected,
+            "stuck bits must re-manifest after a parameter reload"
+        );
+        e.clear_stuck_bits();
+        e.reload_parameters(&mut snn_hw::engine::NoGuard);
+        assert_eq!(e.crossbar().codes(), clean);
+    }
+
+    #[test]
+    fn oversized_stuck_map_rejected() {
+        let mut e = engine(4, 2);
+        let space = FaultSpace::new(100, 50, FaultDomain::Synapses);
+        let map = StuckAtMap::generate(&space, 0.05, 4);
+        let before = e.crossbar().codes();
+        assert!(install_stuck_at(&mut e, &map).is_err());
+        assert!(e.stuck_bits().is_empty(), "failed install must not stick");
+        assert_eq!(e.crossbar().codes(), before);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod codec;
 pub mod fault_map;
 pub mod grid;
 pub mod injector;
@@ -41,11 +42,14 @@ pub mod location;
 pub mod parallel;
 pub mod permanent;
 pub mod rate;
+pub mod service;
 
 pub use campaign::{Campaign, CampaignResult};
+pub use codec::{Json, JsonCodec, JsonError};
 pub use fault_map::FaultMap;
 pub use grid::{Aggregate, CellKey, GridPointCtx, GridResults, GridRunner, GridSpec};
 pub use injector::{inject, InjectionSummary};
 pub use location::{FaultDomain, FaultSite, FaultSpace, RawLocation};
 pub use parallel::ParallelCampaign;
 pub use permanent::StuckAtMap;
+pub use service::{CampaignService, JobHandle, RunOptions, RunOutcome, ServiceError};

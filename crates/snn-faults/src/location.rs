@@ -10,7 +10,6 @@ use snn_hw::neuron_unit::NeuronOp;
 /// flips ("we flip the stored bit", Sec. 2.2); the bit position is chosen
 /// uniformly during fault-map generation, so a concrete site carries it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FaultSite {
     /// One bit flip inside one weight register.
     WeightBit {
@@ -33,7 +32,6 @@ pub enum FaultSite {
 /// A potential fault *location* before a strike materializes (no bit
 /// position yet for weight cells).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RawLocation {
     /// One weight register (memory cell).
     WeightCell {
@@ -58,7 +56,6 @@ pub enum RawLocation {
 /// single operation type (Fig. 10a) — and the full compute engine
 /// (Figs. 10b, 13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FaultDomain {
     /// Weight-register bits only.
     Synapses,
@@ -82,7 +79,6 @@ pub enum FaultDomain {
 /// assert_eq!(space.total_locations(), 784 * 400); // one per weight cell
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultSpace {
     /// Crossbar rows (inputs).
     pub rows: usize,

@@ -22,7 +22,6 @@ use snn_hw::crossbar::Crossbar;
 
 /// One permanently stuck register bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StuckBit {
     /// Crossbar row (input index).
     pub row: u32,
@@ -59,7 +58,6 @@ impl StuckBit {
 /// assert_eq!(map.len(), (64.0_f64 * 16.0 * 0.05).round() as usize);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StuckAtMap {
     sites: Vec<StuckBit>,
 }

@@ -1,0 +1,860 @@
+//! Campaign-as-a-service: resumable, checkpointed grid execution.
+//!
+//! The figure binaries run a [`GridSpec`] one-shot: lose the process half
+//! way through a full-profile sweep and every finished cell is gone. This
+//! module turns a grid into a **job** backed by a directory:
+//!
+//! ```text
+//! <root>/<job>/job.json            spec + fingerprint + format version
+//! <root>/<job>/cells/c012_003.json one checkpoint per completed cell
+//! ```
+//!
+//! Each completed [`Aggregate`] cell is checkpointed as it lands (written
+//! to a unique tmp file, then atomically renamed — a crash never leaves a
+//! half-written checkpoint under the final name), and a resumed run skips
+//! every valid checkpoint and re-executes exactly the missing cells. The
+//! per-point seeds make resumption *exact*: a cell's inputs are fully
+//! determined by the spec, so the reassembled [`GridResults`] is
+//! bit-identical to an uninterrupted run (pinned by root
+//! `tests/checkpoint_resume.rs`).
+//!
+//! **The seed formula is the checkpoint key.** Every cell file records the
+//! per-trial seeds it was computed with, and the loader recomputes
+//! [`GridSpec::seed_for`] and rejects the cell on any mismatch. A change
+//! to the workspace seed stream therefore invalidates checkpoint
+//! directories loudly instead of splicing stale trials into fresh grids —
+//! and MUST be accompanied by a [`FORMAT_VERSION`] bump.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use snn_sim::parallel::parallel_map;
+
+use crate::codec::{u64_json, Json, JsonCodec};
+use crate::grid::{Aggregate, CellKey, GridPointCtx, GridResults, GridSpec};
+
+/// On-disk checkpoint format version. Bump whenever the cell layout *or
+/// the workspace seed formula* changes — stored seeds are validated
+/// against [`GridSpec::seed_for`], so a silent seed-stream change would
+/// otherwise only be caught cell by cell.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Why a service operation failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Filesystem trouble, with the path involved.
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A job or checkpoint file exists but does not decode or validate.
+    Format {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A resubmitted job's spec or fingerprint disagrees with the one on
+    /// disk — resuming it would splice checkpoints from a different grid.
+    SpecMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io { path, source } => {
+                write!(f, "campaign I/O error at {}: {source}", path.display())
+            }
+            ServiceError::Format { path, detail } => {
+                write!(f, "bad campaign file {}: {detail}", path.display())
+            }
+            ServiceError::SpecMismatch { detail } => {
+                write!(f, "job spec mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ServiceError {
+    fn io(path: &Path, source: io::Error) -> Self {
+        ServiceError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    fn format(path: &Path, detail: impl Into<String>) -> Self {
+        ServiceError::Format {
+            path: path.to_path_buf(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A failed [`JobHandle::run`]: either the service layer broke (I/O,
+/// corrupt job metadata) or the evaluation closure did.
+#[derive(Debug)]
+pub enum RunError<E> {
+    /// The checkpoint/metadata layer failed.
+    Service(ServiceError),
+    /// The evaluation closure failed (first failing cell in cell order).
+    Eval(E),
+}
+
+impl<E> From<ServiceError> for RunError<E> {
+    fn from(e: ServiceError) -> Self {
+        RunError::Service(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for RunError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Service(e) => e.fmt(f),
+            RunError::Eval(e) => write!(f, "cell evaluation failed: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for RunError<E> {}
+
+/// Options for one [`JobHandle::run`] pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Evaluate at most this many missing cells, then stop with
+    /// [`RunOutcome::Interrupted`]. `None` runs the job to completion.
+    /// This is the deterministic "kill it mid-grid" lever the resume
+    /// tests and the CI smoke gate use.
+    pub max_cells: Option<usize>,
+}
+
+/// What one [`JobHandle::run`] pass accomplished.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Every cell is checkpointed; the grid was reassembled.
+    Complete(GridResults),
+    /// The pass stopped early (see [`RunOptions::max_cells`]).
+    Interrupted {
+        /// Cells with a valid checkpoint after this pass.
+        done: usize,
+        /// Total cells in the grid.
+        total: usize,
+    },
+}
+
+/// Per-job progress snapshot ([`JobHandle::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Total cells in the grid.
+    pub total_cells: usize,
+    /// Cells with a valid checkpoint.
+    pub done_cells: usize,
+    /// Cells whose checkpoint file exists but fails validation (corrupt,
+    /// truncated, wrong seeds, wrong version) — these re-run on resume.
+    pub invalid_cells: Vec<CellKey>,
+}
+
+impl JobStatus {
+    /// Whether every cell has a valid checkpoint.
+    pub fn is_complete(&self) -> bool {
+        self.done_cells == self.total_cells
+    }
+}
+
+/// The campaign store: a root directory holding one subdirectory per
+/// submitted job.
+#[derive(Debug, Clone)]
+pub struct CampaignService {
+    root: PathBuf,
+}
+
+impl CampaignService {
+    /// Opens (or designates) a campaign root. The directory is created
+    /// lazily on first submit.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn job_dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Submits a job: writes `job.json` if the job is new, or validates
+    /// that the existing job on disk was built from the *same* spec and
+    /// fingerprint (making `submit` idempotent and resume-safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on I/O failure, on a corrupt existing
+    /// `job.json`, or when the existing job disagrees with `spec` /
+    /// `fingerprint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or contains path separators — job names
+    /// are directory names, not paths.
+    pub fn submit(
+        &self,
+        name: &str,
+        spec: GridSpec,
+        fingerprint: Option<u64>,
+    ) -> Result<JobHandle, ServiceError> {
+        assert!(
+            !name.is_empty() && !name.contains(['/', '\\']),
+            "job names are single path components"
+        );
+        let dir = self.job_dir(name);
+        let job_path = dir.join("job.json");
+        if job_path.exists() {
+            let existing = JobHandle::load(dir)?;
+            if existing.spec != spec {
+                return Err(ServiceError::SpecMismatch {
+                    detail: format!("job `{name}` exists with a different grid spec"),
+                });
+            }
+            if existing.fingerprint != fingerprint {
+                return Err(ServiceError::SpecMismatch {
+                    detail: format!(
+                        "job `{name}` exists with fingerprint {:?}, resubmitted with {:?}",
+                        existing.fingerprint, fingerprint
+                    ),
+                });
+            }
+            return Ok(existing);
+        }
+        fs::create_dir_all(dir.join("cells")).map_err(|e| ServiceError::io(&dir, e))?;
+        let job = JobHandle {
+            dir,
+            name: name.to_owned(),
+            spec,
+            fingerprint,
+        };
+        let mut fields = vec![
+            ("format_version", Json::Num(FORMAT_VERSION as f64)),
+            ("spec", job.spec.to_json()),
+        ];
+        if let Some(fp) = fingerprint {
+            fields.push(("fingerprint", u64_json(fp)));
+        }
+        write_atomic(&job_path, &Json::obj(fields).render())?;
+        Ok(job)
+    }
+
+    /// Opens an existing job by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when the job does not exist or its
+    /// `job.json` is corrupt.
+    pub fn open(&self, name: &str) -> Result<JobHandle, ServiceError> {
+        JobHandle::load(self.job_dir(name))
+    }
+
+    /// Lists submitted job names (directories containing a `job.json`),
+    /// sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on I/O failure; a missing root is an
+    /// empty listing, not an error.
+    pub fn jobs(&self) -> Result<Vec<String>, ServiceError> {
+        let mut names = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(ServiceError::io(&self.root, e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| ServiceError::io(&self.root, e))?;
+            if entry.path().join("job.json").is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// One submitted job: a spec bound to its checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    dir: PathBuf,
+    name: String,
+    spec: GridSpec,
+    fingerprint: Option<u64>,
+}
+
+impl JobHandle {
+    fn load(dir: PathBuf) -> Result<Self, ServiceError> {
+        let job_path = dir.join("job.json");
+        let text = fs::read_to_string(&job_path).map_err(|e| ServiceError::io(&job_path, e))?;
+        let json =
+            Json::parse(&text).map_err(|e| ServiceError::format(&job_path, e.to_string()))?;
+        let version = json
+            .usize_field("format_version")
+            .map_err(|e| ServiceError::format(&job_path, e.to_string()))?;
+        if version as u64 != FORMAT_VERSION {
+            return Err(ServiceError::format(
+                &job_path,
+                format!("format version {version}, this build expects {FORMAT_VERSION}"),
+            ));
+        }
+        let spec = json
+            .field("spec")
+            .and_then(GridSpec::from_json)
+            .map_err(|e| ServiceError::format(&job_path, e.to_string()))?;
+        let fingerprint =
+            match json.get("fingerprint") {
+                Some(v) => Some(v.as_str().and_then(|s| s.parse::<u64>().ok()).ok_or_else(
+                    || ServiceError::format(&job_path, "fingerprint must be a decimal u64 string"),
+                )?),
+                None => None,
+            };
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Ok(Self {
+            dir,
+            name,
+            spec,
+            fingerprint,
+        })
+    }
+
+    /// The job's name (its directory name under the service root).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job's grid spec.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// The config fingerprint recorded at submit time, if any.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// The job's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, key: CellKey) -> PathBuf {
+        self.dir.join("cells").join(format!(
+            "c{:03}_{:03}.json",
+            key.technique_idx, key.rate_idx
+        ))
+    }
+
+    fn cell_keys(&self) -> Vec<CellKey> {
+        let mut keys = Vec::with_capacity(self.spec.n_cells());
+        for technique_idx in 0..self.spec.techniques.len() {
+            for rate_idx in 0..self.spec.rates.len() {
+                keys.push(CellKey {
+                    technique_idx,
+                    rate_idx,
+                });
+            }
+        }
+        keys
+    }
+
+    /// The flat-order [`GridPointCtx`]s of one cell (all its trials,
+    /// contiguous by the spec's point order).
+    fn cell_points(&self, key: CellKey) -> Vec<GridPointCtx> {
+        let cell = key.technique_idx * self.spec.rates.len() + key.rate_idx;
+        let first = cell * self.spec.trials;
+        (first..first + self.spec.trials)
+            .map(|i| self.spec.point(i))
+            .collect()
+    }
+
+    /// Loads and validates one cell checkpoint. `Ok(None)` means "no
+    /// file"; a file that exists but fails *any* validation (parse error,
+    /// version/key/axis mismatch, wrong trial count, seed-formula
+    /// mismatch, inconsistent mean/std) is reported as `Err` so callers
+    /// can distinguish "never ran" from "corrupt, will re-run".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on I/O failure or a failed validation.
+    pub fn load_cell(&self, key: CellKey) -> Result<Option<Aggregate>, ServiceError> {
+        let path = self.cell_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServiceError::io(&path, e)),
+        };
+        let bad = |detail: String| ServiceError::format(&path, detail);
+        let json = Json::parse(&text).map_err(|e| bad(e.to_string()))?;
+        let version = json
+            .usize_field("format_version")
+            .map_err(|e| bad(e.to_string()))?;
+        if version as u64 != FORMAT_VERSION {
+            return Err(bad(format!(
+                "format version {version}, this build expects {FORMAT_VERSION}"
+            )));
+        }
+        let cell = json
+            .field("cell")
+            .and_then(Aggregate::from_json)
+            .map_err(|e| bad(e.to_string()))?;
+        if cell.key != key {
+            return Err(bad(format!(
+                "cell file addressed ({}, {}) but holds ({}, {})",
+                key.technique_idx, key.rate_idx, cell.key.technique_idx, cell.key.rate_idx
+            )));
+        }
+        if cell.technique != self.spec.techniques[key.technique_idx] {
+            return Err(bad(format!(
+                "technique label `{}` disagrees with spec `{}`",
+                cell.technique, self.spec.techniques[key.technique_idx]
+            )));
+        }
+        if cell.rate.to_bits() != self.spec.rates[key.rate_idx].to_bits() {
+            return Err(bad(format!(
+                "rate {} disagrees with spec rate {}",
+                cell.rate, self.spec.rates[key.rate_idx]
+            )));
+        }
+        if cell.trials.len() != self.spec.trials {
+            return Err(bad(format!(
+                "{} trials stored, spec wants {}",
+                cell.trials.len(),
+                self.spec.trials
+            )));
+        }
+        // The seed-formula pin: stored seeds must equal what the spec
+        // derives today, trial for trial. A seed-stream change makes
+        // every old checkpoint fail here (and must bump FORMAT_VERSION).
+        let seeds = json.arr_field("seeds").map_err(|e| bad(e.to_string()))?;
+        if seeds.len() != self.spec.trials {
+            return Err(bad(format!(
+                "{} seeds stored, spec wants {}",
+                seeds.len(),
+                self.spec.trials
+            )));
+        }
+        for (trial, seed_json) in seeds.iter().enumerate() {
+            let stored = seed_json
+                .as_str()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad(format!("seed {trial} is not a decimal u64 string")))?;
+            let expected = self.spec.seed_for(key.rate_idx, trial, key.technique_idx);
+            if stored != expected {
+                return Err(bad(format!(
+                    "seed {trial} is {stored}, seed formula derives {expected} \
+                     (stale checkpoint from a different seed stream?)"
+                )));
+            }
+        }
+        // Aggregates must be self-consistent with their trials.
+        let expected = snn_sim::metrics::mean(&cell.trials);
+        if cell.mean.to_bits() != expected.to_bits() {
+            return Err(bad(format!(
+                "stored mean {} disagrees with trials (expected {expected})",
+                cell.mean
+            )));
+        }
+        let expected = snn_sim::metrics::std_dev(&cell.trials);
+        if cell.std_dev.to_bits() != expected.to_bits() {
+            return Err(bad(format!(
+                "stored std_dev {} disagrees with trials (expected {expected})",
+                cell.std_dev
+            )));
+        }
+        Ok(Some(cell))
+    }
+
+    /// Writes one cell checkpoint atomically (unique tmp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] on I/O failure.
+    pub fn store_cell(&self, cell: &Aggregate) -> Result<(), ServiceError> {
+        let points = self.cell_points(cell.key);
+        let json = Json::obj([
+            ("format_version", Json::Num(FORMAT_VERSION as f64)),
+            ("cell", cell.to_json()),
+            (
+                "seeds",
+                Json::Arr(points.iter().map(|p| u64_json(p.seed)).collect()),
+            ),
+        ]);
+        write_atomic(&self.cell_path(cell.key), &json.render())
+    }
+
+    /// Scans every cell checkpoint and reports progress. Invalid files
+    /// are listed, not errors — resume treats them as missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] only on I/O failure.
+    pub fn status(&self) -> Result<JobStatus, ServiceError> {
+        let mut done = 0;
+        let mut invalid = Vec::new();
+        for key in self.cell_keys() {
+            match self.load_cell(key) {
+                Ok(Some(_)) => done += 1,
+                Ok(None) => {}
+                Err(ServiceError::Format { .. }) => invalid.push(key),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(JobStatus {
+            total_cells: self.spec.n_cells(),
+            done_cells: done,
+            invalid_cells: invalid,
+        })
+    }
+
+    /// The cells a resume pass must (re-)run, in cell order: cells with
+    /// no checkpoint plus cells whose checkpoint fails validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] only on I/O failure.
+    pub fn missing_cells(&self) -> Result<Vec<CellKey>, ServiceError> {
+        let mut missing = Vec::new();
+        for key in self.cell_keys() {
+            match self.load_cell(key) {
+                Ok(Some(_)) => {}
+                Ok(None) => missing.push(key),
+                Err(ServiceError::Format { .. }) => missing.push(key),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(missing)
+    }
+
+    /// Runs (or resumes) the job: evaluates every missing cell — in
+    /// parallel across cells, each with its own clone of `proto`,
+    /// checkpointing each cell as it lands — then reassembles the full
+    /// grid from checkpoints if everything is present.
+    ///
+    /// The closure has the same shape as [`crate::grid::GridRunner::
+    /// run_grouped`]'s: it receives one cell's contiguous trial points
+    /// and returns one value per point, so the figure harness's grouped
+    /// evaluation (multi-map batching included) plugs in unchanged.
+    ///
+    /// The reassembled [`GridResults`] is produced by
+    /// [`GridResults::aggregate`] over the checkpointed per-trial values
+    /// — the same single pass an uninterrupted [`GridRunner`]
+    /// (crate::grid::GridRunner) run performs — so resume is
+    /// bit-identical, not approximately equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's error in cell order
+    /// ([`RunError::Eval`]), or [`RunError::Service`] on checkpoint I/O
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure returns the wrong number of values for a
+    /// cell.
+    pub fn run<S, E, F>(&self, proto: &S, opts: RunOptions, f: F) -> Result<RunOutcome, RunError<E>>
+    where
+        S: Clone + Sync,
+        E: Send,
+        F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E> + Sync,
+    {
+        let missing = self.missing_cells()?;
+        let budget = opts.max_cells.unwrap_or(missing.len()).min(missing.len());
+        let selected = &missing[..budget];
+        let outcomes: Vec<Result<(), RunError<E>>> = parallel_map(selected, |&key| {
+            let points = self.cell_points(key);
+            let mut state = proto.clone();
+            let values = f(&mut state, &points).map_err(RunError::Eval)?;
+            assert_eq!(
+                values.len(),
+                points.len(),
+                "cell closure must return one value per point"
+            );
+            let cell = Aggregate {
+                key,
+                technique: self.spec.techniques[key.technique_idx].clone(),
+                rate: self.spec.rates[key.rate_idx],
+                mean: snn_sim::metrics::mean(&values),
+                std_dev: snn_sim::metrics::std_dev(&values),
+                trials: values,
+            };
+            self.store_cell(&cell)?;
+            Ok(())
+        });
+        for outcome in outcomes {
+            outcome?;
+        }
+        if budget < missing.len() {
+            return Ok(RunOutcome::Interrupted {
+                done: self.spec.n_cells() - (missing.len() - budget),
+                total: self.spec.n_cells(),
+            });
+        }
+        let results = self.results()?.expect("all cells just checkpointed");
+        Ok(RunOutcome::Complete(results))
+    }
+
+    /// Reassembles the full grid from checkpoints: `Ok(None)` while any
+    /// cell is missing or invalid. Aggregation re-runs
+    /// [`GridResults::aggregate`] over the stored per-trial values, so
+    /// the result is bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] only on I/O failure.
+    pub fn results(&self) -> Result<Option<GridResults>, ServiceError> {
+        let mut values = Vec::with_capacity(self.spec.n_points());
+        for key in self.cell_keys() {
+            match self.load_cell(key) {
+                Ok(Some(cell)) => values.extend(cell.trials),
+                Ok(None) => return Ok(None),
+                Err(ServiceError::Format { .. }) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Some(GridResults::aggregate(&self.spec, &values)))
+    }
+}
+
+/// Process-unique counter making concurrent tmp-file names distinct.
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `text` (plus a trailing newline) to `path` atomically: the
+/// bytes land under a unique tmp name first and are renamed into place,
+/// so readers never observe a torn file and a crash leaves at worst an
+/// orphaned `.tmp` that validation ignores.
+fn write_atomic(path: &Path, text: &str) -> Result<(), ServiceError> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(parent).map_err(|e| ServiceError::io(parent, e))?;
+    let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}.{nonce}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let mut contents = String::with_capacity(text.len() + 1);
+    contents.push_str(text);
+    contents.push('\n');
+    fs::write(&tmp, contents).map_err(|e| ServiceError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        ServiceError::io(path, e)
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "snn_service_{tag}_{}_{}",
+            std::process::id(),
+            TMP_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(
+            13,
+            0x50F7_511F,
+            vec!["a".into(), "b".into()],
+            vec![0.001, 0.1, 0.25],
+            3,
+        )
+    }
+
+    /// The evaluation every test uses: deterministic per-point values
+    /// derived from the seed, so reruns are bit-identical by construction
+    /// and any seed drift changes the answer.
+    fn eval(_: &mut (), points: &[GridPointCtx]) -> Result<Vec<f64>, Infallible> {
+        Ok(points
+            .iter()
+            .map(|p| (p.seed % 1000) as f64 / 16.0 + p.rate)
+            .collect())
+    }
+
+    fn reference_results() -> GridResults {
+        let spec = spec();
+        let values: Vec<f64> = spec
+            .points()
+            .iter()
+            .map(|p| (p.seed % 1000) as f64 / 16.0 + p.rate)
+            .collect();
+        GridResults::aggregate(&spec, &values)
+    }
+
+    #[test]
+    fn one_shot_run_completes_and_matches_gridrunner() {
+        let root = temp_root("oneshot");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), Some(7)).unwrap();
+        let outcome = job.run(&(), RunOptions::default(), eval).unwrap();
+        match outcome {
+            RunOutcome::Complete(results) => assert_eq!(results, reference_results()),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(job.status().unwrap().is_complete());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let root = temp_root("resume");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        // First pass: only 2 of the 6 cells.
+        let outcome = job
+            .run(&(), RunOptions { max_cells: Some(2) }, eval)
+            .unwrap();
+        match outcome {
+            RunOutcome::Interrupted { done, total } => {
+                assert_eq!((done, total), (2, 6));
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        assert!(job.results().unwrap().is_none());
+        // Resume through a fresh handle (as the CLI would).
+        let job2 = service.open("j").unwrap();
+        assert_eq!(job2.missing_cells().unwrap().len(), 4);
+        let outcome = job2.run(&(), RunOptions::default(), eval).unwrap();
+        match outcome {
+            RunOutcome::Complete(results) => assert_eq!(results, reference_results()),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_cells_rerun_on_resume() {
+        let root = temp_root("corrupt");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        job.run(&(), RunOptions::default(), eval).unwrap();
+        // Truncate one checkpoint, garble another.
+        let k0 = CellKey {
+            technique_idx: 0,
+            rate_idx: 1,
+        };
+        let k1 = CellKey {
+            technique_idx: 1,
+            rate_idx: 2,
+        };
+        let p0 = job.cell_path(k0);
+        let full = fs::read_to_string(&p0).unwrap();
+        fs::write(&p0, &full[..full.len() / 2]).unwrap();
+        fs::write(job.cell_path(k1), "not json at all").unwrap();
+        let status = job.status().unwrap();
+        assert_eq!(status.done_cells, 4);
+        assert_eq!(status.invalid_cells, vec![k0, k1]);
+        assert_eq!(job.missing_cells().unwrap(), vec![k0, k1]);
+        assert!(
+            job.results().unwrap().is_none(),
+            "corrupt cells block results"
+        );
+        let outcome = job.run(&(), RunOptions::default(), eval).unwrap();
+        match outcome {
+            RunOutcome::Complete(results) => assert_eq!(results, reference_results()),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_seed_stream_is_rejected() {
+        let root = temp_root("seeds");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        job.run(&(), RunOptions::default(), eval).unwrap();
+        // Simulate a checkpoint written under a different seed formula by
+        // rewriting one stored seed.
+        let key = CellKey {
+            technique_idx: 0,
+            rate_idx: 0,
+        };
+        let path = job.cell_path(key);
+        let text = fs::read_to_string(&path).unwrap();
+        let real_seed = job.spec().seed_for(0, 0, 0).to_string();
+        let tampered = text.replace(&real_seed, "12345");
+        assert_ne!(text, tampered, "seed must appear in the checkpoint");
+        fs::write(&path, tampered).unwrap();
+        assert!(matches!(
+            job.load_cell(key),
+            Err(ServiceError::Format { .. })
+        ));
+        assert_eq!(job.missing_cells().unwrap(), vec![key]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn submit_is_idempotent_but_rejects_mismatches() {
+        let root = temp_root("submit");
+        let service = CampaignService::new(&root);
+        service.submit("j", spec(), Some(1)).unwrap();
+        // Same spec + fingerprint: fine (resume path).
+        service.submit("j", spec(), Some(1)).unwrap();
+        // Different fingerprint: refused.
+        assert!(matches!(
+            service.submit("j", spec(), Some(2)),
+            Err(ServiceError::SpecMismatch { .. })
+        ));
+        // Different spec: refused.
+        let mut other = spec();
+        other.trials = 5;
+        assert!(matches!(
+            service.submit("j", other, Some(1)),
+            Err(ServiceError::SpecMismatch { .. })
+        ));
+        assert_eq!(service.jobs().unwrap(), vec!["j".to_owned()]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn eval_errors_surface_and_leave_good_cells_checkpointed() {
+        let root = temp_root("evalerr");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        let result = job.run(&(), RunOptions::default(), |_: &mut (), points| {
+            if points[0].technique_idx == 1 {
+                Err("boom")
+            } else {
+                Ok(points.iter().map(|p| p.seed as f64).collect())
+            }
+        });
+        assert!(matches!(result, Err(RunError::Eval("boom"))));
+        // Technique-0 cells landed before the failure surfaced.
+        let status = job.status().unwrap();
+        assert_eq!(status.done_cells, 3);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -16,7 +16,6 @@ use crate::params::EngineConfig;
 /// assert!(base.total_ge() > 1e6); // a 64k-synapse crossbar is large
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AreaBreakdown {
     /// Baseline synapse crossbar (registers + adders).
     pub synapse_array_ge: f64,

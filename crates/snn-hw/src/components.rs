@@ -28,7 +28,6 @@
 /// assert!(hardened.area_ge() > c.area_ge());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Component {
     /// Human-readable block name (appears in synthesis-style reports).
     pub name: &'static str,
@@ -135,7 +134,6 @@ pub mod enhancement {
 /// Describes the hardware added to the baseline engine by a mitigation
 /// technique, plus its effect on the clock period.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineEnhancement {
     /// Display name (e.g. `"BnP1"`).
     pub name: String,

@@ -32,7 +32,6 @@ use crate::weight_register::WeightRegister;
 /// assert_eq!(xbar.read(0, 1), 40);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Crossbar {
     rows: usize,
     cols: usize,

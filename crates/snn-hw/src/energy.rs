@@ -7,7 +7,6 @@ use crate::params::EngineConfig;
 
 /// Average-power breakdown of a (possibly enhanced) engine, µW.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerBreakdown {
     /// Baseline crossbar + neurons + control.
     pub base_uw: f64,
@@ -58,7 +57,6 @@ pub fn engine_power(cfg: EngineConfig, enhancement: &EngineEnhancement) -> Power
 
 /// An energy estimate for one inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyEstimate {
     /// The latency this energy was computed over.
     pub latency: LatencyEstimate,

@@ -467,6 +467,39 @@ impl MultiMapResult {
     }
 }
 
+/// One permanently stuck weight-register bit, installed on the engine
+/// (see [`ComputeEngine::install_stuck_bits`]). Unlike a transient flip
+/// ([`ComputeEngine::flip_weight_bit`]), a stuck bit survives parameter
+/// reloads: every [`reload_parameters`](ComputeEngine::reload_parameters)
+/// re-manifests it onto the freshly restored clean image.
+///
+/// This is the engine-side mirror of the fault model's stuck-at site type
+/// (the dependency points the other way, so the fault crates convert into
+/// this type when installing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckWeightBit {
+    /// Crossbar row (input index).
+    pub row: usize,
+    /// Crossbar column (neuron index).
+    pub col: usize,
+    /// Bit position (0 = LSB).
+    pub bit: u8,
+    /// The value the bit is stuck at.
+    pub stuck_at: bool,
+}
+
+impl StuckWeightBit {
+    /// The register code as it would actually be read with this bit
+    /// stuck.
+    fn apply(self, code: u8) -> u8 {
+        if self.stuck_at {
+            code | (1 << self.bit)
+        } else {
+            code & !(1 << self.bit)
+        }
+    }
+}
+
 /// The compute engine of the paper's Fig. 5, in integer arithmetic.
 ///
 /// # Examples
@@ -519,6 +552,10 @@ pub struct ComputeEngine {
     clean_cache: Vec<u8>,
     clean_cache_key: ReadCacheKey,
     clean_cache_table: [u8; 256],
+    /// Permanent stuck-at faults (see [`StuckWeightBit`]): re-applied to
+    /// the registers at the end of every parameter reload, so healing
+    /// never clears them — the stuck-at persistence contract.
+    stuck_bits: Vec<StuckWeightBit>,
     /// Whether any register may differ from `clean_codes` (set at the
     /// mutation APIs, cleared by parameter reload).
     crossbar_dirty: bool,
@@ -621,6 +658,7 @@ impl ComputeEngine {
             clean_cache: Vec::new(),
             clean_cache_key: ReadCacheKey::Invalid,
             clean_cache_table: [0; 256],
+            stuck_bits: Vec::new(),
             crossbar_dirty: false,
             cache_stats: ReadCacheStats::default(),
             mutation_epoch: 0,
@@ -696,23 +734,114 @@ impl ComputeEngine {
         self.crossbar.flip_bit(row, col, bit)?;
         self.crossbar_dirty = true;
         self.mutation_epoch += 1;
-        if self.read_cache_key != ReadCacheKey::Invalid {
-            let code = self.crossbar.read(row, col);
-            let transformed = match self.read_cache_key {
-                ReadCacheKey::Bounded { threshold, default } => {
-                    if code > threshold {
-                        default
-                    } else {
-                        code
-                    }
-                }
-                ReadCacheKey::Table => self.read_cache_table[code as usize],
-                ReadCacheKey::Invalid => unreachable!("guarded above"),
-            };
-            self.read_cache[row * self.n_neurons + col] = transformed;
-            self.cache_stats.patches += 1;
-        }
+        self.patch_cache_entry(row, col);
         Ok(())
+    }
+
+    /// Re-derives one transformed-crossbar cache entry from the register's
+    /// current code (no-op when no transform image is active). Read paths
+    /// are pure per-register functions, so a single-register change never
+    /// requires a full O(rows × cols) rebuild.
+    fn patch_cache_entry(&mut self, row: usize, col: usize) {
+        if self.read_cache_key == ReadCacheKey::Invalid {
+            return;
+        }
+        let code = self.crossbar.read(row, col);
+        let transformed = match self.read_cache_key {
+            ReadCacheKey::Bounded { threshold, default } => {
+                if code > threshold {
+                    default
+                } else {
+                    code
+                }
+            }
+            ReadCacheKey::Table => self.read_cache_table[code as usize],
+            ReadCacheKey::Invalid => unreachable!("guarded above"),
+        };
+        self.read_cache[row * self.n_neurons + col] = transformed;
+        self.cache_stats.patches += 1;
+    }
+
+    /// Installs permanent stuck-at faults: each site's bit is forced to
+    /// its stuck value now **and after every parameter reload** — healing
+    /// restores the clean image, then the stuck bits re-manifest on top of
+    /// it ([`reload_parameters`](Self::reload_parameters) re-applies
+    /// them). This is what distinguishes a permanent fault from a
+    /// transient [`flip_weight_bit`](Self::flip_weight_bit), which the
+    /// next reload heals for good.
+    ///
+    /// Installing replaces any previously installed set (the campaign
+    /// shape is one map per trial). Pass an empty slice — or call
+    /// [`clear_stuck_bits`](Self::clear_stuck_bits) — to return to a
+    /// purely transient fault model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::IndexOutOfRange`] if any site is outside the
+    /// crossbar or names a bit ≥ 8; the engine is unchanged in that case.
+    pub fn install_stuck_bits(&mut self, sites: &[StuckWeightBit]) -> Result<(), HwError> {
+        for s in sites {
+            if s.row >= self.crossbar.rows() {
+                return Err(HwError::IndexOutOfRange {
+                    what: "stuck-at row",
+                    index: s.row,
+                    bound: self.crossbar.rows(),
+                });
+            }
+            if s.col >= self.crossbar.cols() {
+                return Err(HwError::IndexOutOfRange {
+                    what: "stuck-at column",
+                    index: s.col,
+                    bound: self.crossbar.cols(),
+                });
+            }
+            if s.bit >= 8 {
+                return Err(HwError::IndexOutOfRange {
+                    what: "stuck-at bit",
+                    index: s.bit as usize,
+                    bound: 8,
+                });
+            }
+        }
+        self.stuck_bits = sites.to_vec();
+        self.apply_stuck_bits();
+        Ok(())
+    }
+
+    /// Removes all installed stuck-at faults. The registers keep their
+    /// current (possibly stuck) codes until the next parameter reload,
+    /// which — with the set now empty — restores a genuinely clean image.
+    pub fn clear_stuck_bits(&mut self) {
+        self.stuck_bits.clear();
+    }
+
+    /// The currently installed permanent stuck-at faults.
+    pub fn stuck_bits(&self) -> &[StuckWeightBit] {
+        &self.stuck_bits
+    }
+
+    /// Forces every installed stuck bit onto the registers, patching the
+    /// transformed-crossbar image per changed site. Marks the crossbar
+    /// dirty and bumps the mutation epoch when anything changed, so the
+    /// clean-image capture logic never snapshots a stuck-corrupted image
+    /// and derived backends (the event engine's compiled adjacency)
+    /// recompile.
+    fn apply_stuck_bits(&mut self) {
+        let mut changed = false;
+        for i in 0..self.stuck_bits.len() {
+            let s = self.stuck_bits[i];
+            let code = self.crossbar.read(s.row, s.col);
+            let stuck = s.apply(code);
+            if stuck != code {
+                self.crossbar.write(s.row, s.col, stuck);
+                self.patch_cache_entry(s.row, s.col);
+                changed = true;
+            }
+        }
+        if changed {
+            self.crossbar_dirty = true;
+            self.mutation_epoch += 1;
+        }
     }
 
     /// The transformed-crossbar image cache counters (see
@@ -809,6 +938,10 @@ impl ComputeEngine {
         } else if self.read_cache_key != ReadCacheKey::Invalid {
             self.rebuild_current_image();
         }
+        // Permanent faults survive healing: re-manifest every installed
+        // stuck bit onto the freshly restored image (marks the crossbar
+        // dirty again and bumps the epoch when any register changed).
+        self.apply_stuck_bits();
         for n in &mut self.neurons {
             n.clear_faults();
             n.reset_state();
@@ -1045,6 +1178,7 @@ impl ComputeEngine {
             clean_cache: Vec::new(),
             clean_cache_key: ReadCacheKey::Invalid,
             clean_cache_table: [0; 256],
+            stuck_bits: Vec::new(),
             crossbar_dirty: false,
             cache_stats: ReadCacheStats::default(),
             mutation_epoch: 0,

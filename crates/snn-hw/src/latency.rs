@@ -12,7 +12,6 @@ use crate::mapping::Tiling;
 
 /// A latency estimate for one inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyEstimate {
     /// Total clock cycles (all executions).
     pub cycles: u64,

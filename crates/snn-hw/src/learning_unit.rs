@@ -26,7 +26,6 @@ use crate::crossbar::Crossbar;
 /// assert_eq!(lu.config().pot_shift, 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LearningConfig {
     /// Potentiation shift (larger = weaker updates).
     pub pot_shift: u8,
@@ -51,7 +50,6 @@ impl Default for LearningConfig {
 
 /// The on-engine learning unit: integer traces + shift-based STDP.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LearningUnit {
     config: LearningConfig,
     /// Per-input countdown since the last pre-spike (0 = stale).

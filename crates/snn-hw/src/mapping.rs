@@ -23,7 +23,6 @@ use crate::params::EngineConfig;
 /// assert_eq!(t.passes_per_timestep(), 8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tiling {
     /// Physical engine geometry.
     pub engine: EngineConfig,

@@ -18,7 +18,6 @@ use std::fmt;
 
 /// The four LIF neuron operations of the paper's Fig. 2/Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NeuronOp {
     /// `Vmem increase` (integration of the accumulated synaptic drive).
     VmemIncrease,
@@ -58,7 +57,6 @@ impl fmt::Display for NeuronOp {
 
 /// Which of a neuron's four operations are currently fault-stuck.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpFaults {
     /// `Vmem increase` is broken (no integration).
     pub vi: bool,
@@ -105,7 +103,6 @@ impl OpFaults {
 /// Integer LIF parameters shared by the engine (code units; see
 /// [`snn_sim::quant`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NeuronHwParams {
     /// Reset potential.
     pub v_reset: i32,
@@ -131,7 +128,6 @@ pub struct NeuronStepOutput {
 /// One LIF neuron datapath instance: membrane register, refractory counter,
 /// per-operation fault flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NeuronUnit {
     /// Membrane potential in weight-code units.
     pub vmem: i32,

@@ -15,7 +15,6 @@
 /// assert_eq!((cfg.rows, cfg.cols, cfg.weight_bits), (256, 256, 8));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EngineConfig {
     /// Number of physical synapse rows (inputs per pass).
     pub rows: usize,

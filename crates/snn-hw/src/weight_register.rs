@@ -23,7 +23,6 @@
 /// stores codes as one flat byte vector and materializes register views on
 /// demand at zero cost (see [`crate::crossbar::Crossbar::register`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(transparent)]
 pub struct WeightRegister(u8);
 

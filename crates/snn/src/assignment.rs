@@ -24,7 +24,6 @@ use crate::error::SnnError;
 
 /// Which spike-count decoder [`Assignment::predict`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Decoder {
     /// Correlate the spike-count vector with per-class rate templates.
     #[default]
@@ -46,7 +45,6 @@ pub enum Decoder {
 /// assert_eq!(a.predict(&[1, 0, 9]), Some(1));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Assignment {
     labels: Vec<Option<usize>>,
     n_classes: usize,

@@ -115,7 +115,8 @@ impl Checkpoint {
                 reason: reason.to_owned(),
             }
         }
-        if bytes.len() < 12 {
+        // Fixed header: 4 magic + 2 version + 4 n_inputs + 4 n_neurons.
+        if bytes.len() < 14 {
             return Err(bad("truncated header"));
         }
         if bytes[0..4] != MAGIC {
@@ -273,6 +274,22 @@ mod tests {
         let mut bytes = Checkpoint::of(&net).to_bytes();
         bytes.pop();
         assert!(Checkpoint::from_bytes(&bytes).is_err(), "short payload");
+    }
+
+    #[test]
+    fn rejects_header_truncated_inside_the_dimension_words() {
+        // Regression: the header is 14 bytes (magic + version + two u32
+        // dims); a 12- or 13-byte stream used to slip past the length
+        // guard and panic slicing `bytes[10..14]`. Every prefix must be
+        // a clean error instead.
+        let (_, net) = trained_net();
+        let bytes = Checkpoint::of(&net).to_bytes();
+        for len in 0..14 {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..len]).is_err(),
+                "{len}-byte prefix must be rejected, not panic"
+            );
+        }
     }
 
     #[test]

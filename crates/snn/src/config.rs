@@ -24,7 +24,6 @@ use crate::stdp::StdpConfig;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SnnConfig {
     /// Number of input channels (pixels). The paper uses 28×28 = 784.
     pub n_inputs: usize,

@@ -24,7 +24,6 @@ use rand::Rng as _;
 /// assert_eq!(counts[1], 0);     // dark pixel never fires
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoissonEncoder {
     max_rate: f32,
 }

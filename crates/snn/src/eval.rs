@@ -21,7 +21,6 @@ use crate::spike::SpikeTrain;
 /// assert!((r.accuracy() - 0.5).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvalResult {
     /// Correct predictions.
     pub correct: usize,

@@ -24,7 +24,6 @@
 /// assert!(h.theta(2) < 0.5);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Homeostasis {
     theta: Vec<f32>,
     theta_plus: f32,

@@ -44,7 +44,6 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// assert_eq!(h.total(), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     lo: f64,
     hi: f64,

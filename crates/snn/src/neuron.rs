@@ -22,7 +22,6 @@ use crate::config::SnnConfig;
 /// assert_eq!(p.v_thresh, cfg.v_thresh);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LifParams {
     /// Base firing threshold.
     pub v_thresh: f32,
@@ -48,7 +47,6 @@ impl LifParams {
 
 /// Mutable per-neuron state advanced by [`step_neuron`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LifState {
     /// Membrane potential.
     pub v: f32,

@@ -31,7 +31,6 @@ use crate::network::Network;
 /// assert!((q.dequantize(code) - 1.0).abs() < q.lsb());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuantScheme {
     bits: u8,
     full_scale: f32,
@@ -96,7 +95,6 @@ impl QuantScheme {
 
 /// Per-neuron integer parameters of the deployed network.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuantizedNeuronParams {
     /// Per-neuron firing threshold in code units (base + frozen theta).
     pub v_thresh: Vec<i32>,
@@ -113,7 +111,6 @@ pub struct QuantizedNeuronParams {
 /// A float-trained network quantized for deployment on the hardware
 /// engine. Codes are row-major by input, like [`Network::weights`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuantizedNetwork {
     /// Number of input channels.
     pub n_inputs: usize,

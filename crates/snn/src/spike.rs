@@ -24,7 +24,6 @@
 /// this train (see [`SpikeTrain::clear_reuse`]), so re-encoding a sample
 /// into an existing train performs no per-step allocations.
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpikeTrain {
     n_channels: usize,
     steps: Vec<Vec<u32>>,

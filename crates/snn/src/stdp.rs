@@ -16,7 +16,6 @@ use crate::error::SnnError;
 
 /// Which STDP update rule to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StdpRule {
     /// Updates only at post-synaptic spikes: `Δw = η (x_pre − x_offset)`,
     /// soft-bounded (potentiation scaled by `w_max − w`, depression by `w`).
@@ -38,7 +37,6 @@ pub enum StdpRule {
 /// assert!(cfg.validate().is_ok());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StdpConfig {
     /// Which update rule to apply.
     pub rule: StdpRule,

@@ -16,7 +16,6 @@ use rand::seq::SliceRandom;
 
 /// Options controlling the unsupervised training loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainOptions {
     /// Number of passes over the training set (paper: 3).
     pub epochs: usize,
@@ -35,7 +34,6 @@ impl Default for TrainOptions {
 
 /// Summary statistics of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainReport {
     /// Samples presented (all epochs).
     pub samples_seen: usize,

@@ -33,7 +33,6 @@ use snn_sim::quant::QuantizedNetwork;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WeightAnalysis {
     /// Maximum weight code present in the clean network (`wgh_max`).
     pub wgh_max_code: u8,

@@ -17,7 +17,6 @@ use std::fmt;
 
 /// The three Bound-and-Protect variants (paper Sec. 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BnpVariant {
     /// Replace out-of-range weights with zero.
     Bnp1,
@@ -63,7 +62,6 @@ impl fmt::Display for BnpVariant {
 /// assert_eq!(b2.default_code, 60);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoundingConfig {
     /// `wgh_th`: codes **strictly above** this are replaced. The paper
     /// states `wgh ≥ wgh_th` with `wgh_th = wgh_max`; since `wgh_max`

@@ -1,0 +1,130 @@
+//! Content fingerprinting for cross-job caching and checkpoint
+//! validation.
+//!
+//! The campaign service stores a fingerprint in every `job.json` and the
+//! workbench keys its cross-job bench cache on one: two jobs whose
+//! trained deployment and encoded test set hash identically may share the
+//! expensive train/encode phases, and a resumed job whose fingerprint
+//! drifted (different training data, different encoder stream, different
+//! quantization) is refused instead of silently spliced onto stale
+//! checkpoints.
+//!
+//! FNV-1a is used throughout: endian-stable, dependency-free, and already
+//! the idiom of the vendored proptest stub. These hashes order and
+//! deduplicate work — they are not cryptographic and carry no
+//! collision-resistance claims.
+
+/// An incremental FNV-1a hasher over explicitly-fed words.
+///
+/// Every `write_*` method folds a fixed-width little-endian encoding, so
+/// a fingerprint never depends on platform `usize` width or float
+/// formatting — `f32`/`f64` values are hashed by bit pattern.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `i32` (little-endian two's complement).
+    pub fn write_i32(&mut self, v: i32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f32` by bit pattern (`-0.0` and `0.0` hash differently;
+    /// NaN payloads are preserved — fingerprints compare storage, not
+    /// arithmetic).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Folds an `f64` by bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string as length-prefixed UTF-8 (length-prefixing keeps
+    /// `("ab","c")` and `("a","bc")` distinct).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Classic FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn floats_hash_by_bits() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

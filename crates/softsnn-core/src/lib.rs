@@ -51,6 +51,7 @@ pub mod analysis;
 pub mod bounding;
 pub mod conventional;
 pub mod enhanced;
+pub mod fingerprint;
 pub mod hardening;
 pub mod methodology;
 pub mod mitigation;

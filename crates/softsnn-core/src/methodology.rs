@@ -64,7 +64,6 @@ impl From<HwError> for MethodologyError {
 /// A soft-error scenario for an evaluation run: where faults strike, how
 /// often, and the fault-map seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultScenario {
     /// Which engine part is targeted.
     pub domain: FaultDomain,
@@ -200,6 +199,29 @@ impl EncodedTestSet {
     pub fn activity_stats(&self) -> SpikeActivityStats {
         SpikeActivityStats::of_trains(&self.trains)
     }
+
+    /// Content fingerprint over every encoded spike event and label (see
+    /// [`crate::fingerprint`]): two sets hash equal iff they would feed
+    /// evaluation identical inputs, so the campaign service can prove two
+    /// jobs share a test set without comparing trains event by event.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        h.write_usize(self.trains.len());
+        for train in &self.trains {
+            h.write_usize(train.n_channels());
+            h.write_usize(train.n_steps());
+            for step in train.iter() {
+                h.write_usize(step.len());
+                for &channel in step {
+                    h.write_u32(channel);
+                }
+            }
+        }
+        for &label in &self.labels {
+            h.write_usize(label);
+        }
+        h.finish()
+    }
 }
 
 /// Input spike-activity statistics of a set of encoded trains: how many
@@ -282,7 +304,6 @@ pub struct SoftSnnDeployment {
 
 /// Options for [`SoftSnnDeployment::train`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainPipelineOptions {
     /// Unsupervised epochs (paper: 3).
     pub epochs: usize,
@@ -743,6 +764,45 @@ impl SoftSnnDeployment {
             }
         }
         Ok(result)
+    }
+
+    /// Content fingerprint of everything that determines this
+    /// deployment's evaluation results: the quantized weights and neuron
+    /// parameters, the class assignment, the mitigation knobs, and the
+    /// active backend. Two deployments hashing equal evaluate any
+    /// (technique, scenario, test set) identically, so the campaign
+    /// service uses this (plus [`EncodedTestSet::content_hash`]) as the
+    /// job fingerprint that gates resume.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        h.write_usize(self.qn.n_inputs);
+        h.write_usize(self.qn.n_neurons);
+        h.write_bytes(&self.qn.codes);
+        h.write_u64(self.qn.scheme.bits() as u64);
+        h.write_f32(self.qn.scheme.full_scale());
+        for &t in &self.qn.neuron.v_thresh {
+            h.write_i32(t);
+        }
+        h.write_i32(self.qn.neuron.v_reset);
+        h.write_i32(self.qn.neuron.v_leak);
+        h.write_u32(self.qn.neuron.t_refrac);
+        h.write_i32(self.qn.neuron.v_inh);
+        h.write_u32(self.qn.timesteps);
+        h.write_f32(self.qn.max_rate);
+        h.write_usize(self.assignment.n_classes());
+        for label in self.assignment.labels() {
+            match label {
+                Some(class) => {
+                    h.write_u64(1);
+                    h.write_usize(*class);
+                }
+                None => h.write_u64(0),
+            }
+        }
+        h.write_u64(self.monitor_window as u64);
+        h.write_f64(self.reexec_exposure);
+        h.write_str(&format!("{:?}", self.engine.kind()));
+        h.finish()
     }
 
     /// Encodes a labeled test set once for reuse across campaign trials

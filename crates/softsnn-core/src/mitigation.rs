@@ -9,7 +9,6 @@ use std::fmt;
 
 /// A soft-error mitigation technique.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Technique {
     /// The unprotected baseline ("No Mitigation").
     NoMitigation,

@@ -2,126 +2,15 @@
 //!
 //! The printed tables and CSVs are for humans; downstream tooling (plot
 //! scripts, regression dashboards) wants the aggregated grid cells as
-//! structured data. The workspace vendors no serde, so this is a minimal
-//! by-construction-well-formed JSON value tree: build a [`Json`], render
-//! it, and escaping/number formatting cannot be forgotten at a call site.
+//! structured data. The workspace vendors no serde; the [`Json`] value
+//! tree (and its parser) lives in [`snn_faults::codec`] — shared with the
+//! campaign service's checkpoint files, so one emitter covers both — and
+//! is re-exported here for the figure harness.
+
+pub use snn_faults::codec::{Json, JsonCodec, JsonError};
 
 use snn_faults::grid::Aggregate;
-use std::fmt::Write as _;
 use std::path::Path;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number; non-finite values render as `null` (JSON has no NaN).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An object builder: `Json::obj([("k", v), ...])`.
-    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(fields: I) -> Self {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    /// An array from anything that yields values convertible to [`Json`].
-    pub fn arr<T: Into<Json>, I: IntoIterator<Item = T>>(items: I) -> Self {
-        Json::Arr(items.into_iter().map(Into::into).collect())
-    }
-
-    /// Renders the value as compact JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    let _ = write!(out, "{v}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Self {
-        Json::Num(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Self {
-        Json::Num(v as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Self {
-        Json::Str(v.to_owned())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Self {
-        Json::Str(v)
-    }
-}
 
 /// One aggregated grid cell as a JSON object — the shared shape every
 /// `figN.json` artifact builds its cell arrays from.

@@ -1,0 +1,239 @@
+//! `campaignd` — the campaign service CLI: submit, run, resume, inspect,
+//! and export checkpointed fault-injection campaigns.
+//!
+//! ```text
+//! campaignd submit  <job> --root DIR [--workload mnist|fashion] [--size N]
+//!                         [--profile smoke|quick|default|full] [--backend dense|event]
+//! campaignd run     <job> --root DIR [--max-cells K]
+//! campaignd resume  <job> --root DIR
+//! campaignd status  <job> --root DIR
+//! campaignd results <job> --root DIR [--out FILE]
+//! campaignd jobs          --root DIR
+//! ```
+//!
+//! A job is a Fig. 13-shaped grid (techniques × rates × trials) for one
+//! (workload, size, profile, backend) bench. `run` checkpoints each
+//! completed cell atomically under `<root>/<job>/cells/`; killing the
+//! process (or passing `--max-cells`) loses nothing — `resume` rebuilds
+//! the bench from `config.json` (hitting the cross-job cache), validates
+//! the stored fingerprint, and re-runs exactly the missing cells. On
+//! completion `fig13.json` is written into the job directory,
+//! byte-identical to what the one-shot `fig13` binary emits for the same
+//! configuration (the CI resume-equivalence gate diffs the two).
+
+use snn_data::workload::Workload;
+use snn_faults::service::{CampaignService, RunOptions};
+use softsnn_core::methodology::EngineBackendKind;
+use softsnn_exp::campaign::{self, JobConfig, JobRunOutcome};
+use softsnn_exp::profile::Profile;
+use softsnn_exp::{artifact, fig13};
+
+const USAGE: &str = "usage: campaignd <submit|run|resume|status|results|jobs> [<job>] \
+                     --root DIR [--workload mnist|fashion] [--size N] \
+                     [--profile smoke|quick|default|full] [--backend dense|event] \
+                     [--max-cells K] [--out FILE]";
+
+struct Args {
+    command: String,
+    job: Option<String>,
+    root: String,
+    workload: Workload,
+    size: Option<usize>,
+    profile: Profile,
+    backend: EngineBackendKind,
+    max_cells: Option<usize>,
+    out: Option<String>,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut it = args.into_iter();
+    let command = it.next().ok_or(USAGE)?;
+    let mut parsed = Args {
+        command,
+        job: None,
+        root: "campaigns".to_owned(),
+        workload: Workload::Mnist,
+        size: None,
+        profile: Profile::Smoke,
+        backend: EngineBackendKind::Dense,
+        max_cells: None,
+        out: None,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => parsed.root = it.next().ok_or("--root needs a value")?,
+            "--workload" => {
+                parsed.workload = match it.next().ok_or("--workload needs a value")?.as_str() {
+                    "mnist" => Workload::Mnist,
+                    "fashion" => Workload::FashionMnist,
+                    other => return Err(format!("unknown workload `{other}` (mnist|fashion)")),
+                };
+            }
+            "--size" => {
+                let v = it.next().ok_or("--size needs a value")?;
+                parsed.size = Some(v.parse().map_err(|e| format!("bad --size `{v}`: {e}"))?);
+            }
+            "--profile" => {
+                parsed.profile = it.next().ok_or("--profile needs a value")?.parse()?;
+            }
+            "--backend" => {
+                parsed.backend = match it.next().ok_or("--backend needs a value")?.as_str() {
+                    "dense" => EngineBackendKind::Dense,
+                    "event" => EngineBackendKind::Event,
+                    other => return Err(format!("unknown backend `{other}` (dense|event)")),
+                };
+            }
+            "--max-cells" => {
+                let v = it.next().ok_or("--max-cells needs a value")?;
+                parsed.max_cells = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --max-cells `{v}`: {e}"))?,
+                );
+            }
+            "--out" => parsed.out = Some(it.next().ok_or("--out needs a value")?),
+            other if parsed.job.is_none() && !other.starts_with("--") => {
+                parsed.job = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument `{other}`; {USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn job_name(args: &Args) -> Result<&str, String> {
+    args.job
+        .as_deref()
+        .ok_or_else(|| format!("`{}` needs a job name; {USAGE}", args.command))
+}
+
+fn write_results(
+    job: &snn_faults::service::JobHandle,
+    results: &fig13::Fig13Results,
+    out: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let path = out.map_or_else(|| campaign::artifact_path(job), std::path::PathBuf::from);
+    artifact::write_json(&path, &fig13::to_json(results))?;
+    eprintln!("[campaignd] wrote {}", path.display());
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = dispatch(&args) {
+        eprintln!("campaignd {} failed: {e}", args.command);
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let service = CampaignService::new(&args.root);
+    match args.command.as_str() {
+        "submit" => {
+            let name = job_name(args)?;
+            let config = JobConfig {
+                workload: args.workload,
+                n_neurons: args.size.unwrap_or(args.profile.case_study_size()),
+                profile: args.profile,
+                backend: args.backend,
+            };
+            let (job, _bench) = campaign::submit_job(&service, name, config)?;
+            let status = job.status()?;
+            eprintln!(
+                "[campaignd] submitted `{name}`: {} cells ({} already checkpointed)",
+                status.total_cells, status.done_cells
+            );
+            Ok(())
+        }
+        "run" | "resume" => {
+            let name = job_name(args)?;
+            // Both verbs rebuild the bench from the stored config (cache
+            // hit when this process already prepared it) and re-validate
+            // the fingerprint through the idempotent submit path; `run`
+            // on a fresh name also accepts the submit-style flags.
+            let config = match campaign::load_config(&service, name) {
+                Ok(config) => config,
+                Err(_) if args.command == "run" => JobConfig {
+                    workload: args.workload,
+                    n_neurons: args.size.unwrap_or(args.profile.case_study_size()),
+                    profile: args.profile,
+                    backend: args.backend,
+                },
+                Err(e) => return Err(Box::new(e)),
+            };
+            let (job, bench) = campaign::submit_job(&service, name, config)?;
+            let opts = RunOptions {
+                max_cells: args.max_cells,
+            };
+            match campaign::run_job(&job, &bench, opts)? {
+                JobRunOutcome::Complete(results) => {
+                    eprintln!("[campaignd] `{name}` complete");
+                    write_results(&job, &results, args.out.as_deref())
+                }
+                JobRunOutcome::Interrupted { done, total } => {
+                    eprintln!("[campaignd] `{name}` interrupted: {done}/{total} cells done");
+                    Ok(())
+                }
+            }
+        }
+        "status" => {
+            let name = job_name(args)?;
+            let job = service.open(name)?;
+            let status = job.status()?;
+            println!(
+                "{name}: {}/{} cells checkpointed{}",
+                status.done_cells,
+                status.total_cells,
+                if status.is_complete() {
+                    " (complete)"
+                } else {
+                    ""
+                }
+            );
+            for key in &status.invalid_cells {
+                println!(
+                    "  invalid checkpoint: technique {} rate {} (will re-run on resume)",
+                    key.technique_idx, key.rate_idx
+                );
+            }
+            Ok(())
+        }
+        "results" => {
+            let name = job_name(args)?;
+            let config = campaign::load_config(&service, name)?;
+            let bench = softsnn_exp::workbench::prepare_cached(
+                config.workload,
+                config.n_neurons,
+                config.profile,
+                config.backend,
+            )?;
+            let job = service.open(name)?;
+            match job.results()? {
+                Some(grid) => {
+                    let results = campaign::fig13_results(&bench, &grid);
+                    write_results(&job, &results, args.out.as_deref())
+                }
+                None => Err(format!(
+                    "job `{name}` is incomplete; run `campaignd resume {name}` first"
+                )
+                .into()),
+            }
+        }
+        "jobs" => {
+            for name in service.jobs()? {
+                let status = service.open(&name).and_then(|job| job.status());
+                match status {
+                    Ok(s) => println!("{name}: {}/{} cells", s.done_cells, s.total_cells),
+                    Err(e) => println!("{name}: unreadable ({e})"),
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; {USAGE}").into()),
+    }
+}

@@ -112,42 +112,22 @@ pub fn run_grid(
     profile: Profile,
 ) -> Result<Vec<AccuracyCell>, Box<dyn std::error::Error>> {
     let runner = GridRunner::new(grid_spec(profile));
-    let results = runner.run_grouped(
-        &bench.deployment,
-        |deployment, shard| -> Result<Vec<f64>, softsnn_core::methodology::MethodologyError> {
-            let mut accuracies = Vec::with_capacity(shard.len());
-            // A shard holds whole cells, so consecutive points share their
-            // technique; hand each same-technique run to the deployment as
-            // one trial group.
-            let mut start = 0;
-            while start < shard.len() {
-                let technique_idx = shard[start].technique_idx;
-                let end = start
-                    + shard[start..]
-                        .iter()
-                        .position(|p| p.technique_idx != technique_idx)
-                        .unwrap_or(shard.len() - start);
-                let scenarios: Vec<FaultScenario> = shard[start..end]
-                    .iter()
-                    .map(|p| FaultScenario {
-                        domain: FaultDomain::ComputeEngine,
-                        rate: p.rate,
-                        seed: p.seed,
-                    })
-                    .collect();
-                let group = deployment.evaluate_encoded_group(
-                    Technique::PAPER_SET[technique_idx],
-                    &scenarios,
-                    &bench.encoded,
-                )?;
-                accuracies.extend(group.iter().map(|r| r.accuracy_pct()));
-                start = end;
-            }
-            Ok(accuracies)
-        },
-    )?;
+    let results = runner.run_grouped(&bench.deployment, |deployment, shard| {
+        evaluate_shard(deployment, shard, &bench.encoded)
+    })?;
+    Ok(cells_from_results(bench, &results))
+}
+
+/// Maps aggregated grid cells to Fig. 13 accuracy cells for one bench.
+/// Shared between [`run_grid`] (one-shot) and the campaign service
+/// ([`crate::campaign`]), so a resumed job labels its cells with exactly
+/// the same code as an uninterrupted figure run.
+pub fn cells_from_results(
+    bench: &Bench,
+    results: &snn_faults::grid::GridResults,
+) -> Vec<AccuracyCell> {
     let n_neurons = bench.deployment.quantized().n_neurons;
-    Ok(results
+    results
         .cells()
         .iter()
         .map(|cell| AccuracyCell {
@@ -159,7 +139,57 @@ pub fn run_grid(
             std_pct: cell.std_dev,
             trials: cell.trials.clone(),
         })
-        .collect())
+        .collect()
+}
+
+/// Evaluates one shard of Fig. 13 grid points — contiguous whole cells —
+/// against a pre-encoded test set, returning one accuracy (%) per point.
+///
+/// This is **the** Fig. 13 point evaluation: [`run_grid`] routes every
+/// shard through it, and the campaign service
+/// ([`crate::campaign::run_job`]) hands it each missing cell, so an
+/// interrupted-and-resumed campaign evaluates points with literally the
+/// same code (and therefore the same bits) as a one-shot figure run.
+///
+/// A shard holds whole cells, so consecutive points share their
+/// technique; each same-technique run goes to the deployment as one trial
+/// group (the engine's multi-map pass shares the drive phase when the
+/// group is neuron-only).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn evaluate_shard(
+    deployment: &mut softsnn_core::methodology::SoftSnnDeployment,
+    shard: &[snn_faults::grid::GridPointCtx],
+    encoded: &softsnn_core::methodology::EncodedTestSet,
+) -> Result<Vec<f64>, softsnn_core::methodology::MethodologyError> {
+    let mut accuracies = Vec::with_capacity(shard.len());
+    let mut start = 0;
+    while start < shard.len() {
+        let technique_idx = shard[start].technique_idx;
+        let end = start
+            + shard[start..]
+                .iter()
+                .position(|p| p.technique_idx != technique_idx)
+                .unwrap_or(shard.len() - start);
+        let scenarios: Vec<FaultScenario> = shard[start..end]
+            .iter()
+            .map(|p| FaultScenario {
+                domain: FaultDomain::ComputeEngine,
+                rate: p.rate,
+                seed: p.seed,
+            })
+            .collect();
+        let group = deployment.evaluate_encoded_group(
+            Technique::PAPER_SET[technique_idx],
+            &scenarios,
+            encoded,
+        )?;
+        accuracies.extend(group.iter().map(|r| r.accuracy_pct()));
+        start = end;
+    }
+    Ok(accuracies)
 }
 
 /// Renders the Fig. 13 table for one workload: rows = (size, rate),

@@ -25,6 +25,7 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod campaign;
 pub mod fig10;
 pub mod fig13;
 pub mod fig14;

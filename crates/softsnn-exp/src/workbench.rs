@@ -127,6 +127,86 @@ pub fn measure_clean(
     Ok(result.accuracy_pct())
 }
 
+/// Hit/miss counters of the cross-job bench cache ([`prepare_cached`]).
+/// Monotonic process-wide totals; tests should compare deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Jobs that reused an already-prepared bench (no training, no
+    /// encoding).
+    pub hits: u64,
+    /// Jobs that had to train + encode from scratch.
+    pub misses: u64,
+}
+
+static CACHE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static CACHE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static BENCH_CACHE: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<u64, Bench>>> =
+    std::sync::OnceLock::new();
+
+/// Current totals of the cross-job bench cache — the counter hook the
+/// two-job cache tests and the CI gate pin.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        misses: CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+/// The configuration hash keying the cross-job bench cache: everything
+/// [`prepare_with_backend`] consumes. Two calls with equal hashes would
+/// train the same network on the same data and encode the same test set
+/// — which is exactly when sharing one [`Bench`] is sound.
+pub fn bench_config_hash(
+    workload: Workload,
+    n_neurons: usize,
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> u64 {
+    let mut h = softsnn_core::fingerprint::Fnv1a::new();
+    h.write_str(workload.name());
+    h.write_usize(n_neurons);
+    h.write_usize(profile.n_train());
+    h.write_usize(profile.n_test());
+    h.write_usize(profile.epochs());
+    h.write_u64(BASE_SEED);
+    h.write_str(&format!("{backend:?}"));
+    h.finish()
+}
+
+/// [`prepare_with_backend`] behind a process-wide cache keyed by
+/// [`bench_config_hash`]: N submitted campaign jobs over one (workload,
+/// size, profile, backend) configuration pay the expensive train/encode
+/// phases **once** — the cross-job amortization lever of the campaign
+/// service. Hits and misses are counted ([`cache_stats`]).
+///
+/// # Errors
+///
+/// Propagates dataset and pipeline errors (failures are not cached).
+pub fn prepare_cached(
+    workload: Workload,
+    n_neurons: usize,
+    profile: Profile,
+    backend: EngineBackendKind,
+) -> Result<Bench, Box<dyn std::error::Error>> {
+    let key = bench_config_hash(workload, n_neurons, profile, backend);
+    let cache = BENCH_CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+    if let Some(bench) = cache.lock().expect("bench cache poisoned").get(&key) {
+        CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        return Ok(bench.clone());
+    }
+    // Prepare outside the lock: training takes seconds-to-minutes and
+    // concurrent *different* configs must not serialize on it. A racing
+    // duplicate of the same config wastes one preparation but stays
+    // correct (preparation is deterministic, last insert wins).
+    CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let bench = prepare_with_backend(workload, n_neurons, profile, backend)?;
+    cache
+        .lock()
+        .expect("bench cache poisoned")
+        .insert(key, bench.clone());
+    Ok(bench)
+}
+
 /// Derived seed for one evaluation grid point, stable across runs and
 /// parallel schedules.
 ///

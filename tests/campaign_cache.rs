@@ -1,0 +1,66 @@
+//! Cross-job cache gate: two jobs submitted over one configuration must
+//! train and encode exactly once — the second submit is a cache hit and
+//! triggers no new test-set encoding.
+//!
+//! This lives in its own integration-test binary (own process) so the
+//! process-wide `cache_stats()` / `encode_invocations()` counters are not
+//! perturbed by unrelated tests running in parallel threads.
+
+use snn_faults::service::RunOptions;
+use snn_faults::CampaignService;
+use softsnn::data::workload::Workload;
+use softsnn::exp::campaign::{self, JobConfig, JobRunOutcome};
+use softsnn::exp::profile::Profile;
+use softsnn::exp::workbench;
+use softsnn_core::methodology::{encode_invocations, EngineBackendKind};
+
+#[test]
+fn second_job_hits_the_cross_job_cache() {
+    let root = std::env::temp_dir().join(format!("softsnn_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let service = CampaignService::new(&root);
+    let config = JobConfig {
+        workload: Workload::Mnist,
+        n_neurons: 100,
+        profile: Profile::Smoke,
+        backend: EngineBackendKind::Dense,
+    };
+
+    let before = workbench::cache_stats();
+    let (job_a, bench_a) = campaign::submit_job(&service, "a", config).unwrap();
+    let after_first = workbench::cache_stats();
+    assert_eq!(after_first.misses, before.misses + 1, "first job trains");
+    let encodes_after_first = encode_invocations();
+
+    // Second job over the same configuration: no training, no encoding —
+    // one cross-job cache hit.
+    let (job_b, bench_b) = campaign::submit_job(&service, "b", config).unwrap();
+    let after_second = workbench::cache_stats();
+    assert_eq!(
+        after_second.hits,
+        after_first.hits + 1,
+        "second job must hit"
+    );
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "no second training"
+    );
+    assert_eq!(
+        encode_invocations(),
+        encodes_after_first,
+        "second job must not re-encode the test set"
+    );
+
+    // Both handles fingerprint the same bench, and the shared bench is
+    // actually usable: run a couple of cells of each job through it.
+    assert_eq!(job_a.fingerprint(), job_b.fingerprint());
+    for (job, bench) in [(&job_a, &bench_a), (&job_b, &bench_b)] {
+        let opts = RunOptions { max_cells: Some(2) };
+        match campaign::run_job(job, bench, opts).unwrap() {
+            JobRunOutcome::Interrupted { done, .. } => assert_eq!(done, 2),
+            JobRunOutcome::Complete(_) => panic!("2-cell budget must interrupt"),
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,77 @@
+//! Checkpoint robustness for the campaign service: a real Fig. 13 smoke
+//! grid is interrupted mid-run, one of its checkpoints is corrupted, and
+//! the resumed job must re-run exactly the missing/corrupt cells and
+//! still produce results bit-identical to an uninterrupted one-shot run.
+
+use snn_faults::service::RunOptions;
+use snn_faults::CampaignService;
+use softsnn::data::workload::Workload;
+use softsnn::exp::campaign::{self, JobConfig, JobRunOutcome};
+use softsnn::exp::fig13;
+use softsnn::exp::profile::Profile;
+use softsnn_core::methodology::EngineBackendKind;
+
+#[test]
+fn interrupted_and_corrupted_grid_resumes_bit_identically() {
+    let root = std::env::temp_dir().join(format!("softsnn_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let service = CampaignService::new(&root);
+    let config = JobConfig {
+        workload: Workload::Mnist,
+        n_neurons: 100,
+        profile: Profile::Smoke,
+        backend: EngineBackendKind::Dense,
+    };
+    let (job, bench) = campaign::submit_job(&service, "smoke", config).unwrap();
+    let total = job.spec().n_cells();
+    assert_eq!(total, 20, "fig13 smoke grid: 5 techniques x 4 rates");
+
+    // "Kill it mid-grid": evaluate 7 of 20 cells, then stop.
+    let opts = RunOptions { max_cells: Some(7) };
+    match campaign::run_job(&job, &bench, opts).unwrap() {
+        JobRunOutcome::Interrupted { done, total: t } => {
+            assert_eq!((done, t), (7, total));
+        }
+        JobRunOutcome::Complete(_) => panic!("7 < {total} cells must interrupt"),
+    }
+
+    // Corrupt one surviving checkpoint by truncating it mid-file.
+    let cells_dir = job.dir().join("cells");
+    let mut files: Vec<_> = std::fs::read_dir(&cells_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 7);
+    let victim = &files[3];
+    let text = std::fs::read_to_string(victim).unwrap();
+    std::fs::write(victim, &text[..text.len() / 2]).unwrap();
+
+    // The store distinguishes "never ran" from "corrupt": 6 cells stay
+    // valid, the victim is flagged, and resume owes exactly the other 14.
+    let status = job.status().unwrap();
+    assert_eq!(status.total_cells, total);
+    assert_eq!(status.done_cells, 6);
+    assert_eq!(status.invalid_cells.len(), 1);
+    assert_eq!(job.missing_cells().unwrap().len(), 14);
+
+    // Resume to completion.
+    let resumed = match campaign::run_job(&job, &bench, RunOptions::default()).unwrap() {
+        JobRunOutcome::Complete(results) => results,
+        JobRunOutcome::Interrupted { done, total } => {
+            panic!("full pass must complete, stopped at {done}/{total}")
+        }
+    };
+    assert!(job.status().unwrap().is_complete());
+
+    // The spliced-together artifact is byte-identical to an uninterrupted
+    // one-shot figure run over the same configuration.
+    let oneshot = fig13::run(Profile::Smoke, &[Workload::Mnist]).unwrap();
+    assert_eq!(
+        fig13::to_json(&resumed).render(),
+        fig13::to_json(&oneshot).render(),
+        "resumed artifact diverged from the one-shot run"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

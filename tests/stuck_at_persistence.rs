@@ -1,0 +1,149 @@
+//! Stuck-at persistence regression: permanent faults must survive the
+//! heal-on-entry contract on **both** backends.
+//!
+//! `reload_parameters` restores the clean crossbar image — that heals
+//! transient flips, but an installed stuck-at bit must re-manifest on
+//! top of every freshly restored image. The event backend additionally
+//! has to see the mutation-epoch bump from the re-application, so its
+//! compiled adjacency is rebuilt from the re-stuck image rather than
+//! served stale from the pre-heal compilation.
+
+use snn_faults::injector::install_stuck_at;
+use snn_faults::location::{FaultDomain, FaultSpace};
+use snn_faults::permanent::StuckAtMap;
+use snn_hw::backend::{AnyBackend, EngineBackend, EngineBackendKind};
+use snn_hw::engine::{ComputeEngine, DirectRead, NoGuard};
+use snn_sim::config::SnnConfig;
+use snn_sim::network::Network;
+use snn_sim::quant::QuantizedNetwork;
+use snn_sim::rng::seeded_rng;
+use snn_sim::spike::SpikeTrain;
+
+const ROWS: usize = 16;
+const COLS: usize = 8;
+
+fn engine() -> ComputeEngine {
+    let cfg = SnnConfig::builder()
+        .n_inputs(ROWS)
+        .n_neurons(COLS)
+        .build()
+        .unwrap();
+    let net = Network::new(cfg, &mut seeded_rng(7));
+    let qn = QuantizedNetwork::from_network_default(&net);
+    ComputeEngine::for_network(&qn).unwrap()
+}
+
+fn stuck_map(seed: u64) -> StuckAtMap {
+    let space = FaultSpace::new(ROWS, COLS, FaultDomain::Synapses);
+    let map = StuckAtMap::generate(&space, 0.15, seed);
+    assert!(!map.is_empty());
+    map
+}
+
+/// The clean image with `map`'s stuck values forced — what the crossbar
+/// must read as after any number of heals.
+fn stuck_image(clean: &[u8], map: &StuckAtMap) -> Vec<u8> {
+    let mut expected = clean.to_vec();
+    for s in map.sites() {
+        let i = s.row as usize * COLS + s.col as usize;
+        expected[i] = s.apply(expected[i]);
+    }
+    expected
+}
+
+fn sample_train(seed: u32) -> SpikeTrain {
+    let mut train = SpikeTrain::new(ROWS, 20);
+    for t in 0..20_u32 {
+        let rows: Vec<u32> = (0..ROWS as u32)
+            .filter(|r| (r * 31 + t * 17 + seed).is_multiple_of(3))
+            .collect();
+        train.push_step(rows);
+    }
+    train
+}
+
+#[test]
+fn stuck_bits_remanifest_after_every_reload_on_the_dense_engine() {
+    let mut e = engine();
+    let clean = e.crossbar().codes();
+    let map = stuck_map(42);
+    let expected = stuck_image(&clean, &map);
+    assert_ne!(expected, clean, "map must actually change some register");
+
+    assert_eq!(install_stuck_at(&mut e, &map).unwrap(), map.len());
+    assert_eq!(
+        e.crossbar().codes(),
+        expected,
+        "install applies immediately"
+    );
+
+    // Heal repeatedly: transient state is restored each time, but the
+    // stuck bits come back every time.
+    for round in 0..3 {
+        e.reload_parameters(&mut NoGuard);
+        assert_eq!(
+            e.crossbar().codes(),
+            expected,
+            "round {round}: reload healed a permanent fault away"
+        );
+    }
+
+    // Clearing the set turns the next heal into a genuine full heal.
+    e.clear_stuck_bits();
+    e.reload_parameters(&mut NoGuard);
+    assert_eq!(e.crossbar().codes(), clean);
+}
+
+#[test]
+fn stuck_bits_remanifest_bit_identically_across_backends() {
+    let base = engine();
+    let clean = base.crossbar().codes();
+    let mut dense = AnyBackend::dense(base.clone());
+    let mut event = AnyBackend::dense(base);
+    event.set_kind(EngineBackendKind::Event);
+    assert_eq!(event.kind(), EngineBackendKind::Event);
+
+    // Warm both backends up *before* installing, so the event engine has
+    // a compiled adjacency over the clean image — the regression here is
+    // that compilation being served stale after install + heal.
+    let warmup = sample_train(99);
+    dense.run_sample_into(&warmup, &DirectRead, &mut NoGuard);
+    event.run_sample_into(&warmup, &DirectRead, &mut NoGuard);
+
+    let map = stuck_map(9);
+    let expected = stuck_image(&clean, &map);
+    assert_ne!(expected, clean);
+    install_stuck_at(dense.engine_mut(), &map).unwrap();
+    install_stuck_at(event.engine_mut(), &map).unwrap();
+
+    // Shard discipline: heal on entry, then evaluate — several trials
+    // over one reused engine.
+    for trial in 0..3_u32 {
+        dense.reload_parameters(&mut NoGuard);
+        event.reload_parameters(&mut NoGuard);
+        assert_eq!(dense.engine().crossbar().codes(), expected);
+        assert_eq!(event.engine().crossbar().codes(), expected);
+        let train = sample_train(trial);
+        let a = dense
+            .run_sample_into(&train, &DirectRead, &mut NoGuard)
+            .to_vec();
+        let b = event
+            .run_sample_into(&train, &DirectRead, &mut NoGuard)
+            .to_vec();
+        assert_eq!(
+            a, b,
+            "trial {trial}: backends diverged under stuck-at faults"
+        );
+        // Oracle: a fresh engine given the same stuck map from scratch.
+        let mut fresh = engine();
+        install_stuck_at(&mut fresh, &map).unwrap();
+        fresh.reload_parameters(&mut NoGuard);
+        let c = fresh
+            .run_sample_into(&train, &DirectRead, &mut NoGuard)
+            .to_vec();
+        assert_eq!(
+            a, c,
+            "trial {trial}: reused stuck engine diverged from a fresh one"
+        );
+    }
+}
