@@ -16,10 +16,14 @@
 //! `monitored_speedup_vs_reference` for the JSON perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_faults::grid::{GridRunner, GridSpec};
+use snn_faults::stats::StopRule;
 use snn_hw::engine::{BatchResult, DirectRead, NoGuard, SpikeGuard, WeightReadPath};
 use softsnn_bench::fixture;
 use softsnn_core::bounding::{BnpVariant, BoundedRead};
+use softsnn_core::mitigation::Technique;
 use softsnn_core::protection::ResetMonitor;
+use softsnn_exp::fig13::evaluate_shard;
 use std::hint::black_box;
 
 /// A bounding transfer function stripped of its `bound_params` hint, so
@@ -453,6 +457,79 @@ fn bench_engine_sparse(c: &mut Criterion) {
     group.finish();
 }
 
+/// The adaptive-campaign fixture grid: No-Mitigation × 2 fault rates at
+/// a deep per-cell trial budget, evaluated through literally the Fig. 13
+/// shard path on the shared N64 bench deployment.
+fn adaptive_grid_spec() -> GridSpec {
+    GridSpec::new(
+        13,
+        0x5EED,
+        vec![Technique::PAPER_SET[0].id()],
+        vec![0.02, 0.08],
+        96,
+    )
+}
+
+/// The bench stop rule: at confidence 0.75 and half-width 20 pp the
+/// distribution-free Hoeffding bound is satisfied by `n ≈ 26`, so every
+/// cell stops well short of the 96-trial budget regardless of the
+/// observed accuracies (lower variance only stops it sooner via the
+/// empirical-Bernstein bound).
+fn adaptive_rule() -> StopRule {
+    StopRule::new(8, 96, 20.0, 0.75).expect("valid bench stop rule")
+}
+
+fn bench_campaign_adaptive(c: &mut Criterion) {
+    // Fixed-budget vs sequential-early-stopping campaign on the same
+    // grid, same pinned seed stream, same shard evaluation: the adaptive
+    // run's cells are bit-identical prefixes of the fixed run's, so the
+    // entire time difference is trials *not run*.
+    let f = fixture();
+    let encoded = f
+        .deployment
+        .encode_test_set(f.test.images(), f.test.labels(), 21)
+        .expect("encode bench test set");
+    let spec = adaptive_grid_spec();
+
+    let mut group = c.benchmark_group("campaign_adaptive");
+    group.sample_size(10);
+    group.bench_function("fixed_budget", |b| {
+        let runner = GridRunner::new(spec.clone());
+        b.iter(|| {
+            let results = runner
+                .run_grouped(&f.deployment, |d, shard| evaluate_shard(d, shard, &encoded))
+                .expect("fixed campaign run");
+            black_box(results.cells().len())
+        });
+    });
+    group.bench_function("adaptive", |b| {
+        let runner = GridRunner::new(spec.clone())
+            .with_stop_rule(adaptive_rule())
+            .expect("rule fits budget");
+        b.iter(|| {
+            let results = runner
+                .run_adaptive(&f.deployment, |d, shard| evaluate_shard(d, shard, &encoded))
+                .expect("adaptive campaign run");
+            black_box(results.cells().len())
+        });
+    });
+    group.finish();
+
+    // Trials saved is a property of the grid + rule, not of timing noise:
+    // count it from one real adaptive pass.
+    let adaptive = GridRunner::new(spec.clone())
+        .with_stop_rule(adaptive_rule())
+        .expect("rule fits budget")
+        .run_adaptive(&f.deployment, |d, shard| evaluate_shard(d, shard, &encoded))
+        .expect("adaptive campaign run");
+    let saved: usize = adaptive
+        .cells()
+        .iter()
+        .map(|cell| spec.trials - cell.trials_run)
+        .sum();
+    c.add_metric("adaptive_trials_saved", saved as f64);
+}
+
 fn emit_derived_metrics(c: &mut Criterion) {
     // Derived metrics for the BENCH_engine.json trajectory: guard cost
     // isolated on the same read path (monitored / unmonitored BnP3, so a
@@ -514,6 +591,16 @@ fn emit_derived_metrics(c: &mut Criterion) {
             c.add_metric("sparse_speedup", dense / event);
         }
     }
+    // Statistics headline: the sequential-early-stopping campaign vs the
+    // fixed 96-trial budget on the identical grid and seed stream — the
+    // whole ratio is trials the stop rule proved unnecessary.
+    let fixed = c.ns_per_iter("campaign_adaptive", "fixed_budget");
+    let adaptive = c.ns_per_iter("campaign_adaptive", "adaptive");
+    if let (Some(fixed), Some(adaptive)) = (fixed, adaptive) {
+        if adaptive > 0.0 {
+            c.add_metric("adaptive_speedup", fixed / adaptive);
+        }
+    }
 }
 
 criterion_group!(
@@ -525,6 +612,7 @@ criterion_group!(
     bench_run_multi_map,
     bench_engine_accumulate,
     bench_engine_sparse,
+    bench_campaign_adaptive,
     emit_derived_metrics
 );
 criterion_main!(benches);

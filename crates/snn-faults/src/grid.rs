@@ -34,11 +34,11 @@
 //! vote widths on it, using [`GridSpec::with_offsets`] to park their
 //! points at the exact seed-stream indices the hand-rolled loops used.
 
-use snn_sim::metrics::{mean, std_dev};
 use snn_sim::parallel::parallel_map;
 use snn_sim::rng::derive_seed;
 
 use crate::codec::{u64_json, Json, JsonCodec, JsonError};
+use crate::stats::{StatsError, StopRule, Streaming};
 
 /// Packs one grid point's indices into a seed-stream index: rate in the
 /// high word, technique in bits 16..32, trial in the low bits.
@@ -246,6 +246,11 @@ pub struct CellKey {
 
 /// One aggregated grid cell: the per-trial values of one (technique,
 /// rate) combination with their mean and sample standard deviation.
+///
+/// Under an adaptive run ([`GridRunner::run_adaptive`]) a cell may hold
+/// fewer trials than the spec's budget; `trials_run`/`stopped_early`
+/// record that honestly, and the trials that *are* present are always
+/// the exact first-k prefix of the cell's pinned seed stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Aggregate {
     /// The cell's grid address.
@@ -260,6 +265,58 @@ pub struct Aggregate {
     pub std_dev: f64,
     /// The individual trial values, in trial order.
     pub trials: Vec<f64>,
+    /// Number of trials actually run (always `trials.len()`).
+    pub trials_run: usize,
+    /// Whether a stop rule ended the cell before the spec's full trial
+    /// budget (`trials_run < spec.trials`).
+    pub stopped_early: bool,
+}
+
+impl Aggregate {
+    /// Builds a cell from its trial values in **one accumulation pass**:
+    /// the streaming accumulator ([`Streaming`]) folds the sum while the
+    /// values are consumed, and [`Streaming::finalize`] performs the
+    /// single irreducible variance re-scan — emitted `mean`/`std_dev`
+    /// bits are identical to the historical
+    /// `metrics::mean` + `metrics::std_dev` pair (regression-tested on
+    /// the 3×3×4 fixture).
+    ///
+    /// `spec_trials` is the grid's per-cell budget; fewer trials than
+    /// that marks the cell `stopped_early`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trial list or more trials than the budget.
+    pub fn from_trials(
+        key: CellKey,
+        technique: String,
+        rate: f64,
+        spec_trials: usize,
+        trials: Vec<f64>,
+    ) -> Self {
+        assert!(!trials.is_empty(), "a cell needs at least one trial");
+        assert!(
+            trials.len() <= spec_trials,
+            "cell holds {} trials, budget is {spec_trials}",
+            trials.len()
+        );
+        let mut acc = Streaming::new();
+        for &v in &trials {
+            acc.push(v);
+        }
+        let (mean, std_dev) = acc.finalize(&trials);
+        let trials_run = trials.len();
+        Self {
+            key,
+            technique,
+            rate,
+            mean,
+            std_dev,
+            stopped_early: trials_run < spec_trials,
+            trials_run,
+            trials,
+        }
+    }
 }
 
 /// All aggregated cells of one grid run, in the spec's cell order
@@ -282,28 +339,55 @@ impl GridResults {
     /// Panics if `values.len() != spec.n_points()`.
     pub fn aggregate(spec: &GridSpec, values: &[f64]) -> Self {
         assert_eq!(values.len(), spec.n_points(), "one value per grid point");
+        let cell_trials = values
+            .chunks_exact(spec.trials)
+            .map(<[f64]>::to_vec)
+            .collect();
+        Self::from_cell_trials(spec, cell_trials)
+    }
+
+    /// Aggregates per-cell trial vectors — possibly **ragged**, as an
+    /// adaptive run produces — into cells, in the spec's cell order.
+    /// Every cell's trials must be the first-k prefix of its seed
+    /// stream, `1 ≤ k ≤ spec.trials`; cells shorter than the budget are
+    /// marked [`Aggregate::stopped_early`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from `spec.n_cells()` or any
+    /// cell is empty / over budget.
+    pub fn from_cell_trials(spec: &GridSpec, cell_trials: Vec<Vec<f64>>) -> Self {
+        assert_eq!(
+            cell_trials.len(),
+            spec.n_cells(),
+            "one trial vector per cell"
+        );
         let mut cells = Vec::with_capacity(spec.n_cells());
-        let mut chunks = values.chunks_exact(spec.trials);
+        let mut it = cell_trials.into_iter();
         for (technique_idx, technique) in spec.techniques.iter().enumerate() {
             for (rate_idx, &rate) in spec.rates.iter().enumerate() {
-                let trials = chunks.next().expect("length asserted above").to_vec();
-                cells.push(Aggregate {
-                    key: CellKey {
+                let trials = it.next().expect("length asserted above");
+                cells.push(Aggregate::from_trials(
+                    CellKey {
                         technique_idx,
                         rate_idx,
                     },
-                    technique: technique.clone(),
+                    technique.clone(),
                     rate,
-                    mean: mean(&trials),
-                    std_dev: std_dev(&trials),
+                    spec.trials,
                     trials,
-                });
+                ));
             }
         }
         Self {
             n_rates: spec.rates.len(),
             cells,
         }
+    }
+
+    /// Total trials actually run across all cells.
+    pub fn trials_run(&self) -> usize {
+        self.cells.iter().map(|c| c.trials_run).sum()
     }
 
     /// The cells, technique-major then rate.
@@ -403,6 +487,8 @@ impl JsonCodec for Aggregate {
             ("mean", Json::Num(self.mean)),
             ("std_dev", Json::Num(self.std_dev)),
             ("trials", Json::arr(self.trials.iter().copied())),
+            ("trials_run", Json::from(self.trials_run)),
+            ("stopped_early", Json::Bool(self.stopped_early)),
         ])
     }
 
@@ -415,6 +501,13 @@ impl JsonCodec for Aggregate {
                     .ok_or_else(|| JsonError::decode("trials must be numbers"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let trials_run = json.usize_field("trials_run")?;
+        if trials_run != trials.len() {
+            return Err(JsonError::decode(format!(
+                "trials_run {trials_run} disagrees with {} stored trials",
+                trials.len()
+            )));
+        }
         Ok(Self {
             key: CellKey::from_json(json.field("key")?)?,
             technique: json.str_field("technique")?.to_owned(),
@@ -422,6 +515,11 @@ impl JsonCodec for Aggregate {
             mean: json.f64_field("mean")?,
             std_dev: json.f64_field("std_dev")?,
             trials,
+            trials_run,
+            stopped_early: json
+                .field("stopped_early")?
+                .as_bool()
+                .ok_or_else(|| JsonError::decode("stopped_early must be a bool"))?,
         })
     }
 }
@@ -453,6 +551,7 @@ impl JsonCodec for Aggregate {
 pub struct GridRunner {
     spec: GridSpec,
     cells_per_shard: usize,
+    stop_rule: Option<StopRule>,
 }
 
 impl GridRunner {
@@ -463,6 +562,7 @@ impl GridRunner {
         Self {
             spec,
             cells_per_shard: 1,
+            stop_rule: None,
         }
     }
 
@@ -479,6 +579,27 @@ impl GridRunner {
         assert!(cells > 0, "a shard needs at least one cell");
         self.cells_per_shard = cells;
         self
+    }
+
+    /// Arms the runner's opt-in adaptive mode: [`run_adaptive`]
+    /// (Self::run_adaptive) will stop each cell once `rule` is
+    /// satisfied. Fixed-trial mode stays the default — `run`, `run_grouped`
+    /// and friends ignore the rule entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::MaxTrialsExceedsSpec`] when the rule's
+    /// ceiling exceeds the spec's per-cell trial budget (the pinned seed
+    /// stream only defines that many trials).
+    pub fn with_stop_rule(mut self, rule: StopRule) -> Result<Self, StatsError> {
+        rule.validate_against_trials(self.spec.trials)?;
+        self.stop_rule = Some(rule);
+        Ok(self)
+    }
+
+    /// The armed stop rule, if any.
+    pub fn stop_rule(&self) -> Option<&StopRule> {
+        self.stop_rule.as_ref()
     }
 
     /// The underlying grid description.
@@ -579,11 +700,107 @@ impl GridRunner {
         let values = self.run_sharded(proto, f)?;
         Ok(GridResults::aggregate(&self.spec, &values))
     }
+
+    /// Runs the grid adaptively: each cell consumes its trials **in the
+    /// exact pinned per-point seed order** and stops as soon as the
+    /// armed [`StopRule`] is satisfied, so an early-stopped cell's
+    /// trials are bit-identical to the first-k prefix of a fixed-mode
+    /// run (property-tested). Cells are evaluated in parallel (one
+    /// shard per cell — trial counts diverge per cell, so wider shards
+    /// would only serialize unrelated cells).
+    ///
+    /// The closure contract is [`run_grouped`](Self::run_grouped)'s: it
+    /// is handed *contiguous* point runs of one cell and returns one
+    /// value per point. It is first called with the `min_trials` head of
+    /// the cell, then with one point at a time until the rule stops the
+    /// cell — each call must evaluate its points independently of call
+    /// grouping (true of every workspace evaluation path: heal-on-entry
+    /// makes grouping a pure batching concern).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's error in cell order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stop rule was armed ([`Self::with_stop_rule`]) or
+    /// the closure returns the wrong number of values.
+    pub fn run_adaptive<S, E, F>(&self, proto: &S, f: F) -> Result<GridResults, E>
+    where
+        S: Clone + Sync,
+        E: Send,
+        F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E> + Sync,
+    {
+        let rule = self
+            .stop_rule
+            .as_ref()
+            .expect("run_adaptive needs a stop rule; arm one with with_stop_rule");
+        let points = self.spec.points();
+        let cell_points: Vec<&[GridPointCtx]> = points.chunks(self.spec.trials).collect();
+        let outcomes = parallel_map(&cell_points, |cell| {
+            let mut state = proto.clone();
+            adaptive_cell_values(&mut state, cell, rule, &f)
+        });
+        let mut cell_trials = Vec::with_capacity(cell_points.len());
+        for outcome in outcomes {
+            cell_trials.push(outcome?);
+        }
+        Ok(GridResults::from_cell_trials(&self.spec, cell_trials))
+    }
+}
+
+/// Evaluates one cell's trials sequentially under a stop rule: the
+/// `min_trials` head in one closure call (so grouped evaluation keeps
+/// its batching there), then one trial at a time until the rule is
+/// satisfied or the cell's pinned points run out. Shared by
+/// [`GridRunner::run_adaptive`] and the campaign service's adaptive
+/// checkpointing ([`crate::service::JobHandle::run`]), so both stop at
+/// literally the same trial.
+///
+/// # Errors
+///
+/// Propagates the closure's error.
+///
+/// # Panics
+///
+/// Panics if the closure returns the wrong number of values.
+pub fn adaptive_cell_values<S, E, F>(
+    state: &mut S,
+    cell: &[GridPointCtx],
+    rule: &StopRule,
+    f: &F,
+) -> Result<Vec<f64>, E>
+where
+    F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E>,
+{
+    let head_len = rule.min_trials.min(cell.len());
+    let mut acc = Streaming::new();
+    let mut values = f(state, &cell[..head_len])?;
+    assert_eq!(
+        values.len(),
+        head_len,
+        "cell closure must return one value per point"
+    );
+    for &v in &values {
+        acc.push(v);
+    }
+    while !rule.satisfied(&acc) && values.len() < cell.len() {
+        let next = f(state, &cell[values.len()..values.len() + 1])?;
+        assert_eq!(
+            next.len(),
+            1,
+            "cell closure must return one value per point"
+        );
+        acc.push(next[0]);
+        values.extend(next);
+    }
+    Ok(values)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snn_sim::metrics::{mean, std_dev};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn spec_3x3x4() -> GridSpec {
@@ -833,6 +1050,120 @@ mod tests {
             }
         }
         assert!(GridSpec::from_json(&zero).is_err());
+    }
+
+    /// Satellite regression for the streaming-aggregation rewrite: over
+    /// the 3×3×4 fixture with order-sensitive values, the emitted mean
+    /// and std_dev bits must be identical to the historical
+    /// `metrics::mean` + `metrics::std_dev` two-pass pair.
+    #[test]
+    fn streaming_aggregation_bits_match_the_two_pass_reference() {
+        let spec = spec_3x3x4();
+        // Seed-derived values spanning magnitudes, so fold order and
+        // association changes would change bits.
+        let values: Vec<f64> = spec
+            .points()
+            .iter()
+            .map(|p| (p.seed % 10_000) as f64 / 16.0 + 1e-3 * (p.index as f64))
+            .collect();
+        let results = GridResults::aggregate(&spec, &values);
+        for cell in results.cells() {
+            assert_eq!(cell.mean.to_bits(), mean(&cell.trials).to_bits());
+            assert_eq!(cell.std_dev.to_bits(), std_dev(&cell.trials).to_bits());
+            assert_eq!(cell.trials_run, 4);
+            assert!(!cell.stopped_early);
+        }
+        assert_eq!(results.trials_run(), spec.n_points());
+    }
+
+    #[test]
+    fn ragged_cell_trials_aggregate_with_early_stop_flags() {
+        let spec = spec_3x3x4();
+        let lens = [4, 1, 2, 3, 4, 2, 1, 4, 3];
+        let cell_trials: Vec<Vec<f64>> = lens
+            .iter()
+            .enumerate()
+            .map(|(c, &len)| (0..len).map(|t| (c * 10 + t) as f64).collect())
+            .collect();
+        let results = GridResults::from_cell_trials(&spec, cell_trials.clone());
+        for ((cell, &len), trials) in results.cells().iter().zip(&lens).zip(&cell_trials) {
+            assert_eq!(cell.trials, *trials);
+            assert_eq!(cell.trials_run, len);
+            assert_eq!(cell.stopped_early, len < 4);
+            assert_eq!(cell.mean.to_bits(), mean(trials).to_bits());
+            assert_eq!(cell.std_dev.to_bits(), std_dev(trials).to_bits());
+        }
+        assert_eq!(results.trials_run(), lens.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn adaptive_run_yields_bit_identical_prefixes_of_the_fixed_run() {
+        let spec = spec_3x3x4();
+        // Deterministic seed-derived evaluation; per-cell values have low
+        // variance (same high digits within a cell), so a loose rule
+        // stops at min_trials while a zero half-width never stops.
+        let eval = |(): &mut (), shard: &[GridPointCtx]| {
+            Ok::<Vec<f64>, std::convert::Infallible>(
+                shard.iter().map(|p| 50.0 + (p.seed % 7) as f64).collect(),
+            )
+        };
+        let fixed = GridRunner::new(spec.clone())
+            .run_grouped(&(), eval)
+            .unwrap();
+        let rule = StopRule::new(2, 4, 60.0, 0.6).unwrap();
+        let adaptive = GridRunner::new(spec.clone())
+            .with_stop_rule(rule)
+            .unwrap()
+            .run_adaptive(&(), eval)
+            .unwrap();
+        let mut saved = 0;
+        for (a, f) in adaptive.cells().iter().zip(fixed.cells()) {
+            assert!(a.trials_run >= 2 && a.trials_run <= 4);
+            saved += 4 - a.trials_run;
+            let prefix = &f.trials[..a.trials_run];
+            let a_bits: Vec<u64> = a.trials.iter().map(|v| v.to_bits()).collect();
+            let f_bits: Vec<u64> = prefix.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, f_bits, "cell {:?} is not a prefix", a.key);
+            assert_eq!(a.stopped_early, a.trials_run < 4);
+        }
+        assert!(saved > 0, "the loose rule must save trials somewhere");
+        // half_width 0 degenerates to the fixed run exactly.
+        let degenerate = GridRunner::new(spec)
+            .with_stop_rule(StopRule::new(2, 4, 0.0, 0.9).unwrap())
+            .unwrap()
+            .run_adaptive(&(), eval)
+            .unwrap();
+        assert_eq!(degenerate, fixed);
+    }
+
+    #[test]
+    fn stop_rule_beyond_the_trial_budget_is_rejected() {
+        let spec = spec_3x3x4(); // 4 trials per cell
+        let rule = StopRule::new(2, 5, 1.0, 0.9).unwrap();
+        assert_eq!(
+            GridRunner::new(spec).with_stop_rule(rule).unwrap_err(),
+            StatsError::MaxTrialsExceedsSpec {
+                max_trials: 5,
+                spec_trials: 4
+            }
+        );
+    }
+
+    #[test]
+    fn decoded_aggregate_rejects_inconsistent_trials_run() {
+        let spec = spec_3x3x4();
+        let values: Vec<f64> = (0..spec.n_points()).map(|i| i as f64).collect();
+        let results = GridResults::aggregate(&spec, &values);
+        let cell = &results.cells()[0];
+        let mut json = cell.to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "trials_run" {
+                    *v = Json::Num(2.0);
+                }
+            }
+        }
+        assert!(Aggregate::from_json(&json).is_err());
     }
 
     #[test]

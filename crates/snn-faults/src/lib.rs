@@ -20,6 +20,12 @@
 //!   with deterministic per-point seeds, shard-local state reuse, and
 //!   single-pass cell aggregation ([`grid`]) — the orchestration layer
 //!   behind every figure harness.
+//! * **Adaptive statistics**: streaming moments, pinned confidence
+//!   bounds, and sequential stop rules ([`stats`]) let grid cells stop
+//!   sampling trials once their accuracy interval is tight — consuming
+//!   the pinned seed stream as an exact prefix — and importance-sampled
+//!   fault maps ([`fault_map::FaultMap::generate_weighted`]) carry their
+//!   likelihood ratios for explicitly-labeled reweighted estimators.
 //!
 //! ```
 //! use snn_faults::location::{FaultDomain, FaultSpace};
@@ -43,13 +49,15 @@ pub mod parallel;
 pub mod permanent;
 pub mod rate;
 pub mod service;
+pub mod stats;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use codec::{Json, JsonCodec, JsonError};
-pub use fault_map::FaultMap;
+pub use fault_map::{FaultMap, SiteWeights, WeightedFaultMap};
 pub use grid::{Aggregate, CellKey, GridPointCtx, GridResults, GridRunner, GridSpec};
 pub use injector::{inject, InjectionSummary};
 pub use location::{FaultDomain, FaultSite, FaultSpace, RawLocation};
 pub use parallel::ParallelCampaign;
 pub use permanent::StuckAtMap;
 pub use service::{CampaignService, JobHandle, RunOptions, RunOutcome, ServiceError};
+pub use stats::{EstimatorMode, StatsError, StopRule, Streaming};

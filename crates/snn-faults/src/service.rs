@@ -34,13 +34,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use snn_sim::parallel::parallel_map;
 
 use crate::codec::{u64_json, Json, JsonCodec};
-use crate::grid::{Aggregate, CellKey, GridPointCtx, GridResults, GridSpec};
+use crate::grid::{adaptive_cell_values, Aggregate, CellKey, GridPointCtx, GridResults, GridSpec};
+use crate::stats::StopRule;
 
 /// On-disk checkpoint format version. Bump whenever the cell layout *or
 /// the workspace seed formula* changes — stored seeds are validated
 /// against [`GridSpec::seed_for`], so a silent seed-stream change would
 /// otherwise only be caught cell by cell.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// History: 1 = fixed-trial cells; 2 = adaptive cells (the cell schema
+/// grew `trials_run`/`stopped_early`, and a cell's stored trials/seeds
+/// may be a proper prefix of the spec's budget). Version-1 checkpoints
+/// are refused loudly and re-run — splicing a fixed-format cell into an
+/// adaptive grid (or vice versa) must never happen silently.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Why a service operation failed.
 #[derive(Debug)]
@@ -143,6 +150,15 @@ pub struct RunOptions {
     /// This is the deterministic "kill it mid-grid" lever the resume
     /// tests and the CI smoke gate use.
     pub max_cells: Option<usize>,
+    /// Sequential stop rule for this pass: each evaluated cell consumes
+    /// its pinned seed stream in order and stops early once the rule is
+    /// satisfied. `None` (the default) runs every cell's full trial
+    /// budget. The rule is a *run-time* option, not part of the job's
+    /// identity — every checkpointed cell records honestly how many
+    /// trials it ran, and any prefix of the seed stream validates, so
+    /// passes with different rules may legally complete one job (each
+    /// cell self-describes via `trials_run`/`stopped_early`).
+    pub stop_rule: Option<StopRule>,
 }
 
 /// What one [`JobHandle::run`] pass accomplished.
@@ -159,6 +175,18 @@ pub enum RunOutcome {
     },
 }
 
+/// Progress of one checkpointed cell ([`JobStatus::cells`]): how many of
+/// its budgeted trials actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellProgress {
+    /// The cell's grid address.
+    pub key: CellKey,
+    /// Trials the checkpoint holds (a seed-stream prefix).
+    pub trials_run: usize,
+    /// Whether a stop rule ended the cell before its full budget.
+    pub stopped_early: bool,
+}
+
 /// Per-job progress snapshot ([`JobHandle::status`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
@@ -169,12 +197,29 @@ pub struct JobStatus {
     /// Cells whose checkpoint file exists but fails validation (corrupt,
     /// truncated, wrong seeds, wrong version) — these re-run on resume.
     pub invalid_cells: Vec<CellKey>,
+    /// The spec's per-cell trial budget.
+    pub trials_per_cell: usize,
+    /// Per-cell progress of every valid checkpoint, in cell order — what
+    /// lets `campaignd status` report adaptive savings without reading
+    /// checkpoint JSON.
+    pub cells: Vec<CellProgress>,
 }
 
 impl JobStatus {
     /// Whether every cell has a valid checkpoint.
     pub fn is_complete(&self) -> bool {
         self.done_cells == self.total_cells
+    }
+
+    /// Total trials run across checkpointed cells.
+    pub fn trials_run(&self) -> usize {
+        self.cells.iter().map(|c| c.trials_run).sum()
+    }
+
+    /// Trials the stop rule saved across checkpointed cells, relative to
+    /// the fixed budget (`done_cells × trials_per_cell`).
+    pub fn trials_saved(&self) -> usize {
+        self.done_cells * self.trials_per_cell - self.trials_run()
     }
 }
 
@@ -366,14 +411,17 @@ impl JobHandle {
         &self.dir
     }
 
-    fn cell_path(&self, key: CellKey) -> PathBuf {
+    /// The checkpoint file backing one cell — stable across sessions, so
+    /// external tooling (and byte-identity tests) can diff artifacts.
+    pub fn cell_path(&self, key: CellKey) -> PathBuf {
         self.dir.join("cells").join(format!(
             "c{:03}_{:03}.json",
             key.technique_idx, key.rate_idx
         ))
     }
 
-    fn cell_keys(&self) -> Vec<CellKey> {
+    /// Every cell of the grid, in cell order (technique-major).
+    pub fn cell_keys(&self) -> Vec<CellKey> {
         let mut keys = Vec::with_capacity(self.spec.n_cells());
         for technique_idx in 0..self.spec.techniques.len() {
             for rate_idx in 0..self.spec.rates.len() {
@@ -444,22 +492,32 @@ impl JobHandle {
                 cell.rate, self.spec.rates[key.rate_idx]
             )));
         }
-        if cell.trials.len() != self.spec.trials {
+        if cell.trials.is_empty() || cell.trials.len() > self.spec.trials {
             return Err(bad(format!(
-                "{} trials stored, spec wants {}",
+                "{} trials stored, spec budgets 1..={}",
+                cell.trials.len(),
+                self.spec.trials
+            )));
+        }
+        if cell.stopped_early != (cell.trials.len() < self.spec.trials) {
+            return Err(bad(format!(
+                "stopped_early {} disagrees with {} of {} trials run",
+                cell.stopped_early,
                 cell.trials.len(),
                 self.spec.trials
             )));
         }
         // The seed-formula pin: stored seeds must equal what the spec
-        // derives today, trial for trial. A seed-stream change makes
-        // every old checkpoint fail here (and must bump FORMAT_VERSION).
+        // derives today, trial for trial — a prefix of the cell's pinned
+        // seed stream, exactly as long as the trials that ran. A
+        // seed-stream change makes every old checkpoint fail here (and
+        // must bump FORMAT_VERSION).
         let seeds = json.arr_field("seeds").map_err(|e| bad(e.to_string()))?;
-        if seeds.len() != self.spec.trials {
+        if seeds.len() != cell.trials.len() {
             return Err(bad(format!(
-                "{} seeds stored, spec wants {}",
+                "{} seeds stored for {} trials",
                 seeds.len(),
-                self.spec.trials
+                cell.trials.len()
             )));
         }
         for (trial, seed_json) in seeds.iter().enumerate() {
@@ -500,12 +558,20 @@ impl JobHandle {
     /// Returns [`ServiceError`] on I/O failure.
     pub fn store_cell(&self, cell: &Aggregate) -> Result<(), ServiceError> {
         let points = self.cell_points(cell.key);
+        // Seeds for exactly the trials that ran: an early-stopped cell
+        // stores (and later validates) the seed-stream prefix it
+        // consumed, nothing more.
         let json = Json::obj([
             ("format_version", Json::Num(FORMAT_VERSION as f64)),
             ("cell", cell.to_json()),
             (
                 "seeds",
-                Json::Arr(points.iter().map(|p| u64_json(p.seed)).collect()),
+                Json::Arr(
+                    points[..cell.trials.len()]
+                        .iter()
+                        .map(|p| u64_json(p.seed))
+                        .collect(),
+                ),
             ),
         ]);
         write_atomic(&self.cell_path(cell.key), &json.render())
@@ -520,9 +586,17 @@ impl JobHandle {
     pub fn status(&self) -> Result<JobStatus, ServiceError> {
         let mut done = 0;
         let mut invalid = Vec::new();
+        let mut cells = Vec::new();
         for key in self.cell_keys() {
             match self.load_cell(key) {
-                Ok(Some(_)) => done += 1,
+                Ok(Some(cell)) => {
+                    done += 1;
+                    cells.push(CellProgress {
+                        key,
+                        trials_run: cell.trials_run,
+                        stopped_early: cell.stopped_early,
+                    });
+                }
                 Ok(None) => {}
                 Err(ServiceError::Format { .. }) => invalid.push(key),
                 Err(e) => return Err(e),
@@ -532,6 +606,8 @@ impl JobHandle {
             total_cells: self.spec.n_cells(),
             done_cells: done,
             invalid_cells: invalid,
+            trials_per_cell: self.spec.trials,
+            cells,
         })
     }
 
@@ -570,11 +646,19 @@ impl JobHandle {
     /// (crate::grid::GridRunner) run performs — so resume is
     /// bit-identical, not approximately equal.
     ///
+    /// With [`RunOptions::stop_rule`] set, each missing cell is
+    /// evaluated **adaptively**: the closure is handed the rule's
+    /// `min_trials` head of the cell's pinned points first, then one
+    /// point at a time until the rule is satisfied
+    /// ([`crate::grid::adaptive_cell_values`] — literally the code
+    /// [`crate::grid::GridRunner::run_adaptive`] runs). The checkpoint
+    /// then records the trials and seeds that actually ran.
+    ///
     /// # Errors
     ///
     /// Returns the first failing cell's error in cell order
     /// ([`RunError::Eval`]), or [`RunError::Service`] on checkpoint I/O
-    /// failure.
+    /// failure or a stop rule exceeding the spec's trial budget.
     ///
     /// # Panics
     ///
@@ -586,26 +670,39 @@ impl JobHandle {
         E: Send,
         F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E> + Sync,
     {
+        if let Some(rule) = &opts.stop_rule {
+            rule.validate_against_trials(self.spec.trials)
+                .map_err(|e| ServiceError::SpecMismatch {
+                    detail: e.to_string(),
+                })?;
+        }
         let missing = self.missing_cells()?;
         let budget = opts.max_cells.unwrap_or(missing.len()).min(missing.len());
         let selected = &missing[..budget];
         let outcomes: Vec<Result<(), RunError<E>>> = parallel_map(selected, |&key| {
             let points = self.cell_points(key);
             let mut state = proto.clone();
-            let values = f(&mut state, &points).map_err(RunError::Eval)?;
-            assert_eq!(
-                values.len(),
-                points.len(),
-                "cell closure must return one value per point"
-            );
-            let cell = Aggregate {
-                key,
-                technique: self.spec.techniques[key.technique_idx].clone(),
-                rate: self.spec.rates[key.rate_idx],
-                mean: snn_sim::metrics::mean(&values),
-                std_dev: snn_sim::metrics::std_dev(&values),
-                trials: values,
+            let values = match &opts.stop_rule {
+                Some(rule) => {
+                    adaptive_cell_values(&mut state, &points, rule, &f).map_err(RunError::Eval)?
+                }
+                None => {
+                    let values = f(&mut state, &points).map_err(RunError::Eval)?;
+                    assert_eq!(
+                        values.len(),
+                        points.len(),
+                        "cell closure must return one value per point"
+                    );
+                    values
+                }
             };
+            let cell = Aggregate::from_trials(
+                key,
+                self.spec.techniques[key.technique_idx].clone(),
+                self.spec.rates[key.rate_idx],
+                self.spec.trials,
+                values,
+            );
             self.store_cell(&cell)?;
             Ok(())
         });
@@ -624,23 +721,24 @@ impl JobHandle {
 
     /// Reassembles the full grid from checkpoints: `Ok(None)` while any
     /// cell is missing or invalid. Aggregation re-runs
-    /// [`GridResults::aggregate`] over the stored per-trial values, so
-    /// the result is bit-identical to an uninterrupted run.
+    /// [`GridResults::from_cell_trials`] over the stored per-trial
+    /// values, so the result is bit-identical to an uninterrupted run —
+    /// including adaptive cells that stopped before the trial budget.
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError`] only on I/O failure.
     pub fn results(&self) -> Result<Option<GridResults>, ServiceError> {
-        let mut values = Vec::with_capacity(self.spec.n_points());
+        let mut cell_trials = Vec::with_capacity(self.spec.n_cells());
         for key in self.cell_keys() {
             match self.load_cell(key) {
-                Ok(Some(cell)) => values.extend(cell.trials),
+                Ok(Some(cell)) => cell_trials.push(cell.trials),
                 Ok(None) => return Ok(None),
                 Err(ServiceError::Format { .. }) => return Ok(None),
                 Err(e) => return Err(e),
             }
         }
-        Ok(Some(GridResults::aggregate(&self.spec, &values)))
+        Ok(Some(GridResults::from_cell_trials(&self.spec, cell_trials)))
     }
 }
 
@@ -735,7 +833,14 @@ mod tests {
         let job = service.submit("j", spec(), None).unwrap();
         // First pass: only 2 of the 6 cells.
         let outcome = job
-            .run(&(), RunOptions { max_cells: Some(2) }, eval)
+            .run(
+                &(),
+                RunOptions {
+                    max_cells: Some(2),
+                    ..RunOptions::default()
+                },
+                eval,
+            )
             .unwrap();
         match outcome {
             RunOutcome::Interrupted { done, total } => {
@@ -836,6 +941,169 @@ mod tests {
             Err(ServiceError::SpecMismatch { .. })
         ));
         assert_eq!(service.jobs().unwrap(), vec!["j".to_owned()]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Stops every cell at exactly 2 of the spec's 3 trials: at `n = 2`
+    /// the Hoeffding bound is `100·sqrt(ln(5)/4) ≈ 63.4 ≤ 70`.
+    fn early_rule() -> StopRule {
+        StopRule::new(2, 3, 70.0, 0.6).unwrap()
+    }
+
+    #[test]
+    fn adaptive_run_checkpoints_seed_stream_prefixes() {
+        let root = temp_root("adaptive");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        let opts = RunOptions {
+            stop_rule: Some(early_rule()),
+            ..RunOptions::default()
+        };
+        let outcome = job.run(&(), opts, eval).unwrap();
+        let results = match outcome {
+            RunOutcome::Complete(results) => results,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        let reference = reference_results();
+        for (cell, full) in results.cells().iter().zip(reference.cells()) {
+            assert_eq!(cell.trials_run, 2);
+            assert!(cell.stopped_early);
+            // The adaptive cell is bit-identical to the first-2-trials
+            // prefix of the fixed-budget run.
+            for (a, f) in cell.trials.iter().zip(&full.trials) {
+                assert_eq!(a.to_bits(), f.to_bits());
+            }
+        }
+        let status = job.status().unwrap();
+        assert!(status.is_complete());
+        assert_eq!(status.trials_run(), 12);
+        assert_eq!(status.trials_saved(), 6);
+        for progress in &status.cells {
+            assert_eq!(progress.trials_run, 2);
+            assert!(progress.stopped_early);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn interrupted_adaptive_run_resumes_to_identical_checkpoints() {
+        let root = temp_root("adaptive_resume");
+        let service = CampaignService::new(&root);
+        let opts = RunOptions {
+            stop_rule: Some(early_rule()),
+            ..RunOptions::default()
+        };
+
+        // Reference: one-shot adaptive job.
+        let oneshot = service.submit("oneshot", spec(), None).unwrap();
+        let reference = match oneshot.run(&(), opts, eval).unwrap() {
+            RunOutcome::Complete(results) => results,
+            other => panic!("expected completion, got {other:?}"),
+        };
+
+        // Same rule, interrupted after 2 cells, resumed via a fresh handle.
+        let job = service.submit("resumed", spec(), None).unwrap();
+        let first = RunOptions {
+            max_cells: Some(2),
+            ..opts
+        };
+        match job.run(&(), first, eval).unwrap() {
+            RunOutcome::Interrupted { done, total } => assert_eq!((done, total), (2, 6)),
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        let job2 = service.open("resumed").unwrap();
+        let resumed = match job2.run(&(), opts, eval).unwrap() {
+            RunOutcome::Complete(results) => results,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!(resumed, reference);
+        // Checkpoint files byte-identical across the two jobs.
+        for key in oneshot.cell_keys() {
+            let a = fs::read(oneshot.cell_path(key)).unwrap();
+            let b = fs::read(job2.cell_path(key)).unwrap();
+            assert_eq!(a, b, "cell {key:?} artifact differs");
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fixed_pass_tops_up_nothing_after_adaptive_pass() {
+        // A stop rule is a run-time option, not part of the job identity:
+        // adaptive checkpoints are complete cells, so a later fixed-mode
+        // pass over the same job finds nothing missing.
+        let root = temp_root("mixed");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        let opts = RunOptions {
+            stop_rule: Some(early_rule()),
+            ..RunOptions::default()
+        };
+        job.run(&(), opts, eval).unwrap();
+        let job2 = service.open("j").unwrap();
+        assert!(job2.missing_cells().unwrap().is_empty());
+        match job2.run(&(), RunOptions::default(), eval).unwrap() {
+            RunOutcome::Complete(results) => {
+                assert_eq!(results.cells()[0].trials_run, 2);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stop_rule_beyond_spec_budget_is_refused() {
+        let root = temp_root("badrule");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        let opts = RunOptions {
+            // max_trials 5 > the spec's 3-trial budget.
+            stop_rule: Some(StopRule::new(2, 5, 10.0, 0.9).unwrap()),
+            ..RunOptions::default()
+        };
+        let result = job.run(&(), opts, eval);
+        assert!(matches!(
+            result,
+            Err(RunError::Service(ServiceError::SpecMismatch { .. }))
+        ));
+        // Nothing ran.
+        assert_eq!(job.status().unwrap().done_cells, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_1_checkpoints_are_refused() {
+        let root = temp_root("v1cell");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        job.run(&(), RunOptions::default(), eval).unwrap();
+        // Rewind one cell file to the retired format version.
+        let key = CellKey {
+            technique_idx: 1,
+            rate_idx: 0,
+        };
+        let path = job.cell_path(key);
+        let text = fs::read_to_string(&path).unwrap();
+        let stale = text.replace("\"format_version\":2", "\"format_version\":1");
+        assert_ne!(text, stale, "version field must appear in the checkpoint");
+        fs::write(&path, stale).unwrap();
+        match job.load_cell(key) {
+            Err(ServiceError::Format { detail, .. }) => {
+                assert!(detail.contains("format version 1"), "got: {detail}");
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+        assert_eq!(job.missing_cells().unwrap(), vec![key]);
+
+        // A whole job written by a version-1 build is refused at open.
+        let job_path = root.join("j").join("job.json");
+        let text = fs::read_to_string(&job_path).unwrap();
+        let stale = text.replace("\"format_version\":2", "\"format_version\":1");
+        assert_ne!(text, stale);
+        fs::write(&job_path, stale).unwrap();
+        assert!(matches!(
+            service.open("j"),
+            Err(ServiceError::Format { .. })
+        ));
         let _ = fs::remove_dir_all(&root);
     }
 

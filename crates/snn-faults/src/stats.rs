@@ -1,0 +1,725 @@
+//! Sequential campaign statistics: streaming moments, distribution-free
+//! confidence bounds, stop rules, and importance-sampling estimators.
+//!
+//! Fault-injection campaigns spend their time on trials, and most cells
+//! converge long before the fixed trial budget is exhausted — the
+//! SpikeFI observation. This module is the statistics half of that
+//! speedup, kept dependency-free and deliberately boring:
+//!
+//! * [`Streaming`] — a single-pass moment accumulator. It tracks the
+//!   plain left-fold sum (so its mean is **bit-identical** to
+//!   [`snn_sim::metrics::mean`]) *and* Welford's running `M2` (so a
+//!   numerically stable variance is available after every push without
+//!   re-scanning the trials).
+//! * [`hoeffding_half_width`] / [`empirical_bernstein_half_width`] —
+//!   distribution-free confidence-interval half-widths for bounded
+//!   values, pinned by table tests so the stopping behaviour can never
+//!   drift silently.
+//! * [`StopRule`] — "stop once the CI half-width is small enough",
+//!   with typed construction errors instead of silent clamping.
+//! * [`EstimatorMode`] / [`importance_estimate`] — explicitly-labeled
+//!   estimators for importance-sampled fault maps
+//!   ([`crate::fault_map::FaultMap::generate_weighted`]): the unbiased
+//!   likelihood-ratio form and the lower-variance self-normalized form,
+//!   never conflated with a plain uniform mean.
+//!
+//! The module never touches the trial *order*: adaptive execution in
+//! [`crate::grid`] consumes the exact pinned per-point seed stream and
+//! merely stops early, so an early-stopped cell is the first-k prefix of
+//! the fixed-mode cell, bit for bit.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`StopRule`] (or a grid/service adaptive run using one) was
+/// refused at construction. These are hard errors on purpose: silently
+/// clamping `min_trials` to 2 or `max_trials` to the spec's budget would
+/// make the effective rule differ from the requested one without anyone
+/// noticing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// `min_trials < 2`: a sample variance (and thus the
+    /// empirical-Bernstein bound) is undefined on fewer than two trials.
+    MinTrialsTooSmall {
+        /// The offending minimum.
+        min_trials: usize,
+    },
+    /// `min_trials > max_trials`: the rule could never take effect.
+    MinExceedsMax {
+        /// The requested minimum.
+        min_trials: usize,
+        /// The requested maximum.
+        max_trials: usize,
+    },
+    /// `max_trials` exceeds the grid's per-cell trial budget: the seed
+    /// stream only defines `spec_trials` pinned trials per cell, so a
+    /// larger maximum would demand seeds that do not exist.
+    MaxTrialsExceedsSpec {
+        /// The requested maximum.
+        max_trials: usize,
+        /// The grid's per-cell trial count.
+        spec_trials: usize,
+    },
+    /// `half_width` is negative, NaN, or infinite.
+    BadHalfWidth {
+        /// The offending target half-width.
+        half_width: f64,
+    },
+    /// `confidence` is outside the open interval (0, 1).
+    BadConfidence {
+        /// The offending confidence level.
+        confidence: f64,
+    },
+    /// `range` is not a strictly positive finite number.
+    BadRange {
+        /// The offending value range.
+        range: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::MinTrialsTooSmall { min_trials } => write!(
+                f,
+                "stop rule min_trials {min_trials} < 2 (sample variance needs two trials)"
+            ),
+            StatsError::MinExceedsMax {
+                min_trials,
+                max_trials,
+            } => write!(
+                f,
+                "stop rule min_trials {min_trials} exceeds max_trials {max_trials}"
+            ),
+            StatsError::MaxTrialsExceedsSpec {
+                max_trials,
+                spec_trials,
+            } => write!(
+                f,
+                "stop rule max_trials {max_trials} exceeds the grid's {spec_trials} \
+                 pinned trials per cell"
+            ),
+            StatsError::BadHalfWidth { half_width } => {
+                write!(
+                    f,
+                    "stop rule half_width {half_width} must be finite and >= 0"
+                )
+            }
+            StatsError::BadConfidence { confidence } => {
+                write!(f, "stop rule confidence {confidence} must lie in (0, 1)")
+            }
+            StatsError::BadRange { range } => {
+                write!(f, "stop rule range {range} must be finite and > 0")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Single-pass streaming moments over a trial sequence.
+///
+/// Two accumulators run side by side:
+///
+/// * the **left-fold sum**, whose `sum / n` is bit-identical to
+///   [`snn_sim::metrics::mean`] (`xs.iter().sum::<f64>() / n` folds left
+///   in slice order) — this is what aggregation emits, so checkpointed
+///   means never change bits;
+/// * **Welford's `M2`**, giving a numerically stable running variance
+///   after every push — this is what the stop rule consumes, so deciding
+///   "stop or continue" after trial k is O(1), not O(k).
+///
+/// The sample standard deviation that aggregation *emits* is defined as
+/// `sqrt(Σ(x − mean)² / (n − 1))` with the final mean —
+/// [`snn_sim::metrics::std_dev`]'s exact expression — which no streaming
+/// update reproduces bit-for-bit. [`Streaming::finalize`] therefore
+/// performs the one irreducible re-scan for the emitted value (down from
+/// the three passes the old `mean(&t)` + `std_dev(&t)` pair cost), while
+/// the Welford variance drives the stop rule with zero re-scans.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::stats::Streaming;
+///
+/// let mut s = Streaming::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.n(), 3);
+/// assert_eq!(s.mean().to_bits(), snn_sim::metrics::mean(&[2.0, 4.0, 6.0]).to_bits());
+/// assert_eq!(s.variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Streaming {
+    n: usize,
+    sum: f64,
+    welford_mean: f64,
+    m2: f64,
+}
+
+impl Streaming {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one trial value.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.welford_mean;
+        self.welford_mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.welford_mean);
+    }
+
+    /// Number of trials consumed.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The left-fold mean `sum / n` — bit-identical to
+    /// [`snn_sim::metrics::mean`] over the same values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Welford's sample variance `M2 / (n − 1)` (0.0 for fewer than two
+    /// trials). Numerically stable and available after every push; used
+    /// by the stop rule, **not** emitted into artifacts.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// The emitted `(mean, std_dev)` pair for the accumulated trials:
+    /// the streaming mean plus one variance re-scan replicating
+    /// [`snn_sim::metrics::std_dev`]'s exact expression, so both values
+    /// are bit-identical to the historical two-function aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not the sequence this accumulator consumed
+    /// (length mismatch — the cheap half of that contract).
+    pub fn finalize(&self, values: &[f64]) -> (f64, f64) {
+        assert_eq!(values.len(), self.n, "finalize over the pushed values");
+        let mean = self.mean();
+        if self.n < 2 {
+            return (mean, 0.0);
+        }
+        let var =
+            values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        (mean, var.sqrt())
+    }
+}
+
+/// Hoeffding confidence-interval half-width for `n` i.i.d. values in a
+/// range of width `range`, at failure probability `delta`:
+/// `range · sqrt(ln(2/δ) / (2n))`.
+///
+/// Distribution-free and variance-blind — the right bound while the
+/// sample variance is still untrustworthy, and strictly positive for
+/// every finite `n` (so a zero target half-width never stops early).
+pub fn hoeffding_half_width(range: f64, n: usize, delta: f64) -> f64 {
+    assert!(n > 0, "half-width of an empty sample");
+    range * ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Empirical-Bernstein confidence-interval half-width (Audibert et al. /
+/// Mnih et al. form) for `n` values in a range of width `range` with
+/// sample variance `variance`, at failure probability `delta`:
+/// `sqrt(2·V·ln(3/δ)/n) + 3·range·ln(3/δ)/n`.
+///
+/// Variance-adaptive: once the observed variance is small the bound
+/// shrinks like `range/n` instead of `range/sqrt(n)`, which is what lets
+/// low-noise cells stop after a handful of trials. Strictly positive for
+/// every finite `n`.
+pub fn empirical_bernstein_half_width(range: f64, variance: f64, n: usize, delta: f64) -> f64 {
+    assert!(n > 0, "half-width of an empty sample");
+    let nf = n as f64;
+    let log_term = (3.0 / delta).ln();
+    (2.0 * variance * log_term / nf).sqrt() + 3.0 * range * log_term / nf
+}
+
+/// A sequential stopping rule: run at least `min_trials`, stop as soon
+/// as the confidence interval's half-width drops to `half_width` (at
+/// level `confidence`), and never run more than `max_trials`.
+///
+/// The half-width used is the **tighter** of the Hoeffding and
+/// empirical-Bernstein bounds at `delta = 1 − confidence` — both are
+/// valid simultaneously (up to a union-bound constant folded into the
+/// conservative side), and each dominates in a different regime
+/// (Hoeffding early / high variance, Bernstein once the trials are
+/// visibly low-noise).
+///
+/// `half_width: 0.0` is valid and degenerates to fixed-trial mode by
+/// construction: both bounds are strictly positive for every finite
+/// trial count, so the rule is only "satisfied" when `max_trials` is
+/// reached.
+///
+/// # Examples
+///
+/// ```
+/// use snn_faults::stats::{StopRule, Streaming};
+///
+/// let rule = StopRule::new(4, 64, 5.0, 0.9).unwrap();
+/// let mut s = Streaming::new();
+/// s.push(50.0);
+/// s.push(50.0);
+/// assert!(!rule.satisfied(&s), "below min_trials");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Trials always run before the rule may stop a cell (≥ 2).
+    pub min_trials: usize,
+    /// Hard per-cell trial ceiling (≤ the grid's trial budget).
+    pub max_trials: usize,
+    /// Target confidence-interval half-width, in value units (accuracy
+    /// percentage points for the figure grids). 0.0 = never stop early.
+    pub half_width: f64,
+    /// Confidence level of the interval, in (0, 1).
+    pub confidence: f64,
+    /// Width of the range trial values are bounded to (100.0 for
+    /// accuracy percentages).
+    pub range: f64,
+}
+
+/// Trial values are accuracy percentages unless stated otherwise.
+pub const ACCURACY_RANGE: f64 = 100.0;
+
+impl StopRule {
+    /// Builds a rule for accuracy-percentage trials (range 100.0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StatsError`] — never clamps — when
+    /// `min_trials < 2`, `min_trials > max_trials`, `half_width` is
+    /// negative or non-finite, or `confidence` is outside (0, 1).
+    pub fn new(
+        min_trials: usize,
+        max_trials: usize,
+        half_width: f64,
+        confidence: f64,
+    ) -> Result<Self, StatsError> {
+        Self {
+            min_trials,
+            max_trials,
+            half_width,
+            confidence,
+            range: ACCURACY_RANGE,
+        }
+        .validated()
+    }
+
+    /// Replaces the value range (for sweeps whose trial values are not
+    /// accuracy percentages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadRange`] unless `range` is finite and
+    /// strictly positive.
+    pub fn with_range(mut self, range: f64) -> Result<Self, StatsError> {
+        self.range = range;
+        self.validated()
+    }
+
+    fn validated(self) -> Result<Self, StatsError> {
+        if self.min_trials < 2 {
+            return Err(StatsError::MinTrialsTooSmall {
+                min_trials: self.min_trials,
+            });
+        }
+        if self.min_trials > self.max_trials {
+            return Err(StatsError::MinExceedsMax {
+                min_trials: self.min_trials,
+                max_trials: self.max_trials,
+            });
+        }
+        if !self.half_width.is_finite() || self.half_width < 0.0 {
+            return Err(StatsError::BadHalfWidth {
+                half_width: self.half_width,
+            });
+        }
+        if !self.confidence.is_finite() || self.confidence <= 0.0 || self.confidence >= 1.0 {
+            return Err(StatsError::BadConfidence {
+                confidence: self.confidence,
+            });
+        }
+        if !self.range.is_finite() || self.range <= 0.0 {
+            return Err(StatsError::BadRange { range: self.range });
+        }
+        Ok(self)
+    }
+
+    /// Checks the rule against a grid's per-cell trial budget. Adaptive
+    /// runners call this before consuming any seed: `max_trials` beyond
+    /// the budget would demand pinned seeds that do not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::MaxTrialsExceedsSpec`] when
+    /// `max_trials > spec_trials`.
+    pub fn validate_against_trials(&self, spec_trials: usize) -> Result<(), StatsError> {
+        if self.max_trials > spec_trials {
+            return Err(StatsError::MaxTrialsExceedsSpec {
+                max_trials: self.max_trials,
+                spec_trials,
+            });
+        }
+        Ok(())
+    }
+
+    /// The current confidence-interval half-width for an accumulator:
+    /// the tighter of the two bounds at `delta = 1 − confidence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator.
+    pub fn current_half_width(&self, stats: &Streaming) -> f64 {
+        let delta = 1.0 - self.confidence;
+        let hoeffding = hoeffding_half_width(self.range, stats.n(), delta);
+        let bernstein =
+            empirical_bernstein_half_width(self.range, stats.variance(), stats.n(), delta);
+        hoeffding.min(bernstein)
+    }
+
+    /// Whether a cell with these accumulated trials may stop: at least
+    /// `min_trials` consumed, and either the interval is tight enough or
+    /// the `max_trials` ceiling is reached.
+    pub fn satisfied(&self, stats: &Streaming) -> bool {
+        if stats.n() < self.min_trials {
+            return false;
+        }
+        if stats.n() >= self.max_trials {
+            return true;
+        }
+        self.current_half_width(stats) <= self.half_width
+    }
+}
+
+/// How importance-sampled trial values are combined into an estimate.
+/// The mode is explicit everywhere — an importance-weighted sample mean
+/// silently presented as a plain mean would be a biased estimator
+/// wearing an unbiased label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorMode {
+    /// Plain sample mean; correct only for uniformly drawn fault maps
+    /// (all likelihood ratios must be 1 / log-ratios 0).
+    Uniform,
+    /// Likelihood-ratio (Horvitz–Thompson style) estimator
+    /// `mean(rᵢ · vᵢ)` with `rᵢ = p(mapᵢ)/q(mapᵢ)`: **unbiased** for the
+    /// uniform-sampling expectation, at possibly higher variance when
+    /// the proposal is poorly matched.
+    ImportanceUnbiased,
+    /// Self-normalized estimator `Σ rᵢ·vᵢ / Σ rᵢ`: consistent (bias
+    /// vanishes as n grows) and usually lower-variance, but *not*
+    /// unbiased at finite n — label it accordingly.
+    ImportanceSelfNormalized,
+}
+
+/// Combines trial values and their log likelihood ratios (uniform over
+/// proposal, as produced by
+/// [`crate::fault_map::FaultMap::generate_weighted`]) into one estimate
+/// under an explicit [`EstimatorMode`].
+///
+/// # Panics
+///
+/// Panics when lengths differ, on empty input, or when
+/// [`EstimatorMode::Uniform`] is paired with non-zero log-ratios (that
+/// combination is precisely the mislabeling this API exists to prevent).
+pub fn importance_estimate(values: &[f64], log_ratios: &[f64], mode: EstimatorMode) -> f64 {
+    assert_eq!(values.len(), log_ratios.len(), "one log-ratio per value");
+    assert!(!values.is_empty(), "estimate over an empty sample");
+    match mode {
+        EstimatorMode::Uniform => {
+            assert!(
+                log_ratios.iter().all(|&lr| lr == 0.0),
+                "uniform estimator over importance-sampled values would be biased; \
+                 use an importance mode"
+            );
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+        EstimatorMode::ImportanceUnbiased => {
+            values
+                .iter()
+                .zip(log_ratios)
+                .map(|(&v, &lr)| lr.exp() * v)
+                .sum::<f64>()
+                / values.len() as f64
+        }
+        EstimatorMode::ImportanceSelfNormalized => {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (&v, &lr) in values.iter().zip(log_ratios) {
+                let r = lr.exp();
+                num += r * v;
+                den += r;
+            }
+            num / den
+        }
+    }
+}
+
+/// Kish effective sample size of an importance-weighted sample:
+/// `(Σ rᵢ)² / Σ rᵢ²`. Equals `n` for uniform weights and collapses
+/// toward 1 as a few ratios dominate — the standard health check before
+/// trusting an importance-sampled estimate.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn effective_sample_size(log_ratios: &[f64]) -> f64 {
+    assert!(!log_ratios.is_empty(), "ESS of an empty sample");
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &lr in log_ratios {
+        let r = lr.exp();
+        sum += r;
+        sum_sq += r * r;
+    }
+    sum * sum / sum_sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_sim::metrics::{mean, std_dev};
+
+    #[test]
+    fn streaming_mean_is_bit_identical_to_metrics_mean() {
+        // Values chosen to make fold order matter: mixing magnitudes
+        // makes `sum/n` differ across association orders, so bit
+        // equality here is evidence of the same fold, not luck.
+        let xs = [62.5, 1e-3, 57.5, 3.25e8, 60.0, -12.125, 0.1 + 0.2];
+        for len in 0..=xs.len() {
+            let slice = &xs[..len];
+            let mut s = Streaming::new();
+            for &x in slice {
+                s.push(x);
+            }
+            assert_eq!(s.mean().to_bits(), mean(slice).to_bits(), "len {len}");
+            let (m, sd) = s.finalize(slice);
+            assert_eq!(m.to_bits(), mean(slice).to_bits(), "len {len}");
+            assert_eq!(sd.to_bits(), std_dev(slice).to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn streaming_variance_matches_two_pass_closely() {
+        let xs = [55.0, 60.0, 57.5, 62.5, 40.0, 58.0];
+        let mut s = Streaming::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let sd = std_dev(&xs);
+        assert!((s.variance() - sd * sd).abs() < 1e-9);
+    }
+
+    /// The pinned bound table: exact `to_bits` values captured at
+    /// implementation time. Any change to the formulas (reassociation,
+    /// different constants, a "harmless" refactor) trips this test, so
+    /// stopping behaviour can never drift silently under the campaigns.
+    #[test]
+    fn confidence_bounds_are_pinned() {
+        // (range, n, delta, variance, hoeffding_bits, bernstein_bits)
+        let cases: [(f64, usize, f64, f64, u64, u64); 6] = [
+            (100.0, 2, 0.1, 0.0, 0x4055A29E6B4567C8, 0x407FE2DFABD9DF7E),
+            (100.0, 8, 0.1, 0.0, 0x4045A29E6B4567C8, 0x405FE2DFABD9DF7E),
+            (
+                100.0,
+                8,
+                0.25,
+                156.25,
+                0x4042067C6CEDCB2D,
+                0x4059C251C5F1C342,
+            ),
+            (
+                100.0,
+                32,
+                0.05,
+                42.1875,
+                0x40380210DC7E0FF3,
+                0x4044D5C785C98D1C,
+            ),
+            (
+                100.0,
+                128,
+                0.25,
+                6.5,
+                0x4022067C6CEDCB2D,
+                0x40194E3354A64296,
+            ),
+            (1.0, 16, 0.5, 0.04, 0x3FCAA4499161CD47, 0x3FDB8F0BBB046A32),
+        ];
+        for (range, n, delta, variance, h_bits, b_bits) in cases {
+            assert_eq!(
+                hoeffding_half_width(range, n, delta).to_bits(),
+                h_bits,
+                "hoeffding({range}, {n}, {delta})"
+            );
+            assert_eq!(
+                empirical_bernstein_half_width(range, variance, n, delta).to_bits(),
+                b_bits,
+                "bernstein({range}, {variance}, {n}, {delta})"
+            );
+        }
+    }
+
+    #[test]
+    fn hoeffding_shrinks_like_inverse_sqrt_n() {
+        let a = hoeffding_half_width(100.0, 25, 0.05);
+        let b = hoeffding_half_width(100.0, 100, 0.05);
+        assert!(
+            (a / b - 2.0).abs() < 1e-12,
+            "4x the trials halves the bound"
+        );
+        assert!(a > 0.0 && b > 0.0);
+    }
+
+    #[test]
+    fn bernstein_beats_hoeffding_once_variance_is_low() {
+        // Zero observed variance: Bernstein's range term decays like 1/n
+        // and must undercut Hoeffding's 1/sqrt(n) for large n.
+        let n = 400;
+        let h = hoeffding_half_width(100.0, n, 0.1);
+        let b = empirical_bernstein_half_width(100.0, 0.0, n, 0.1);
+        assert!(b < h, "bernstein {b} vs hoeffding {h}");
+    }
+
+    #[test]
+    fn bounds_are_strictly_positive_for_any_n() {
+        for n in [1, 2, 10, 1_000_000] {
+            assert!(hoeffding_half_width(100.0, n, 0.5) > 0.0);
+            assert!(empirical_bernstein_half_width(100.0, 0.0, n, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn stop_rule_construction_rejects_bad_parameters_with_typed_errors() {
+        assert_eq!(
+            StopRule::new(1, 10, 5.0, 0.9).unwrap_err(),
+            StatsError::MinTrialsTooSmall { min_trials: 1 }
+        );
+        assert_eq!(
+            StopRule::new(0, 10, 5.0, 0.9).unwrap_err(),
+            StatsError::MinTrialsTooSmall { min_trials: 0 }
+        );
+        assert_eq!(
+            StopRule::new(8, 4, 5.0, 0.9).unwrap_err(),
+            StatsError::MinExceedsMax {
+                min_trials: 8,
+                max_trials: 4
+            }
+        );
+        assert_eq!(
+            StopRule::new(2, 10, -1.0, 0.9).unwrap_err(),
+            StatsError::BadHalfWidth { half_width: -1.0 }
+        );
+        assert!(StopRule::new(2, 10, f64::NAN, 0.9).is_err());
+        assert_eq!(
+            StopRule::new(2, 10, 5.0, 1.0).unwrap_err(),
+            StatsError::BadConfidence { confidence: 1.0 }
+        );
+        assert_eq!(
+            StopRule::new(2, 10, 5.0, 0.0).unwrap_err(),
+            StatsError::BadConfidence { confidence: 0.0 }
+        );
+        assert_eq!(
+            StopRule::new(2, 10, 5.0, 0.9).unwrap().with_range(0.0),
+            Err(StatsError::BadRange { range: 0.0 })
+        );
+        let rule = StopRule::new(2, 10, 5.0, 0.9).unwrap();
+        assert_eq!(
+            rule.validate_against_trials(8),
+            Err(StatsError::MaxTrialsExceedsSpec {
+                max_trials: 10,
+                spec_trials: 8
+            })
+        );
+        assert_eq!(rule.validate_against_trials(10), Ok(()));
+        // Errors render as readable messages.
+        assert!(StatsError::MinTrialsTooSmall { min_trials: 1 }
+            .to_string()
+            .contains("min_trials"));
+    }
+
+    #[test]
+    fn zero_half_width_never_stops_before_max_trials() {
+        let rule = StopRule::new(2, 50, 0.0, 0.99).unwrap();
+        let mut s = Streaming::new();
+        for i in 0..50 {
+            s.push(62.5); // identical values: variance 0, tightest case
+            if i + 1 < 50 {
+                assert!(!rule.satisfied(&s), "stopped early at n={}", i + 1);
+            }
+        }
+        assert!(rule.satisfied(&s), "max_trials must stop the cell");
+    }
+
+    #[test]
+    fn low_variance_cells_stop_early_and_noisy_cells_do_not() {
+        let rule = StopRule::new(4, 1000, 10.0, 0.75).unwrap();
+        // Constant trials: Hoeffding alone satisfies hw<=10 at
+        // n >= ln(8)/2 * (100/10)^2 ≈ 104; Bernstein (V=0) at
+        // n >= 3*100*ln(12)/10 ≈ 75. Must stop well before 1000.
+        let mut s = Streaming::new();
+        let mut stopped_at = None;
+        for i in 1..=1000 {
+            s.push(60.0);
+            if rule.satisfied(&s) {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        let stopped_at = stopped_at.expect("constant cell must stop");
+        assert!(stopped_at <= 110, "stopped at {stopped_at}");
+        // Alternating extremes (max variance): the same rule must need
+        // strictly more trials than the constant cell.
+        let mut noisy = Streaming::new();
+        for i in 0..stopped_at {
+            noisy.push(if i % 2 == 0 { 0.0 } else { 100.0 });
+        }
+        assert!(!rule.satisfied(&noisy), "noisy cell must not stop as early");
+    }
+
+    #[test]
+    fn importance_estimators_are_labeled_and_consistent() {
+        let values = [10.0, 20.0, 30.0];
+        let zero = [0.0; 3];
+        assert_eq!(
+            importance_estimate(&values, &zero, EstimatorMode::Uniform),
+            20.0
+        );
+        // With all ratios 1 the three estimators coincide.
+        assert_eq!(
+            importance_estimate(&values, &zero, EstimatorMode::ImportanceUnbiased),
+            20.0
+        );
+        assert_eq!(
+            importance_estimate(&values, &zero, EstimatorMode::ImportanceSelfNormalized),
+            20.0
+        );
+        // Non-trivial ratios: unbiased is mean(r*v), self-normalized
+        // divides by the ratio mass instead of n.
+        let lr = [0.0, 2.0_f64.ln(), 0.5_f64.ln()];
+        let un = importance_estimate(&values, &lr, EstimatorMode::ImportanceUnbiased);
+        assert!((un - (10.0 + 40.0 + 15.0) / 3.0).abs() < 1e-12);
+        let sn = importance_estimate(&values, &lr, EstimatorMode::ImportanceSelfNormalized);
+        assert!((sn - (10.0 + 40.0 + 15.0) / 3.5).abs() < 1e-12);
+        assert!((effective_sample_size(&zero) - 3.0).abs() < 1e-12);
+        assert!(effective_sample_size(&lr) < 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_estimator_refuses_importance_weighted_samples() {
+        let _ = importance_estimate(&[1.0, 2.0], &[0.0, 0.3], EstimatorMode::Uniform);
+    }
+}

@@ -22,6 +22,8 @@ pub fn cell_json(cell: &Aggregate) -> Json {
         ("rate_idx", cell.key.rate_idx.into()),
         ("mean", cell.mean.into()),
         ("std_dev", cell.std_dev.into()),
+        ("trials_run", cell.trials_run.into()),
+        ("stopped_early", Json::Bool(cell.stopped_early)),
         ("trials", Json::arr(cell.trials.iter().copied())),
     ])
 }
@@ -114,6 +116,8 @@ mod tests {
             rate: 0.1,
             mean: 55.25,
             std_dev: 1.5,
+            trials_run: 2,
+            stopped_early: true,
             trials: vec![54.0, 56.5],
         };
         let s = cell_json(&cell).render();
@@ -124,6 +128,8 @@ mod tests {
             r#""rate":0.1"#,
             r#""mean":55.25"#,
             r#""std_dev":1.5"#,
+            r#""trials_run":2"#,
+            r#""stopped_early":true"#,
             r#""trials":[54,56.5]"#,
         ] {
             assert!(s.contains(needle), "{needle} missing from {s}");

@@ -4,8 +4,10 @@
 //! ```text
 //! campaignd submit  <job> --root DIR [--workload mnist|fashion] [--size N]
 //!                         [--profile smoke|quick|default|full] [--backend dense|event]
-//! campaignd run     <job> --root DIR [--max-cells K]
-//! campaignd resume  <job> --root DIR
+//! campaignd run     <job> --root DIR [--max-cells K] [--adaptive]
+//!                         [--half-width W] [--confidence C]
+//!                         [--min-trials N] [--max-trials M]
+//! campaignd resume  <job> --root DIR [--adaptive ...]
 //! campaignd status  <job> --root DIR
 //! campaignd results <job> --root DIR [--out FILE]
 //! campaignd jobs          --root DIR
@@ -20,9 +22,19 @@
 //! completion `fig13.json` is written into the job directory,
 //! byte-identical to what the one-shot `fig13` binary emits for the same
 //! configuration (the CI resume-equivalence gate diffs the two).
+//!
+//! `--adaptive` arms a sequential stop rule for the pass: each cell
+//! consumes its pinned trial seeds in order and stops once its accuracy
+//! confidence interval (at `--confidence`, default 0.8) is narrower than
+//! `--half-width` accuracy points (default 10), bounded by `--min-trials`
+//! (default 2) and `--max-trials` (default: the profile's trial budget).
+//! Early-stopped cells checkpoint exactly the trials that ran — always a
+//! bit-identical prefix of what the fixed-budget run would produce — so
+//! `status`/`results` can report honestly how many trials the rule saved.
 
 use snn_data::workload::Workload;
-use snn_faults::service::{CampaignService, RunOptions};
+use snn_faults::service::{CampaignService, JobStatus, RunOptions};
+use snn_faults::stats::StopRule;
 use softsnn_core::methodology::EngineBackendKind;
 use softsnn_exp::campaign::{self, JobConfig, JobRunOutcome};
 use softsnn_exp::profile::Profile;
@@ -31,7 +43,8 @@ use softsnn_exp::{artifact, fig13};
 const USAGE: &str = "usage: campaignd <submit|run|resume|status|results|jobs> [<job>] \
                      --root DIR [--workload mnist|fashion] [--size N] \
                      [--profile smoke|quick|default|full] [--backend dense|event] \
-                     [--max-cells K] [--out FILE]";
+                     [--max-cells K] [--adaptive] [--half-width W] [--confidence C] \
+                     [--min-trials N] [--max-trials M] [--out FILE]";
 
 struct Args {
     command: String,
@@ -42,6 +55,11 @@ struct Args {
     profile: Profile,
     backend: EngineBackendKind,
     max_cells: Option<usize>,
+    adaptive: bool,
+    half_width: f64,
+    confidence: f64,
+    min_trials: usize,
+    max_trials: Option<usize>,
     out: Option<String>,
 }
 
@@ -57,6 +75,11 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         profile: Profile::Smoke,
         backend: EngineBackendKind::Dense,
         max_cells: None,
+        adaptive: false,
+        half_width: 10.0,
+        confidence: 0.8,
+        min_trials: 2,
+        max_trials: None,
         out: None,
     };
     while let Some(arg) = it.next() {
@@ -90,6 +113,32 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                         .map_err(|e| format!("bad --max-cells `{v}`: {e}"))?,
                 );
             }
+            "--adaptive" => parsed.adaptive = true,
+            "--half-width" => {
+                let v = it.next().ok_or("--half-width needs a value")?;
+                parsed.half_width = v
+                    .parse()
+                    .map_err(|e| format!("bad --half-width `{v}`: {e}"))?;
+            }
+            "--confidence" => {
+                let v = it.next().ok_or("--confidence needs a value")?;
+                parsed.confidence = v
+                    .parse()
+                    .map_err(|e| format!("bad --confidence `{v}`: {e}"))?;
+            }
+            "--min-trials" => {
+                let v = it.next().ok_or("--min-trials needs a value")?;
+                parsed.min_trials = v
+                    .parse()
+                    .map_err(|e| format!("bad --min-trials `{v}`: {e}"))?;
+            }
+            "--max-trials" => {
+                let v = it.next().ok_or("--max-trials needs a value")?;
+                parsed.max_trials = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --max-trials `{v}`: {e}"))?,
+                );
+            }
             "--out" => parsed.out = Some(it.next().ok_or("--out needs a value")?),
             other if parsed.job.is_none() && !other.starts_with("--") => {
                 parsed.job = Some(other.to_owned());
@@ -104,6 +153,21 @@ fn job_name(args: &Args) -> Result<&str, String> {
     args.job
         .as_deref()
         .ok_or_else(|| format!("`{}` needs a job name; {USAGE}", args.command))
+}
+
+/// One-line trial accounting over the checkpointed cells: how many of the
+/// budgeted trials actually ran, and what the stop rule saved.
+fn trials_summary(status: &JobStatus) -> String {
+    let run = status.trials_run();
+    let saved = status.trials_saved();
+    let budget = status.done_cells * status.trials_per_cell;
+    if budget == 0 {
+        return "trials run: 0 (no cells checkpointed)".to_owned();
+    }
+    format!(
+        "trials run: {run} of {budget} budgeted; saved {saved} ({:.0}%)",
+        100.0 * saved as f64 / budget as f64
+    )
 }
 
 fn write_results(
@@ -167,16 +231,30 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 Err(e) => return Err(Box::new(e)),
             };
             let (job, bench) = campaign::submit_job(&service, name, config)?;
+            let stop_rule = if args.adaptive {
+                let max_trials = args.max_trials.unwrap_or(config.profile.trials());
+                Some(StopRule::new(
+                    args.min_trials,
+                    max_trials,
+                    args.half_width,
+                    args.confidence,
+                )?)
+            } else {
+                None
+            };
             let opts = RunOptions {
                 max_cells: args.max_cells,
+                stop_rule,
             };
             match campaign::run_job(&job, &bench, opts)? {
                 JobRunOutcome::Complete(results) => {
                     eprintln!("[campaignd] `{name}` complete");
+                    eprintln!("[campaignd] {}", trials_summary(&job.status()?));
                     write_results(&job, &results, args.out.as_deref())
                 }
                 JobRunOutcome::Interrupted { done, total } => {
                     eprintln!("[campaignd] `{name}` interrupted: {done}/{total} cells done");
+                    eprintln!("[campaignd] {}", trials_summary(&job.status()?));
                     Ok(())
                 }
             }
@@ -195,6 +273,21 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     ""
                 }
             );
+            println!("{}", trials_summary(&status));
+            for progress in &status.cells {
+                println!(
+                    "  cell technique {} rate {}: {}/{} trials{}",
+                    progress.key.technique_idx,
+                    progress.key.rate_idx,
+                    progress.trials_run,
+                    status.trials_per_cell,
+                    if progress.stopped_early {
+                        " (stopped early)"
+                    } else {
+                        ""
+                    }
+                );
+            }
             for key in &status.invalid_cells {
                 println!(
                     "  invalid checkpoint: technique {} rate {} (will re-run on resume)",
@@ -215,6 +308,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let job = service.open(name)?;
             match job.results()? {
                 Some(grid) => {
+                    eprintln!("[campaignd] {}", trials_summary(&job.status()?));
                     let results = campaign::fig13_results(&bench, &grid);
                     write_results(&job, &results, args.out.as_deref())
                 }

@@ -118,6 +118,29 @@ pub fn run_grid(
     Ok(cells_from_results(bench, &results))
 }
 
+/// [`run_grid`] with a sequential stop rule: each (technique, rate) cell
+/// consumes its pinned trial seeds in order and stops once the rule's
+/// accuracy interval is satisfied, so every cell's trials are a
+/// bit-identical prefix of the fixed-budget run's. Cells carry honest
+/// `trials` arrays (shorter where the rule fired), and the aggregation
+/// path is the same streaming pass the fixed run uses.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects rules whose `max_trials` exceed
+/// the profile's trial budget.
+pub fn run_grid_adaptive(
+    bench: &Bench,
+    profile: Profile,
+    rule: snn_faults::stats::StopRule,
+) -> Result<Vec<AccuracyCell>, Box<dyn std::error::Error>> {
+    let runner = GridRunner::new(grid_spec(profile)).with_stop_rule(rule)?;
+    let results = runner.run_adaptive(&bench.deployment, |deployment, shard| {
+        evaluate_shard(deployment, shard, &bench.encoded)
+    })?;
+    Ok(cells_from_results(bench, &results))
+}
+
 /// Maps aggregated grid cells to Fig. 13 accuracy cells for one bench.
 /// Shared between [`run_grid`] (one-shot) and the campaign service
 /// ([`crate::campaign`]), so a resumed job labels its cells with exactly

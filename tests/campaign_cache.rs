@@ -55,7 +55,10 @@ fn second_job_hits_the_cross_job_cache() {
     // actually usable: run a couple of cells of each job through it.
     assert_eq!(job_a.fingerprint(), job_b.fingerprint());
     for (job, bench) in [(&job_a, &bench_a), (&job_b, &bench_b)] {
-        let opts = RunOptions { max_cells: Some(2) };
+        let opts = RunOptions {
+            max_cells: Some(2),
+            ..RunOptions::default()
+        };
         match campaign::run_job(job, bench, opts).unwrap() {
             JobRunOutcome::Interrupted { done, .. } => assert_eq!(done, 2),
             JobRunOutcome::Complete(_) => panic!("2-cell budget must interrupt"),

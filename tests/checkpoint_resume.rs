@@ -27,7 +27,10 @@ fn interrupted_and_corrupted_grid_resumes_bit_identically() {
     assert_eq!(total, 20, "fig13 smoke grid: 5 techniques x 4 rates");
 
     // "Kill it mid-grid": evaluate 7 of 20 cells, then stop.
-    let opts = RunOptions { max_cells: Some(7) };
+    let opts = RunOptions {
+        max_cells: Some(7),
+        ..RunOptions::default()
+    };
     match campaign::run_job(&job, &bench, opts).unwrap() {
         JobRunOutcome::Interrupted { done, total: t } => {
             assert_eq!((done, t), (7, total));

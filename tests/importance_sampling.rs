@@ -1,0 +1,119 @@
+//! Importance-sampled fault maps on a real smoke bench: sensitivity
+//! weights tilt which sites get struck, the carried likelihood ratios
+//! reweight estimates back toward the uniform-sampling answer, and the
+//! estimator modes stay explicitly labeled (uniform refuses weighted
+//! samples).
+
+use snn_faults::fault_map::{FaultMap, SiteWeights};
+use snn_faults::location::{FaultDomain, FaultSpace};
+use snn_faults::stats::{effective_sample_size, importance_estimate, EstimatorMode};
+use softsnn::data::workload::Workload;
+use softsnn::exp::profile::Profile;
+use softsnn::exp::workbench::prepare_cached;
+use softsnn_core::methodology::EngineBackendKind;
+use softsnn_core::mitigation::Technique;
+
+const N_MAPS: usize = 8;
+/// Low rate keeps each map small (≈8 sites over the N100 engine), so the
+/// per-map likelihood ratio stays moderate and the unbiased estimator is
+/// actually usable — importance sampling over hundreds of joint draws
+/// degenerates, and this test is about estimator consistency, not that.
+const RATE: f64 = 1e-4;
+
+#[test]
+fn importance_sampled_campaign_cross_checks_against_uniform() {
+    let bench = prepare_cached(
+        Workload::Mnist,
+        100,
+        Profile::Smoke,
+        EngineBackendKind::Dense,
+    )
+    .expect("smoke bench");
+    let qn = bench.deployment.quantized();
+    let space = FaultSpace::new(qn.n_inputs, qn.n_neurons, FaultDomain::ComputeEngine);
+    let weights = bench
+        .deployment
+        .sensitivity_site_weights(&bench.encoded, &space);
+    assert_eq!(weights.len(), space.total_locations());
+    assert_eq!(weights.n_positive(), weights.len());
+
+    // Uniform draws: the reference estimate.
+    let mut uniform_vals = Vec::with_capacity(N_MAPS);
+    let mut deployment = bench.deployment.clone();
+    for seed in 0..N_MAPS as u64 {
+        let map = FaultMap::generate(&space, RATE, seed);
+        let r = deployment
+            .evaluate_encoded_with_map(Technique::NoMitigation, &map, &bench.encoded)
+            .unwrap();
+        uniform_vals.push(r.accuracy_pct());
+    }
+    let zero_ratios = vec![0.0; N_MAPS];
+    let uniform_mean = importance_estimate(&uniform_vals, &zero_ratios, EstimatorMode::Uniform);
+
+    // Sensitivity-weighted draws with their likelihood ratios.
+    let mut is_vals = Vec::with_capacity(N_MAPS);
+    let mut log_ratios = Vec::with_capacity(N_MAPS);
+    let mut any_map_differs = false;
+    for seed in 0..N_MAPS as u64 {
+        let wm = FaultMap::generate_weighted(&space, RATE, seed, &weights);
+        assert_eq!(
+            wm.map.len(),
+            FaultMap::generate(&space, RATE, seed).len(),
+            "weighted sampler must honor the same site budget"
+        );
+        if wm.map != FaultMap::generate(&space, RATE, seed) {
+            any_map_differs = true;
+        }
+        assert!(wm.log_likelihood_ratio.is_finite());
+        let r = deployment
+            .evaluate_encoded_with_map(Technique::NoMitigation, &wm.map, &bench.encoded)
+            .unwrap();
+        is_vals.push(r.accuracy_pct());
+        log_ratios.push(wm.log_likelihood_ratio);
+    }
+    assert!(
+        any_map_differs,
+        "sensitivity weights must actually tilt the draw"
+    );
+
+    // Both labeled importance estimators land near the uniform estimate.
+    // At this rate accuracy sits near clean for every map, so the
+    // tolerance mostly absorbs sampling noise at N_MAPS = 8.
+    let self_norm = importance_estimate(
+        &is_vals,
+        &log_ratios,
+        EstimatorMode::ImportanceSelfNormalized,
+    );
+    assert!(
+        (self_norm - uniform_mean).abs() < 15.0,
+        "self-normalized IS estimate {self_norm:.1} too far from uniform {uniform_mean:.1}"
+    );
+    let unbiased = importance_estimate(&is_vals, &log_ratios, EstimatorMode::ImportanceUnbiased);
+    assert!(unbiased.is_finite());
+    assert!(
+        (unbiased - uniform_mean).abs() < 40.0,
+        "unbiased IS estimate {unbiased:.1} implausibly far from uniform {uniform_mean:.1}"
+    );
+
+    // Kish effective sample size is positive and cannot exceed the draw
+    // count; equal weights recover it exactly.
+    let ess = effective_sample_size(&log_ratios);
+    assert!(ess > 0.0 && ess <= N_MAPS as f64 + 1e-9, "ESS {ess}");
+    assert!((effective_sample_size(&zero_ratios) - N_MAPS as f64).abs() < 1e-9);
+
+    // Equal weights degenerate to the uniform distribution: every ratio
+    // vanishes and the Uniform estimator accepts the samples.
+    let flat = SiteWeights::uniform(space.total_locations());
+    let flat_maps: Vec<_> = (0..N_MAPS as u64)
+        .map(|seed| FaultMap::generate_weighted(&space, RATE, seed, &flat))
+        .collect();
+    for wm in &flat_maps {
+        assert!(
+            wm.log_likelihood_ratio.abs() < 1e-9,
+            "equal weights must carry unit likelihood ratio, got ln {}",
+            wm.log_likelihood_ratio
+        );
+    }
+    let flat_ratios: Vec<f64> = flat_maps.iter().map(|wm| wm.log_likelihood_ratio).collect();
+    assert!((effective_sample_size(&flat_ratios) - N_MAPS as f64).abs() < 1e-6);
+}
