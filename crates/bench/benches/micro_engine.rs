@@ -17,13 +17,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snn_faults::grid::{GridRunner, GridSpec};
-use snn_faults::stats::StopRule;
+use snn_faults::location::FaultDomain;
+use snn_faults::stats::{Lookahead, StopRule};
 use snn_hw::engine::{BatchResult, DirectRead, NoGuard, SpikeGuard, WeightReadPath};
 use softsnn_bench::fixture;
 use softsnn_core::bounding::{BnpVariant, BoundedRead};
 use softsnn_core::mitigation::Technique;
 use softsnn_core::protection::ResetMonitor;
-use softsnn_exp::fig13::evaluate_shard;
+use softsnn_exp::fig13::{evaluate_shard, evaluate_shard_in_domain};
 use std::hint::black_box;
 
 /// A bounding transfer function stripped of its `bound_params` hint, so
@@ -513,6 +514,43 @@ fn bench_campaign_adaptive(c: &mut Criterion) {
             black_box(results.cells().len())
         });
     });
+
+    // The lookahead pair runs on a neuron-only fault domain: Fig. 13's
+    // ComputeEngine domain almost always places weight bits in every map
+    // at these rates, which forces the engine's per-scenario fallback and
+    // would make grouping a no-op. Neuron-only maps are exactly the shape
+    // `run_batch_multi_map` batches, so the ratio measures the recovered
+    // multi-map datapath, not fallback noise. Auto lookahead sizes groups
+    // from the half-width ratio — at this distribution-free rule it lands
+    // on the stop trial with zero discards.
+    group.bench_function("adaptive_seq_neuron", |b| {
+        let runner = GridRunner::new(spec.clone())
+            .with_stop_rule(adaptive_rule())
+            .expect("rule fits budget");
+        b.iter(|| {
+            let results = runner
+                .run_adaptive(&f.deployment, |d, shard| {
+                    evaluate_shard_in_domain(d, shard, &encoded, FaultDomain::Neurons(None))
+                })
+                .expect("sequential neuron-domain campaign run");
+            black_box(results.cells().len())
+        });
+    });
+    group.bench_function("adaptive_lookahead", |b| {
+        let runner = GridRunner::new(spec.clone())
+            .with_stop_rule(adaptive_rule())
+            .expect("rule fits budget")
+            .with_lookahead(Lookahead::Auto)
+            .expect("valid lookahead");
+        b.iter(|| {
+            let results = runner
+                .run_adaptive(&f.deployment, |d, shard| {
+                    evaluate_shard_in_domain(d, shard, &encoded, FaultDomain::Neurons(None))
+                })
+                .expect("lookahead campaign run");
+            black_box(results.cells().len())
+        });
+    });
     group.finish();
 
     // Trials saved is a property of the grid + rule, not of timing noise:
@@ -528,6 +566,26 @@ fn bench_campaign_adaptive(c: &mut Criterion) {
         .map(|cell| spec.trials - cell.trials_run)
         .sum();
     c.add_metric("adaptive_trials_saved", saved as f64);
+
+    // Lookahead waste is likewise deterministic: evaluated − kept across
+    // cells under the Auto policy, counted from one real pass. Emitted so
+    // the trajectory shows speculation cost next to its speedup.
+    let (lookahead_results, evaluated) = GridRunner::new(spec)
+        .with_stop_rule(adaptive_rule())
+        .expect("rule fits budget")
+        .with_lookahead(Lookahead::Auto)
+        .expect("valid lookahead")
+        .run_adaptive_counted(&f.deployment, |d, shard| {
+            evaluate_shard_in_domain(d, shard, &encoded, FaultDomain::Neurons(None))
+        })
+        .expect("lookahead campaign run");
+    let waste: usize = lookahead_results
+        .cells()
+        .iter()
+        .zip(&evaluated)
+        .map(|(cell, &e)| e - cell.trials_run)
+        .sum();
+    c.add_metric("adaptive_lookahead_waste", waste as f64);
 }
 
 fn emit_derived_metrics(c: &mut Criterion) {
@@ -599,6 +657,17 @@ fn emit_derived_metrics(c: &mut Criterion) {
     if let (Some(fixed), Some(adaptive)) = (fixed, adaptive) {
         if adaptive > 0.0 {
             c.add_metric("adaptive_speedup", fixed / adaptive);
+        }
+    }
+    // Speculation headline: trial-at-a-time vs lookahead-batched adaptive
+    // on the identical neuron-domain grid, rule, and seed stream — both
+    // keep bit-identical trials, so the ratio is pure grouping (one
+    // multi-map drive phase per group instead of one reload per trial).
+    let seq = c.ns_per_iter("campaign_adaptive", "adaptive_seq_neuron");
+    let lookahead = c.ns_per_iter("campaign_adaptive", "adaptive_lookahead");
+    if let (Some(seq), Some(lookahead)) = (seq, lookahead) {
+        if lookahead > 0.0 {
+            c.add_metric("adaptive_batch_speedup", seq / lookahead);
         }
     }
 }

@@ -38,7 +38,7 @@ use snn_sim::parallel::parallel_map;
 use snn_sim::rng::derive_seed;
 
 use crate::codec::{u64_json, Json, JsonCodec, JsonError};
-use crate::stats::{StatsError, StopRule, Streaming};
+use crate::stats::{Lookahead, StatsError, StopRule, Streaming};
 
 /// Packs one grid point's indices into a seed-stream index: rate in the
 /// high word, technique in bits 16..32, trial in the low bits.
@@ -552,6 +552,7 @@ pub struct GridRunner {
     spec: GridSpec,
     cells_per_shard: usize,
     stop_rule: Option<StopRule>,
+    lookahead: Lookahead,
 }
 
 impl GridRunner {
@@ -563,6 +564,7 @@ impl GridRunner {
             spec,
             cells_per_shard: 1,
             stop_rule: None,
+            lookahead: Lookahead::default(),
         }
     }
 
@@ -597,9 +599,32 @@ impl GridRunner {
         Ok(self)
     }
 
+    /// Arms speculative lookahead for adaptive runs: past the
+    /// `min_trials` head, [`run_adaptive`](Self::run_adaptive) evaluates
+    /// trials in groups of up to K per closure call (so grouped
+    /// evaluation keeps its multi-map batching in the tail) and
+    /// truncates each group to the exact
+    /// [`StopRule::first_stop_index`] prefix. The policy changes
+    /// *grouping and waste only* — which trials a cell keeps is
+    /// bit-identical at every lookahead (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadLookahead`] for `Fixed(0)` or a fixed
+    /// width beyond [`crate::stats::MAX_LOOKAHEAD`].
+    pub fn with_lookahead(mut self, lookahead: Lookahead) -> Result<Self, StatsError> {
+        self.lookahead = lookahead.validated()?;
+        Ok(self)
+    }
+
     /// The armed stop rule, if any.
     pub fn stop_rule(&self) -> Option<&StopRule> {
         self.stop_rule.as_ref()
+    }
+
+    /// The speculative lookahead policy adaptive runs use.
+    pub fn lookahead(&self) -> Lookahead {
+        self.lookahead
     }
 
     /// The underlying grid description.
@@ -731,6 +756,36 @@ impl GridRunner {
         E: Send,
         F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E> + Sync,
     {
+        self.run_adaptive_counted(proto, f)
+            .map(|(results, _)| results)
+    }
+
+    /// [`run_adaptive`](Self::run_adaptive) with per-cell waste
+    /// accounting: alongside the results, returns how many trials each
+    /// cell **evaluated** (kept prefix *plus* speculative discards), in
+    /// cell order. With the default `Fixed(1)` lookahead the counts
+    /// equal each cell's `trials_run`; wider lookahead may evaluate
+    /// more, never aggregate more — the counts are what keeps the
+    /// speedup claim honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's error in cell order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stop rule was armed ([`Self::with_stop_rule`]) or
+    /// the closure returns the wrong number of values.
+    pub fn run_adaptive_counted<S, E, F>(
+        &self,
+        proto: &S,
+        f: F,
+    ) -> Result<(GridResults, Vec<usize>), E>
+    where
+        S: Clone + Sync,
+        E: Send,
+        F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E> + Sync,
+    {
         let rule = self
             .stop_rule
             .as_ref()
@@ -739,20 +794,28 @@ impl GridRunner {
         let cell_points: Vec<&[GridPointCtx]> = points.chunks(self.spec.trials).collect();
         let outcomes = parallel_map(&cell_points, |cell| {
             let mut state = proto.clone();
-            adaptive_cell_values(&mut state, cell, rule, &f)
+            adaptive_cell_lookahead(&mut state, cell, rule, self.lookahead, &f)
         });
         let mut cell_trials = Vec::with_capacity(cell_points.len());
+        let mut evaluated = Vec::with_capacity(cell_points.len());
         for outcome in outcomes {
-            cell_trials.push(outcome?);
+            let (values, cell_evaluated) = outcome?;
+            cell_trials.push(values);
+            evaluated.push(cell_evaluated);
         }
-        Ok(GridResults::from_cell_trials(&self.spec, cell_trials))
+        Ok((
+            GridResults::from_cell_trials(&self.spec, cell_trials),
+            evaluated,
+        ))
     }
 }
 
 /// Evaluates one cell's trials sequentially under a stop rule: the
 /// `min_trials` head in one closure call (so grouped evaluation keeps
 /// its batching there), then one trial at a time until the rule is
-/// satisfied or the cell's pinned points run out. Shared by
+/// satisfied or the cell's pinned points run out. Equivalent to
+/// [`adaptive_cell_lookahead`] with [`Lookahead::Fixed`]`(1)` and no
+/// waste (every evaluated trial is kept). Shared by
 /// [`GridRunner::run_adaptive`] and the campaign service's adaptive
 /// checkpointing ([`crate::service::JobHandle::run`]), so both stop at
 /// literally the same trial.
@@ -773,6 +836,54 @@ pub fn adaptive_cell_values<S, E, F>(
 where
     F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E>,
 {
+    adaptive_cell_lookahead(state, cell, rule, Lookahead::Fixed(1), f).map(|(values, _)| values)
+}
+
+/// Evaluates one cell's trials under a stop rule with speculative
+/// lookahead: after the `min_trials` head, trials are evaluated in
+/// groups sized by the [`Lookahead`] policy (one closure call per
+/// group, so grouped evaluation can batch them through the multi-map
+/// datapath), then the stop rule is replayed value-by-value over the
+/// returned group and the kept values truncated to the exact
+/// first-satisfied prefix. Speculative extras are evaluated but never
+/// aggregated — the kept prefix is bit-identical to the trial-at-a-time
+/// run for *every* policy, because heal-on-entry makes the closure's
+/// values independent of how calls are grouped.
+///
+/// Never-satisfiable rules (`half_width = 0`) skip the decision loop
+/// entirely: the whole cell runs as one grouped call, since no prefix
+/// check could ever cut it short.
+///
+/// Returns the kept values and the number of trials **evaluated**
+/// (kept plus speculatively discarded; always `>= values.len()`).
+///
+/// # Errors
+///
+/// Propagates the closure's error.
+///
+/// # Panics
+///
+/// Panics if the closure returns the wrong number of values.
+pub fn adaptive_cell_lookahead<S, E, F>(
+    state: &mut S,
+    cell: &[GridPointCtx],
+    rule: &StopRule,
+    lookahead: Lookahead,
+    f: &F,
+) -> Result<(Vec<f64>, usize), E>
+where
+    F: Fn(&mut S, &[GridPointCtx]) -> Result<Vec<f64>, E>,
+{
+    if rule.is_never_satisfiable() {
+        let len = rule.max_trials.min(cell.len());
+        let values = f(state, &cell[..len])?;
+        assert_eq!(
+            values.len(),
+            len,
+            "cell closure must return one value per point"
+        );
+        return Ok((values, len));
+    }
     let head_len = rule.min_trials.min(cell.len());
     let mut acc = Streaming::new();
     let mut values = f(state, &cell[..head_len])?;
@@ -784,17 +895,27 @@ where
     for &v in &values {
         acc.push(v);
     }
+    let mut evaluated = head_len;
     while !rule.satisfied(&acc) && values.len() < cell.len() {
-        let next = f(state, &cell[values.len()..values.len() + 1])?;
+        let remaining = cell.len() - values.len();
+        let k = lookahead.group_size(rule, &acc, remaining);
+        let group = f(state, &cell[values.len()..values.len() + k])?;
         assert_eq!(
-            next.len(),
-            1,
+            group.len(),
+            k,
             "cell closure must return one value per point"
         );
-        acc.push(next[0]);
-        values.extend(next);
+        evaluated += k;
+        let keep = match rule.first_stop_index(&acc, &group) {
+            Some(i) => i + 1,
+            None => k,
+        };
+        for &v in &group[..keep] {
+            acc.push(v);
+        }
+        values.extend_from_slice(&group[..keep]);
     }
-    Ok(values)
+    Ok((values, evaluated))
 }
 
 #[cfg(test)]
@@ -1134,6 +1255,96 @@ mod tests {
             .run_adaptive(&(), eval)
             .unwrap();
         assert_eq!(degenerate, fixed);
+    }
+
+    /// Tentpole invariant: every lookahead policy yields bit-identical
+    /// results to the trial-at-a-time run — speculation changes grouping
+    /// and waste, never which trials are kept.
+    #[test]
+    fn lookahead_policies_keep_the_exact_sequential_prefix() {
+        let spec = spec_3x3x4();
+        let eval = |(): &mut (), shard: &[GridPointCtx]| {
+            Ok::<Vec<f64>, std::convert::Infallible>(
+                shard.iter().map(|p| 50.0 + (p.seed % 7) as f64).collect(),
+            )
+        };
+        // Hoeffding gives hw(2) ≈ 63.4 > 60 and hw(3) ≈ 51.8 ≤ 60, so
+        // every cell keeps exactly 3 trials regardless of policy.
+        let rule = StopRule::new(2, 4, 60.0, 0.6).unwrap();
+        let sequential = GridRunner::new(spec.clone())
+            .with_stop_rule(rule)
+            .unwrap()
+            .run_adaptive(&(), eval)
+            .unwrap();
+        for lookahead in [Lookahead::Fixed(2), Lookahead::Fixed(16), Lookahead::Auto] {
+            let (batched, evaluated) = GridRunner::new(spec.clone())
+                .with_stop_rule(rule)
+                .unwrap()
+                .with_lookahead(lookahead)
+                .unwrap()
+                .run_adaptive_counted(&(), eval)
+                .unwrap();
+            assert_eq!(batched, sequential, "{lookahead:?} changed the kept trials");
+            for (cell, &e) in batched.cells().iter().zip(&evaluated) {
+                assert!(e >= cell.trials_run, "{lookahead:?} undercounted waste");
+            }
+        }
+        // Waste is exact and deterministic for Fixed(2): the head of 2 is
+        // unsatisfied, the group of 2 stops after its first value, so each
+        // cell evaluates 4 and keeps 3.
+        let (fixed2, evaluated) = GridRunner::new(spec.clone())
+            .with_stop_rule(rule)
+            .unwrap()
+            .with_lookahead(Lookahead::Fixed(2))
+            .unwrap()
+            .run_adaptive_counted(&(), eval)
+            .unwrap();
+        for (cell, &e) in fixed2.cells().iter().zip(&evaluated) {
+            assert_eq!(cell.trials_run, 3);
+            assert_eq!(e, 4);
+        }
+        // Auto predicts 1 more trial at n = 2 (hw ratio barely above 1),
+        // so it evaluates exactly the kept prefix: zero waste.
+        let (_, evaluated) = GridRunner::new(spec)
+            .with_stop_rule(rule)
+            .unwrap()
+            .with_lookahead(Lookahead::Auto)
+            .unwrap()
+            .run_adaptive_counted(&(), eval)
+            .unwrap();
+        assert_eq!(evaluated, vec![3; 9]);
+    }
+
+    /// Satellite regression: a never-satisfiable rule (`half_width = 0`)
+    /// must evaluate each cell as ONE grouped whole-cell call instead of
+    /// grinding through the budget one trial at a time — with values
+    /// equal to the fixed run and no cell marked early-stopped.
+    #[test]
+    fn never_satisfiable_rule_runs_each_cell_as_one_grouped_call() {
+        let spec = spec_3x3x4();
+        let calls = std::sync::Arc::new(AtomicUsize::new(0));
+        let calls_in_eval = calls.clone();
+        let eval = move |(): &mut (), shard: &[GridPointCtx]| {
+            calls_in_eval.fetch_add(1, Ordering::Relaxed);
+            Ok::<Vec<f64>, std::convert::Infallible>(
+                shard.iter().map(|p| 50.0 + (p.seed % 7) as f64).collect(),
+            )
+        };
+        let fixed = GridRunner::new(spec.clone())
+            .run_grouped(&(), &eval)
+            .unwrap();
+        calls.store(0, Ordering::Relaxed);
+        let (degenerate, evaluated) = GridRunner::new(spec)
+            .with_stop_rule(StopRule::new(2, 4, 0.0, 0.9).unwrap())
+            .unwrap()
+            .run_adaptive_counted(&(), &eval)
+            .unwrap();
+        assert_eq!(degenerate, fixed);
+        assert_eq!(calls.load(Ordering::Relaxed), 9, "one call per cell");
+        assert_eq!(evaluated, vec![4; 9]);
+        for cell in degenerate.cells() {
+            assert!(!cell.stopped_early);
+        }
     }
 
     #[test]

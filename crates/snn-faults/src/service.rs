@@ -34,8 +34,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use snn_sim::parallel::parallel_map;
 
 use crate::codec::{u64_json, Json, JsonCodec};
-use crate::grid::{adaptive_cell_values, Aggregate, CellKey, GridPointCtx, GridResults, GridSpec};
-use crate::stats::StopRule;
+use crate::grid::{
+    adaptive_cell_lookahead, Aggregate, CellKey, GridPointCtx, GridResults, GridSpec,
+};
+use crate::stats::{Lookahead, StopRule};
 
 /// On-disk checkpoint format version. Bump whenever the cell layout *or
 /// the workspace seed formula* changes — stored seeds are validated
@@ -159,6 +161,14 @@ pub struct RunOptions {
     /// passes with different rules may legally complete one job (each
     /// cell self-describes via `trials_run`/`stopped_early`).
     pub stop_rule: Option<StopRule>,
+    /// Speculative lookahead policy for adaptive passes (ignored without
+    /// a stop rule): trials past the satisfied-check are evaluated in
+    /// groups so grouped closures can batch them, then truncated to the
+    /// exact first-satisfied prefix. Like the stop rule, this is a
+    /// *run-time* option: it changes grouping and waste only, never
+    /// which trials a checkpoint keeps, so passes under different
+    /// lookaheads produce byte-identical cell files.
+    pub lookahead: Lookahead,
 }
 
 /// What one [`JobHandle::run`] pass accomplished.
@@ -183,6 +193,12 @@ pub struct CellProgress {
     pub key: CellKey,
     /// Trials the checkpoint holds (a seed-stream prefix).
     pub trials_run: usize,
+    /// Trials the cell actually *evaluated*: the kept prefix plus any
+    /// speculative lookahead discards (always `>= trials_run`). Read
+    /// from the cell's waste sidecar; equals `trials_run` when no
+    /// sidecar exists (trial-at-a-time passes evaluate exactly what
+    /// they keep).
+    pub trials_evaluated: usize,
     /// Whether a stop rule ended the cell before its full budget.
     pub stopped_early: bool,
 }
@@ -211,15 +227,23 @@ impl JobStatus {
         self.done_cells == self.total_cells
     }
 
-    /// Total trials run across checkpointed cells.
+    /// Total trials run (kept) across checkpointed cells.
     pub fn trials_run(&self) -> usize {
         self.cells.iter().map(|c| c.trials_run).sum()
     }
 
+    /// Total trials evaluated across checkpointed cells: kept plus
+    /// speculatively discarded (always `>= trials_run()`).
+    pub fn trials_evaluated(&self) -> usize {
+        self.cells.iter().map(|c| c.trials_evaluated).sum()
+    }
+
     /// Trials the stop rule saved across checkpointed cells, relative to
-    /// the fixed budget (`done_cells × trials_per_cell`).
+    /// the fixed budget (`done_cells × trials_per_cell`) — charged
+    /// against trials *evaluated*, not trials kept, so lookahead waste
+    /// can't masquerade as savings.
     pub fn trials_saved(&self) -> usize {
-        self.done_cells * self.trials_per_cell - self.trials_run()
+        (self.done_cells * self.trials_per_cell).saturating_sub(self.trials_evaluated())
     }
 }
 
@@ -420,6 +444,37 @@ impl JobHandle {
         ))
     }
 
+    /// The waste **sidecar** next to one cell's checkpoint: records how
+    /// many trials the pass that produced the checkpoint *evaluated*
+    /// (kept prefix plus speculative lookahead discards). Kept out of
+    /// the checkpoint file itself deliberately — cell files are pinned
+    /// byte-identical across lookahead policies, and waste is a property
+    /// of the pass, not of the result.
+    pub fn cell_waste_path(&self, key: CellKey) -> PathBuf {
+        self.dir.join("cells").join(format!(
+            "c{:03}_{:03}.eval.json",
+            key.technique_idx, key.rate_idx
+        ))
+    }
+
+    /// Reads one cell's waste sidecar; `trials_run` is the floor the
+    /// value must respect (a sidecar claiming fewer evaluated trials
+    /// than the checkpoint keeps, more than the budget, or failing to
+    /// parse is ignored — waste accounting is advisory, never a reason
+    /// to refuse a valid checkpoint).
+    fn load_cell_waste(&self, key: CellKey, trials_run: usize) -> usize {
+        let Ok(text) = fs::read_to_string(self.cell_waste_path(key)) else {
+            return trials_run;
+        };
+        let Ok(json) = Json::parse(&text) else {
+            return trials_run;
+        };
+        match json.usize_field("trials_evaluated") {
+            Ok(v) if v >= trials_run && v <= self.spec.trials => v,
+            _ => trials_run,
+        }
+    }
+
     /// Every cell of the grid, in cell order (technique-major).
     pub fn cell_keys(&self) -> Vec<CellKey> {
         let mut keys = Vec::with_capacity(self.spec.n_cells());
@@ -594,6 +649,7 @@ impl JobHandle {
                     cells.push(CellProgress {
                         key,
                         trials_run: cell.trials_run,
+                        trials_evaluated: self.load_cell_waste(key, cell.trials_run),
                         stopped_early: cell.stopped_early,
                     });
                 }
@@ -648,11 +704,15 @@ impl JobHandle {
     ///
     /// With [`RunOptions::stop_rule`] set, each missing cell is
     /// evaluated **adaptively**: the closure is handed the rule's
-    /// `min_trials` head of the cell's pinned points first, then one
-    /// point at a time until the rule is satisfied
-    /// ([`crate::grid::adaptive_cell_values`] — literally the code
+    /// `min_trials` head of the cell's pinned points first, then groups
+    /// sized by [`RunOptions::lookahead`] until the rule is satisfied,
+    /// truncating each group to the exact first-satisfied prefix
+    /// ([`crate::grid::adaptive_cell_lookahead`] — literally the code
     /// [`crate::grid::GridRunner::run_adaptive`] runs). The checkpoint
-    /// then records the trials and seeds that actually ran.
+    /// then records the trials and seeds that were *kept* — speculative
+    /// extras are counted in the cell's waste sidecar
+    /// ([`Self::cell_waste_path`]), never in the checkpoint, so cell
+    /// files stay byte-identical across lookahead policies.
     ///
     /// # Errors
     ///
@@ -676,16 +736,21 @@ impl JobHandle {
                     detail: e.to_string(),
                 })?;
         }
+        let lookahead = opts
+            .lookahead
+            .validated()
+            .map_err(|e| ServiceError::SpecMismatch {
+                detail: e.to_string(),
+            })?;
         let missing = self.missing_cells()?;
         let budget = opts.max_cells.unwrap_or(missing.len()).min(missing.len());
         let selected = &missing[..budget];
         let outcomes: Vec<Result<(), RunError<E>>> = parallel_map(selected, |&key| {
             let points = self.cell_points(key);
             let mut state = proto.clone();
-            let values = match &opts.stop_rule {
-                Some(rule) => {
-                    adaptive_cell_values(&mut state, &points, rule, &f).map_err(RunError::Eval)?
-                }
+            let (values, evaluated) = match &opts.stop_rule {
+                Some(rule) => adaptive_cell_lookahead(&mut state, &points, rule, lookahead, &f)
+                    .map_err(RunError::Eval)?,
                 None => {
                     let values = f(&mut state, &points).map_err(RunError::Eval)?;
                     assert_eq!(
@@ -693,7 +758,8 @@ impl JobHandle {
                         points.len(),
                         "cell closure must return one value per point"
                     );
-                    values
+                    let evaluated = values.len();
+                    (values, evaluated)
                 }
             };
             let cell = Aggregate::from_trials(
@@ -704,6 +770,23 @@ impl JobHandle {
                 values,
             );
             self.store_cell(&cell)?;
+            // Waste accounting lives in a sidecar, not the checkpoint:
+            // adaptive passes record what they evaluated; fixed passes
+            // remove any stale sidecar from an earlier adaptive attempt
+            // at this cell.
+            match &opts.stop_rule {
+                Some(_) => write_atomic(
+                    &self.cell_waste_path(key),
+                    &Json::obj([("trials_evaluated", Json::Num(evaluated as f64))]).render(),
+                )?,
+                None => {
+                    if let Err(e) = fs::remove_file(self.cell_waste_path(key)) {
+                        if e.kind() != io::ErrorKind::NotFound {
+                            return Err(ServiceError::io(&self.cell_waste_path(key), e).into());
+                        }
+                    }
+                }
+            }
             Ok(())
         });
         for outcome in outcomes {
@@ -1047,6 +1130,151 @@ mod tests {
             }
             other => panic!("expected completion, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// An 8-trial spec over the same axes, for lookahead tests with room
+    /// to speculate.
+    fn spec8() -> GridSpec {
+        GridSpec::new(
+            13,
+            0x50F7_511F,
+            vec!["a".into(), "b".into()],
+            vec![0.001, 0.1, 0.25],
+            8,
+        )
+    }
+
+    /// Stops every cell at exactly 4 of 8 trials: the Hoeffding
+    /// half-width `100·sqrt(ln(5)/2n)` is ≈ 51.8 at `n = 3` and ≈ 44.8
+    /// at `n = 4` — data-independent, so waste is deterministic too.
+    fn rule45() -> StopRule {
+        StopRule::new(2, 8, 45.0, 0.6).unwrap()
+    }
+
+    #[test]
+    fn lookahead_waste_lands_in_sidecars_and_checkpoints_stay_byte_identical() {
+        let root = temp_root("lookahead");
+        let service = CampaignService::new(&root);
+
+        // Trial-at-a-time reference: evaluates exactly what it keeps.
+        let seq = service.submit("seq", spec8(), None).unwrap();
+        let opts_seq = RunOptions {
+            stop_rule: Some(rule45()),
+            ..RunOptions::default()
+        };
+        seq.run(&(), opts_seq, eval).unwrap();
+
+        // Fixed(4) lookahead: the unsatisfied 2-trial head is followed by
+        // one group of 4, of which only 2 are kept — 6 evaluated, 4 kept.
+        let spec_job = service.submit("spec", spec8(), None).unwrap();
+        let opts_spec = RunOptions {
+            stop_rule: Some(rule45()),
+            lookahead: Lookahead::Fixed(4),
+            ..RunOptions::default()
+        };
+        let results = match spec_job.run(&(), opts_spec, eval).unwrap() {
+            RunOutcome::Complete(results) => results,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        for cell in results.cells() {
+            assert_eq!(cell.trials_run, 4);
+            assert!(cell.stopped_early);
+        }
+        let status = spec_job.status().unwrap();
+        assert_eq!(status.trials_run(), 4 * 6);
+        assert_eq!(status.trials_evaluated(), 6 * 6);
+        // Savings are charged against trials *evaluated*: 8 budgeted − 6
+        // evaluated per cell, not 8 − 4.
+        assert_eq!(status.trials_saved(), 2 * 6);
+        for progress in &status.cells {
+            assert_eq!(progress.trials_run, 4);
+            assert_eq!(progress.trials_evaluated, 6);
+            assert!(spec_job.cell_waste_path(progress.key).is_file());
+        }
+
+        // The sequential job evaluated exactly what it kept...
+        let seq_status = seq.status().unwrap();
+        assert_eq!(seq_status.trials_run(), 4 * 6);
+        assert_eq!(seq_status.trials_evaluated(), 4 * 6);
+        assert_eq!(seq_status.trials_saved(), 4 * 6);
+        // ...and both jobs' checkpoint files are byte-identical: waste
+        // never leaks into the cell format.
+        for key in seq.cell_keys() {
+            let a = fs::read(seq.cell_path(key)).unwrap();
+            let b = fs::read(spec_job.cell_path(key)).unwrap();
+            assert_eq!(a, b, "cell {key:?} differs across lookahead policies");
+        }
+
+        // A tampered sidecar claiming fewer evaluated trials than the
+        // checkpoint keeps is advisory garbage: ignored, not an error.
+        let key = seq.cell_keys()[0];
+        fs::write(spec_job.cell_waste_path(key), "{\"trials_evaluated\":1}\n").unwrap();
+        let status = spec_job.status().unwrap();
+        assert_eq!(status.cells[0].trials_evaluated, 4);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fixed_rerun_removes_a_stale_waste_sidecar() {
+        let root = temp_root("stale_waste");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec8(), None).unwrap();
+        let opts = RunOptions {
+            stop_rule: Some(rule45()),
+            lookahead: Lookahead::Fixed(4),
+            ..RunOptions::default()
+        };
+        job.run(&(), opts, eval).unwrap();
+        let key = CellKey {
+            technique_idx: 0,
+            rate_idx: 1,
+        };
+        assert!(job.cell_waste_path(key).is_file());
+        // Corrupt the checkpoint so a fixed-mode pass re-runs the cell.
+        fs::write(job.cell_path(key), "not json").unwrap();
+        job.run(&(), RunOptions::default(), eval).unwrap();
+        assert!(
+            !job.cell_waste_path(key).is_file(),
+            "fixed re-run must remove the stale sidecar"
+        );
+        let status = job.status().unwrap();
+        let progress = status.cells.iter().find(|c| c.key == key).unwrap();
+        assert_eq!(progress.trials_run, 8);
+        assert_eq!(progress.trials_evaluated, 8);
+        assert!(!progress.stopped_early);
+        // Untouched adaptive cells keep their waste accounting.
+        let other = status
+            .cells
+            .iter()
+            .find(|c| {
+                c.key
+                    == CellKey {
+                        technique_idx: 0,
+                        rate_idx: 0,
+                    }
+            })
+            .unwrap();
+        assert_eq!(other.trials_evaluated, 6);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn degenerate_lookahead_is_refused_before_anything_runs() {
+        let root = temp_root("badlookahead");
+        let service = CampaignService::new(&root);
+        let job = service.submit("j", spec(), None).unwrap();
+        let opts = RunOptions {
+            stop_rule: Some(early_rule()),
+            lookahead: Lookahead::Fixed(0),
+            ..RunOptions::default()
+        };
+        let result = job.run(&(), opts, eval);
+        assert!(matches!(
+            result,
+            Err(RunError::Service(ServiceError::SpecMismatch { .. }))
+        ));
+        assert_eq!(job.status().unwrap().done_cells, 0);
         let _ = fs::remove_dir_all(&root);
     }
 

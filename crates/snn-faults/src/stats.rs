@@ -75,6 +75,13 @@ pub enum StatsError {
         /// The offending value range.
         range: f64,
     },
+    /// A fixed lookahead group size outside `1..=MAX_LOOKAHEAD`: zero
+    /// groups make no progress, and groups wider than the engine's
+    /// multi-map width ([`MAX_LOOKAHEAD`]) could never batch as one pass.
+    BadLookahead {
+        /// The offending group size.
+        k: usize,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -110,6 +117,13 @@ impl fmt::Display for StatsError {
             }
             StatsError::BadRange { range } => {
                 write!(f, "stop rule range {range} must be finite and > 0")
+            }
+            StatsError::BadLookahead { k } => {
+                write!(
+                    f,
+                    "lookahead group size {k} must lie in 1..={MAX_LOOKAHEAD} \
+                     (the engine's multi-map width)"
+                )
             }
         }
     }
@@ -401,6 +415,142 @@ impl StopRule {
             return true;
         }
         self.current_half_width(stats) <= self.half_width
+    }
+
+    /// Whether this rule can never stop a cell before `max_trials`: with
+    /// a zero target half-width both confidence bounds are strictly
+    /// positive for every finite trial count, so the half-width
+    /// condition can never fire and the cell always runs to its ceiling.
+    /// Adaptive runners use this to evaluate the whole reachable budget
+    /// as one grouped call instead of grinding trial by trial.
+    pub fn is_never_satisfiable(&self) -> bool {
+        self.half_width <= 0.0
+    }
+
+    /// The first index `i` in `values` at which pushing
+    /// `values[..=i]` onto a copy of `acc` satisfies the rule, or `None`
+    /// if no prefix does. This is *the* prefix search speculative
+    /// lookahead shares with the sequential path: pushing one value and
+    /// re-checking [`satisfied`](Self::satisfied) per step is exactly
+    /// what the trial-at-a-time loop does, so truncating a speculative
+    /// group to `..=first_stop_index` keeps literally the trials the
+    /// sequential run would have kept. `acc` itself is not modified.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snn_faults::stats::{StopRule, Streaming};
+    ///
+    /// // min 2 trials, then stop unconditionally (huge half-width).
+    /// let rule = StopRule::new(2, 8, 99.0, 0.6).unwrap();
+    /// let acc = Streaming::new();
+    /// assert_eq!(rule.first_stop_index(&acc, &[50.0, 60.0, 70.0]), Some(1));
+    /// assert_eq!(rule.first_stop_index(&acc, &[50.0]), None);
+    /// ```
+    pub fn first_stop_index(&self, acc: &Streaming, values: &[f64]) -> Option<usize> {
+        let mut probe = *acc;
+        for (i, &v) in values.iter().enumerate() {
+            probe.push(v);
+            if self.satisfied(&probe) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Hard cap on speculative lookahead group sizes — the engine's
+/// multi-map width (`snn_hw::engine::MAX_MAPS`, pinned equal by a root
+/// regression test): wider groups could not batch as one
+/// `run_batch_multi_map` pass, so speculating past it only grows waste.
+pub const MAX_LOOKAHEAD: usize = 16;
+
+/// How many trials an adaptive runner evaluates **per closure call**
+/// past the satisfied-check — the speculative lookahead policy.
+///
+/// Sequential early stopping checks the rule after every trial; calling
+/// the evaluation closure one point at a time makes each remaining trial
+/// pay a full heal-on-entry reload and forfeits the engine's multi-map
+/// batching. A lookahead policy instead evaluates the next K pinned
+/// points as one group, then truncates to the exact
+/// [`StopRule::first_stop_index`] prefix — speculative extras are
+/// evaluated but never aggregated, so *which* trials a cell keeps is
+/// byte-for-byte unchanged; only grouping (cost) and waste change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookahead {
+    /// Always speculate `K` trials per group (clamped to the trials the
+    /// cell can still legally run). `Fixed(1)` is the sequential
+    /// trial-at-a-time behaviour.
+    Fixed(usize),
+    /// Predict trials-to-satisfaction from the current half-width ratio:
+    /// half-widths shrink like `1/√n`, so reaching the target from the
+    /// current `hw` after `n` trials takes roughly `n·(hw/target)²`
+    /// trials total — speculate the missing `n·(hw/target)² − n`,
+    /// clamped to `[1, MAX_LOOKAHEAD]`. Low waste near the stop point
+    /// (the predictor shrinks as the interval closes in), full-width
+    /// groups while the interval is still far too wide.
+    Auto,
+}
+
+impl Default for Lookahead {
+    /// Sequential trial-at-a-time evaluation — the PR 9 behaviour.
+    fn default() -> Self {
+        Lookahead::Fixed(1)
+    }
+}
+
+impl Lookahead {
+    /// Validates the policy (typed error, never clamps — the runtime
+    /// clamping in [`group_size`](Self::group_size) only ever *shrinks*
+    /// a valid K to what the cell can still run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadLookahead`] for `Fixed(0)` (no progress)
+    /// and `Fixed(k > MAX_LOOKAHEAD)` (wider than one multi-map pass).
+    pub fn validated(self) -> Result<Self, StatsError> {
+        if let Lookahead::Fixed(k) = self {
+            if k == 0 || k > MAX_LOOKAHEAD {
+                return Err(StatsError::BadLookahead { k });
+            }
+        }
+        Ok(self)
+    }
+
+    /// The number of trials to speculate next for a cell whose
+    /// accumulator is `acc`, with `remaining` pinned points left in the
+    /// cell. Always in `1..=remaining`, never past `rule.max_trials`
+    /// (trials beyond the ceiling would be guaranteed waste), and never
+    /// past [`MAX_LOOKAHEAD`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remaining` is zero (the caller's loop condition
+    /// guarantees at least one point is left).
+    pub fn group_size(&self, rule: &StopRule, acc: &Streaming, remaining: usize) -> usize {
+        assert!(remaining > 0, "group size for an exhausted cell");
+        let cap = remaining
+            .min(MAX_LOOKAHEAD)
+            .min(rule.max_trials.saturating_sub(acc.n()).max(1));
+        let want = match *self {
+            Lookahead::Fixed(k) => k,
+            Lookahead::Auto => {
+                if rule.is_never_satisfiable() {
+                    // No finite n satisfies the half-width: take the cap.
+                    cap
+                } else {
+                    let ratio = rule.current_half_width(acc) / rule.half_width;
+                    // Total trials needed ≈ n·ratio²; speculate the gap.
+                    let predicted = acc.n() as f64 * (ratio * ratio - 1.0);
+                    if predicted.is_finite() {
+                        predicted.ceil().max(1.0).min(cap as f64) as usize
+                    } else {
+                        cap
+                    }
+                }
+            }
+        };
+        want.clamp(1, cap)
     }
 }
 
@@ -721,5 +871,127 @@ mod tests {
     #[should_panic]
     fn uniform_estimator_refuses_importance_weighted_samples() {
         let _ = importance_estimate(&[1.0, 2.0], &[0.0, 0.3], EstimatorMode::Uniform);
+    }
+
+    /// `first_stop_index` replicates the sequential push-then-check loop
+    /// exactly: the returned index is the first trial after which the
+    /// trial-at-a-time loop would have exited.
+    #[test]
+    fn first_stop_index_matches_the_sequential_loop() {
+        let rules = [
+            StopRule::new(2, 8, 99.0, 0.6).unwrap(),
+            StopRule::new(3, 5, 40.0, 0.75).unwrap(),
+            StopRule::new(2, 4, 0.0, 0.9).unwrap(),
+        ];
+        let streams: [&[f64]; 3] = [
+            &[50.0, 60.0, 55.0, 52.0, 58.0, 50.0, 51.0, 54.0],
+            &[0.0, 100.0, 0.0, 100.0],
+            &[62.5; 6],
+        ];
+        for rule in &rules {
+            for values in streams {
+                for head in 0..values.len() {
+                    let mut acc = Streaming::new();
+                    for &v in &values[..head] {
+                        acc.push(v);
+                    }
+                    let tail = &values[head..];
+                    // Reference: sequential push-and-check.
+                    let mut probe = acc;
+                    let mut expected = None;
+                    for (i, &v) in tail.iter().enumerate() {
+                        probe.push(v);
+                        if rule.satisfied(&probe) {
+                            expected = Some(i);
+                            break;
+                        }
+                    }
+                    assert_eq!(rule.first_stop_index(&acc, tail), expected);
+                    // The probe copy never mutates the caller's state.
+                    assert_eq!(acc.n(), head);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_satisfiable_rules_are_detected() {
+        assert!(StopRule::new(2, 8, 0.0, 0.9)
+            .unwrap()
+            .is_never_satisfiable());
+        assert!(!StopRule::new(2, 8, 0.1, 0.9)
+            .unwrap()
+            .is_never_satisfiable());
+    }
+
+    #[test]
+    fn lookahead_validation_rejects_degenerate_fixed_sizes() {
+        assert_eq!(
+            Lookahead::Fixed(0).validated(),
+            Err(StatsError::BadLookahead { k: 0 })
+        );
+        assert_eq!(
+            Lookahead::Fixed(MAX_LOOKAHEAD + 1).validated(),
+            Err(StatsError::BadLookahead {
+                k: MAX_LOOKAHEAD + 1
+            })
+        );
+        assert_eq!(Lookahead::Fixed(1).validated(), Ok(Lookahead::Fixed(1)));
+        assert_eq!(
+            Lookahead::Fixed(MAX_LOOKAHEAD).validated(),
+            Ok(Lookahead::Fixed(MAX_LOOKAHEAD))
+        );
+        assert_eq!(Lookahead::Auto.validated(), Ok(Lookahead::Auto));
+        assert_eq!(Lookahead::default(), Lookahead::Fixed(1));
+        assert!(StatsError::BadLookahead { k: 0 }
+            .to_string()
+            .contains("lookahead"));
+    }
+
+    #[test]
+    fn fixed_group_size_is_clamped_to_what_the_cell_can_run() {
+        let rule = StopRule::new(2, 10, 20.0, 0.75).unwrap();
+        let mut acc = Streaming::new();
+        acc.push(50.0);
+        acc.push(60.0);
+        // Plenty of room: K wins.
+        assert_eq!(Lookahead::Fixed(3).group_size(&rule, &acc, 20), 3);
+        // Fewer points left than K.
+        assert_eq!(Lookahead::Fixed(8).group_size(&rule, &acc, 2), 2);
+        // max_trials ceiling: only 10 − 2 = 8 trials may still run.
+        assert_eq!(Lookahead::Fixed(16).group_size(&rule, &acc, 20), 8);
+        // Never exceeds the engine's multi-map width.
+        let wide = StopRule::new(2, 100, 20.0, 0.75).unwrap();
+        assert_eq!(
+            Lookahead::Fixed(MAX_LOOKAHEAD).group_size(&wide, &acc, 64),
+            MAX_LOOKAHEAD
+        );
+    }
+
+    #[test]
+    fn auto_group_size_tracks_the_half_width_ratio() {
+        // The bench rule: range 100, confidence 0.75 (δ 0.25), target 20.
+        // At n = 8 the Hoeffding bound is 100·sqrt(ln8/16) ≈ 36.05, so
+        // the predictor asks for 8·(36.05/20)² − 8 ≈ 18 → clamped to 16.
+        let rule = StopRule::new(8, 96, 20.0, 0.75).unwrap();
+        let mut acc = Streaming::new();
+        for i in 0..8 {
+            acc.push(if i % 2 == 0 { 40.0 } else { 60.0 });
+        }
+        assert_eq!(Lookahead::Auto.group_size(&rule, &acc, 88), MAX_LOOKAHEAD);
+        // At n = 24 the bound is ≈ 20.8 — nearly there: predict 2, not 16.
+        for i in 8..24 {
+            acc.push(if i % 2 == 0 { 40.0 } else { 60.0 });
+        }
+        assert_eq!(Lookahead::Auto.group_size(&rule, &acc, 72), 2);
+        // A zero target half-width can never satisfy: take the full cap.
+        let degenerate = StopRule::new(2, 96, 0.0, 0.75).unwrap();
+        assert_eq!(
+            Lookahead::Auto.group_size(&degenerate, &acc, 72),
+            MAX_LOOKAHEAD
+        );
+        // Auto never predicts below one trial even when satisfied-adjacent.
+        let loose = StopRule::new(2, 96, 80.0, 0.75).unwrap();
+        assert_eq!(Lookahead::Auto.group_size(&loose, &acc, 72), 1);
     }
 }

@@ -7,6 +7,7 @@
 //! campaignd run     <job> --root DIR [--max-cells K] [--adaptive]
 //!                         [--half-width W] [--confidence C]
 //!                         [--min-trials N] [--max-trials M]
+//!                         [--lookahead N|auto]
 //! campaignd resume  <job> --root DIR [--adaptive ...]
 //! campaignd status  <job> --root DIR
 //! campaignd results <job> --root DIR [--out FILE]
@@ -31,10 +32,18 @@
 //! Early-stopped cells checkpoint exactly the trials that ran — always a
 //! bit-identical prefix of what the fixed-budget run would produce — so
 //! `status`/`results` can report honestly how many trials the rule saved.
+//!
+//! `--lookahead` (adaptive passes only) speculatively batches trials past
+//! the satisfied-check in groups of N (or an adaptive size with `auto`),
+//! recovering the engine's multi-map datapath inside the decision loop.
+//! Speculation changes grouping and waste only, never which trials land
+//! in a checkpoint: cell files stay byte-identical across lookahead
+//! settings, and `status`/`results` report speculative discards
+//! separately ("evaluated E, kept R") so waste can't pose as savings.
 
 use snn_data::workload::Workload;
 use snn_faults::service::{CampaignService, JobStatus, RunOptions};
-use snn_faults::stats::StopRule;
+use snn_faults::stats::{Lookahead, StopRule};
 use softsnn_core::methodology::EngineBackendKind;
 use softsnn_exp::campaign::{self, JobConfig, JobRunOutcome};
 use softsnn_exp::profile::Profile;
@@ -44,7 +53,7 @@ const USAGE: &str = "usage: campaignd <submit|run|resume|status|results|jobs> [<
                      --root DIR [--workload mnist|fashion] [--size N] \
                      [--profile smoke|quick|default|full] [--backend dense|event] \
                      [--max-cells K] [--adaptive] [--half-width W] [--confidence C] \
-                     [--min-trials N] [--max-trials M] [--out FILE]";
+                     [--min-trials N] [--max-trials M] [--lookahead N|auto] [--out FILE]";
 
 struct Args {
     command: String,
@@ -60,6 +69,7 @@ struct Args {
     confidence: f64,
     min_trials: usize,
     max_trials: Option<usize>,
+    lookahead: Lookahead,
     out: Option<String>,
 }
 
@@ -80,6 +90,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         confidence: 0.8,
         min_trials: 2,
         max_trials: None,
+        lookahead: Lookahead::default(),
         out: None,
     };
     while let Some(arg) = it.next() {
@@ -139,6 +150,17 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                         .map_err(|e| format!("bad --max-trials `{v}`: {e}"))?,
                 );
             }
+            "--lookahead" => {
+                let v = it.next().ok_or("--lookahead needs a value (N or `auto`)")?;
+                parsed.lookahead = if v == "auto" {
+                    Lookahead::Auto
+                } else {
+                    let k: usize = v
+                        .parse()
+                        .map_err(|e| format!("bad --lookahead `{v}`: {e}"))?;
+                    Lookahead::Fixed(k).validated().map_err(|e| e.to_string())?
+                };
+            }
             "--out" => parsed.out = Some(it.next().ok_or("--out needs a value")?),
             other if parsed.job.is_none() && !other.starts_with("--") => {
                 parsed.job = Some(other.to_owned());
@@ -155,17 +177,20 @@ fn job_name(args: &Args) -> Result<&str, String> {
         .ok_or_else(|| format!("`{}` needs a job name; {USAGE}", args.command))
 }
 
-/// One-line trial accounting over the checkpointed cells: how many of the
-/// budgeted trials actually ran, and what the stop rule saved.
+/// One-line trial accounting over the checkpointed cells: trials
+/// evaluated (kept + speculatively discarded), trials kept, and honest
+/// savings relative to the fixed budget — waste from lookahead
+/// speculation is charged against the savings, never hidden in them.
 fn trials_summary(status: &JobStatus) -> String {
-    let run = status.trials_run();
+    let evaluated = status.trials_evaluated();
+    let kept = status.trials_run();
     let saved = status.trials_saved();
     let budget = status.done_cells * status.trials_per_cell;
     if budget == 0 {
-        return "trials run: 0 (no cells checkpointed)".to_owned();
+        return "trials: 0 evaluated (no cells checkpointed)".to_owned();
     }
     format!(
-        "trials run: {run} of {budget} budgeted; saved {saved} ({:.0}%)",
+        "trials: evaluated {evaluated}, kept {kept} of {budget} budgeted; saved {saved} ({:.0}%)",
         100.0 * saved as f64 / budget as f64
     )
 }
@@ -245,6 +270,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let opts = RunOptions {
                 max_cells: args.max_cells,
                 stop_rule,
+                lookahead: args.lookahead,
             };
             match campaign::run_job(&job, &bench, opts)? {
                 JobRunOutcome::Complete(results) => {
@@ -275,8 +301,13 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
             println!("{}", trials_summary(&status));
             for progress in &status.cells {
+                let waste = if progress.trials_evaluated > progress.trials_run {
+                    format!(" ({} evaluated)", progress.trials_evaluated)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "  cell technique {} rate {}: {}/{} trials{}",
+                    "  cell technique {} rate {}: {}/{} trials{waste}{}",
                     progress.key.technique_idx,
                     progress.key.rate_idx,
                     progress.trials_run,

@@ -196,6 +196,12 @@ pub fn load_config(service: &CampaignService, name: &str) -> Result<JobConfig, S
 /// grid is reassembled from checkpoints and labeled as [`Fig13Results`],
 /// so downstream artifacts are byte-identical to the `fig13` binary's.
 ///
+/// Adaptive options thread straight through: with
+/// [`RunOptions::stop_rule`] set, each cell stops at its first-satisfied
+/// prefix, and [`RunOptions::lookahead`] controls how many trials past
+/// the satisfied-check are speculatively batched per closure call —
+/// grouping and waste only, never which trials land in a checkpoint.
+///
 /// # Errors
 ///
 /// Propagates evaluation and checkpoint-I/O errors.

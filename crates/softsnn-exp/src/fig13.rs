@@ -134,7 +134,35 @@ pub fn run_grid_adaptive(
     profile: Profile,
     rule: snn_faults::stats::StopRule,
 ) -> Result<Vec<AccuracyCell>, Box<dyn std::error::Error>> {
-    let runner = GridRunner::new(grid_spec(profile)).with_stop_rule(rule)?;
+    run_grid_adaptive_lookahead(
+        bench,
+        profile,
+        rule,
+        snn_faults::stats::Lookahead::default(),
+    )
+}
+
+/// [`run_grid_adaptive`] with a speculative [`Lookahead`] policy: trials
+/// past the satisfied-check are evaluated in groups (recovering the
+/// engine's multi-map batching inside the decision loop), then truncated
+/// to the exact first-satisfied prefix — the kept trials, and therefore
+/// the rendered figure, are bit-identical for every policy.
+///
+/// [`Lookahead`]: snn_faults::stats::Lookahead
+///
+/// # Errors
+///
+/// Propagates evaluation errors; rejects rules whose `max_trials` exceed
+/// the profile's trial budget and degenerate lookahead sizes.
+pub fn run_grid_adaptive_lookahead(
+    bench: &Bench,
+    profile: Profile,
+    rule: snn_faults::stats::StopRule,
+    lookahead: snn_faults::stats::Lookahead,
+) -> Result<Vec<AccuracyCell>, Box<dyn std::error::Error>> {
+    let runner = GridRunner::new(grid_spec(profile))
+        .with_stop_rule(rule)?
+        .with_lookahead(lookahead)?;
     let results = runner.run_adaptive(&bench.deployment, |deployment, shard| {
         evaluate_shard(deployment, shard, &bench.encoded)
     })?;
@@ -187,6 +215,25 @@ pub fn evaluate_shard(
     shard: &[snn_faults::grid::GridPointCtx],
     encoded: &softsnn_core::methodology::EncodedTestSet,
 ) -> Result<Vec<f64>, softsnn_core::methodology::MethodologyError> {
+    evaluate_shard_in_domain(deployment, shard, encoded, FaultDomain::ComputeEngine)
+}
+
+/// [`evaluate_shard`] with an explicit fault domain for every scenario.
+/// Fig. 13 proper injects into [`FaultDomain::ComputeEngine`] (weight
+/// cells *and* neuron ops); restricted domains such as
+/// `FaultDomain::Neurons(None)` keep every map neuron-only, which is
+/// what lets a trial group ride the engine's multi-map drive phase —
+/// the datapath the lookahead benchmarks measure.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn evaluate_shard_in_domain(
+    deployment: &mut softsnn_core::methodology::SoftSnnDeployment,
+    shard: &[snn_faults::grid::GridPointCtx],
+    encoded: &softsnn_core::methodology::EncodedTestSet,
+    domain: FaultDomain,
+) -> Result<Vec<f64>, softsnn_core::methodology::MethodologyError> {
     let mut accuracies = Vec::with_capacity(shard.len());
     let mut start = 0;
     while start < shard.len() {
@@ -199,7 +246,7 @@ pub fn evaluate_shard(
         let scenarios: Vec<FaultScenario> = shard[start..end]
             .iter()
             .map(|p| FaultScenario {
-                domain: FaultDomain::ComputeEngine,
+                domain,
                 rate: p.rate,
                 seed: p.seed,
             })

@@ -4,7 +4,7 @@
 //! artifact bytes, and the stop rule must actually save trials.
 
 use snn_faults::service::RunOptions;
-use snn_faults::stats::StopRule;
+use snn_faults::stats::{Lookahead, StopRule};
 use snn_faults::CampaignService;
 use softsnn::data::workload::Workload;
 use softsnn::exp::campaign::{self, JobConfig, JobRunOutcome};
@@ -108,5 +108,69 @@ fn adaptive_smoke_campaign_stops_on_pinned_prefixes_and_resumes_identically() {
         assert_eq!(a, b, "cell {key:?} checkpoint differs");
     }
 
+    // Lookahead arm against the SAME pins — no re-capture: speculative
+    // batching at the widest group size must keep exactly the trials the
+    // sequential run keeps, land byte-identical checkpoints, and render
+    // the same artifact. Evaluated counts may exceed kept counts; the
+    // kept trials may not move.
+    let (job3, bench3) = campaign::submit_job(&service, "lookahead", config).unwrap();
+    let lookahead_opts = RunOptions {
+        stop_rule: Some(smoke_rule()),
+        lookahead: Lookahead::Fixed(16),
+        ..RunOptions::default()
+    };
+    let speculative = match campaign::run_job(&job3, &bench3, lookahead_opts).unwrap() {
+        JobRunOutcome::Complete(results) => results,
+        JobRunOutcome::Interrupted { done, total } => {
+            panic!("full pass must complete, stopped at {done}/{total}")
+        }
+    };
+    let la_nomit: Vec<u64> = speculative.cells[3]
+        .trials
+        .iter()
+        .map(|t| t.to_bits())
+        .collect();
+    assert_eq!(la_nomit, vec![0x4039_0000_0000_0000, 0x4029_0000_0000_0000]);
+    let la_bnp3: Vec<u64> = speculative.cells[18]
+        .trials
+        .iter()
+        .map(|t| t.to_bits())
+        .collect();
+    assert_eq!(la_bnp3, vec![0x4050_4000_0000_0000, 0x404E_0000_0000_0000]);
+    assert_eq!(
+        fig13::to_json(&speculative).render(),
+        fig13::to_json(&oneshot).render(),
+        "lookahead artifact diverged from the sequential adaptive run"
+    );
+    for key in job.cell_keys() {
+        let a = std::fs::read(job.cell_path(key)).unwrap();
+        let b = std::fs::read(job3.cell_path(key)).unwrap();
+        assert_eq!(a, b, "cell {key:?} differs under lookahead");
+    }
+    let la_status = job3.status().unwrap();
+    assert_eq!(la_status.trials_run(), 40);
+    assert!(
+        la_status.trials_evaluated() >= la_status.trials_run(),
+        "evaluated must cover the kept prefix"
+    );
+    // The direct lookahead grid runner agrees with the service cells too.
+    let direct_la = fig13::run_grid_adaptive_lookahead(
+        &bench,
+        Profile::Smoke,
+        smoke_rule(),
+        Lookahead::Fixed(16),
+    )
+    .unwrap();
+    assert_eq!(direct_la, oneshot.cells);
+
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The lookahead clamp and the engine's multi-map width are the same
+/// number by design: a speculative group wider than what one
+/// `run_batch_multi_map` pass can carry would silently split and lose
+/// the batching it exists to recover.
+#[test]
+fn lookahead_clamp_matches_the_engine_multi_map_width() {
+    assert_eq!(snn_faults::stats::MAX_LOOKAHEAD, snn_hw::engine::MAX_MAPS);
 }
